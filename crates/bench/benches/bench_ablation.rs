@@ -1,0 +1,30 @@
+//! Reduced-scale benchmark of the ablation driver (reference-only vs
+//! reference+pivot embeddings, splitter-interval budget, candidates per
+//! round, triple budget).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::ablation::run_ablation;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let hs = HarnessScale::tiny();
+    c.bench_function("ablation_suite_tiny_scale", |bench| {
+        bench.iter(|| {
+            black_box(run_ablation(
+                hs.digits_db,
+                hs.digits_queries,
+                hs.points_per_shape,
+                &hs.scale,
+                2005,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Benchmark of the Figure 1 toy-example driver (triple-classification error
+//! of the global 3-D embedding vs the per-reference 1-D embeddings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qse_retrieval::experiments::fig1::run_fig1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_toy_configuration", |bench| {
+        bench.iter(|| black_box(run_fig1(black_box(7))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig1
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Reduced-scale end-to-end benchmark of the Figure 4 driver (synthetic
+//! MNIST / shape context; FastMap vs Ra-QI vs Se-QI vs Se-QS at 90/95/99%).
+//!
+//! The full-scale figure is produced by the `fig4_mnist` binary; this bench
+//! keeps every iteration at the `tiny` harness scale so `cargo bench`
+//! exercises the complete pipeline in seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::figures::run_fig4;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let hs = HarnessScale::tiny();
+    c.bench_function("fig4_digits_tiny_scale", |bench| {
+        bench.iter(|| {
+            black_box(run_fig4(
+                hs.digits_db,
+                hs.digits_queries,
+                hs.points_per_shape,
+                &hs.scale,
+                2005,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Reduced-scale end-to-end benchmark of the Figure 5 driver (time series /
+//! constrained DTW; FastMap vs Ra-QI vs Se-QI vs Se-QS at 90/95/99%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::figures::run_fig5;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let hs = HarnessScale::tiny();
+    c.bench_function("fig5_timeseries_tiny_scale", |bench| {
+        bench.iter(|| {
+            black_box(run_fig5(
+                hs.series_db,
+                hs.series_queries,
+                hs.series_length,
+                2,
+                &hs.scale,
+                2005,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Reduced-scale end-to-end benchmark of the Figure 6 driver ("Quick Se-QS"
+//! with a small preprocessing budget vs regular Se-QS vs FastMap, 95%
+//! accuracy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::figures::run_fig6;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let hs = HarnessScale::tiny();
+    c.bench_function("fig6_quick_vs_regular_tiny_scale", |bench| {
+        bench.iter(|| {
+            black_box(run_fig6(
+                hs.digits_db,
+                hs.digits_queries,
+                hs.points_per_shape,
+                &hs.scale,
+                2005,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks of the filter step and of full filter-and-refine retrieval.
+//!
+//! The paper argues the filter step "always takes negligible time" compared
+//! with the handful of exact distances at the embedding and refine steps;
+//! these benchmarks quantify that on this implementation: ranking thousands
+//! of embedded vectors is microseconds, one shape-context distance is
+//! orders of magnitude more.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData, TripleSampler};
+use qse_distance::traits::{FnDistance, MetricProperties};
+use qse_retrieval::FilterRefineIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
+    FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    })
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0..6);
+            vec![
+                (c % 3) as f64 * 12.0 + rng.gen_range(-1.0..1.0),
+                (c / 3) as f64 * 12.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+fn build_index(db: &[Vec<f64>]) -> FilterRefineIndex<Vec<f64>> {
+    let d = euclid();
+    let mut rng = StdRng::seed_from_u64(9);
+    let pools: Vec<Vec<f64>> = db.iter().take(60).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &d, 4);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 600, &mut rng);
+    let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+    FilterRefineIndex::build_query_sensitive(model, db, &d)
+}
+
+fn bench_filter_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_step");
+    for &db_size in &[500usize, 2_000, 8_000] {
+        let db = clustered(db_size, 1);
+        let index = build_index(&db);
+        let d = euclid();
+        let query = vec![6.0, 6.0];
+        group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |bench, _| {
+            bench.iter(|| black_box(index.filter_ranking(black_box(&query), &d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_retrieval(c: &mut Criterion) {
+    let db = clustered(2_000, 2);
+    let index = build_index(&db);
+    let d = euclid();
+    let query = vec![11.5, 0.5];
+    c.bench_function("filter_and_refine_k10_p50_db2000", |bench| {
+        bench.iter(|| black_box(index.retrieve(black_box(&query), &db, &d, 10, 50)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_filter_step, bench_full_retrieval
+);
+criterion_main!(benches);

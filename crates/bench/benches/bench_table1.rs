@@ -1,0 +1,32 @@
+//! Reduced-scale end-to-end benchmark of the Table 1 driver (all five
+//! methods on both workloads, k ∈ {1, 10, 50}, accuracy ∈ {90, 95, 99, 100}%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::table1::run_table1;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let hs = HarnessScale::tiny();
+    c.bench_function("table1_both_workloads_tiny_scale", |bench| {
+        bench.iter(|| {
+            black_box(run_table1(
+                hs.digits_db,
+                hs.digits_queries,
+                hs.points_per_shape,
+                hs.series_db,
+                hs.series_queries,
+                hs.series_length,
+                &hs.scale,
+                2005,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Benchmarks of the training pipeline: distance-matrix precomputation,
+//! triple sampling, and boosting rounds for the query-sensitive and
+//! query-insensitive trainers (the `O(m · t)` per-round cost of Section 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qse_core::{
+    BoostMapTrainer, QuerySensitivity, TrainerConfig, TrainingData, TripleSampler,
+};
+use qse_distance::traits::{FnDistance, MetricProperties};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
+    FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    })
+}
+
+fn objects(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0..8);
+            vec![
+                (c % 4) as f64 * 10.0 + rng.gen_range(-1.0..1.0),
+                (c / 4) as f64 * 10.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let pool = objects(150);
+    let d = euclid();
+    c.bench_function("training_data_precompute_150x150", |bench| {
+        bench.iter(|| black_box(TrainingData::precompute(pool.clone(), pool.clone(), &d, 4)))
+    });
+}
+
+fn bench_triple_sampling(c: &mut Criterion) {
+    let pool = objects(150);
+    let d = euclid();
+    let data = TrainingData::precompute(pool.clone(), pool, &d, 4);
+    c.bench_function("selective_triple_sampling_2000", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            black_box(TripleSampler::selective(5).sample(&data.train_to_train, 2_000, &mut rng))
+        })
+    });
+}
+
+fn bench_boosting(c: &mut Criterion) {
+    let pool = objects(120);
+    let d = euclid();
+    let data = TrainingData::precompute(pool.clone(), pool, &d, 4);
+    let mut rng = StdRng::seed_from_u64(21);
+    let triples = TripleSampler::selective(5).sample(&data.train_to_train, 1_000, &mut rng);
+
+    let mut group = c.benchmark_group("boosting_16_rounds_1000_triples");
+    for (name, sensitivity) in [
+        ("query_sensitive", QuerySensitivity::Sensitive),
+        ("query_insensitive", QuerySensitivity::Insensitive),
+    ] {
+        let config = TrainerConfig {
+            rounds: 16,
+            candidates_per_round: 30,
+            intervals_per_candidate: 8,
+            query_sensitivity: sensitivity,
+            ..TrainerConfig::default()
+        };
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut train_rng = StdRng::seed_from_u64(31);
+                black_box(
+                    BoostMapTrainer::new(config).train(&data, &triples, &mut train_rng),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_precompute, bench_triple_sampling, bench_boosting
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs the ablation suite: reference-only vs reference+pivot 1-D
+//! embeddings, splitter-interval budget, candidates per round, and training
+//! triple budget, all measured at k = 1 / 95% accuracy on the digits
+//! workload.
+//!
+//! Usage: `QSE_SCALE=bench cargo run --release -p qse-bench --bin ablation`
+
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::ablation::run_ablation;
+
+fn main() {
+    let hs = HarnessScale::from_env();
+    eprintln!("[ablation] scale = {}", hs.name);
+    let report = run_ablation(
+        hs.digits_db.min(300),
+        hs.digits_queries.min(40),
+        hs.points_per_shape,
+        &hs.scale,
+        2005,
+    );
+    print!("{}", report.to_text());
+}

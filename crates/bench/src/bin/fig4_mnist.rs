@@ -1,0 +1,18 @@
+//! Regenerates Figure 4: exact-distance cost vs k on the synthetic-MNIST /
+//! shape-context workload for FastMap, Ra-QI, Se-QI and Se-QS at 90/95/99%
+//! accuracy.
+//!
+//! Usage: `QSE_SCALE=bench cargo run --release -p qse-bench --bin fig4_mnist`
+
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::figures::run_fig4;
+
+fn main() {
+    let hs = HarnessScale::from_env();
+    eprintln!(
+        "[fig4] scale = {} (database {}, queries {}, {} points/shape)",
+        hs.name, hs.digits_db, hs.digits_queries, hs.points_per_shape
+    );
+    let figure = run_fig4(hs.digits_db, hs.digits_queries, hs.points_per_shape, &hs.scale, 2005);
+    print!("{}", figure.to_text());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: exact-distance cost vs k on the time-series /
+//! constrained-DTW workload for FastMap, Ra-QI, Se-QI and Se-QS at 90/95/99%
+//! accuracy.
+//!
+//! Usage: `QSE_SCALE=bench cargo run --release -p qse-bench --bin fig5_timeseries`
+
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::figures::run_fig5;
+
+fn main() {
+    let hs = HarnessScale::from_env();
+    eprintln!(
+        "[fig5] scale = {} (database {}, queries {}, length {})",
+        hs.name, hs.series_db, hs.series_queries, hs.series_length
+    );
+    let figure =
+        run_fig5(hs.series_db, hs.series_queries, hs.series_length, 2, &hs.scale, 2005);
+    print!("{}", figure.to_text());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 6: Se-QS trained with a deliberately small
+//! preprocessing budget ("Quick Se-QS") vs regular Se-QS vs FastMap, at 95%
+//! accuracy on the digits workload.
+//!
+//! Usage: `QSE_SCALE=bench cargo run --release -p qse-bench --bin fig6_quick`
+
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::figures::run_fig6;
+
+fn main() {
+    let hs = HarnessScale::from_env();
+    eprintln!(
+        "[fig6] scale = {} (database {}, queries {})",
+        hs.name, hs.digits_db, hs.digits_queries
+    );
+    let figure = run_fig6(hs.digits_db, hs.digits_queries, hs.points_per_shape, &hs.scale, 2005);
+    print!("{}", figure.to_text());
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 1: exact-distance counts for k ∈ {1, 10, 50} and
+//! accuracy ∈ {90, 95, 99, 100}% on both workloads, for FastMap, Ra-QI,
+//! Ra-QS, Se-QI and Se-QS.
+//!
+//! Usage: `QSE_SCALE=bench cargo run --release -p qse-bench --bin table1`
+
+use qse_bench::HarnessScale;
+use qse_retrieval::experiments::table1::run_table1;
+
+fn main() {
+    let hs = HarnessScale::from_env();
+    eprintln!("[table1] scale = {}", hs.name);
+    let table = run_table1(
+        hs.digits_db,
+        hs.digits_queries,
+        hs.points_per_shape,
+        hs.series_db,
+        hs.series_queries,
+        hs.series_length,
+        &hs.scale,
+        2005,
+    );
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,150 @@
+//! # qse-bench
+//!
+//! Benchmark harnesses for the *Query-Sensitive Embeddings* reproduction.
+//!
+//! Two kinds of targets live in this crate:
+//!
+//! * **Figure / table binaries** (`src/bin/*.rs`) — regenerate each figure
+//!   and table of the paper's evaluation and print the series / rows as
+//!   text. Scale is controlled by the `QSE_SCALE` environment variable
+//!   (`tiny`, `bench` — the default — or `large`).
+//! * **Criterion benches** (`benches/*.rs`) — micro- and macro-benchmarks of
+//!   the individual components (distance measures, training rounds, the
+//!   filter step) plus reduced-scale versions of every figure/table driver so
+//!   `cargo bench --workspace` exercises all of them end to end.
+
+#![warn(missing_docs)]
+
+use qse_retrieval::experiments::runner::WorkloadScale;
+
+/// The workload sizes (database / query counts) used by the harness
+/// binaries, alongside the training [`WorkloadScale`].
+#[derive(Debug, Clone)]
+pub struct HarnessScale {
+    /// Human-readable name of the scale.
+    pub name: &'static str,
+    /// Digit-workload database size.
+    pub digits_db: usize,
+    /// Digit-workload query count.
+    pub digits_queries: usize,
+    /// Points per synthetic digit shape.
+    pub points_per_shape: usize,
+    /// Time-series database size.
+    pub series_db: usize,
+    /// Time-series query count.
+    pub series_queries: usize,
+    /// Time-series base length.
+    pub series_length: usize,
+    /// Training / evaluation scale.
+    pub scale: WorkloadScale,
+}
+
+impl HarnessScale {
+    /// A scale that finishes in a few seconds; used by the Criterion benches
+    /// and smoke tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny",
+            digits_db: 60,
+            digits_queries: 8,
+            points_per_shape: 16,
+            series_db: 80,
+            series_queries: 8,
+            series_length: 32,
+            scale: WorkloadScale {
+                candidate_pool: 30,
+                training_pool: 30,
+                training_triples: 200,
+                rounds: 8,
+                candidates_per_round: 15,
+                intervals_per_candidate: 5,
+                kmax: 5,
+                dims_to_evaluate: vec![4, 8],
+                threads: 4,
+            },
+        }
+    }
+
+    /// The default scale of the harness binaries: minutes per figure on a
+    /// laptop, large enough to show the paper's trends.
+    pub fn bench() -> Self {
+        Self {
+            name: "bench",
+            digits_db: 400,
+            digits_queries: 60,
+            points_per_shape: 24,
+            series_db: 600,
+            series_queries: 80,
+            series_length: 64,
+            scale: WorkloadScale {
+                candidate_pool: 120,
+                training_pool: 120,
+                training_triples: 3_000,
+                rounds: 32,
+                candidates_per_round: 50,
+                intervals_per_candidate: 10,
+                kmax: 50,
+                dims_to_evaluate: vec![4, 8, 16, 24, 32],
+                threads: 8,
+            },
+        }
+    }
+
+    /// A larger scale, closer in spirit to the paper (still far from 60,000
+    /// MNIST images — see DESIGN.md §4).
+    pub fn large() -> Self {
+        Self {
+            name: "large",
+            digits_db: 1_200,
+            digits_queries: 150,
+            points_per_shape: 32,
+            series_db: 2_000,
+            series_queries: 200,
+            series_length: 96,
+            scale: WorkloadScale {
+                candidate_pool: 250,
+                training_pool: 250,
+                training_triples: 10_000,
+                rounds: 48,
+                candidates_per_round: 100,
+                intervals_per_candidate: 12,
+                kmax: 50,
+                dims_to_evaluate: vec![4, 8, 16, 32, 48],
+                threads: 8,
+            },
+        }
+    }
+
+    /// Pick a scale from the `QSE_SCALE` environment variable (`tiny`,
+    /// `bench`, `large`); defaults to [`HarnessScale::bench`].
+    pub fn from_env() -> Self {
+        match std::env::var("QSE_SCALE").as_deref() {
+            Ok("tiny") => Self::tiny(),
+            Ok("large") => Self::large(),
+            _ => Self::bench(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        let t = HarnessScale::tiny();
+        let b = HarnessScale::bench();
+        let l = HarnessScale::large();
+        assert!(t.digits_db < b.digits_db && b.digits_db < l.digits_db);
+        assert!(t.scale.training_triples < b.scale.training_triples);
+        assert!(b.scale.training_triples < l.scale.training_triples);
+    }
+
+    #[test]
+    fn env_scale_defaults_to_bench() {
+        // The test environment does not set QSE_SCALE.
+        if std::env::var("QSE_SCALE").is_err() {
+            assert_eq!(HarnessScale::from_env().name, "bench");
+        }
+    }
+}

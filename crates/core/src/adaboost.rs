@@ -1,0 +1,263 @@
+//! Confidence-rated AdaBoost machinery (Schapire & Singer, 1999).
+//!
+//! Figure 2 of the paper reproduces the AdaBoost skeleton: maintain a weight
+//! distribution over training examples, repeatedly pick the weak classifier
+//! `h_j` and weight `α_j` minimising
+//!
+//! `Z_j(h, α) = Σ_i w_{i,j} · exp(−α · y_i · h(o_i))`
+//!
+//! and multiply the weights by `exp(−α_j y_i h_j(o_i)) / z_j`. Because the
+//! paper's weak classifiers output *real* values (differences of distances),
+//! the optimal `α` has no closed form; this module finds it with a
+//! safeguarded bisection on the (strictly convex) `Z(α)`.
+//!
+//! The module is deliberately agnostic of what the weak classifiers are: it
+//! works on precomputed *margins* `m_i = y_i · h(o_i)`, which is all `Z`
+//! depends on.
+
+use serde::{Deserialize, Serialize};
+
+/// The weight distribution over training examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightDistribution {
+    weights: Vec<f64>,
+}
+
+impl WeightDistribution {
+    /// Uniform distribution over `n` examples (`w_{i,1} = 1/t` in Figure 2).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "cannot create a weight distribution over zero examples");
+        Self { weights: vec![1.0 / n as f64; n] }
+    }
+
+    /// The current weights (always sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of training examples.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if there are no examples (never the case after construction).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Apply the AdaBoost weight update for a chosen weak classifier with
+    /// weight `alpha` and per-example raw outputs `outputs[i] = h(o_i)`,
+    /// given labels `labels[i] = y_i`. Returns the normaliser `z_j`.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length with the distribution.
+    pub fn update(&mut self, alpha: f64, outputs: &[f64], labels: &[f64]) -> f64 {
+        assert_eq!(outputs.len(), self.weights.len(), "output/weight length mismatch");
+        assert_eq!(labels.len(), self.weights.len(), "label/weight length mismatch");
+        let mut z = 0.0;
+        for ((w, h), y) in self.weights.iter_mut().zip(outputs).zip(labels) {
+            *w *= (-alpha * y * h).exp();
+            z += *w;
+        }
+        assert!(z.is_finite() && z > 0.0, "degenerate AdaBoost normaliser z = {z}");
+        for w in &mut self.weights {
+            *w /= z;
+        }
+        z
+    }
+}
+
+/// `Z(α) = Σ_i w_i · exp(−α · m_i)` for margins `m_i = y_i h(o_i)` (Eq. 8).
+pub fn z_value(alpha: f64, margins: &[f64], weights: &[f64]) -> f64 {
+    debug_assert_eq!(margins.len(), weights.len());
+    margins
+        .iter()
+        .zip(weights)
+        .map(|(m, w)| w * (-alpha * m).exp())
+        .sum()
+}
+
+/// Derivative `Z'(α) = −Σ_i w_i · m_i · exp(−α · m_i)`.
+fn z_derivative(alpha: f64, margins: &[f64], weights: &[f64]) -> f64 {
+    margins
+        .iter()
+        .zip(weights)
+        .map(|(m, w)| -w * m * (-alpha * m).exp())
+        .sum()
+}
+
+/// Result of optimising `α` for one candidate weak classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaSearch {
+    /// The minimising `α` (clamped to `[0, alpha_max]`).
+    pub alpha: f64,
+    /// `Z(α)` at that `α`; values below 1 reduce the training loss.
+    pub z: f64,
+}
+
+/// Find the `α ∈ [0, alpha_max]` minimising `Z(α)` by bisection on the
+/// monotone derivative `Z'`.
+///
+/// `Z` is strictly convex in `α` (it is a positive sum of exponentials), so
+/// `Z'` is increasing and a sign change brackets the unique minimum. Three
+/// regimes:
+///
+/// * `Z'(0) >= 0`: the classifier has non-positive weighted margin; the best
+///   admissible weight is `α = 0` (the trainer will discard it).
+/// * `Z'(alpha_max) <= 0`: the classifier is so good that `Z` keeps
+///   decreasing; return `alpha_max` (this also caps numerically exploding
+///   weights when a classifier is perfect on the weighted sample).
+/// * otherwise bisect until the bracket is tighter than `tol`.
+pub fn optimize_alpha(margins: &[f64], weights: &[f64], alpha_max: f64, tol: f64) -> AlphaSearch {
+    assert_eq!(margins.len(), weights.len(), "margin/weight length mismatch");
+    assert!(alpha_max > 0.0 && tol > 0.0, "alpha_max and tol must be positive");
+    let d0 = z_derivative(0.0, margins, weights);
+    if d0 >= 0.0 {
+        return AlphaSearch { alpha: 0.0, z: 1.0_f64.min(z_value(0.0, margins, weights)) };
+    }
+    let dmax = z_derivative(alpha_max, margins, weights);
+    if dmax <= 0.0 {
+        return AlphaSearch { alpha: alpha_max, z: z_value(alpha_max, margins, weights) };
+    }
+    let (mut lo, mut hi) = (0.0, alpha_max);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if z_derivative(mid, margins, weights) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let alpha = 0.5 * (lo + hi);
+    AlphaSearch { alpha, z: z_value(alpha, margins, weights) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_sums_to_one() {
+        let w = WeightDistribution::uniform(8);
+        assert_eq!(w.len(), 8);
+        let total: f64 = w.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_upweights_misclassified_examples() {
+        let mut w = WeightDistribution::uniform(2);
+        // Example 0 correctly classified (y=+1, h=+1), example 1 wrong
+        // (y=+1, h=-1).
+        let z = w.update(0.5, &[1.0, -1.0], &[1.0, 1.0]);
+        assert!(z > 0.0);
+        assert!(w.weights()[1] > w.weights()[0]);
+        let total: f64 = w.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_value_at_zero_alpha_is_one_for_normalized_weights() {
+        let w = vec![0.25; 4];
+        let m = vec![1.0, -0.5, 0.3, 0.0];
+        assert!((z_value(0.0, &m, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_alpha_matches_closed_form_for_binary_outputs() {
+        // For ±1 outputs the Schapire-Singer optimum is
+        // α = 0.5 ln((1-ε)/ε) with ε the weighted error.
+        let margins = vec![1.0, 1.0, 1.0, -1.0]; // ε = 0.25
+        let weights = vec![0.25; 4];
+        let res = optimize_alpha(&margins, &weights, 10.0, 1e-9);
+        let expected = 0.5 * (0.75_f64 / 0.25).ln();
+        assert!((res.alpha - expected).abs() < 1e-6, "{} vs {expected}", res.alpha);
+        // And the resulting Z matches 2 sqrt(ε (1-ε)).
+        let expected_z = 2.0 * (0.25_f64 * 0.75).sqrt();
+        assert!((res.z - expected_z).abs() < 1e-6);
+    }
+
+    #[test]
+    fn useless_classifier_gets_zero_alpha() {
+        // Weighted margin is zero → α = 0, Z = 1.
+        let margins = vec![1.0, -1.0];
+        let weights = vec![0.5, 0.5];
+        let res = optimize_alpha(&margins, &weights, 10.0, 1e-9);
+        assert_eq!(res.alpha, 0.0);
+        assert!((res.z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_is_clamped_to_alpha_max() {
+        let margins = vec![0.5, 1.0, 2.0];
+        let weights = vec![1.0 / 3.0; 3];
+        let res = optimize_alpha(&margins, &weights, 4.0, 1e-9);
+        assert_eq!(res.alpha, 4.0);
+        assert!(res.z < 1.0);
+    }
+
+    #[test]
+    fn real_valued_margins_give_z_below_one_for_useful_classifiers() {
+        let margins = vec![0.9, 0.1, -0.2, 0.6, 0.4];
+        let weights = vec![0.2; 5];
+        let res = optimize_alpha(&margins, &weights, 10.0, 1e-9);
+        assert!(res.alpha > 0.0);
+        assert!(res.z < 1.0, "z = {}", res.z);
+        // The found α must be (near) a stationary point of Z.
+        let eps = 1e-4;
+        let z_lo = z_value(res.alpha - eps, &margins, &weights);
+        let z_hi = z_value(res.alpha + eps, &margins, &weights);
+        assert!(res.z <= z_lo + 1e-9 && res.z <= z_hi + 1e-9);
+    }
+
+    #[test]
+    fn repeated_boosting_drives_training_error_down() {
+        // A tiny hand-rolled boosting loop over three fixed weak classifiers
+        // on four examples; checks the machinery can reach zero training
+        // error on a separable toy problem.
+        let labels = vec![1.0, 1.0, -1.0, -1.0];
+        // Classifier outputs per example.
+        let weak: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0, 1.0, -1.0],
+            vec![1.0, -1.0, -1.0, -1.0],
+            vec![1.0, 1.0, -1.0, 1.0],
+        ];
+        let mut dist = WeightDistribution::uniform(4);
+        let mut strong = vec![0.0; 4];
+        for _round in 0..6 {
+            // Pick the classifier with the lowest Z this round.
+            let mut best: Option<(usize, AlphaSearch)> = None;
+            for (ci, outputs) in weak.iter().enumerate() {
+                let margins: Vec<f64> =
+                    outputs.iter().zip(&labels).map(|(h, y)| h * y).collect();
+                let res = optimize_alpha(&margins, dist.weights(), 5.0, 1e-9);
+                if best.as_ref().map_or(true, |(_, b)| res.z < b.z) {
+                    best = Some((ci, res));
+                }
+            }
+            let (ci, res) = best.expect("at least one classifier");
+            if res.alpha == 0.0 {
+                break;
+            }
+            for (s, h) in strong.iter_mut().zip(&weak[ci]) {
+                *s += res.alpha * h;
+            }
+            dist.update(res.alpha, &weak[ci], &labels);
+        }
+        let errors = strong
+            .iter()
+            .zip(&labels)
+            .filter(|(s, y)| s.signum() != y.signum())
+            .count();
+        assert_eq!(errors, 0, "strong classifier should separate the toy data: {strong:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn rejects_empty_distribution() {
+        let _ = WeightDistribution::uniform(0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # qse-core
+//!
+//! The primary contribution of *Query-Sensitive Embeddings* (Athitsos,
+//! Hadjieleftheriou, Kollios, Sclaroff — SIGMOD 2005): learning, with
+//! AdaBoost, both an embedding `F_out : X → R^d` and a **query-sensitive**
+//! weighted L1 distance `D_out` to compare embedded objects, plus the
+//! selective training-triple sampling of Section 6.
+//!
+//! ## How the pieces fit together (Section 5)
+//!
+//! 1. 1-D embeddings (reference-object and pivot embeddings from
+//!    `qse-embedding`) act as *weak classifiers* of triples `(q, a, b)`:
+//!    is `q` closer to `a` or to `b`?
+//! 2. A *splitter* `S_{F,V}(q) = 1 iff F(q) ∈ V` gates each weak classifier
+//!    to the region of the space where it is reliable, giving the
+//!    query-sensitive weak classifiers `Q̃_{F,V}(q,a,b) = S_{F,V}(q) ·
+//!    F̃(q,a,b)` of Section 5.1 ([`weak`]).
+//! 3. AdaBoost (Schapire–Singer confidence-rated variant, [`adaboost`])
+//!    combines many such weak classifiers into a strong classifier
+//!    `H = Σ_j α_j Q̃_{F'_j, V_j}`.
+//! 4. `H` is re-interpreted ([`model`]) as an embedding `F_out` (the distinct
+//!    1-D embeddings used by `H`) together with the query-sensitive distance
+//!    `D_out(q, x) = Σ_i A_i(q) |q_i − x_i|` of Eq. 10–11. Proposition 1 of
+//!    the paper — `F̃_out = H` — is verified by the test-suite.
+//! 5. Training triples are drawn either uniformly at random (original
+//!    BoostMap) or selectively around each training object's k-nearest
+//!    neighbors ([`triples`], Section 6).
+//!
+//! The four method variants of the paper's evaluation (Ra-QI, Ra-QS, Se-QI,
+//! Se-QS) are obtained by crossing [`triples::TripleSampler`] choices with
+//! the [`trainer::QuerySensitivity`] switch of the trainer.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaboost;
+pub mod model;
+pub mod trainer;
+pub mod training_data;
+pub mod triples;
+pub mod weak;
+
+pub use model::{EmbeddedQuery, QseModel, WeakLearner};
+pub use trainer::{BoostMapTrainer, MethodVariant, QuerySensitivity, TrainerConfig};
+pub use training_data::TrainingData;
+pub use triples::{TrainingTriple, TripleSampler, TripleSamplingStrategy};
+pub use weak::Interval;

@@ -1,0 +1,377 @@
+//! The trained model: embedding `F_out` plus query-sensitive distance
+//! `D_out` (Section 5.4).
+//!
+//! AdaBoost outputs a strong classifier `H = Σ_j α_j Q̃_{F'_j, V_j}`. The
+//! paper re-interprets `H` as:
+//!
+//! * the embedding `F_out(x) = (F_1(x), ..., F_d(x))` over the *distinct*
+//!   1-D embeddings appearing in `H`, and
+//! * the query-sensitive distance `D_out(q, x) = Σ_i A_i(q) |q_i − x_i|`
+//!   where `A_i(q) = Σ_{j : F'_j = F_i ∧ F'_j(q) ∈ V_j} α_j` (Eq. 10–11).
+//!
+//! Proposition 1 (`F̃_out = H`) guarantees the classification error AdaBoost
+//! minimised is exactly a property of `(F_out, D_out)`; the unit tests here
+//! and the property tests at the workspace root verify that identity on
+//! random models.
+
+use crate::weak::Interval;
+use qse_distance::DistanceMeasure;
+use qse_embedding::{CompositeEmbedding, Embedding, OneDEmbedding};
+use serde::{Deserialize, Serialize};
+
+/// One term `α_j · Q̃_{F'_j, V_j}` of the boosted classifier, expressed
+/// against the model's list of distinct coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeakLearner {
+    /// Index into [`QseModel::coordinates`] of the 1-D embedding `F'_j`.
+    pub coordinate: usize,
+    /// The splitter interval `V_j`.
+    pub interval: Interval,
+    /// The classifier weight `α_j` (already folded with any margin
+    /// normalisation the trainer applied, so it multiplies raw coordinate
+    /// differences).
+    pub alpha: f64,
+}
+
+/// A query embedded by a [`QseModel`]: its coordinates under `F_out` and the
+/// per-coordinate weights `A_i(q)` of the query-sensitive distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddedQuery {
+    /// `F_out(q)`.
+    pub coordinates: Vec<f64>,
+    /// `A_i(q)` for every coordinate.
+    pub weights: Vec<f64>,
+}
+
+impl EmbeddedQuery {
+    /// `D_out(F_out(q), x)` for a database object's embedding `x` (Eq. 11).
+    ///
+    /// # Panics
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn distance_to(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coordinates.len(), "dimensionality mismatch");
+        self.coordinates
+            .iter()
+            .zip(&self.weights)
+            .zip(x)
+            .map(|((q, w), xi)| w * (q - xi).abs())
+            .sum()
+    }
+}
+
+/// Per-round training diagnostics recorded by the trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainingHistory {
+    /// Weighted training error of the chosen weak classifier at each round.
+    pub weak_errors: Vec<f64>,
+    /// `Z_j` of the chosen weak classifier at each round.
+    pub z_values: Vec<f64>,
+    /// Unweighted training-set error of the strong classifier after each
+    /// round (fraction of triples misclassified; ties count half).
+    pub strong_errors: Vec<f64>,
+}
+
+/// A trained query-sensitive (or query-insensitive) embedding model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QseModel<O> {
+    coordinates: Vec<OneDEmbedding<O>>,
+    learners: Vec<WeakLearner>,
+    history: TrainingHistory,
+}
+
+impl<O: Clone + Send + Sync> QseModel<O> {
+    /// Assemble a model from its parts (used by the trainer and by tests).
+    ///
+    /// # Panics
+    /// Panics if there are no learners, no coordinates, or a learner refers
+    /// to a coordinate that does not exist.
+    pub fn new(
+        coordinates: Vec<OneDEmbedding<O>>,
+        learners: Vec<WeakLearner>,
+        history: TrainingHistory,
+    ) -> Self {
+        assert!(!coordinates.is_empty(), "a model needs at least one coordinate");
+        assert!(!learners.is_empty(), "a model needs at least one weak learner");
+        assert!(
+            learners.iter().all(|l| l.coordinate < coordinates.len()),
+            "weak learner refers to a missing coordinate"
+        );
+        Self { coordinates, learners, history }
+    }
+
+    /// Output dimensionality `d` (number of distinct 1-D embeddings).
+    pub fn dim(&self) -> usize {
+        self.coordinates.len()
+    }
+
+    /// Number of boosting rounds `J` (weak learners).
+    pub fn rounds(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// The distinct 1-D embeddings `F_1, ..., F_d`.
+    pub fn coordinates(&self) -> &[OneDEmbedding<O>] {
+        &self.coordinates
+    }
+
+    /// The weak learners `(F'_j, V_j, α_j)`.
+    pub fn learners(&self) -> &[WeakLearner] {
+        &self.learners
+    }
+
+    /// Training diagnostics.
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// `true` if any learner uses a bounded splitter, i.e. the distance
+    /// measure genuinely depends on the query.
+    pub fn is_query_sensitive(&self) -> bool {
+        self.learners.iter().any(|l| !l.interval.is_full())
+    }
+
+    /// The embedding `F_out` as a [`CompositeEmbedding`].
+    pub fn embedding(&self) -> CompositeEmbedding<O> {
+        CompositeEmbedding::new(self.coordinates.clone())
+    }
+
+    /// Number of exact distance computations needed to embed a query (the
+    /// embedding-step part of the paper's per-query budget).
+    pub fn embedding_cost(&self) -> usize {
+        self.embedding().embedding_cost()
+    }
+
+    /// The query-sensitive weights `A_i(q)` for a query whose coordinates
+    /// under `F_out` are `query_coordinates` (Eq. 10).
+    ///
+    /// # Panics
+    /// Panics if the coordinate vector has the wrong dimensionality.
+    pub fn query_weights(&self, query_coordinates: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            query_coordinates.len(),
+            self.coordinates.len(),
+            "dimensionality mismatch"
+        );
+        let mut weights = vec![0.0; self.coordinates.len()];
+        for learner in &self.learners {
+            if learner.interval.accepts(query_coordinates[learner.coordinate]) {
+                weights[learner.coordinate] += learner.alpha;
+            }
+        }
+        weights
+    }
+
+    /// Embed a query and compute its query-sensitive weights in one step.
+    /// Costs [`Self::embedding_cost`] exact distance computations.
+    pub fn embed_query(&self, query: &O, distance: &dyn DistanceMeasure<O>) -> EmbeddedQuery {
+        let coordinates = self.embedding().embed(query, distance);
+        let weights = self.query_weights(&coordinates);
+        EmbeddedQuery { coordinates, weights }
+    }
+
+    /// The boosted classifier `H(q, a, b)` evaluated on already-embedded
+    /// coordinate vectors (Eq. 9). Positive means "q is closer to a".
+    pub fn classify_embedded(&self, q: &[f64], a: &[f64], b: &[f64]) -> f64 {
+        self.learners
+            .iter()
+            .map(|l| {
+                let i = l.coordinate;
+                if l.interval.accepts(q[i]) {
+                    l.alpha * ((q[i] - b[i]).abs() - (q[i] - a[i]).abs())
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// `D_out(F_out(q), F_out(b)) − D_out(F_out(q), F_out(a))`, i.e. the
+    /// classifier `F̃_out` induced by the embedding and the query-sensitive
+    /// distance (Eq. 3 with `D = D_out`). Proposition 1 states this equals
+    /// [`Self::classify_embedded`]; the equality is exercised by tests.
+    pub fn classifier_from_distance(&self, q: &[f64], a: &[f64], b: &[f64]) -> f64 {
+        let eq = EmbeddedQuery { coordinates: q.to_vec(), weights: self.query_weights(q) };
+        eq.distance_to(b) - eq.distance_to(a)
+    }
+
+    /// The model truncated to its first `rounds` weak learners, with unused
+    /// coordinates dropped. Because boosting is sequential this is exactly
+    /// the model that training would have produced had it stopped early,
+    /// which is how the evaluation sweeps embedding dimensionality without
+    /// retraining (Section 9).
+    ///
+    /// # Panics
+    /// Panics if `rounds` is zero or exceeds the trained number of rounds.
+    pub fn prefix(&self, rounds: usize) -> Self {
+        assert!(
+            rounds >= 1 && rounds <= self.learners.len(),
+            "invalid prefix of {rounds} rounds for a model with {} rounds",
+            self.learners.len()
+        );
+        let kept = &self.learners[..rounds];
+        // Re-index the coordinates that survive.
+        let mut remap = vec![usize::MAX; self.coordinates.len()];
+        let mut coordinates = Vec::new();
+        let mut learners = Vec::with_capacity(rounds);
+        for l in kept {
+            if remap[l.coordinate] == usize::MAX {
+                remap[l.coordinate] = coordinates.len();
+                coordinates.push(self.coordinates[l.coordinate].clone());
+            }
+            learners.push(WeakLearner { coordinate: remap[l.coordinate], ..*l });
+        }
+        let history = TrainingHistory {
+            weak_errors: self.history.weak_errors.iter().copied().take(rounds).collect(),
+            z_values: self.history.z_values.iter().copied().take(rounds).collect(),
+            strong_errors: self.history.strong_errors.iter().copied().take(rounds).collect(),
+        };
+        Self { coordinates, learners, history }
+    }
+
+    /// Serialize the model to a JSON string (for persistence of trained
+    /// models between the training and evaluation phases of the benchmarks).
+    pub fn to_json(&self) -> serde_json::Result<String>
+    where
+        O: Serialize,
+    {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize a model previously produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> serde_json::Result<Self>
+    where
+        O: for<'de> Deserialize<'de>,
+    {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_distance::traits::{FnDistance, MetricProperties};
+    use qse_embedding::one_d::Candidate;
+
+    fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+    }
+
+    /// A small hand-built model over the real line with two reference
+    /// coordinates (r=0 and r=10) and three learners.
+    fn example_model() -> QseModel<f64> {
+        let coordinates = vec![
+            OneDEmbedding::reference(Candidate::new(0, 0.0)),
+            OneDEmbedding::reference(Candidate::new(1, 10.0)),
+        ];
+        let learners = vec![
+            // Trust coordinate 0 only for queries within distance 3 of r=0.
+            WeakLearner { coordinate: 0, interval: Interval::new(0.0, 3.0), alpha: 2.0 },
+            // Trust coordinate 1 only for queries within distance 3 of r=10.
+            WeakLearner { coordinate: 1, interval: Interval::new(0.0, 3.0), alpha: 1.5 },
+            // A query-insensitive learner on coordinate 0.
+            WeakLearner { coordinate: 0, interval: Interval::full(), alpha: 0.5 },
+        ];
+        QseModel::new(coordinates, learners, TrainingHistory::default())
+    }
+
+    #[test]
+    fn dimensions_and_flags() {
+        let m = example_model();
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.rounds(), 3);
+        assert!(m.is_query_sensitive());
+        assert_eq!(m.embedding_cost(), 2);
+    }
+
+    #[test]
+    fn query_weights_follow_the_splitters() {
+        let m = example_model();
+        // Query at 1.0: F = (1, 9). Coordinate 0 accepted by both learners on
+        // coordinate 0 → weight 2.5; coordinate 1's splitter rejects 9 → 0.
+        let w = m.query_weights(&[1.0, 9.0]);
+        assert_eq!(w, vec![2.5, 0.0]);
+        // Query at 9.0: F = (9, 1). Only the query-insensitive learner fires
+        // on coordinate 0, and the coordinate-1 learner fires.
+        let w = m.query_weights(&[9.0, 1.0]);
+        assert_eq!(w, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn embed_query_combines_embedding_and_weights() {
+        let m = example_model();
+        let d = abs();
+        let eq = m.embed_query(&1.0, &d);
+        assert_eq!(eq.coordinates, vec![1.0, 9.0]);
+        assert_eq!(eq.weights, vec![2.5, 0.0]);
+        // D_out to the embedding of database object 2.0 → (2, 8).
+        let dist = eq.distance_to(&[2.0, 8.0]);
+        assert!((dist - 2.5 * 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition_1_holds_on_the_example_model() {
+        let m = example_model();
+        let d = abs();
+        let emb = m.embedding();
+        for q in [0.5, 2.0, 5.0, 9.5, 12.0] {
+            for a in [1.0, 4.0, 8.0] {
+                for b in [0.0, 6.0, 11.0] {
+                    let fq = emb.embed(&q, &d);
+                    let fa = emb.embed(&a, &d);
+                    let fb = emb.embed(&b, &d);
+                    let h = m.classify_embedded(&fq, &fa, &fb);
+                    let via_distance = m.classifier_from_distance(&fq, &fa, &fb);
+                    assert!(
+                        (h - via_distance).abs() < 1e-12,
+                        "Proposition 1 violated at q={q}, a={a}, b={b}: {h} vs {via_distance}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_drops_unused_coordinates_and_keeps_behaviour() {
+        let m = example_model();
+        let p = m.prefix(1);
+        assert_eq!(p.rounds(), 1);
+        assert_eq!(p.dim(), 1);
+        // The prefix uses only coordinate 0 (reference 0.0); its weights for
+        // a query at 1.0 must match the original learner's alpha.
+        let w = p.query_weights(&[1.0]);
+        assert_eq!(w, vec![2.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_model() {
+        let m = example_model();
+        let json = m.to_json().expect("serialize");
+        let back: QseModel<f64> = QseModel::from_json(&json).expect("deserialize");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn query_insensitive_model_has_constant_weights() {
+        let coordinates = vec![OneDEmbedding::reference(Candidate::new(0, 0.0))];
+        let learners =
+            vec![WeakLearner { coordinate: 0, interval: Interval::full(), alpha: 1.25 }];
+        let m = QseModel::new(coordinates, learners, TrainingHistory::default());
+        assert!(!m.is_query_sensitive());
+        assert_eq!(m.query_weights(&[0.0]), m.query_weights(&[100.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing coordinate")]
+    fn rejects_dangling_learner() {
+        let coordinates = vec![OneDEmbedding::reference(Candidate::new(0, 0.0_f64))];
+        let learners =
+            vec![WeakLearner { coordinate: 3, interval: Interval::full(), alpha: 1.0 }];
+        let _ = QseModel::new(coordinates, learners, TrainingHistory::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid prefix")]
+    fn rejects_zero_round_prefix() {
+        let _ = example_model().prefix(0);
+    }
+}

@@ -1,0 +1,631 @@
+//! The BoostMap / query-sensitive embedding trainer (Sections 5.2–5.4).
+//!
+//! At each boosting round the trainer:
+//!
+//! 1. draws a large set of candidate 1-D embeddings (reference-object and
+//!    pivot embeddings over the candidate pool `C`),
+//! 2. for each candidate, evaluates its values on every object appearing in
+//!    a training triple (via the precomputed distance matrices — no exact
+//!    distances are spent during training rounds),
+//! 3. in query-sensitive mode, searches for the splitter interval `V` with
+//!    the lowest weighted training error for that 1-D embedding; in
+//!    query-insensitive mode the interval is the whole real line (recovering
+//!    the original BoostMap weak classifiers),
+//! 4. finds the optimal classifier weight `α` by minimising
+//!    `Z(α) = Σ_i w_i exp(−α y_i h(o_i))` (Schapire–Singer),
+//! 5. keeps the candidate with the smallest `Z`, adds it to the model and
+//!    reweights the training triples.
+//!
+//! The output is a [`QseModel`]: the distinct 1-D embeddings used by the
+//! strong classifier plus the `(coordinate, V_j, α_j)` triples that define
+//! the query-sensitive distance `D_out`.
+
+use crate::adaboost::{optimize_alpha, WeightDistribution};
+use crate::model::{QseModel, TrainingHistory, WeakLearner};
+use crate::training_data::TrainingData;
+use crate::triples::{TrainingTriple, TripleSamplingStrategy};
+use crate::weak::{classifier_margin, weighted_error, Interval};
+use qse_embedding::one_d::{Candidate, OneDEmbedding};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Whether the trainer learns splitters (query-sensitive) or plain BoostMap
+/// weak classifiers (query-insensitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuerySensitivity {
+    /// Original BoostMap: a single global weighted L1 distance ("QI").
+    Insensitive,
+    /// The paper's proposal: splitter-gated classifiers and a query-sensitive
+    /// distance ("QS").
+    Sensitive,
+}
+
+/// The four method variants compared throughout Section 9, crossing the
+/// triple-sampling strategy (random "Ra" vs selective "Se") with the distance
+/// type (query-insensitive "QI" vs query-sensitive "QS").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodVariant {
+    /// Random triples, query-insensitive distance — the original BoostMap.
+    RaQi,
+    /// Random triples, query-sensitive distance.
+    RaQs,
+    /// Selective triples, query-insensitive distance.
+    SeQi,
+    /// Selective triples, query-sensitive distance — the paper's proposal.
+    SeQs,
+}
+
+impl MethodVariant {
+    /// All four variants in the order used by Table 1.
+    pub fn all() -> [MethodVariant; 4] {
+        [MethodVariant::RaQi, MethodVariant::RaQs, MethodVariant::SeQi, MethodVariant::SeQs]
+    }
+
+    /// The label used in the paper's figures and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodVariant::RaQi => "Ra-QI",
+            MethodVariant::RaQs => "Ra-QS",
+            MethodVariant::SeQi => "Se-QI",
+            MethodVariant::SeQs => "Se-QS",
+        }
+    }
+
+    /// The triple-sampling strategy of this variant (`k1` is only used by the
+    /// selective variants).
+    pub fn sampling(&self, k1: usize) -> TripleSamplingStrategy {
+        match self {
+            MethodVariant::RaQi | MethodVariant::RaQs => TripleSamplingStrategy::Random,
+            MethodVariant::SeQi | MethodVariant::SeQs => TripleSamplingStrategy::Selective { k1 },
+        }
+    }
+
+    /// The distance type of this variant.
+    pub fn sensitivity(&self) -> QuerySensitivity {
+        match self {
+            MethodVariant::RaQi | MethodVariant::SeQi => QuerySensitivity::Insensitive,
+            MethodVariant::RaQs | MethodVariant::SeQs => QuerySensitivity::Sensitive,
+        }
+    }
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Number of boosting rounds `J`. The output model has at most this many
+    /// weak learners and at most this many distinct coordinates.
+    pub rounds: usize,
+    /// Number of candidate 1-D embeddings evaluated per round (the paper's
+    /// parameter `m`, set to 2,000 in its large experiments).
+    pub candidates_per_round: usize,
+    /// Number of random splitter intervals tried per candidate embedding in
+    /// query-sensitive mode.
+    pub intervals_per_candidate: usize,
+    /// Whether to learn splitters (QS) or plain BoostMap classifiers (QI).
+    pub query_sensitivity: QuerySensitivity,
+    /// Whether pivot ("line projection") embeddings are sampled in addition
+    /// to reference-object embeddings.
+    pub use_pivot_embeddings: bool,
+    /// Upper bound on the per-round classifier weight `α` (after margin
+    /// normalisation); caps numerically exploding weights when a weak
+    /// classifier is perfect on the reweighted sample.
+    pub alpha_max: f64,
+    /// Bisection tolerance of the `α` line search.
+    pub alpha_tolerance: f64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 32,
+            candidates_per_round: 100,
+            intervals_per_candidate: 16,
+            query_sensitivity: QuerySensitivity::Sensitive,
+            use_pivot_embeddings: true,
+            alpha_max: 8.0,
+            alpha_tolerance: 1e-6,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// A configuration suitable for quick unit tests and examples.
+    pub fn quick() -> Self {
+        Self { rounds: 12, candidates_per_round: 30, intervals_per_candidate: 8, ..Self::default() }
+    }
+
+    /// Flip the query-sensitivity switch.
+    pub fn with_sensitivity(mut self, sensitivity: QuerySensitivity) -> Self {
+        self.query_sensitivity = sensitivity;
+        self
+    }
+
+    /// Set the number of boosting rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+}
+
+/// A candidate 1-D embedding expressed against the candidate pool indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Spec {
+    Reference { c: usize },
+    Pivot { c1: usize, c2: usize },
+}
+
+/// The trainer.
+#[derive(Debug, Clone)]
+pub struct BoostMapTrainer {
+    config: TrainerConfig,
+}
+
+impl BoostMapTrainer {
+    /// Create a trainer with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate.
+    pub fn new(config: TrainerConfig) -> Self {
+        assert!(config.rounds >= 1, "need at least one boosting round");
+        assert!(config.candidates_per_round >= 1, "need at least one candidate per round");
+        assert!(config.intervals_per_candidate >= 1, "need at least one interval per candidate");
+        assert!(config.alpha_max > 0.0 && config.alpha_tolerance > 0.0, "invalid alpha search");
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Train a model on precomputed [`TrainingData`] and labeled triples.
+    ///
+    /// # Panics
+    /// Panics if `triples` is empty or refers to objects outside the training
+    /// pool.
+    pub fn train<O, R>(
+        &self,
+        data: &TrainingData<O>,
+        triples: &[TrainingTriple],
+        rng: &mut R,
+    ) -> QseModel<O>
+    where
+        O: Clone + Send + Sync,
+        R: Rng,
+    {
+        assert!(!triples.is_empty(), "cannot train on an empty triple set");
+        let n_train = data.training_count();
+        assert!(
+            triples.iter().all(|t| t.q < n_train && t.a < n_train && t.b < n_train),
+            "triple refers to an object outside the training pool"
+        );
+        let n_cand = data.candidate_count();
+        let labels: Vec<f64> = triples.iter().map(TrainingTriple::y).collect();
+
+        let mut distribution = WeightDistribution::uniform(triples.len());
+        let mut coordinates: Vec<OneDEmbedding<O>> = Vec::new();
+        let mut coordinate_index: HashMap<Spec, usize> = HashMap::new();
+        let mut learners: Vec<WeakLearner> = Vec::new();
+        let mut history = TrainingHistory::default();
+        // Running value of the strong classifier on each training triple, in
+        // the *unscaled* coordinate units (matches the output model).
+        let mut strong: Vec<f64> = vec![0.0; triples.len()];
+
+        for _round in 0..self.config.rounds {
+            let mut best: Option<RoundChoice> = None;
+            for _ in 0..self.config.candidates_per_round {
+                let spec = self.random_spec(n_cand, data, rng);
+                let Some(spec) = spec else { continue };
+                let Some(evaluated) = self.evaluate_spec(spec, data, triples) else { continue };
+                let choice = self.choose_interval_and_alpha(
+                    &evaluated,
+                    &labels,
+                    distribution.weights(),
+                    rng,
+                );
+                let Some(choice) = choice else { continue };
+                if best.as_ref().map_or(true, |b| choice.z < b.z) {
+                    best = Some(choice);
+                }
+            }
+            let Some(choice) = best else { break };
+            if choice.alpha_scaled <= 0.0 || choice.z >= 1.0 - 1e-12 {
+                // No candidate reduces the training loss any further.
+                break;
+            }
+
+            // Record the learner against the unique-coordinate list.
+            let coord = *coordinate_index.entry(choice.spec).or_insert_with(|| {
+                coordinates.push(self.materialize(choice.spec, data));
+                coordinates.len() - 1
+            });
+            let effective_alpha = choice.alpha_scaled / choice.scale;
+            learners.push(WeakLearner {
+                coordinate: coord,
+                interval: choice.interval,
+                alpha: effective_alpha,
+            });
+
+            // Update the training-weight distribution using the *scaled*
+            // outputs (the same ones the α optimisation saw).
+            distribution.update(choice.alpha_scaled, &choice.outputs_scaled, &labels);
+
+            // Diagnostics.
+            for (s, h) in strong.iter_mut().zip(&choice.outputs_scaled) {
+                *s += choice.alpha_scaled * h;
+            }
+            let strong_error = strong
+                .iter()
+                .zip(&labels)
+                .map(|(s, y)| {
+                    if *s == 0.0 {
+                        0.5
+                    } else if s.signum() != y.signum() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>()
+                / triples.len() as f64;
+            history.weak_errors.push(choice.weak_error);
+            history.z_values.push(choice.z);
+            history.strong_errors.push(strong_error);
+        }
+
+        assert!(
+            !learners.is_empty(),
+            "training produced no useful weak classifiers; the training data may be degenerate"
+        );
+        QseModel::new(coordinates, learners, history)
+    }
+
+    /// Draw one random candidate 1-D embedding spec. Returns `None` for
+    /// degenerate draws (identical pivots, zero pivot distance).
+    fn random_spec<O, R: Rng>(
+        &self,
+        n_cand: usize,
+        data: &TrainingData<O>,
+        rng: &mut R,
+    ) -> Option<Spec> {
+        let want_pivot = self.config.use_pivot_embeddings && n_cand >= 2 && rng.gen_bool(0.5);
+        if want_pivot {
+            let c1 = rng.gen_range(0..n_cand);
+            let c2 = rng.gen_range(0..n_cand);
+            if c1 == c2 {
+                return None;
+            }
+            if data.cand_to_cand.get(c1, c2) <= 0.0 {
+                return None;
+            }
+            Some(Spec::Pivot { c1, c2 })
+        } else {
+            Some(Spec::Reference { c: rng.gen_range(0..n_cand) })
+        }
+    }
+
+    /// The 1-D embedding value of training object `t` under `spec`, computed
+    /// from the precomputed matrices.
+    fn spec_value<O>(&self, spec: Spec, data: &TrainingData<O>, t: usize) -> f64 {
+        match spec {
+            Spec::Reference { c } => data.cand_to_train.get(c, t),
+            Spec::Pivot { c1, c2 } => {
+                let d12 = data.cand_to_cand.get(c1, c2);
+                OneDEmbedding::<O>::pivot_projection(
+                    data.cand_to_train.get(c1, t),
+                    data.cand_to_train.get(c2, t),
+                    d12,
+                )
+            }
+        }
+    }
+
+    /// Evaluate a spec on every training triple. Returns `None` if the spec
+    /// is completely uninformative (all margins zero).
+    fn evaluate_spec<O>(
+        &self,
+        spec: Spec,
+        data: &TrainingData<O>,
+        triples: &[TrainingTriple],
+    ) -> Option<EvaluatedSpec> {
+        let values: Vec<(f64, f64, f64)> = triples
+            .iter()
+            .map(|t| {
+                (
+                    self.spec_value(spec, data, t.q),
+                    self.spec_value(spec, data, t.a),
+                    self.spec_value(spec, data, t.b),
+                )
+            })
+            .collect();
+        let margins_raw: Vec<f64> =
+            values.iter().map(|(q, a, b)| classifier_margin(*q, *a, *b)).collect();
+        let scale =
+            margins_raw.iter().map(|m| m.abs()).sum::<f64>() / margins_raw.len() as f64;
+        if !(scale.is_finite()) || scale <= 0.0 {
+            return None;
+        }
+        Some(EvaluatedSpec { spec, values, margins_raw, scale })
+    }
+
+    /// Materialize a spec into an owned [`OneDEmbedding`] over the candidate
+    /// objects.
+    fn materialize<O: Clone>(&self, spec: Spec, data: &TrainingData<O>) -> OneDEmbedding<O> {
+        match spec {
+            Spec::Reference { c } => {
+                OneDEmbedding::reference(Candidate::new(c, data.candidates[c].clone()))
+            }
+            Spec::Pivot { c1, c2 } => OneDEmbedding::pivot(
+                Candidate::new(c1, data.candidates[c1].clone()),
+                Candidate::new(c2, data.candidates[c2].clone()),
+                data.cand_to_cand.get(c1, c2),
+            ),
+        }
+    }
+
+    /// For one evaluated candidate embedding, choose the best splitter
+    /// interval (by weighted training error) and then the optimal `α` (by
+    /// minimising `Z`). Returns `None` if nothing useful was found.
+    fn choose_interval_and_alpha<R: Rng>(
+        &self,
+        evaluated: &EvaluatedSpec,
+        labels: &[f64],
+        weights: &[f64],
+        rng: &mut R,
+    ) -> Option<RoundChoice> {
+        let intervals: Vec<Interval> = match self.config.query_sensitivity {
+            QuerySensitivity::Insensitive => vec![Interval::full()],
+            QuerySensitivity::Sensitive => {
+                let mut out = Vec::with_capacity(self.config.intervals_per_candidate + 1);
+                out.push(Interval::full());
+                let q_values: Vec<f64> = evaluated.values.iter().map(|(q, _, _)| *q).collect();
+                for _ in 0..self.config.intervals_per_candidate {
+                    let x1 = q_values[rng.gen_range(0..q_values.len())];
+                    let x2 = q_values[rng.gen_range(0..q_values.len())];
+                    let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+                    // Mix of bounded intervals and half-lines.
+                    let interval = match rng.gen_range(0..3) {
+                        0 => Interval::new(f64::NEG_INFINITY, hi),
+                        1 => Interval::new(lo, f64::INFINITY),
+                        _ => Interval::new(lo, hi),
+                    };
+                    out.push(interval);
+                }
+                out
+            }
+        };
+
+        // Pick the interval with the lowest weighted training error.
+        let (best_interval, best_error) = intervals
+            .into_iter()
+            .map(|v| {
+                let err = weighted_error(&v, &evaluated.values, labels, weights);
+                (v, err)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+
+        // Scaled classifier outputs under that interval.
+        let outputs_scaled: Vec<f64> = evaluated
+            .values
+            .iter()
+            .zip(&evaluated.margins_raw)
+            .map(|((q, _, _), m)| {
+                if best_interval.accepts(*q) {
+                    m / evaluated.scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let margins: Vec<f64> =
+            outputs_scaled.iter().zip(labels).map(|(h, y)| h * y).collect();
+        let search = optimize_alpha(&margins, weights, self.config.alpha_max, self.config.alpha_tolerance);
+        if search.alpha <= 0.0 {
+            return None;
+        }
+        Some(RoundChoice {
+            spec: evaluated.spec,
+            interval: best_interval,
+            alpha_scaled: search.alpha,
+            z: search.z,
+            scale: evaluated.scale,
+            weak_error: best_error,
+            outputs_scaled,
+        })
+    }
+}
+
+/// A candidate embedding evaluated on the training triples.
+struct EvaluatedSpec {
+    spec: Spec,
+    /// `(F(q), F(a), F(b))` per triple.
+    values: Vec<(f64, f64, f64)>,
+    /// Raw classifier margins `F̃(q, a, b)` per triple.
+    margins_raw: Vec<f64>,
+    /// Mean absolute raw margin, used to normalise outputs for the α search.
+    scale: f64,
+}
+
+/// The weak classifier chosen at one boosting round.
+struct RoundChoice {
+    spec: Spec,
+    interval: Interval,
+    /// α in scaled-output units.
+    alpha_scaled: f64,
+    z: f64,
+    scale: f64,
+    weak_error: f64,
+    outputs_scaled: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples::TripleSampler;
+    use qse_distance::traits::{FnDistance, MetricProperties};
+    use qse_distance::DistanceMeasure;
+    use qse_embedding::Embedding;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+    }
+
+    /// Training data over a 1-D space with two well-separated clusters.
+    fn clustered_data(seed: u64) -> (TrainingData<f64>, Vec<TrainingTriple>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut objects: Vec<f64> = Vec::new();
+        for i in 0..30 {
+            objects.push(i as f64 * 0.1);
+            objects.push(100.0 + i as f64 * 0.1);
+        }
+        let candidates = objects.clone();
+        let data = TrainingData::precompute(candidates, objects, &abs(), 1);
+        let triples = TripleSampler::selective(5).sample(&data.train_to_train, 400, &mut rng);
+        (data, triples)
+    }
+
+    #[test]
+    fn training_reduces_the_strong_classifier_error() {
+        let (data, triples) = clustered_data(1);
+        let trainer = BoostMapTrainer::new(TrainerConfig::quick());
+        let model = trainer.train(&data, &triples, &mut StdRng::seed_from_u64(2));
+        let hist = model.history();
+        assert!(!hist.strong_errors.is_empty());
+        let first = hist.strong_errors[0];
+        let last = *hist.strong_errors.last().unwrap();
+        assert!(last <= first, "strong error should not increase: {first} -> {last}");
+        assert!(last < 0.25, "final training error too high: {last}");
+        // Every chosen weak classifier must have reduced the loss.
+        assert!(hist.z_values.iter().all(|z| *z < 1.0));
+    }
+
+    #[test]
+    fn query_sensitive_training_produces_splitters() {
+        let (data, triples) = clustered_data(3);
+        let trainer = BoostMapTrainer::new(TrainerConfig::quick());
+        let model = trainer.train(&data, &triples, &mut StdRng::seed_from_u64(4));
+        assert!(model.rounds() >= 1);
+        assert!(model.dim() >= 1);
+        assert!(model.dim() <= model.rounds());
+    }
+
+    #[test]
+    fn query_insensitive_training_uses_only_full_intervals() {
+        let (data, triples) = clustered_data(5);
+        let trainer = BoostMapTrainer::new(
+            TrainerConfig::quick().with_sensitivity(QuerySensitivity::Insensitive),
+        );
+        let model = trainer.train(&data, &triples, &mut StdRng::seed_from_u64(6));
+        assert!(!model.is_query_sensitive());
+        assert!(model.learners().iter().all(|l| l.interval.is_full()));
+    }
+
+    #[test]
+    fn trained_model_classifies_held_out_triples_well() {
+        let (data, triples) = clustered_data(7);
+        let trainer = BoostMapTrainer::new(TrainerConfig::quick());
+        let model = trainer.train(&data, &triples, &mut StdRng::seed_from_u64(8));
+        // Held-out evaluation: fresh objects from the same two clusters.
+        let d = abs();
+        let emb = model.embedding();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut correct = 0;
+        let total = 200;
+        for _ in 0..total {
+            let cluster = |r: &mut StdRng| {
+                if r.gen_bool(0.5) {
+                    r.gen_range(0.0..3.0)
+                } else {
+                    r.gen_range(100.0..103.0)
+                }
+            };
+            let q = cluster(&mut rng);
+            let a = cluster(&mut rng);
+            let b = cluster(&mut rng);
+            let dqa = d.distance(&q, &a);
+            let dqb = d.distance(&q, &b);
+            if dqa == dqb {
+                continue;
+            }
+            let fq = emb.embed(&q, &d);
+            let fa = emb.embed(&a, &d);
+            let fb = emb.embed(&b, &d);
+            let h = model.classify_embedded(&fq, &fa, &fb);
+            let predicted_a_closer = h > 0.0;
+            if predicted_a_closer == (dqa < dqb) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 >= 0.8 * total as f64,
+            "held-out triple accuracy too low: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn proposition_1_holds_for_trained_models() {
+        let (data, triples) = clustered_data(11);
+        let trainer = BoostMapTrainer::new(TrainerConfig::quick());
+        let model = trainer.train(&data, &triples, &mut StdRng::seed_from_u64(12));
+        let d = abs();
+        let emb = model.embedding();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let q: f64 = rng.gen_range(0.0..103.0);
+            let a: f64 = rng.gen_range(0.0..103.0);
+            let b: f64 = rng.gen_range(0.0..103.0);
+            let fq = emb.embed(&q, &d);
+            let fa = emb.embed(&a, &d);
+            let fb = emb.embed(&b, &d);
+            let h = model.classify_embedded(&fq, &fa, &fb);
+            let via_distance = model.classifier_from_distance(&fq, &fa, &fb);
+            assert!(
+                (h - via_distance).abs() < 1e-9 * (1.0 + h.abs()),
+                "Proposition 1 violated: {h} vs {via_distance}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let (data, triples) = clustered_data(15);
+        let trainer = BoostMapTrainer::new(TrainerConfig::quick());
+        let a = trainer.train(&data, &triples, &mut StdRng::seed_from_u64(16));
+        let b = trainer.train(&data, &triples, &mut StdRng::seed_from_u64(16));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn method_variant_metadata_is_consistent() {
+        assert_eq!(MethodVariant::all().len(), 4);
+        assert_eq!(MethodVariant::SeQs.label(), "Se-QS");
+        assert_eq!(MethodVariant::RaQi.label(), "Ra-QI");
+        assert_eq!(MethodVariant::SeQs.sensitivity(), QuerySensitivity::Sensitive);
+        assert_eq!(MethodVariant::SeQi.sensitivity(), QuerySensitivity::Insensitive);
+        assert_eq!(
+            MethodVariant::RaQs.sampling(5),
+            TripleSamplingStrategy::Random
+        );
+        assert_eq!(
+            MethodVariant::SeQs.sampling(5),
+            TripleSamplingStrategy::Selective { k1: 5 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty triple set")]
+    fn rejects_empty_triples() {
+        let (data, _) = clustered_data(20);
+        let trainer = BoostMapTrainer::new(TrainerConfig::quick());
+        let _ = trainer.train(&data, &[], &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one boosting round")]
+    fn rejects_zero_rounds() {
+        let _ = BoostMapTrainer::new(TrainerConfig { rounds: 0, ..TrainerConfig::default() });
+    }
+}

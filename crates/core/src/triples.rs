@@ -1,0 +1,265 @@
+//! Training triples and the two sampling strategies.
+//!
+//! AdaBoost is trained on triples `(q, a, b)` of objects from the training
+//! pool `Xtr`, labeled `+1` if `q` is closer to `a` and `-1` if `q` is closer
+//! to `b` (Section 5.2). The paper contributes a *selective* way of picking
+//! those triples (Section 6): `a` is drawn from the `k1` nearest neighbors of
+//! `q` within `Xtr` and `b` from outside them, which focuses the embedding on
+//! exactly the comparisons that matter for k-nearest-neighbor retrieval. The
+//! original BoostMap draws triples uniformly at random.
+
+use qse_distance::DistanceMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled training triple. Indices refer to positions in the training
+/// pool `Xtr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainingTriple {
+    /// Index of the "query" object `q`.
+    pub q: usize,
+    /// Index of object `a`.
+    pub a: usize,
+    /// Index of object `b`.
+    pub b: usize,
+    /// `+1` if `q` is closer to `a` than to `b`, `-1` otherwise.
+    pub label: i8,
+}
+
+impl TrainingTriple {
+    /// Label as a float (`+1.0` / `-1.0`), the form AdaBoost consumes.
+    pub fn y(&self) -> f64 {
+        f64::from(self.label)
+    }
+}
+
+/// Which triple-sampling strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TripleSamplingStrategy {
+    /// Uniformly random distinct triples — the original BoostMap ("Ra").
+    Random,
+    /// The selective strategy of Section 6 ("Se"): `a` among the `k1` nearest
+    /// neighbors of `q` in `Xtr`, `b` outside them.
+    Selective {
+        /// The `k1` parameter: how deep into `q`'s neighbor list `a` may be.
+        k1: usize,
+    },
+}
+
+/// Sampler of labeled training triples over a training pool whose pairwise
+/// distances have been precomputed.
+#[derive(Debug, Clone)]
+pub struct TripleSampler {
+    strategy: TripleSamplingStrategy,
+}
+
+impl TripleSampler {
+    /// Create a sampler with the given strategy.
+    pub fn new(strategy: TripleSamplingStrategy) -> Self {
+        Self { strategy }
+    }
+
+    /// The random (original BoostMap) sampler.
+    pub fn random() -> Self {
+        Self::new(TripleSamplingStrategy::Random)
+    }
+
+    /// The selective sampler of Section 6 with parameter `k1`.
+    ///
+    /// The paper suggests setting `k1 ≈ kmax · |Xtr| / |database|` so that
+    /// `a` is likely to be among the `kmax` nearest database neighbors of
+    /// `q`; [`TripleSampler::suggested_k1`] implements that guideline.
+    pub fn selective(k1: usize) -> Self {
+        assert!(k1 >= 1, "k1 must be at least 1");
+        Self::new(TripleSamplingStrategy::Selective { k1 })
+    }
+
+    /// The paper's guideline for choosing `k1` (Section 6): if we want to
+    /// retrieve up to `kmax` neighbors and `Xtr` holds a fraction
+    /// `|Xtr| / |database|` of the database, use `k1 ≈ kmax · |Xtr| /
+    /// |database|`, and at least 1.
+    pub fn suggested_k1(kmax: usize, training_pool: usize, database_size: usize) -> usize {
+        assert!(database_size > 0, "database must not be empty");
+        ((kmax * training_pool + database_size - 1) / database_size).max(1)
+    }
+
+    /// The strategy this sampler uses.
+    pub fn strategy(&self) -> TripleSamplingStrategy {
+        self.strategy
+    }
+
+    /// Draw `count` labeled triples over a training pool with pairwise
+    /// distances `train_to_train`.
+    ///
+    /// Triples whose two candidate objects are exactly equidistant from `q`
+    /// ("type 0" in the paper) carry no information and are re-drawn.
+    ///
+    /// # Panics
+    /// Panics if the pool has fewer than 3 objects, if the matrix is not
+    /// square, or (for the selective strategy) if `k1` is too large for the
+    /// pool.
+    pub fn sample<R: Rng>(
+        &self,
+        train_to_train: &DistanceMatrix,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<TrainingTriple> {
+        let n = train_to_train.rows();
+        assert_eq!(n, train_to_train.cols(), "train_to_train must be square");
+        assert!(n >= 3, "need at least 3 training objects to form triples");
+        if let TripleSamplingStrategy::Selective { k1 } = self.strategy {
+            assert!(
+                k1 + 2 <= n,
+                "k1 = {k1} is too large for a training pool of {n} objects"
+            );
+        }
+
+        // For the selective strategy, lazily computed neighbor orderings.
+        let mut neighbor_cache: Vec<Option<Vec<usize>>> = vec![None; n];
+
+        let mut triples = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        let max_attempts = count.saturating_mul(50).max(1000);
+        while triples.len() < count {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "could not sample enough informative triples (degenerate distances?)"
+            );
+            let triple = match self.strategy {
+                TripleSamplingStrategy::Random => {
+                    let q = rng.gen_range(0..n);
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if q == a || q == b || a == b {
+                        continue;
+                    }
+                    let dqa = train_to_train.get(q, a);
+                    let dqb = train_to_train.get(q, b);
+                    if dqa == dqb {
+                        continue;
+                    }
+                    TrainingTriple { q, a, b, label: if dqa < dqb { 1 } else { -1 } }
+                }
+                TripleSamplingStrategy::Selective { k1 } => {
+                    let q = rng.gen_range(0..n);
+                    let neighbors = neighbor_cache[q].get_or_insert_with(|| {
+                        // Full ordering of the other objects by distance to q
+                        // (excluding q itself).
+                        let mut order: Vec<usize> = (0..n).filter(|&i| i != q).collect();
+                        order.sort_by(|&x, &y| {
+                            train_to_train
+                                .get(q, x)
+                                .partial_cmp(&train_to_train.get(q, y))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(x.cmp(&y))
+                        });
+                        order
+                    });
+                    // Steps 2-3: a is the k'-nearest neighbor for k' in 1..=k1.
+                    let ka = rng.gen_range(0..k1);
+                    // Steps 4-5: b is the k'-nearest neighbor for k' in
+                    // (k1+1)..=|Xtr|-1.
+                    let kb = rng.gen_range(k1..neighbors.len());
+                    let a = neighbors[ka];
+                    let b = neighbors[kb];
+                    let dqa = train_to_train.get(q, a);
+                    let dqb = train_to_train.get(q, b);
+                    if dqa == dqb {
+                        continue;
+                    }
+                    TrainingTriple { q, a, b, label: if dqa < dqb { 1 } else { -1 } }
+                }
+            };
+            triples.push(triple);
+        }
+        triples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_distance::traits::{FnDistance, MetricProperties};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_matrix(n: usize) -> DistanceMatrix {
+        let objects: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let d = FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs());
+        DistanceMatrix::compute(&objects, &objects, &d)
+    }
+
+    #[test]
+    fn random_triples_are_distinct_and_correctly_labeled() {
+        let m = line_matrix(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let triples = TripleSampler::random().sample(&m, 200, &mut rng);
+        assert_eq!(triples.len(), 200);
+        for t in &triples {
+            assert!(t.q != t.a && t.q != t.b && t.a != t.b);
+            let dqa = m.get(t.q, t.a);
+            let dqb = m.get(t.q, t.b);
+            if t.label == 1 {
+                assert!(dqa < dqb);
+            } else {
+                assert!(dqb < dqa);
+            }
+        }
+    }
+
+    #[test]
+    fn selective_triples_respect_the_k1_constraint() {
+        let m = line_matrix(30);
+        let k1 = 4;
+        let mut rng = StdRng::seed_from_u64(2);
+        let triples = TripleSampler::selective(k1).sample(&m, 300, &mut rng);
+        for t in &triples {
+            // Rank of a and b among q's neighbors (1-based, excluding q).
+            let rank = |x: usize| {
+                (0..30)
+                    .filter(|&i| i != t.q)
+                    .filter(|&i| {
+                        m.get(t.q, i) < m.get(t.q, x)
+                            || (m.get(t.q, i) == m.get(t.q, x) && i < x)
+                    })
+                    .count()
+                    + 1
+            };
+            assert!(rank(t.a) <= k1, "a has rank {} > k1", rank(t.a));
+            assert!(rank(t.b) > k1, "b has rank {} <= k1", rank(t.b));
+            // Selective triples are always labeled +1 in effect: a is closer.
+            assert_eq!(t.label, 1);
+        }
+    }
+
+    #[test]
+    fn suggested_k1_follows_the_papers_guideline() {
+        // kmax = 50, |Xtr| one tenth of the database → k1 = 5 (paper example).
+        assert_eq!(TripleSampler::suggested_k1(50, 5_000, 50_000), 5);
+        // Never below 1.
+        assert_eq!(TripleSampler::suggested_k1(1, 10, 10_000), 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = line_matrix(15);
+        let a = TripleSampler::selective(3).sample(&m, 50, &mut StdRng::seed_from_u64(9));
+        let b = TripleSampler::selective(3).sample(&m, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k1 = 20 is too large")]
+    fn rejects_oversized_k1() {
+        let m = line_matrix(10);
+        let _ = TripleSampler::selective(20).sample(&m, 5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 training objects")]
+    fn rejects_tiny_pools() {
+        let m = line_matrix(2);
+        let _ = TripleSampler::random().sample(&m, 5, &mut StdRng::seed_from_u64(0));
+    }
+}

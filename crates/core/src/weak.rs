@@ -1,0 +1,225 @@
+//! Splitters and query-sensitive weak classifiers (Section 5.1).
+//!
+//! Given a 1-D embedding `F` and an interval `V ⊂ R`, the *splitter*
+//! `S_{F,V}(q)` accepts a query `q` iff `F(q) ∈ V`, and the query-sensitive
+//! weak classifier is
+//!
+//! `Q̃_{F,V}(q, a, b) = S_{F,V}(q) · F̃(q, a, b)`
+//!
+//! with `F̃(q, a, b) = |F(q) − F(b)| − |F(q) − F(a)|`. The classifier
+//! abstains (outputs 0) whenever the query falls outside `V`; that is the
+//! mechanism by which the learned distance measure becomes query-sensitive.
+//!
+//! During training everything is evaluated on precomputed 1-D embedding
+//! values, so this module works with plain `f64`s; the binding of weak
+//! classifiers to actual [`qse_embedding::OneDEmbedding`]s happens in
+//! [`crate::model`].
+
+use serde::{Deserialize, Serialize};
+
+/// A closed interval `[lo, hi]` of the real line, possibly unbounded (the
+/// query-insensitive special case `V = (-∞, +∞)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower end (inclusive); `-∞` for an unbounded-below interval.
+    /// (Serialized as `None` because JSON has no representation of infinity.)
+    #[serde(with = "optional_infinity", default = "neg_infinity")]
+    pub lo: f64,
+    /// Upper end (inclusive); `+∞` for an unbounded-above interval.
+    #[serde(with = "optional_infinity", default = "pos_infinity")]
+    pub hi: f64,
+}
+
+fn neg_infinity() -> f64 {
+    f64::NEG_INFINITY
+}
+
+fn pos_infinity() -> f64 {
+    f64::INFINITY
+}
+
+/// JSON cannot encode ±∞, so unbounded interval ends are serialized as
+/// `None` and reconstructed on deserialization (sign inferred from the
+/// serialized flag).
+mod optional_infinity {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    enum Bound {
+        NegInfinity,
+        PosInfinity,
+        Finite(f64),
+    }
+
+    pub fn serialize<S: Serializer>(value: &f64, serializer: S) -> Result<S::Ok, S::Error> {
+        let bound = if *value == f64::NEG_INFINITY {
+            Bound::NegInfinity
+        } else if *value == f64::INFINITY {
+            Bound::PosInfinity
+        } else {
+            Bound::Finite(*value)
+        };
+        bound.serialize(serializer)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<f64, D::Error> {
+        Ok(match Bound::deserialize(deserializer)? {
+            Bound::NegInfinity => f64::NEG_INFINITY,
+            Bound::PosInfinity => f64::INFINITY,
+            Bound::Finite(v) => v,
+        })
+    }
+}
+
+impl Interval {
+    /// A bounded interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "interval requires lo <= hi, got [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The whole real line — the splitter that accepts every query, which
+    /// turns a query-sensitive classifier into the query-insensitive
+    /// classifier of the original BoostMap.
+    pub fn full() -> Self {
+        Self { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+    }
+
+    /// `[0, hi]` — the "within distance τ of the reference object" splitter
+    /// used as the motivating example in Section 5.1.
+    pub fn below(hi: f64) -> Self {
+        Self::new(f64::NEG_INFINITY, hi)
+    }
+
+    /// Does the splitter accept a query whose 1-D embedding value is `value`?
+    #[inline]
+    pub fn accepts(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Is this the unbounded (query-insensitive) interval?
+    pub fn is_full(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+}
+
+/// `F̃(q, a, b) = |F(q) − F(b)| − |F(q) − F(a)|` evaluated on precomputed
+/// 1-D embedding values (Eq. 3 specialised to one dimension).
+#[inline]
+pub fn classifier_margin(fq: f64, fa: f64, fb: f64) -> f64 {
+    (fq - fb).abs() - (fq - fa).abs()
+}
+
+/// `Q̃_{F,V}(q, a, b)` on precomputed values: the classifier value if the
+/// splitter accepts `F(q)`, and 0 (abstention) otherwise (Eq. 5).
+#[inline]
+pub fn query_sensitive_output(interval: &Interval, fq: f64, fa: f64, fb: f64) -> f64 {
+    if interval.accepts(fq) {
+        classifier_margin(fq, fa, fb)
+    } else {
+        0.0
+    }
+}
+
+/// Weighted classification error of a query-sensitive classifier on a set of
+/// triples, given the triples' 1-D embedding values and labels.
+///
+/// Following the usual convention for abstaining classifiers, an abstention
+/// (query outside `V`) and an exact tie both count as half an error. The
+/// weights must sum to 1 (AdaBoost maintains this invariant).
+pub fn weighted_error(
+    interval: &Interval,
+    values: &[(f64, f64, f64)],
+    labels: &[f64],
+    weights: &[f64],
+) -> f64 {
+    debug_assert_eq!(values.len(), labels.len());
+    debug_assert_eq!(values.len(), weights.len());
+    let mut error = 0.0;
+    for (((fq, fa, fb), y), w) in values.iter().zip(labels).zip(weights) {
+        let out = query_sensitive_output(interval, *fq, *fa, *fb);
+        if out == 0.0 {
+            error += 0.5 * w;
+        } else if out.signum() != y.signum() {
+            error += w;
+        }
+    }
+    error
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_membership() {
+        let v = Interval::new(1.0, 3.0);
+        assert!(v.accepts(1.0));
+        assert!(v.accepts(2.5));
+        assert!(v.accepts(3.0));
+        assert!(!v.accepts(0.999));
+        assert!(!v.accepts(3.001));
+        assert!(!v.is_full());
+    }
+
+    #[test]
+    fn full_interval_accepts_everything() {
+        let v = Interval::full();
+        assert!(v.is_full());
+        for x in [-1e300, -1.0, 0.0, 42.0, 1e300] {
+            assert!(v.accepts(x));
+        }
+    }
+
+    #[test]
+    fn below_interval_models_reference_radius() {
+        // F = F^r: "accept q if it is within distance τ of r".
+        let v = Interval::below(0.5);
+        assert!(v.accepts(0.0));
+        assert!(v.accepts(0.5));
+        assert!(!v.accepts(0.51));
+    }
+
+    #[test]
+    fn margin_sign_matches_relative_closeness() {
+        // On the real line with F = identity: q=0, a=1, b=4 → q closer to a.
+        assert!(classifier_margin(0.0, 1.0, 4.0) > 0.0);
+        assert!(classifier_margin(0.0, 4.0, 1.0) < 0.0);
+        assert_eq!(classifier_margin(0.0, 2.0, -2.0), 0.0);
+    }
+
+    #[test]
+    fn query_sensitive_output_abstains_outside_interval() {
+        let v = Interval::new(0.0, 1.0);
+        assert!(query_sensitive_output(&v, 0.5, 1.0, 4.0) > 0.0);
+        assert_eq!(query_sensitive_output(&v, 2.0, 1.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn weighted_error_counts_mistakes_abstentions_and_ties() {
+        let values = vec![
+            (0.0, 1.0, 4.0), // margin > 0
+            (0.0, 4.0, 1.0), // margin < 0
+            (9.0, 8.0, 12.0), // query outside V → abstain
+        ];
+        let labels = vec![1.0, 1.0, 1.0];
+        let weights = vec![1.0 / 3.0; 3];
+        let v = Interval::new(-1.0, 1.0);
+        // First triple correct, second wrong, third abstains.
+        let err = weighted_error(&v, &values, &labels, &weights);
+        assert!((err - (1.0 / 3.0 + 0.5 / 3.0)).abs() < 1e-12);
+        // The full interval turns the abstention into a correct vote.
+        let err_full = weighted_error(&Interval::full(), &values, &labels, &weights);
+        assert!((err_full - 1.0 / 3.0) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn rejects_inverted_interval() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The [`Dataset`] container and training-pool sampling.
+//!
+//! The paper's retrieval experiments always have a *database* (the
+//! collection searched at query time) and a disjoint *query set* used only
+//! for evaluation: *"Query objects from the test set were not used in any
+//! part of the training algorithm"* (Section 9). Training additionally draws
+//! two subsets of the database (Section 7):
+//!
+//! * `C` — candidate objects used as reference objects and pivot objects for
+//!   the 1D embeddings, and
+//! * `Xtr` — training objects from which training triples are formed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A retrieval workload: a database of objects plus held-out query objects.
+#[derive(Debug, Clone)]
+pub struct Dataset<O> {
+    database: Vec<O>,
+    queries: Vec<O>,
+}
+
+impl<O> Dataset<O> {
+    /// Build a dataset from a database and a disjoint query set.
+    ///
+    /// # Panics
+    /// Panics if either collection is empty.
+    pub fn new(database: Vec<O>, queries: Vec<O>) -> Self {
+        assert!(!database.is_empty(), "the database must not be empty");
+        assert!(!queries.is_empty(), "the query set must not be empty");
+        Self { database, queries }
+    }
+
+    /// The searchable database objects.
+    pub fn database(&self) -> &[O] {
+        &self.database
+    }
+
+    /// The held-out query objects.
+    pub fn queries(&self) -> &[O] {
+        &self.queries
+    }
+
+    /// Number of database objects (the paper's brute-force cost per query).
+    pub fn database_size(&self) -> usize {
+        self.database.len()
+    }
+
+    /// Number of query objects.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Split a single object collection into a database and a query set by
+    /// drawing `query_count` objects at random without replacement, as the
+    /// paper does when it *"merged the query set and the database, and from
+    /// the merged set ... chose (randomly) a new set of 1,000 queries"*.
+    ///
+    /// # Panics
+    /// Panics if `query_count` is zero or leaves an empty database.
+    pub fn split_random<R: Rng>(mut objects: Vec<O>, query_count: usize, rng: &mut R) -> Self {
+        assert!(query_count > 0, "query_count must be positive");
+        assert!(
+            query_count < objects.len(),
+            "query_count ({query_count}) must leave a non-empty database (total {})",
+            objects.len()
+        );
+        objects.shuffle(rng);
+        let queries = objects.split_off(objects.len() - query_count);
+        Self::new(objects, queries)
+    }
+
+    /// Sample the training pools `C` (candidate reference/pivot objects) and
+    /// `Xtr` (training-triple objects) from the database, by index, without
+    /// replacement within each pool.
+    ///
+    /// The paper notes that *"If time and memory resources are not limited,
+    /// then we can set both C and Xtr equal to the entire database"*;
+    /// requesting pools at least as large as the database does exactly that.
+    pub fn sample_training_pools<R: Rng>(
+        &self,
+        candidate_count: usize,
+        training_count: usize,
+        rng: &mut R,
+    ) -> TrainingPools {
+        TrainingPools {
+            candidate_indices: sample_indices(self.database.len(), candidate_count, rng),
+            training_indices: sample_indices(self.database.len(), training_count, rng),
+        }
+    }
+}
+
+/// Indices (into the database) of the two training pools of Section 7.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingPools {
+    /// `C`: candidate objects used to define 1D embeddings.
+    pub candidate_indices: Vec<usize>,
+    /// `Xtr`: objects from which training triples are drawn.
+    pub training_indices: Vec<usize>,
+}
+
+fn sample_indices<R: Rng>(population: usize, count: usize, rng: &mut R) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..population).collect();
+    if count >= population {
+        return all;
+    }
+    all.shuffle(rng);
+    all.truncate(count);
+    all.sort_unstable();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_random_partitions_without_loss() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let objects: Vec<u32> = (0..100).collect();
+        let ds = Dataset::split_random(objects, 25, &mut rng);
+        assert_eq!(ds.database_size(), 75);
+        assert_eq!(ds.query_count(), 25);
+        let mut all: Vec<u32> = ds.database().iter().chain(ds.queries()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let objects: Vec<u32> = (0..50).collect();
+        let a = Dataset::split_random(objects.clone(), 10, &mut StdRng::seed_from_u64(3));
+        let b = Dataset::split_random(objects, 10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.queries(), b.queries());
+        assert_eq!(a.database(), b.database());
+    }
+
+    #[test]
+    fn training_pools_are_subsets_of_database() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ds = Dataset::new((0..40).collect::<Vec<u32>>(), vec![100, 101]);
+        let pools = ds.sample_training_pools(10, 15, &mut rng);
+        assert_eq!(pools.candidate_indices.len(), 10);
+        assert_eq!(pools.training_indices.len(), 15);
+        assert!(pools.candidate_indices.iter().all(|i| *i < 40));
+        assert!(pools.training_indices.iter().all(|i| *i < 40));
+        // No duplicates within a pool.
+        let mut c = pools.candidate_indices.clone();
+        c.dedup();
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn oversized_pools_use_the_whole_database() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = Dataset::new((0..8).collect::<Vec<u32>>(), vec![99]);
+        let pools = ds.sample_training_pools(100, 100, &mut rng);
+        assert_eq!(pools.candidate_indices, (0..8).collect::<Vec<_>>());
+        assert_eq!(pools.training_indices, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty database")]
+    fn split_rejects_query_count_too_large() {
+        let _ = Dataset::split_random((0..5).collect::<Vec<u32>>(), 5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rejects_empty_database() {
+        let _: Dataset<u32> = Dataset::new(vec![], vec![1]);
+    }
+}

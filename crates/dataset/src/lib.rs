@@ -1,0 +1,39 @@
+//! # qse-dataset
+//!
+//! Synthetic workload generators for the reproduction of *Query-Sensitive
+//! Embeddings* (SIGMOD 2005).
+//!
+//! The paper evaluates on two datasets we cannot redistribute (the MNIST
+//! image database under the Shape Context Distance, and the time-series
+//! database of Vlachos et al. under constrained DTW) plus a small 2-D toy
+//! example (Figure 1). This crate provides faithful synthetic substitutes:
+//!
+//! * [`digits`] — a generative model of handwritten digits: per-digit stroke
+//!   templates sampled into 2-D point sets with affine jitter, stroke
+//!   deformation and point noise. Consumed through
+//!   [`qse_distance::ShapeContextDistance`], exactly like MNIST images are in
+//!   the paper.
+//! * [`timeseries`] — the expansion recipe of the paper's time-series
+//!   database: a library of seed patterns grown into a large collection by
+//!   adding *"small variations in the original patterns as well as additions
+//!   of random compression and decompression in time"*.
+//! * [`toy2d`] — the unit-square toy configuration of Figure 1 (20 database
+//!   points, 3 of them reference objects, 10 queries).
+//! * [`dataset`] — the [`dataset::Dataset`] container splitting objects into
+//!   database / queries, and samplers for the training subsets `Xtr` and `C`
+//!   used by the BoostMap-style training algorithms (Section 7).
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod digits;
+pub mod timeseries;
+pub mod toy2d;
+
+pub use dataset::{Dataset, TrainingPools};
+pub use digits::{DigitGenerator, DigitGeneratorConfig};
+pub use timeseries::{TimeSeriesGenerator, TimeSeriesGeneratorConfig};
+pub use toy2d::{toy_configuration, ToyConfiguration};

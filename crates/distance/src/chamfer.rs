@@ -1,0 +1,153 @@
+//! Chamfer distance between 2-D point sets.
+//!
+//! The discussion section of the paper lists the chamfer distance (Barrow et
+//! al., 1977) among the *"commonly used distance measures [that] are also
+//! non-metric"*, for which embedding-based retrieval is the only general
+//! indexing option. We implement both the directed chamfer distance and its
+//! symmetric combination, over the same [`PointSet`] objects used by the
+//! shape-context distance so the two measures can be compared on identical
+//! workloads.
+
+use crate::shape_context::PointSet;
+use crate::traits::{DistanceMeasure, MetricProperties};
+use serde::{Deserialize, Serialize};
+
+/// How the two directed distances are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChamferVariant {
+    /// Directed chamfer distance: mean distance from each point of `a` to its
+    /// nearest neighbor in `b` (asymmetric).
+    Directed,
+    /// Symmetric: the mean of the two directed distances.
+    SymmetricMean,
+    /// Symmetric: the maximum of the two directed distances (Hausdorff-like
+    /// but using means inside each direction).
+    SymmetricMax,
+}
+
+/// Chamfer distance between point sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChamferDistance {
+    /// Combination rule.
+    pub variant: ChamferVariant,
+}
+
+impl Default for ChamferDistance {
+    fn default() -> Self {
+        Self { variant: ChamferVariant::SymmetricMean }
+    }
+}
+
+impl ChamferDistance {
+    /// Symmetric (mean-combined) chamfer distance.
+    pub fn symmetric() -> Self {
+        Self::default()
+    }
+
+    /// Directed (asymmetric) chamfer distance.
+    pub fn directed() -> Self {
+        Self { variant: ChamferVariant::Directed }
+    }
+
+    /// Max-combined symmetric chamfer distance.
+    pub fn symmetric_max() -> Self {
+        Self { variant: ChamferVariant::SymmetricMax }
+    }
+
+    fn directed_distance(a: &PointSet, b: &PointSet) -> f64 {
+        let mut total = 0.0;
+        for p in a.points() {
+            let nearest = b
+                .points()
+                .iter()
+                .map(|q| p.dist(q))
+                .fold(f64::INFINITY, f64::min);
+            total += nearest;
+        }
+        total / a.len() as f64
+    }
+
+    /// Evaluate the chamfer distance.
+    pub fn eval(&self, a: &PointSet, b: &PointSet) -> f64 {
+        match self.variant {
+            ChamferVariant::Directed => Self::directed_distance(a, b),
+            ChamferVariant::SymmetricMean => {
+                0.5 * (Self::directed_distance(a, b) + Self::directed_distance(b, a))
+            }
+            ChamferVariant::SymmetricMax => {
+                Self::directed_distance(a, b).max(Self::directed_distance(b, a))
+            }
+        }
+    }
+}
+
+impl DistanceMeasure<PointSet> for ChamferDistance {
+    fn distance(&self, a: &PointSet, b: &PointSet) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        match self.variant {
+            ChamferVariant::Directed => MetricProperties::Asymmetric,
+            _ => MetricProperties::SymmetricNonMetric,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "chamfer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape_context::Point2;
+
+    fn ps(coords: &[(f64, f64)]) -> PointSet {
+        PointSet::new(coords.iter().map(|(x, y)| Point2::new(*x, *y)).collect())
+    }
+
+    #[test]
+    fn zero_for_identical_sets() {
+        let a = ps(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        for d in [ChamferDistance::symmetric(), ChamferDistance::directed(), ChamferDistance::symmetric_max()] {
+            assert_eq!(d.eval(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn directed_is_asymmetric() {
+        // b is a superset of a: every point of a has an exact match in b, but
+        // not vice versa.
+        let a = ps(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = ps(&[(0.0, 0.0), (1.0, 0.0), (10.0, 10.0)]);
+        let d = ChamferDistance::directed();
+        assert_eq!(d.eval(&a, &b), 0.0);
+        assert!(d.eval(&b, &a) > 0.0);
+    }
+
+    #[test]
+    fn symmetric_variants_are_symmetric() {
+        let a = ps(&[(0.0, 0.0), (2.0, 1.0), (3.0, -1.0)]);
+        let b = ps(&[(0.5, 0.5), (2.5, 0.5)]);
+        for d in [ChamferDistance::symmetric(), ChamferDistance::symmetric_max()] {
+            assert!((d.eval(&a, &b) - d.eval(&b, &a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_value() {
+        let a = ps(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = ps(&[(0.0, 1.0), (1.0, 1.0)]);
+        // Every point is exactly 1 away from its nearest neighbor.
+        assert!((ChamferDistance::symmetric().eval(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((ChamferDistance::symmetric_max().eval(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_variant_dominates_mean_variant() {
+        let a = ps(&[(0.0, 0.0), (1.0, 0.0), (5.0, 5.0)]);
+        let b = ps(&[(0.0, 0.1), (1.0, -0.1)]);
+        let mean = ChamferDistance::symmetric().eval(&a, &b);
+        let max = ChamferDistance::symmetric_max().eval(&a, &b);
+        assert!(max >= mean);
+    }
+}

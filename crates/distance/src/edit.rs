@@ -1,0 +1,157 @@
+//! Edit (Levenshtein) distance over symbol sequences.
+//!
+//! The paper's introduction lists *"the edit distance for matching strings
+//! and biological sequences"* among the computationally expensive distance
+//! measures its method targets. We provide both the classic unit-cost
+//! Levenshtein distance and a weighted variant with configurable
+//! insertion / deletion / substitution costs (with non-uniform costs the
+//! measure is generally non-metric, which is the regime the paper cares
+//! about).
+
+use crate::traits::{DistanceMeasure, MetricProperties};
+use serde::{Deserialize, Serialize};
+
+/// A generic sequence-of-symbols object for edit-distance experiments.
+pub type Symbols = Vec<u8>;
+
+/// Weighted edit distance between byte sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EditDistance {
+    /// Cost of inserting one symbol.
+    pub insert_cost: f64,
+    /// Cost of deleting one symbol.
+    pub delete_cost: f64,
+    /// Cost of substituting one symbol for a different one.
+    pub substitute_cost: f64,
+}
+
+impl Default for EditDistance {
+    fn default() -> Self {
+        Self::levenshtein()
+    }
+}
+
+impl EditDistance {
+    /// Unit-cost Levenshtein distance.
+    pub fn levenshtein() -> Self {
+        Self { insert_cost: 1.0, delete_cost: 1.0, substitute_cost: 1.0 }
+    }
+
+    /// Weighted edit distance.
+    ///
+    /// # Panics
+    /// Panics if any cost is negative or non-finite.
+    pub fn weighted(insert_cost: f64, delete_cost: f64, substitute_cost: f64) -> Self {
+        for c in [insert_cost, delete_cost, substitute_cost] {
+            assert!(c.is_finite() && c >= 0.0, "edit costs must be finite and non-negative");
+        }
+        Self { insert_cost, delete_cost, substitute_cost }
+    }
+
+    /// Evaluate the distance between two byte slices.
+    pub fn eval(&self, a: &[u8], b: &[u8]) -> f64 {
+        let n = a.len();
+        let m = b.len();
+        if n == 0 {
+            return m as f64 * self.insert_cost;
+        }
+        if m == 0 {
+            return n as f64 * self.delete_cost;
+        }
+        let mut prev: Vec<f64> = (0..=m).map(|j| j as f64 * self.insert_cost).collect();
+        let mut curr = vec![0.0_f64; m + 1];
+        for i in 1..=n {
+            curr[0] = i as f64 * self.delete_cost;
+            for j in 1..=m {
+                let sub = if a[i - 1] == b[j - 1] { 0.0 } else { self.substitute_cost };
+                curr[j] = (prev[j - 1] + sub)
+                    .min(prev[j] + self.delete_cost)
+                    .min(curr[j - 1] + self.insert_cost);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+}
+
+impl DistanceMeasure<[u8]> for EditDistance {
+    fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        // Unit-cost Levenshtein is a metric; arbitrary weighted variants in
+        // general are not symmetric (insert vs delete). Report conservatively.
+        if (self.insert_cost - self.delete_cost).abs() < f64::EPSILON
+            && self.substitute_cost <= self.insert_cost + self.delete_cost
+        {
+            MetricProperties::Metric
+        } else {
+            MetricProperties::Asymmetric
+        }
+    }
+    fn name(&self) -> &'static str {
+        "edit-distance"
+    }
+}
+
+impl DistanceMeasure<Symbols> for EditDistance {
+    fn distance(&self, a: &Symbols, b: &Symbols) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        DistanceMeasure::<[u8]>::properties(self)
+    }
+    fn name(&self) -> &'static str {
+        "edit-distance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        let d = EditDistance::levenshtein();
+        assert_eq!(d.eval(b"kitten", b"sitting"), 3.0);
+        assert_eq!(d.eval(b"flaw", b"lawn"), 2.0);
+        assert_eq!(d.eval(b"", b"abc"), 3.0);
+        assert_eq!(d.eval(b"abc", b""), 3.0);
+        assert_eq!(d.eval(b"same", b"same"), 0.0);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        let d = EditDistance::levenshtein();
+        assert_eq!(d.eval(b"abcdef", b"azced"), d.eval(b"azced", b"abcdef"));
+    }
+
+    #[test]
+    fn triangle_inequality_on_examples() {
+        let d = EditDistance::levenshtein();
+        let (a, b, c) = (b"research".as_ref(), b"search".as_ref(), b"sea".as_ref());
+        assert!(d.eval(a, c) <= d.eval(a, b) + d.eval(b, c));
+    }
+
+    #[test]
+    fn weighted_costs_are_applied() {
+        let d = EditDistance::weighted(2.0, 3.0, 10.0);
+        // "a" -> "b": substitution costs 10, but delete+insert costs 5.
+        assert_eq!(d.eval(b"a", b"b"), 5.0);
+        assert_eq!(d.eval(b"", b"xx"), 4.0);
+        assert_eq!(d.eval(b"xx", b""), 6.0);
+    }
+
+    #[test]
+    fn weighted_asymmetry_reported() {
+        let d = EditDistance::weighted(1.0, 5.0, 1.0);
+        assert_eq!(DistanceMeasure::<[u8]>::properties(&d), MetricProperties::Asymmetric);
+        assert_ne!(d.eval(b"ab", b"a"), d.eval(b"a", b"ab"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_costs() {
+        let _ = EditDistance::weighted(-1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The Hungarian (Kuhn–Munkres) algorithm for the assignment problem.
+//!
+//! The Shape Context Distance of Belongie et al. — the exact distance of the
+//! paper's MNIST experiments — aligns two shapes by *"bipartite matching
+//! between their features (which involves the computationally expensive
+//! Hungarian algorithm)"* (Section 9). This module implements the `O(n³)`
+//! Jonker–Volgenant-style shortest augmenting path formulation over a dense
+//! cost matrix, which is what makes the exact distance expensive and the
+//! embedding worthwhile.
+
+/// A dense rectangular cost matrix for the assignment problem.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Create a cost matrix with all entries set to `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: f64) -> Self {
+        Self { rows, cols, data: vec![fill; rows * cols] }
+    }
+
+    /// Create a cost matrix from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "cost matrix shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cost at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Set the cost at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.cols + col] = value;
+    }
+}
+
+/// The result of solving an assignment problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `assignment[r] = Some(c)` if row `r` is matched to column `c`.
+    pub row_to_col: Vec<Option<usize>>,
+    /// Total cost of the matching.
+    pub total_cost: f64,
+}
+
+/// Solve the minimum-cost assignment problem on a square or rectangular cost
+/// matrix (rows ≤ cols is handled directly; rows > cols is handled by
+/// transposing). Every row is matched to a distinct column.
+///
+/// Runs in `O(rows² · cols)` time using the shortest augmenting path
+/// formulation with dual potentials (Jonker–Volgenant).
+///
+/// # Panics
+/// Panics if the matrix is empty or contains non-finite costs.
+pub fn solve_assignment(costs: &CostMatrix) -> Assignment {
+    assert!(costs.rows() > 0 && costs.cols() > 0, "empty cost matrix");
+    assert!(
+        costs.data.iter().all(|c| c.is_finite()),
+        "assignment costs must be finite"
+    );
+    if costs.rows() > costs.cols() {
+        // Transpose, solve, and invert the matching.
+        let mut t = CostMatrix::filled(costs.cols(), costs.rows(), 0.0);
+        for r in 0..costs.rows() {
+            for c in 0..costs.cols() {
+                t.set(c, r, costs.get(r, c));
+            }
+        }
+        let sol = solve_assignment(&t);
+        let mut row_to_col = vec![None; costs.rows()];
+        for (tr, assigned) in sol.row_to_col.iter().enumerate() {
+            if let Some(tc) = assigned {
+                row_to_col[*tc] = Some(tr);
+            }
+        }
+        return Assignment { row_to_col, total_cost: sol.total_cost };
+    }
+
+    let n = costs.rows();
+    let m = costs.cols();
+    // Dual potentials and matching arrays use 1-based indexing with a dummy
+    // row/column 0, the classical shortest-augmenting-path formulation.
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; m + 1];
+    // matched_col_to_row[j] = row currently assigned to column j (0 = free).
+    let mut matched_col_to_row = vec![0_usize; m + 1];
+
+    for i in 1..=n {
+        matched_col_to_row[0] = i;
+        // links[j] = previous column on the alternating path to column j.
+        let mut links = vec![0_usize; m + 1];
+        let mut mins = vec![f64::INFINITY; m + 1];
+        let mut visited = vec![false; m + 1];
+        let mut j0 = 0_usize;
+        loop {
+            visited[j0] = true;
+            let i0 = matched_col_to_row[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0_usize;
+            for j in 1..=m {
+                if visited[j] {
+                    continue;
+                }
+                let cur = costs.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < mins[j] {
+                    mins[j] = cur;
+                    links[j] = j0;
+                }
+                if mins[j] < delta {
+                    delta = mins[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if visited[j] {
+                    u[matched_col_to_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    mins[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_col_to_row[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = links[j0];
+            matched_col_to_row[j0] = matched_col_to_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; n];
+    let mut total_cost = 0.0;
+    for j in 1..=m {
+        let r = matched_col_to_row[j];
+        if r > 0 {
+            row_to_col[r - 1] = Some(j - 1);
+            total_cost += costs.get(r - 1, j - 1);
+        }
+    }
+    Assignment { row_to_col, total_cost }
+}
+
+/// Brute-force optimal assignment by enumerating permutations. Exponential;
+/// only used to validate [`solve_assignment`] in tests and property tests.
+pub fn brute_force_assignment(costs: &CostMatrix) -> f64 {
+    assert!(costs.rows() <= costs.cols(), "brute force expects rows <= cols");
+    fn recurse(costs: &CostMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == costs.rows() {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for c in 0..costs.cols() {
+            if !used[c] {
+                used[c] = true;
+                let val = costs.get(row, c) + recurse(costs, row + 1, used);
+                if val < best {
+                    best = val;
+                }
+                used[c] = false;
+            }
+        }
+        best
+    }
+    recurse(costs, 0, &mut vec![false; costs.cols()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_one_by_one() {
+        let c = CostMatrix::from_rows(1, 1, vec![3.5]);
+        let a = solve_assignment(&c);
+        assert_eq!(a.row_to_col, vec![Some(0)]);
+        assert!((a.total_cost - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_example_known_optimum() {
+        // Classic 3x3 example: optimal is 1 + 2 + 3 = picking off-diagonal.
+        let c = CostMatrix::from_rows(
+            3,
+            3,
+            vec![
+                4.0, 1.0, 3.0, //
+                2.0, 0.0, 5.0, //
+                3.0, 2.0, 2.0,
+            ],
+        );
+        let a = solve_assignment(&c);
+        assert!((a.total_cost - 5.0).abs() < 1e-12, "got {}", a.total_cost);
+        // The matching must be a permutation.
+        let mut seen = vec![false; 3];
+        for col in a.row_to_col.iter().flatten() {
+            assert!(!seen[*col]);
+            seen[*col] = true;
+        }
+    }
+
+    #[test]
+    fn rectangular_wide_matrix() {
+        let c = CostMatrix::from_rows(2, 4, vec![10.0, 2.0, 8.0, 9.0, 7.0, 3.0, 1.0, 4.0]);
+        let a = solve_assignment(&c);
+        assert!((a.total_cost - 3.0).abs() < 1e-12, "got {}", a.total_cost);
+        assert_eq!(a.row_to_col.len(), 2);
+    }
+
+    #[test]
+    fn rectangular_tall_matrix_transposes() {
+        let c = CostMatrix::from_rows(4, 2, vec![10.0, 7.0, 2.0, 3.0, 8.0, 1.0, 9.0, 4.0]);
+        let a = solve_assignment(&c);
+        assert!((a.total_cost - 3.0).abs() < 1e-12, "got {}", a.total_cost);
+        // Exactly two rows matched.
+        assert_eq!(a.row_to_col.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random values via a simple LCG to avoid a rand
+        // dependency in unit tests.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 10.0
+        };
+        for n in 1..=6 {
+            for _ in 0..5 {
+                let data: Vec<f64> = (0..n * n).map(|_| next()).collect();
+                let c = CostMatrix::from_rows(n, n, data);
+                let fast = solve_assignment(&c).total_cost;
+                let brute = brute_force_assignment(&c);
+                assert!(
+                    (fast - brute).abs() < 1e-9,
+                    "n={n}: hungarian {fast} != brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_costs_are_handled() {
+        let c = CostMatrix::from_rows(2, 2, vec![-5.0, 0.0, 0.0, -5.0]);
+        let a = solve_assignment(&c);
+        assert!((a.total_cost + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_costs() {
+        let c = CostMatrix::from_rows(1, 1, vec![f64::NAN]);
+        let _ = solve_assignment(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_matrix() {
+        let c = CostMatrix::filled(0, 3, 0.0);
+        let _ = solve_assignment(&c);
+    }
+}

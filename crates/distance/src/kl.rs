@@ -1,0 +1,194 @@
+//! Kullback–Leibler divergence between discrete probability distributions.
+//!
+//! The paper's introduction cites *"the Kullback-Leibler distance for
+//! matching probability distributions"* as a canonical non-metric,
+//! asymmetric distance in which embedding-based retrieval is the only
+//! domain-independent option. We provide the plain (asymmetric) divergence,
+//! the symmetrised Jeffreys divergence, and the Jensen–Shannon divergence.
+
+use crate::traits::{DistanceMeasure, MetricProperties};
+use serde::{Deserialize, Serialize};
+
+/// How the divergence is symmetrised (if at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KlVariant {
+    /// Plain `KL(p || q)` — asymmetric.
+    Asymmetric,
+    /// Jeffreys divergence `KL(p || q) + KL(q || p)` — symmetric, non-metric.
+    Jeffreys,
+    /// Jensen–Shannon divergence — symmetric; its square root is a metric but
+    /// the divergence itself is not.
+    JensenShannon,
+}
+
+/// Kullback–Leibler-family divergence over dense discrete distributions.
+///
+/// Inputs need not be normalized: they are renormalized internally, and a
+/// small smoothing epsilon avoids infinite divergences when a bin is empty in
+/// one distribution but not the other.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KlDivergence {
+    /// Which symmetrisation to use.
+    pub variant: KlVariant,
+    /// Additive smoothing applied to every bin before normalization.
+    pub epsilon: f64,
+}
+
+impl Default for KlDivergence {
+    fn default() -> Self {
+        Self { variant: KlVariant::Asymmetric, epsilon: 1e-10 }
+    }
+}
+
+impl KlDivergence {
+    /// Plain asymmetric KL divergence.
+    pub fn asymmetric() -> Self {
+        Self { variant: KlVariant::Asymmetric, ..Self::default() }
+    }
+
+    /// Symmetrised (Jeffreys) divergence.
+    pub fn jeffreys() -> Self {
+        Self { variant: KlVariant::Jeffreys, ..Self::default() }
+    }
+
+    /// Jensen–Shannon divergence.
+    pub fn jensen_shannon() -> Self {
+        Self { variant: KlVariant::JensenShannon, ..Self::default() }
+    }
+
+    fn normalize(&self, p: &[f64]) -> Vec<f64> {
+        assert!(
+            p.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "distributions must have finite non-negative mass"
+        );
+        let smoothed: Vec<f64> = p.iter().map(|x| x + self.epsilon).collect();
+        let total: f64 = smoothed.iter().sum();
+        assert!(total > 0.0, "distribution must have positive total mass");
+        smoothed.into_iter().map(|x| x / total).collect()
+    }
+
+    fn kl(p: &[f64], q: &[f64]) -> f64 {
+        p.iter()
+            .zip(q)
+            .map(|(pi, qi)| if *pi > 0.0 { pi * (pi / qi).ln() } else { 0.0 })
+            .sum()
+    }
+
+    /// Evaluate the divergence between two (not necessarily normalized)
+    /// non-negative vectors of equal length.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length or contain negative mass.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "distributions must have the same number of bins");
+        let p = self.normalize(a);
+        let q = self.normalize(b);
+        match self.variant {
+            KlVariant::Asymmetric => Self::kl(&p, &q),
+            KlVariant::Jeffreys => Self::kl(&p, &q) + Self::kl(&q, &p),
+            KlVariant::JensenShannon => {
+                let m: Vec<f64> = p.iter().zip(&q).map(|(x, y)| 0.5 * (x + y)).collect();
+                0.5 * Self::kl(&p, &m) + 0.5 * Self::kl(&q, &m)
+            }
+        }
+    }
+}
+
+impl DistanceMeasure<[f64]> for KlDivergence {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        match self.variant {
+            KlVariant::Asymmetric => MetricProperties::Asymmetric,
+            _ => MetricProperties::SymmetricNonMetric,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "kl-divergence"
+    }
+}
+
+impl DistanceMeasure<Vec<f64>> for KlDivergence {
+    fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        DistanceMeasure::<[f64]>::properties(self)
+    }
+    fn name(&self) -> &'static str {
+        "kl-divergence"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_for_identical_distributions() {
+        let p = [0.25, 0.25, 0.5];
+        for d in [KlDivergence::asymmetric(), KlDivergence::jeffreys(), KlDivergence::jensen_shannon()] {
+            assert!(d.eval(&p, &p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn asymmetric_variant_is_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        let d = KlDivergence::asymmetric();
+        let pq = d.eval(&p, &q);
+        let qp = d.eval(&q, &p);
+        assert!(pq > 0.0 && qp > 0.0);
+        // Symmetric for this particular swap, so use a distribution where the
+        // asymmetry shows up.
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.1, 0.8];
+        assert!((d.eval(&p, &q) - d.eval(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn jeffreys_and_js_are_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.1, 0.8];
+        for d in [KlDivergence::jeffreys(), KlDivergence::jensen_shannon()] {
+            assert!((d.eval(&p, &q) - d.eval(&q, &p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn js_is_bounded_by_ln2() {
+        let p = [1.0, 0.0, 0.0];
+        let q = [0.0, 0.0, 1.0];
+        let js = KlDivergence::jensen_shannon().eval(&p, &q);
+        assert!(js <= std::f64::consts::LN_2 + 1e-9);
+        assert!(js > 0.5);
+    }
+
+    #[test]
+    fn unnormalized_inputs_are_renormalized() {
+        let d = KlDivergence::jeffreys();
+        let a = d.eval(&[2.0, 2.0, 4.0], &[1.0, 1.0, 2.0]);
+        assert!(a.abs() < 1e-9, "proportional masses should coincide, got {a}");
+    }
+
+    #[test]
+    fn smoothing_avoids_infinities() {
+        let d = KlDivergence::asymmetric();
+        let v = d.eval(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(v.is_finite() && v > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of bins")]
+    fn rejects_length_mismatch() {
+        let _ = KlDivergence::asymmetric().eval(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_mass() {
+        let _ = KlDivergence::asymmetric().eval(&[0.5, -0.5], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Precomputed distance matrices.
+//!
+//! The training stage of the paper needs *"distances DX from every object in
+//! C ... to every object in C and to every object in Xtr"* plus *"all
+//! distances between pairs of objects in Xtr"* (Section 7). Computing those
+//! matrices is often the dominant preprocessing cost, so this module computes
+//! them in parallel with `crossbeam` scoped threads and stores them densely.
+
+use crate::traits::DistanceMeasure;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of precomputed distances between two object
+/// collections (`rows[i]` vs `cols[j]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Number of row objects.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column objects.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Precomputed distance between row object `i` and column object `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// The `i`-th row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Build a matrix from a row-major buffer (used by tests and serde).
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not equal `rows * cols`.
+    pub fn from_raw(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "distance matrix shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Compute all distances between `row_objects` and `col_objects`
+    /// sequentially.
+    pub fn compute<O, D>(row_objects: &[O], col_objects: &[O], distance: &D) -> Self
+    where
+        O: Sync,
+        D: DistanceMeasure<O> + ?Sized,
+    {
+        let rows = row_objects.len();
+        let cols = col_objects.len();
+        let mut data = vec![0.0; rows * cols];
+        for (i, a) in row_objects.iter().enumerate() {
+            for (j, b) in col_objects.iter().enumerate() {
+                data[i * cols + j] = distance.distance(a, b);
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Compute all distances between `row_objects` and `col_objects` using
+    /// `threads` worker threads (rows are partitioned across workers).
+    ///
+    /// Falls back to the sequential path when `threads <= 1` or there is only
+    /// a handful of rows.
+    pub fn compute_parallel<O, D>(
+        row_objects: &[O],
+        col_objects: &[O],
+        distance: &D,
+        threads: usize,
+    ) -> Self
+    where
+        O: Sync,
+        D: DistanceMeasure<O> + Sync + ?Sized,
+    {
+        let rows = row_objects.len();
+        let cols = col_objects.len();
+        if threads <= 1 || rows < 2 {
+            return Self::compute(row_objects, col_objects, distance);
+        }
+        let mut data = vec![0.0f64; rows * cols];
+        let chunk_rows = rows.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_index, chunk) in data.chunks_mut(chunk_rows * cols).enumerate() {
+                let row_start = chunk_index * chunk_rows;
+                scope.spawn(move |_| {
+                    for (local_i, out_row) in chunk.chunks_mut(cols).enumerate() {
+                        let a = &row_objects[row_start + local_i];
+                        for (j, b) in col_objects.iter().enumerate() {
+                            out_row[j] = distance.distance(a, b);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("distance matrix worker thread panicked");
+        Self { rows, cols, data }
+    }
+
+    /// Convenience: the symmetric all-pairs matrix of one collection.
+    pub fn all_pairs<O, D>(objects: &[O], distance: &D, threads: usize) -> Self
+    where
+        O: Sync,
+        D: DistanceMeasure<O> + Sync + ?Sized,
+    {
+        Self::compute_parallel(objects, objects, distance, threads)
+    }
+
+    /// Indices of the `k` nearest column objects to row `i`, in increasing
+    /// distance order (ties broken by index). This is the building block the
+    /// selective triple sampler of Section 6 uses to find the k'-th nearest
+    /// neighbor of a training object.
+    pub fn nearest_columns(&self, i: usize, k: usize) -> Vec<usize> {
+        let row = self.row(i);
+        let mut order: Vec<usize> = (0..self.cols).collect();
+        order.sort_by(|&a, &b| {
+            row[a]
+                .partial_cmp(&row[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{FnDistance, MetricProperties};
+
+    fn abs_distance() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+    }
+
+    #[test]
+    fn sequential_matrix_values() {
+        let rows = vec![0.0, 1.0];
+        let cols = vec![0.0, 2.0, 4.0];
+        let m = DistanceMatrix::compute(&rows, &cols, &abs_distance());
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.row(1), &[1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let objects: Vec<f64> = (0..37).map(|i| (i as f64) * 0.7).collect();
+        let d = abs_distance();
+        let seq = DistanceMatrix::compute(&objects, &objects, &d);
+        for threads in [2, 3, 8, 64] {
+            let par = DistanceMatrix::compute_parallel(&objects, &objects, &d, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric_for_symmetric_measures() {
+        let objects: Vec<f64> = vec![1.0, 5.0, -2.0, 0.25];
+        let m = DistanceMatrix::all_pairs(&objects, &abs_distance(), 2);
+        for i in 0..objects.len() {
+            for j in 0..objects.len() {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+            assert_eq!(m.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn nearest_columns_orders_by_distance() {
+        let rows = vec![0.0];
+        let cols = vec![5.0, 1.0, 3.0, 0.5];
+        let m = DistanceMatrix::compute(&rows, &cols, &abs_distance());
+        assert_eq!(m.nearest_columns(0, 2), vec![3, 1]);
+        assert_eq!(m.nearest_columns(0, 10), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_raw_checks_shape() {
+        let _ = DistanceMatrix::from_raw(2, 2, vec![0.0; 3]);
+    }
+}

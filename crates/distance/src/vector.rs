@@ -1,0 +1,302 @@
+//! Vector-space distances: `Lp` norms and the (query-sensitive) weighted
+//! `L1` distance.
+//!
+//! The paper compares the embeddings of two objects with an `L1` distance
+//! (original BoostMap, FastMap) or with the *query-sensitive weighted* `L1`
+//! distance `D_out` of Eq. 11, where per-coordinate weights depend on the
+//! first (query) argument. The plain building blocks live here; the
+//! query-sensitive weighting logic itself lives in `qse-core::model` because
+//! it needs the trained splitters.
+
+use crate::traits::{DistanceMeasure, MetricProperties};
+use serde::{Deserialize, Serialize};
+
+/// Dense `f64` vector type used throughout the workspace for embedded
+/// objects.
+pub type Vector = Vec<f64>;
+
+/// The `Lp` distance between two equal-length vectors.
+///
+/// `p = 1` is the measure the paper uses in the filter step; `p = 2` is the
+/// Euclidean distance used by FastMap's original formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LpDistance {
+    /// The exponent `p >= 1`.
+    pub p: f64,
+}
+
+impl LpDistance {
+    /// Manhattan / city-block distance (`p = 1`).
+    pub fn l1() -> Self {
+        Self { p: 1.0 }
+    }
+
+    /// Euclidean distance (`p = 2`).
+    pub fn l2() -> Self {
+        Self { p: 2.0 }
+    }
+
+    /// General `Lp` distance.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (not a norm, triangle inequality fails).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Lp distance requires p >= 1, got {p}");
+        Self { p }
+    }
+
+    /// Evaluate the distance between two slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "Lp distance requires equal-length vectors ({} vs {})",
+            a.len(),
+            b.len()
+        );
+        if self.p == 1.0 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        } else if self.p == 2.0 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        } else {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs().powf(self.p))
+                .sum::<f64>()
+                .powf(1.0 / self.p)
+        }
+    }
+}
+
+impl DistanceMeasure<[f64]> for LpDistance {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties::Metric
+    }
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+}
+
+impl DistanceMeasure<Vector> for LpDistance {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties::Metric
+    }
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+}
+
+/// A weighted `L1` distance with *fixed* (query-insensitive) per-coordinate
+/// weights: `D(a, b) = Σ_i w_i |a_i − b_i|`.
+///
+/// This is the distance a query-*insensitive* BoostMap embedding uses in the
+/// filter step. The query-sensitive `D_out` of Eq. 11 reduces to this once a
+/// specific query has been fixed, which is exactly how `qse-core` implements
+/// it: it computes the weight vector `A_i(q)` for the query and then hands it
+/// to [`WeightedL1`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedL1 {
+    weights: Vec<f64>,
+}
+
+impl WeightedL1 {
+    /// Create a weighted L1 distance from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weighted L1 requires finite non-negative weights"
+        );
+        Self { weights }
+    }
+
+    /// Uniform weights of 1.0 (plain L1) in `dim` dimensions.
+    pub fn uniform(dim: usize) -> Self {
+        Self { weights: vec![1.0; dim] }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of coordinates.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Evaluate `Σ_i w_i |a_i − b_i|`.
+    ///
+    /// # Panics
+    /// Panics if the vectors do not match the weight dimensionality.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), self.weights.len(), "vector/weight dimensionality mismatch");
+        assert_eq!(b.len(), self.weights.len(), "vector/weight dimensionality mismatch");
+        self.weights
+            .iter()
+            .zip(a.iter().zip(b))
+            .map(|(w, (x, y))| w * (x - y).abs())
+            .sum()
+    }
+}
+
+impl DistanceMeasure<[f64]> for WeightedL1 {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        // With non-negative weights the weighted L1 is a pseudo-metric (it is
+        // a metric unless some weight is zero, in which case distinct vectors
+        // can be at distance zero). We conservatively report Metric because
+        // the triangle inequality always holds.
+        MetricProperties::Metric
+    }
+    fn name(&self) -> &'static str {
+        "weighted-l1"
+    }
+}
+
+impl DistanceMeasure<Vector> for WeightedL1 {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties::Metric
+    }
+    fn name(&self) -> &'static str {
+        "weighted-l1"
+    }
+}
+
+/// Squared Euclidean distance (not a metric — violates the triangle
+/// inequality) occasionally useful as a cheap proxy in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquaredEuclidean;
+
+impl SquaredEuclidean {
+    /// Evaluate the squared Euclidean distance.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+impl DistanceMeasure<[f64]> for SquaredEuclidean {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties::SymmetricNonMetric
+    }
+    fn name(&self) -> &'static str {
+        "squared-euclidean"
+    }
+}
+
+impl DistanceMeasure<Vector> for SquaredEuclidean {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        self.eval(a, b)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties::SymmetricNonMetric
+    }
+    fn name(&self) -> &'static str {
+        "squared-euclidean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_and_l2_basic_values() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 2.0, 2.0];
+        assert_eq!(LpDistance::l1().eval(&a, &b), 5.0);
+        assert!((LpDistance::l2().eval(&a, &b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_p_matches_specializations() {
+        let a = [0.3, -1.2, 4.5, 0.0];
+        let b = [1.0, 2.0, -2.0, 7.5];
+        let generic1 = LpDistance::new(1.0).eval(&a, &b);
+        let generic2 = LpDistance::new(2.0).eval(&a, &b);
+        // new(1.0)/new(2.0) hit the fast paths; force the general path via p
+        // slightly off and compare loosely.
+        assert!((generic1 - LpDistance::l1().eval(&a, &b)).abs() < 1e-12);
+        assert!((generic2 - LpDistance::l2().eval(&a, &b)).abs() < 1e-12);
+        let p3 = LpDistance::new(3.0).eval(&a, &b);
+        let manual: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs().powi(3))
+            .sum::<f64>()
+            .cbrt();
+        assert!((p3 - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn rejects_p_below_one() {
+        let _ = LpDistance::new(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rejects_mismatched_lengths() {
+        let _ = LpDistance::l1().eval(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_l1_weights_coordinates() {
+        let d = WeightedL1::new(vec![2.0, 0.0, 1.0]);
+        assert_eq!(d.eval(&[0.0, 0.0, 0.0], &[1.0, 5.0, 2.0]), 2.0 + 0.0 + 2.0);
+        assert_eq!(d.dim(), 3);
+    }
+
+    #[test]
+    fn weighted_l1_uniform_equals_l1() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [0.5, 4.0, 3.0];
+        assert!(
+            (WeightedL1::uniform(3).eval(&a, &b) - LpDistance::l1().eval(&a, &b)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_l1_rejects_negative_weights() {
+        let _ = WeightedL1::new(vec![1.0, -0.1]);
+    }
+
+    #[test]
+    fn squared_euclidean_is_square_of_l2() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        let l2 = LpDistance::l2().eval(&a, &b);
+        assert!((SquaredEuclidean.eval(&a, &b) - l2 * l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_objects_over_vectors() {
+        let d: Box<dyn DistanceMeasure<Vec<f64>>> = Box::new(LpDistance::l1());
+        assert_eq!(d.distance(&vec![0.0, 0.0], &vec![1.0, 1.0]), 2.0);
+    }
+}

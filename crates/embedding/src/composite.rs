@@ -1,0 +1,167 @@
+//! Multi-dimensional embeddings assembled from 1-D embeddings.
+//!
+//! Both the original BoostMap and the query-sensitive method of the paper
+//! output an embedding of the form `F_out(x) = (F_1(x), ..., F_d(x))` where
+//! each `F_i` is a 1-D reference or pivot embedding (Section 5.4). Several
+//! coordinates frequently share reference / pivot objects, so embedding a new
+//! object needs at most — and often fewer than — `2d` exact distance
+//! computations; [`CompositeEmbedding`] de-duplicates those lookups, which is
+//! what the per-query cost accounting of the evaluation harness relies on.
+
+use crate::one_d::OneDEmbedding;
+use crate::traits::Embedding;
+use qse_distance::DistanceMeasure;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A `d`-dimensional embedding defined coordinate-wise by 1-D embeddings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeEmbedding<O> {
+    coordinates: Vec<OneDEmbedding<O>>,
+}
+
+impl<O: Clone> CompositeEmbedding<O> {
+    /// Build a composite embedding from its coordinate functions.
+    ///
+    /// # Panics
+    /// Panics if no coordinates are supplied.
+    pub fn new(coordinates: Vec<OneDEmbedding<O>>) -> Self {
+        assert!(!coordinates.is_empty(), "an embedding needs at least one coordinate");
+        Self { coordinates }
+    }
+
+    /// The coordinate functions.
+    pub fn coordinates(&self) -> &[OneDEmbedding<O>] {
+        &self.coordinates
+    }
+
+    /// A new embedding consisting of the first `dim` coordinates. Because
+    /// boosting adds coordinates sequentially, prefixes of a trained
+    /// embedding are themselves valid (lower-dimensional) embeddings; the
+    /// parameter sweeps of Section 9 rely on this.
+    ///
+    /// # Panics
+    /// Panics if `dim` is zero or larger than the current dimensionality.
+    pub fn prefix(&self, dim: usize) -> Self {
+        assert!(dim >= 1 && dim <= self.coordinates.len(), "invalid prefix length {dim}");
+        Self { coordinates: self.coordinates[..dim].to_vec() }
+    }
+
+    /// The distinct candidate objects referenced by the coordinate functions,
+    /// as `(candidate id, object)` pairs in first-use order.
+    pub fn unique_candidates(&self) -> Vec<(usize, &O)> {
+        let mut seen = HashMap::new();
+        let mut out = Vec::new();
+        for coord in &self.coordinates {
+            match coord {
+                OneDEmbedding::Reference { reference } => {
+                    if seen.insert(reference.id, ()).is_none() {
+                        out.push((reference.id, &reference.object));
+                    }
+                }
+                OneDEmbedding::Pivot { x1, x2, .. } => {
+                    if seen.insert(x1.id, ()).is_none() {
+                        out.push((x1.id, &x1.object));
+                    }
+                    if seen.insert(x2.id, ()).is_none() {
+                        out.push((x2.id, &x2.object));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<O: Clone + Send + Sync> Embedding<O> for CompositeEmbedding<O> {
+    fn dim(&self) -> usize {
+        self.coordinates.len()
+    }
+
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64> {
+        // Measure the distance to every distinct candidate exactly once.
+        let mut cache: HashMap<usize, f64> = HashMap::new();
+        for (id, candidate) in self.unique_candidates() {
+            cache.insert(id, distance.distance(object, candidate));
+        }
+        let lookup = |id: usize| cache.get(&id).copied();
+        self.coordinates
+            .iter()
+            .map(|c| c.value_from_lookup(&lookup))
+            .collect()
+    }
+
+    fn embedding_cost(&self) -> usize {
+        self.unique_candidates().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_d::Candidate;
+    use qse_distance::counting::CountingDistance;
+    use qse_distance::traits::{FnDistance, MetricProperties};
+
+    fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+    }
+
+    fn example() -> CompositeEmbedding<f64> {
+        CompositeEmbedding::new(vec![
+            OneDEmbedding::reference(Candidate::new(0, 0.0)),
+            OneDEmbedding::reference(Candidate::new(1, 10.0)),
+            OneDEmbedding::pivot(Candidate::new(0, 0.0), Candidate::new(2, 4.0), 4.0),
+        ])
+    }
+
+    #[test]
+    fn embeds_coordinate_wise() {
+        let e = example();
+        let v = e.embed(&3.0, &abs());
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 3.0);
+        assert_eq!(v[1], 7.0);
+        // Pivot projection of x=3 onto [0, 4] in 1-D Euclidean space is 3.
+        assert!((v[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deduplicates_candidate_distances() {
+        let e = example();
+        // Candidates are {0, 10, 4} → 3 unique objects even though the pivot
+        // coordinate references candidate 0 again.
+        assert_eq!(e.embedding_cost(), 3);
+        let counting = CountingDistance::new(abs());
+        let _ = e.embed(&5.0, &counting);
+        assert_eq!(counting.count(), 3);
+    }
+
+    #[test]
+    fn prefix_takes_leading_coordinates() {
+        let e = example();
+        let p = e.prefix(2);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.embed(&3.0, &abs()), vec![3.0, 7.0]);
+        assert_eq!(p.embedding_cost(), 2);
+    }
+
+    #[test]
+    fn unique_candidates_in_first_use_order() {
+        let e = example();
+        let ids: Vec<usize> = e.unique_candidates().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coordinate")]
+    fn rejects_empty_embedding() {
+        let _: CompositeEmbedding<f64> = CompositeEmbedding::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid prefix length")]
+    fn rejects_out_of_range_prefix() {
+        let _ = example().prefix(10);
+    }
+}

@@ -1,0 +1,352 @@
+//! FastMap (Faloutsos & Lin, SIGMOD 1995).
+//!
+//! FastMap is the external baseline in every experiment of the paper
+//! (Figures 4–6, Table 1). It maps objects into `R^d` one coordinate at a
+//! time: each coordinate picks two far-apart *pivot objects* with a heuristic,
+//! projects every object onto the "line" between them (Eq. 2 of the paper),
+//! and then recurses on the *residual* space where the component along that
+//! line has been projected out:
+//!
+//! `D'(x, y)² = D(x, y)² − (F(x) − F(y))²`
+//!
+//! With a non-Euclidean `D` the residual can go negative; like standard
+//! FastMap implementations we clamp it at zero. Training touches only a
+//! sample of the database (the paper runs FastMap *"on a subset of the
+//! database, containing 5,000 objects"*); embedding a query costs exactly two
+//! exact distance computations per dimension.
+
+use crate::traits::Embedding;
+use qse_distance::DistanceMeasure;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of FastMap construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FastMapConfig {
+    /// Output dimensionality.
+    pub dimensions: usize,
+    /// Iterations of the "choose distant objects" heuristic per dimension
+    /// (the original paper uses a small constant, typically 5).
+    pub pivot_iterations: usize,
+}
+
+impl Default for FastMapConfig {
+    fn default() -> Self {
+        Self { dimensions: 16, pivot_iterations: 5 }
+    }
+}
+
+/// One FastMap coordinate: a pair of pivot objects, their residual-space
+/// distance, and the pivots' own coordinates in all *previous* dimensions
+/// (needed to compute residual distances to a new query object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FastMapLevel<O> {
+    pivot_a: O,
+    pivot_b: O,
+    /// Residual-space distance between the pivots at this level.
+    d_ab: f64,
+    /// Coordinates of pivot A in dimensions `0..level`.
+    coords_a: Vec<f64>,
+    /// Coordinates of pivot B in dimensions `0..level`.
+    coords_b: Vec<f64>,
+}
+
+/// A trained FastMap embedding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastMap<O> {
+    levels: Vec<FastMapLevel<O>>,
+}
+
+impl<O: Clone + Send + Sync> FastMap<O> {
+    /// Train a FastMap embedding on `sample` (a subset of the database).
+    ///
+    /// Construction cost is `O(dimensions · pivot_iterations · |sample|)`
+    /// exact distance computations.
+    ///
+    /// # Panics
+    /// Panics if the sample has fewer than two objects or the configuration
+    /// asks for zero dimensions.
+    pub fn train<R: Rng>(
+        sample: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        config: FastMapConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sample.len() >= 2, "FastMap needs at least two sample objects");
+        assert!(config.dimensions >= 1, "FastMap needs at least one dimension");
+        let n = sample.len();
+        // coords[i] = coordinates assigned to sample object i so far.
+        let mut coords: Vec<Vec<f64>> = vec![Vec::with_capacity(config.dimensions); n];
+        let mut levels: Vec<FastMapLevel<O>> = Vec::with_capacity(config.dimensions);
+
+        // Residual distance between sample objects i and j given the
+        // coordinates assigned so far.
+        let residual = |coords: &Vec<Vec<f64>>, i: usize, j: usize, d: f64| -> f64 {
+            let mut d2 = d * d;
+            for (ci, cj) in coords[i].iter().zip(&coords[j]) {
+                d2 -= (ci - cj) * (ci - cj);
+            }
+            d2.max(0.0).sqrt()
+        };
+
+        for _ in 0..config.dimensions {
+            // "Choose distant objects" heuristic: start from a random object,
+            // repeatedly jump to the farthest object in residual space.
+            let mut a = rng.gen_range(0..n);
+            let mut b = a;
+            for _ in 0..config.pivot_iterations.max(1) {
+                b = (0..n)
+                    .max_by(|&p, &q| {
+                        let dp = residual(&coords, a, p, distance.distance(&sample[a], &sample[p]));
+                        let dq = residual(&coords, a, q, distance.distance(&sample[a], &sample[q]));
+                        dp.partial_cmp(&dq).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("non-empty sample");
+                if b == a {
+                    break;
+                }
+                std::mem::swap(&mut a, &mut b);
+            }
+            let d_ab = residual(&coords, a, b, distance.distance(&sample[a], &sample[b]));
+            if d_ab <= f64::EPSILON {
+                // The residual space has collapsed: all remaining structure is
+                // captured. Assign zero for this and all later coordinates.
+                for c in &mut coords {
+                    c.push(0.0);
+                }
+                levels.push(FastMapLevel {
+                    pivot_a: sample[a].clone(),
+                    pivot_b: sample[b].clone(),
+                    d_ab: 0.0,
+                    coords_a: coords[a][..coords[a].len() - 1].to_vec(),
+                    coords_b: coords[b][..coords[b].len() - 1].to_vec(),
+                });
+                continue;
+            }
+            // Project every sample object onto the line a-b in residual space.
+            let new_coords: Vec<f64> = (0..n)
+                .map(|i| {
+                    let d_ia = residual(&coords, i, a, distance.distance(&sample[i], &sample[a]));
+                    let d_ib = residual(&coords, i, b, distance.distance(&sample[i], &sample[b]));
+                    (d_ia * d_ia + d_ab * d_ab - d_ib * d_ib) / (2.0 * d_ab)
+                })
+                .collect();
+            levels.push(FastMapLevel {
+                pivot_a: sample[a].clone(),
+                pivot_b: sample[b].clone(),
+                d_ab,
+                coords_a: coords[a].clone(),
+                coords_b: coords[b].clone(),
+            });
+            for (c, x) in coords.iter_mut().zip(new_coords) {
+                c.push(x);
+            }
+        }
+        Self { levels }
+    }
+
+    /// A lower-dimensional FastMap consisting of the first `dim` levels.
+    ///
+    /// # Panics
+    /// Panics if `dim` is zero or exceeds the trained dimensionality.
+    pub fn prefix(&self, dim: usize) -> Self {
+        assert!(dim >= 1 && dim <= self.levels.len(), "invalid prefix length {dim}");
+        Self { levels: self.levels[..dim].to_vec() }
+    }
+}
+
+impl<O: Clone + Send + Sync> Embedding<O> for FastMap<O> {
+    fn dim(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64> {
+        let mut coords = Vec::with_capacity(self.levels.len());
+        for level in &self.levels {
+            if level.d_ab <= f64::EPSILON {
+                coords.push(0.0);
+                continue;
+            }
+            // Exact distances to the two pivots, then project in residual
+            // space using the query's and the pivots' earlier coordinates.
+            let d_qa = distance.distance(object, &level.pivot_a);
+            let d_qb = distance.distance(object, &level.pivot_b);
+            let mut d_qa2 = d_qa * d_qa;
+            let mut d_qb2 = d_qb * d_qb;
+            for (k, q_k) in coords.iter().enumerate() {
+                if k < level.coords_a.len() {
+                    d_qa2 -= (q_k - level.coords_a[k]) * (q_k - level.coords_a[k]);
+                }
+                if k < level.coords_b.len() {
+                    d_qb2 -= (q_k - level.coords_b[k]) * (q_k - level.coords_b[k]);
+                }
+            }
+            let d_qa2 = d_qa2.max(0.0);
+            let d_qb2 = d_qb2.max(0.0);
+            coords.push((d_qa2 + level.d_ab * level.d_ab - d_qb2) / (2.0 * level.d_ab));
+        }
+        coords
+    }
+
+    fn embedding_cost(&self) -> usize {
+        2 * self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_distance::traits::{FnDistance, MetricProperties};
+    use qse_distance::{CountingDistance, LpDistance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn euclid() -> LpDistance {
+        LpDistance::l2()
+    }
+
+    fn grid_sample() -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                out.push(vec![i as f64, j as f64 * 0.5]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn preserves_euclidean_distances_on_euclidean_data() {
+        // On genuinely 2-D Euclidean data, a 2-D FastMap should reproduce
+        // pairwise distances almost exactly.
+        let sample = grid_sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fm = FastMap::train(
+            &sample,
+            &euclid(),
+            FastMapConfig { dimensions: 2, pivot_iterations: 5 },
+            &mut rng,
+        );
+        let embedded: Vec<Vec<f64>> = sample.iter().map(|o| fm.embed(o, &euclid())).collect();
+        let l2 = LpDistance::l2();
+        let mut max_err: f64 = 0.0;
+        for i in 0..sample.len() {
+            for j in (i + 1)..sample.len() {
+                let orig = l2.eval(&sample[i], &sample[j]);
+                let emb = l2.eval(&embedded[i], &embedded[j]);
+                max_err = max_err.max((orig - emb).abs());
+            }
+        }
+        assert!(max_err < 1e-6, "max distortion {max_err}");
+    }
+
+    #[test]
+    fn embedding_cost_is_two_per_dimension() {
+        let sample = grid_sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let fm = FastMap::train(
+            &sample,
+            &euclid(),
+            FastMapConfig { dimensions: 4, pivot_iterations: 3 },
+            &mut rng,
+        );
+        assert_eq!(fm.embedding_cost(), 8);
+        let counting = CountingDistance::new(euclid());
+        let _ = fm.embed(&vec![1.5, 1.5], &counting);
+        assert_eq!(counting.count(), 8);
+    }
+
+    #[test]
+    fn prefix_matches_leading_coordinates() {
+        let sample = grid_sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fm = FastMap::train(
+            &sample,
+            &euclid(),
+            FastMapConfig { dimensions: 3, pivot_iterations: 3 },
+            &mut rng,
+        );
+        let p = fm.prefix(2);
+        let q = vec![2.2, 0.7];
+        let full = fm.embed(&q, &euclid());
+        let pref = p.embed(&q, &euclid());
+        assert_eq!(pref.len(), 2);
+        assert!((full[0] - pref[0]).abs() < 1e-12);
+        assert!((full[1] - pref[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_degenerate_all_identical_sample() {
+        let sample = vec![vec![1.0, 1.0]; 5];
+        let mut rng = StdRng::seed_from_u64(4);
+        let fm = FastMap::train(
+            &sample,
+            &euclid(),
+            FastMapConfig { dimensions: 3, pivot_iterations: 2 },
+            &mut rng,
+        );
+        let v = fm.embed(&vec![2.0, 2.0], &euclid());
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn works_with_non_metric_distances() {
+        // Squared differences violate the triangle inequality; FastMap must
+        // still produce finite coordinates thanks to residual clamping.
+        let sq = FnDistance::new("sq", MetricProperties::SymmetricNonMetric, |a: &f64, b: &f64| {
+            (a - b) * (a - b)
+        });
+        let sample: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let fm = FastMap::train(&sample, &sq, FastMapConfig { dimensions: 4, pivot_iterations: 3 }, &mut rng);
+        for x in [0.0, 3.3, 19.0, 25.0] {
+            let v = fm.embed(&x, &sq);
+            assert!(v.iter().all(|c| c.is_finite()), "non-finite embedding for {x}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_is_roughly_preserved() {
+        // Embedded nearest neighbors should usually agree with the original
+        // space on easy Euclidean data.
+        let sample = grid_sample();
+        let mut rng = StdRng::seed_from_u64(6);
+        let fm = FastMap::train(
+            &sample,
+            &euclid(),
+            FastMapConfig { dimensions: 2, pivot_iterations: 5 },
+            &mut rng,
+        );
+        let embedded: Vec<Vec<f64>> = sample.iter().map(|o| fm.embed(o, &euclid())).collect();
+        let l2 = LpDistance::l2();
+        let mut agree = 0;
+        for (qi, q) in sample.iter().enumerate() {
+            let nn_orig = (0..sample.len())
+                .filter(|&i| i != qi)
+                .min_by(|&a, &b| {
+                    l2.eval(q, &sample[a]).partial_cmp(&l2.eval(q, &sample[b])).unwrap()
+                })
+                .unwrap();
+            let nn_emb = (0..sample.len())
+                .filter(|&i| i != qi)
+                .min_by(|&a, &b| {
+                    l2.eval(&embedded[qi], &embedded[a])
+                        .partial_cmp(&l2.eval(&embedded[qi], &embedded[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            if l2.eval(q, &sample[nn_emb]) <= l2.eval(q, &sample[nn_orig]) + 1e-9 {
+                agree += 1;
+            }
+        }
+        assert!(agree as f64 >= 0.9 * sample.len() as f64, "agreement {agree}/{}", sample.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sample objects")]
+    fn rejects_tiny_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = FastMap::train(&[vec![0.0]], &euclid(), FastMapConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,38 @@
+//! # qse-embedding
+//!
+//! Embedding framework for the reproduction of *Query-Sensitive Embeddings*
+//! (SIGMOD 2005).
+//!
+//! An *embedding* maps objects of an arbitrary space `X` (with an expensive
+//! distance `DX`) into `R^d`, where distances are cheap. This crate provides
+//! the building blocks and baselines the paper uses:
+//!
+//! * [`traits::Embedding`] — the common interface: embed an object by
+//!   spending a small, known number of exact distance computations.
+//! * [`one_d`] — the two families of 1-D embeddings of Section 3.1:
+//!   reference-object embeddings `F^r(x) = DX(x, r)` (Eq. 1) and FastMap-style
+//!   pivot "line projection" embeddings `F^{x1,x2}` (Eq. 2). These are the
+//!   weak-classifier building blocks of BoostMap and of the query-sensitive
+//!   method in `qse-core`.
+//! * [`composite`] — a d-dimensional embedding assembled from 1-D embeddings,
+//!   with de-duplicated exact-distance accounting (embedding a query costs at
+//!   most `2d` exact distances, as stated in Section 7).
+//! * [`fastmap`] — the FastMap algorithm of Faloutsos & Lin (1995), the
+//!   external baseline in every experiment of Section 9.
+//! * [`lipschitz`] — Lipschitz / Bourgain-style reference-set embeddings
+//!   (related work, Section 2), plus a SparseMap-style greedy variant.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod composite;
+pub mod fastmap;
+pub mod lipschitz;
+pub mod one_d;
+pub mod traits;
+
+pub use composite::CompositeEmbedding;
+pub use fastmap::{FastMap, FastMapConfig};
+pub use lipschitz::{LipschitzEmbedding, SparseMapEmbedding};
+pub use one_d::OneDEmbedding;
+pub use traits::Embedding;

@@ -1,0 +1,221 @@
+//! Lipschitz / Bourgain-style reference-set embeddings and a SparseMap-style
+//! greedy variant.
+//!
+//! The related-work section of the paper (Section 2) lists Lipschitz
+//! embeddings, Bourgain embeddings and SparseMap among the existing
+//! embedding methods that, like the proposed method, can handle online
+//! queries by comparing the query against a small set of reference objects.
+//! We implement them both as additional baselines for ablation benchmarks
+//! and as a sanity check of the shared [`Embedding`] interface.
+//!
+//! A Lipschitz embedding is defined by reference *sets* `A_1, ..., A_d`:
+//! the i-th coordinate of `F(x)` is `min_{r ∈ A_i} DX(x, r)`. Bourgain's
+//! construction draws the sets with exponentially increasing sizes; the
+//! singleton special case recovers the reference-object embeddings of
+//! Section 3.1. SparseMap approximates the same construction while greedily
+//! limiting the number of exact distances spent per object; our variant
+//! caps the number of reference objects consulted per coordinate.
+
+use crate::traits::Embedding;
+use qse_distance::DistanceMeasure;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Lipschitz embedding defined by explicit reference sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LipschitzEmbedding<O> {
+    reference_sets: Vec<Vec<O>>,
+}
+
+impl<O: Clone + Send + Sync> LipschitzEmbedding<O> {
+    /// Build an embedding from explicit reference sets.
+    ///
+    /// # Panics
+    /// Panics if there are no sets or any set is empty.
+    pub fn new(reference_sets: Vec<Vec<O>>) -> Self {
+        assert!(!reference_sets.is_empty(), "need at least one reference set");
+        assert!(
+            reference_sets.iter().all(|s| !s.is_empty()),
+            "reference sets must be non-empty"
+        );
+        Self { reference_sets }
+    }
+
+    /// Bourgain-style construction: for set sizes `2^1, 2^2, ..., 2^k` draw
+    /// `sets_per_size` random subsets of the sample each, giving a
+    /// `k · sets_per_size`-dimensional embedding.
+    pub fn bourgain<R: Rng>(
+        sample: &[O],
+        max_size_exponent: u32,
+        sets_per_size: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!sample.is_empty(), "need a non-empty sample");
+        assert!(max_size_exponent >= 1 && sets_per_size >= 1, "degenerate Bourgain parameters");
+        let mut sets = Vec::new();
+        for exp in 1..=max_size_exponent {
+            let size = (1usize << exp).min(sample.len());
+            for _ in 0..sets_per_size {
+                let set: Vec<O> = sample
+                    .choose_multiple(rng, size)
+                    .cloned()
+                    .collect();
+                sets.push(set);
+            }
+        }
+        Self::new(sets)
+    }
+
+    /// The reference sets.
+    pub fn reference_sets(&self) -> &[Vec<O>] {
+        &self.reference_sets
+    }
+}
+
+impl<O: Clone + Send + Sync> Embedding<O> for LipschitzEmbedding<O> {
+    fn dim(&self) -> usize {
+        self.reference_sets.len()
+    }
+
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64> {
+        self.reference_sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|r| distance.distance(object, r))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    fn embedding_cost(&self) -> usize {
+        self.reference_sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// A SparseMap-style embedding: Lipschitz reference sets whose per-coordinate
+/// size is capped, bounding the number of exact distances spent per embedded
+/// object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseMapEmbedding<O> {
+    inner: LipschitzEmbedding<O>,
+}
+
+impl<O: Clone + Send + Sync> SparseMapEmbedding<O> {
+    /// Build a SparseMap-style embedding with `dimensions` coordinates, each
+    /// using at most `max_refs_per_coordinate` reference objects drawn from
+    /// the sample.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or either parameter is zero.
+    pub fn train<R: Rng>(
+        sample: &[O],
+        dimensions: usize,
+        max_refs_per_coordinate: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!sample.is_empty(), "need a non-empty sample");
+        assert!(dimensions >= 1 && max_refs_per_coordinate >= 1, "degenerate parameters");
+        let mut sets = Vec::with_capacity(dimensions);
+        for i in 0..dimensions {
+            // Later coordinates get (geometrically) larger sets, capped.
+            let target = ((i / 2) + 1).min(max_refs_per_coordinate).min(sample.len());
+            let set: Vec<O> = sample.choose_multiple(rng, target).cloned().collect();
+            sets.push(set);
+        }
+        Self { inner: LipschitzEmbedding::new(sets) }
+    }
+}
+
+impl<O: Clone + Send + Sync> Embedding<O> for SparseMapEmbedding<O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64> {
+        self.inner.embed(object, distance)
+    }
+    fn embedding_cost(&self) -> usize {
+        self.inner.embedding_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_distance::{CountingDistance, LpDistance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn euclid() -> LpDistance {
+        LpDistance::l2()
+    }
+
+    fn sample() -> Vec<Vec<f64>> {
+        (0..32).map(|i| vec![(i % 8) as f64, (i / 8) as f64]).collect()
+    }
+
+    #[test]
+    fn coordinate_is_min_distance_to_reference_set() {
+        let e = LipschitzEmbedding::new(vec![
+            vec![vec![0.0, 0.0], vec![10.0, 0.0]],
+            vec![vec![5.0, 5.0]],
+        ]);
+        let v = e.embed(&vec![1.0, 0.0], &euclid());
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[1] - (4.0_f64 * 4.0 + 5.0 * 5.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lipschitz_coordinates_never_exceed_true_distance_differences() {
+        // The defining Lipschitz property: |F_i(x) - F_i(y)| <= D(x, y) for a
+        // metric D.
+        let refs = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = LipschitzEmbedding::bourgain(&refs, 3, 2, &mut rng);
+        let d = euclid();
+        let xs = [vec![0.5, 0.5], vec![3.0, 1.0], vec![7.0, 3.0]];
+        for x in &xs {
+            for y in &xs {
+                let fx = e.embed(x, &d);
+                let fy = e.embed(y, &d);
+                let dxy = d.eval(x, y);
+                for (a, b) in fx.iter().zip(&fy) {
+                    assert!((a - b).abs() <= dxy + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bourgain_dimensionality_and_cost() {
+        let refs = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = LipschitzEmbedding::bourgain(&refs, 3, 2, &mut rng);
+        assert_eq!(e.dim(), 6);
+        // Set sizes are 2,2,4,4,8,8 → total 28 distances per embedded object.
+        assert_eq!(e.embedding_cost(), 28);
+        let counting = CountingDistance::new(euclid());
+        let _ = e.embed(&vec![0.0, 0.0], &counting);
+        assert_eq!(counting.count(), 28);
+    }
+
+    #[test]
+    fn sparsemap_caps_reference_budget() {
+        let refs = sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = SparseMapEmbedding::train(&refs, 8, 3, &mut rng);
+        assert_eq!(e.dim(), 8);
+        assert!(e.embedding_cost() <= 8 * 3);
+        let v = e.embed(&vec![2.0, 2.0], &euclid());
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_reference_set() {
+        let _: LipschitzEmbedding<Vec<f64>> = LipschitzEmbedding::new(vec![vec![]]);
+    }
+}

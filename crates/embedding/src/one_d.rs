@@ -1,0 +1,246 @@
+//! One-dimensional embeddings (Section 3.1 of the paper).
+//!
+//! Two families are defined from *candidate objects* of the original space:
+//!
+//! * **Reference-object embeddings** (Eq. 1): given a reference object `r`,
+//!   `F^r(x) = DX(x, r)`. Costs one exact distance per embedded object.
+//! * **Pivot ("line projection") embeddings** (Eq. 2): given two pivot
+//!   objects `x1, x2`, the embedding is the projection of `x` onto the line
+//!   `x1 x2`, computed from the three pairwise distances via the law of
+//!   cosines. Costs two exact distances per embedded object (the pivot–pivot
+//!   distance is precomputed once).
+//!
+//! Both act as *weak classifiers* of object triples `(q, a, b)` (Section
+//! 3.2): `F̃(q, a, b) = |F(q) − F(b)| − |F(q) − F(a)|` is positive when the
+//! embedding maps `q` closer to `a`.
+
+use crate::traits::Embedding;
+use qse_distance::DistanceMeasure;
+use serde::{Deserialize, Serialize};
+
+/// A candidate object tagged with the identifier it had in the candidate set
+/// `C` it was drawn from. The identifier lets composite embeddings
+/// de-duplicate exact distance computations when several 1-D embeddings share
+/// a reference or pivot object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate<O> {
+    /// Identifier of the object within its candidate pool.
+    pub id: usize,
+    /// The object itself.
+    pub object: O,
+}
+
+impl<O> Candidate<O> {
+    /// Tag `object` with candidate id `id`.
+    pub fn new(id: usize, object: O) -> Self {
+        Self { id, object }
+    }
+}
+
+/// A one-dimensional embedding built from candidate objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OneDEmbedding<O> {
+    /// `F^r(x) = DX(x, r)` for a reference object `r` (Eq. 1).
+    Reference {
+        /// The reference (vantage) object.
+        reference: Candidate<O>,
+    },
+    /// `F^{x1,x2}(x)` — projection of `x` onto the "line" between two pivot
+    /// objects (Eq. 2).
+    Pivot {
+        /// First pivot object.
+        x1: Candidate<O>,
+        /// Second pivot object.
+        x2: Candidate<O>,
+        /// Precomputed pivot–pivot distance `DX(x1, x2)`.
+        d12: f64,
+    },
+}
+
+impl<O> OneDEmbedding<O> {
+    /// Build a reference-object embedding.
+    pub fn reference(reference: Candidate<O>) -> Self {
+        OneDEmbedding::Reference { reference }
+    }
+
+    /// Build a pivot embedding; `d12` must be the exact distance between the
+    /// pivots.
+    ///
+    /// # Panics
+    /// Panics if `d12` is not strictly positive (identical pivots give a
+    /// degenerate projection).
+    pub fn pivot(x1: Candidate<O>, x2: Candidate<O>, d12: f64) -> Self {
+        assert!(
+            d12.is_finite() && d12 > 0.0,
+            "pivot embeddings need a positive pivot-pivot distance, got {d12}"
+        );
+        OneDEmbedding::Pivot { x1, x2, d12 }
+    }
+
+    /// Candidate ids of the objects this embedding must be compared against
+    /// when embedding a new object (1 for a reference embedding, 2 for a
+    /// pivot embedding).
+    pub fn required_candidates(&self) -> Vec<usize> {
+        match self {
+            OneDEmbedding::Reference { reference } => vec![reference.id],
+            OneDEmbedding::Pivot { x1, x2, .. } => vec![x1.id, x2.id],
+        }
+    }
+
+    /// Number of exact distances needed to embed one new object.
+    pub fn cost(&self) -> usize {
+        match self {
+            OneDEmbedding::Reference { .. } => 1,
+            OneDEmbedding::Pivot { .. } => 2,
+        }
+    }
+
+    /// Compute `F(x)` using the provided distance measure.
+    pub fn value(&self, x: &O, distance: &dyn DistanceMeasure<O>) -> f64 {
+        match self {
+            OneDEmbedding::Reference { reference } => distance.distance(x, &reference.object),
+            OneDEmbedding::Pivot { x1, x2, d12 } => {
+                let d1 = distance.distance(x, &x1.object);
+                let d2 = distance.distance(x, &x2.object);
+                Self::pivot_projection(d1, d2, *d12)
+            }
+        }
+    }
+
+    /// Compute `F(x)` from already-measured distances to the candidates this
+    /// embedding uses (keyed by candidate id). Used by composite embeddings
+    /// and by the trainer, which precompute candidate distances.
+    ///
+    /// # Panics
+    /// Panics if a needed candidate distance is missing.
+    pub fn value_from_lookup(&self, lookup: &dyn Fn(usize) -> Option<f64>) -> f64 {
+        match self {
+            OneDEmbedding::Reference { reference } => lookup(reference.id)
+                .unwrap_or_else(|| panic!("missing distance to candidate {}", reference.id)),
+            OneDEmbedding::Pivot { x1, x2, d12 } => {
+                let d1 = lookup(x1.id)
+                    .unwrap_or_else(|| panic!("missing distance to candidate {}", x1.id));
+                let d2 = lookup(x2.id)
+                    .unwrap_or_else(|| panic!("missing distance to candidate {}", x2.id));
+                Self::pivot_projection(d1, d2, *d12)
+            }
+        }
+    }
+
+    /// Eq. 2: `F(x) = (DX(x,x1)² + DX(x1,x2)² − DX(x,x2)²) / (2 DX(x1,x2))`.
+    pub fn pivot_projection(d_x_x1: f64, d_x_x2: f64, d12: f64) -> f64 {
+        (d_x_x1 * d_x_x1 + d12 * d12 - d_x_x2 * d_x_x2) / (2.0 * d12)
+    }
+
+    /// The weak-classifier value `F̃(q, a, b) = |F(q) − F(b)| − |F(q) − F(a)|`
+    /// for three already-embedded values (Eq. 3, specialised to 1-D). The
+    /// sign estimates whether `q` is closer to `a` (positive) or to `b`
+    /// (negative).
+    pub fn classifier_value(fq: f64, fa: f64, fb: f64) -> f64 {
+        (fq - fb).abs() - (fq - fa).abs()
+    }
+}
+
+impl<O: Clone + Send + Sync> Embedding<O> for OneDEmbedding<O> {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64> {
+        vec![self.value(object, distance)]
+    }
+    fn embedding_cost(&self) -> usize {
+        self.cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_distance::traits::{FnDistance, MetricProperties};
+
+    fn euclid1d() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+    }
+
+    #[test]
+    fn reference_embedding_is_distance_to_reference() {
+        let f = OneDEmbedding::reference(Candidate::new(0, 2.0_f64));
+        let d = euclid1d();
+        assert_eq!(f.value(&5.0, &d), 3.0);
+        assert_eq!(f.value(&2.0, &d), 0.0);
+        assert_eq!(f.cost(), 1);
+        assert_eq!(f.required_candidates(), vec![0]);
+    }
+
+    #[test]
+    fn pivot_embedding_recovers_projection_on_the_real_line() {
+        // In a true 1-D Euclidean space the projection of x onto the segment
+        // [x1, x2] is exactly x - x1 (signed), so F(x) should equal |x - x1|
+        // for x between the pivots and extrapolate linearly outside.
+        let d = euclid1d();
+        let x1 = 1.0_f64;
+        let x2 = 5.0_f64;
+        let f = OneDEmbedding::pivot(Candidate::new(0, x1), Candidate::new(1, x2), 4.0);
+        for x in [0.0, 1.0, 2.0, 3.5, 5.0, 7.0] {
+            let expected = x - x1;
+            assert!(
+                (f.value(&x, &d) - expected).abs() < 1e-12,
+                "x={x}: {} vs {expected}",
+                f.value(&x, &d)
+            );
+        }
+        assert_eq!(f.cost(), 2);
+        assert_eq!(f.required_candidates(), vec![0, 1]);
+    }
+
+    #[test]
+    fn value_from_lookup_matches_direct_value() {
+        let d = euclid1d();
+        let f = OneDEmbedding::pivot(Candidate::new(3, 0.0_f64), Candidate::new(7, 2.0_f64), 2.0);
+        let x = 1.25_f64;
+        let lookup = |id: usize| -> Option<f64> {
+            match id {
+                3 => Some((x - 0.0f64).abs()),
+                7 => Some((x - 2.0f64).abs()),
+                _ => None,
+            }
+        };
+        assert!((f.value(&x, &d) - f.value_from_lookup(&lookup)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifier_value_sign_reflects_relative_closeness() {
+        // q=0, a=1, b=5 on the real line with a reference at 0: q is closer
+        // to a, so the classifier must be positive.
+        let v = OneDEmbedding::<f64>::classifier_value(0.0, 1.0, 5.0);
+        assert!(v > 0.0);
+        // And negative when q is closer to b.
+        let v = OneDEmbedding::<f64>::classifier_value(0.0, 5.0, 1.0);
+        assert!(v < 0.0);
+        // Zero when equidistant.
+        let v = OneDEmbedding::<f64>::classifier_value(0.0, 2.0, -2.0);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn embedding_trait_implementation() {
+        let f = OneDEmbedding::reference(Candidate::new(0, 1.0_f64));
+        let d = euclid1d();
+        assert_eq!(Embedding::dim(&f), 1);
+        assert_eq!(Embedding::embedding_cost(&f), 1);
+        assert_eq!(f.embed(&4.0, &d), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive pivot-pivot distance")]
+    fn rejects_degenerate_pivots() {
+        let _ = OneDEmbedding::pivot(Candidate::new(0, 1.0_f64), Candidate::new(1, 1.0_f64), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing distance")]
+    fn lookup_panics_on_missing_candidate() {
+        let f = OneDEmbedding::reference(Candidate::new(9, 1.0_f64));
+        let _ = f.value_from_lookup(&|_| None);
+    }
+}

@@ -1,0 +1,51 @@
+//! The [`Embedding`] trait.
+
+use qse_distance::DistanceMeasure;
+
+/// A function `F : X → R^d` mapping objects into a real vector space.
+///
+/// Embedding a previously unseen object requires measuring a few exact
+/// distances `DX` between that object and stored reference / pivot objects;
+/// [`Embedding::embedding_cost`] reports how many, because that cost is part
+/// of the paper's per-query budget (*"retrieval time is dominated by the few
+/// exact distance computations we need to perform at the embedding step and
+/// the refine step"*, Section 8).
+pub trait Embedding<O>: Send + Sync {
+    /// Output dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Embed `object`, evaluating exact distances through `distance`.
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64>;
+
+    /// Number of exact distance computations needed to embed one new object.
+    fn embedding_cost(&self) -> usize;
+
+    /// Embed a whole collection (convenience; same as mapping [`Self::embed`]).
+    fn embed_all(&self, objects: &[O], distance: &dyn DistanceMeasure<O>) -> Vec<Vec<f64>> {
+        objects.iter().map(|o| self.embed(o, distance)).collect()
+    }
+}
+
+impl<O, E: Embedding<O> + ?Sized> Embedding<O> for Box<E> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64> {
+        (**self).embed(object, distance)
+    }
+    fn embedding_cost(&self) -> usize {
+        (**self).embedding_cost()
+    }
+}
+
+impl<O, E: Embedding<O> + ?Sized> Embedding<O> for std::sync::Arc<E> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn embed(&self, object: &O, distance: &dyn DistanceMeasure<O>) -> Vec<f64> {
+        (**self).embed(object, distance)
+    }
+    fn embedding_cost(&self) -> usize {
+        (**self).embedding_cost()
+    }
+}

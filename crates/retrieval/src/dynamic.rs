@@ -1,0 +1,257 @@
+//! Dynamic datasets (Section 7.1).
+//!
+//! The paper notes that adding or removing database objects online is
+//! straightforward as long as the underlying distribution does not change:
+//! inserting an object only requires embedding it (at most `2d` exact
+//! distances); removing one only drops its vector. If the distribution *does*
+//! drift, the recommended check is to re-measure the classification error of
+//! `F̃_out` on freshly drawn triples and retrain once it exceeds a threshold.
+//! [`DynamicIndex`] implements exactly that protocol on top of a trained
+//! [`QseModel`].
+
+use crate::knn::knn;
+use qse_core::{QseModel, TripleSampler};
+use qse_distance::{DistanceMatrix, DistanceMeasure};
+use qse_embedding::{CompositeEmbedding, Embedding};
+use rand::Rng;
+
+/// A dynamically maintained, query-sensitive filter-and-refine index.
+pub struct DynamicIndex<O> {
+    model: QseModel<O>,
+    embedding: CompositeEmbedding<O>,
+    objects: Vec<O>,
+    vectors: Vec<Vec<f64>>,
+}
+
+/// The result of an embedding-drift check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// Fraction of freshly sampled triples the current model misclassifies.
+    pub triple_error: f64,
+    /// Whether the error exceeded the caller's threshold (i.e. the embedding
+    /// should be retrained).
+    pub needs_retraining: bool,
+}
+
+impl<O: Clone + Send + Sync> DynamicIndex<O> {
+    /// Build the index from a trained model and an initial database.
+    pub fn new(model: QseModel<O>, database: Vec<O>, distance: &dyn DistanceMeasure<O>) -> Self {
+        let embedding = model.embedding();
+        let vectors = embedding.embed_all(&database, distance);
+        Self { model, embedding, objects: database, vectors }
+    }
+
+    /// Number of objects currently indexed.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` if the index holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &QseModel<O> {
+        &self.model
+    }
+
+    /// Insert an object online. Costs [`QseModel::embedding_cost`] exact
+    /// distance computations (at most `2d`, as stated in Section 7.1).
+    /// Returns the index assigned to the object.
+    pub fn insert(&mut self, object: O, distance: &dyn DistanceMeasure<O>) -> usize {
+        let vector = self.embedding.embed(&object, distance);
+        self.objects.push(object);
+        self.vectors.push(vector);
+        self.objects.len() - 1
+    }
+
+    /// Remove the object at `index` (swap-remove; the last object takes its
+    /// slot). Returns the removed object.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) -> O {
+        assert!(index < self.objects.len(), "index {index} out of bounds");
+        self.vectors.swap_remove(index);
+        self.objects.swap_remove(index)
+    }
+
+    /// Filter-and-refine retrieval of the `k` approximate nearest neighbors,
+    /// keeping `p` filter candidates.
+    ///
+    /// # Panics
+    /// Panics if the index is empty or `p < k` or `p > len()`.
+    pub fn retrieve(
+        &self,
+        query: &O,
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Vec<usize> {
+        assert!(!self.objects.is_empty(), "cannot query an empty index");
+        assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
+        let eq = self.model.embed_query(query, distance);
+        let mut order: Vec<usize> = (0..self.vectors.len()).collect();
+        order.sort_by(|&a, &b| {
+            eq.distance_to(&self.vectors[a])
+                .partial_cmp(&eq.distance_to(&self.vectors[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(p);
+        let candidates: Vec<O> = order.iter().map(|&i| self.objects[i].clone()).collect();
+        let refined = knn(query, &candidates, distance, k);
+        refined.neighbors.into_iter().map(|i| order[i]).collect()
+    }
+
+    /// The drift check of Section 7.1: sample `triple_count` triples from the
+    /// *current* database with the selective sampler (parameter `k1`),
+    /// measure the fraction the model's classifier gets wrong, and compare it
+    /// against `error_threshold`.
+    ///
+    /// The check spends `sample_size²` exact distance computations (on the
+    /// sampled subset), which is what makes it suitable for periodic,
+    /// amortised execution.
+    pub fn check_drift<R: Rng>(
+        &self,
+        distance: &dyn DistanceMeasure<O>,
+        sample_size: usize,
+        triple_count: usize,
+        k1: usize,
+        error_threshold: f64,
+        rng: &mut R,
+    ) -> DriftReport {
+        assert!(sample_size >= 3, "need at least 3 objects to sample triples");
+        assert!(!self.objects.is_empty(), "cannot check drift of an empty index");
+        let sample_size = sample_size.min(self.objects.len());
+        // Sample a subset of the current database.
+        let mut indices: Vec<usize> = (0..self.objects.len()).collect();
+        for i in 0..sample_size {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices.truncate(sample_size);
+        let sample: Vec<O> = indices.iter().map(|&i| self.objects[i].clone()).collect();
+        let matrix = DistanceMatrix::all_pairs(&sample, &distance, 1);
+        let k1 = k1.min(sample_size.saturating_sub(2)).max(1);
+        let triples = TripleSampler::selective(k1).sample(&matrix, triple_count, rng);
+
+        let embedded: Vec<Vec<f64>> = self.embedding.embed_all(&sample, distance);
+        let mut errors = 0.0;
+        for t in &triples {
+            let h = self.model.classify_embedded(&embedded[t.q], &embedded[t.a], &embedded[t.b]);
+            if h == 0.0 {
+                errors += 0.5;
+            } else if (h > 0.0) != (t.label == 1) {
+                errors += 1.0;
+            }
+        }
+        let triple_error = errors / triples.len() as f64;
+        DriftReport { triple_error, needs_retraining: triple_error > error_threshold }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData};
+    use qse_distance::traits::{FnDistance, MetricProperties};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
+        FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        })
+    }
+
+    fn two_cluster_db(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![i as f64 * 0.01, 0.0]
+                } else {
+                    vec![20.0 + i as f64 * 0.01, 5.0]
+                }
+            })
+            .collect()
+    }
+
+    fn trained_index(seed: u64) -> (DynamicIndex<Vec<f64>>, Vec<Vec<f64>>) {
+        let db = two_cluster_db(60);
+        let d = euclid();
+        let data = TrainingData::precompute(db.clone(), db.clone(), &d, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let triples = TripleSampler::selective(4).sample(&data.train_to_train, 250, &mut rng);
+        let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+        (DynamicIndex::new(model, db.clone(), &d), db)
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_consistency() {
+        let (mut index, _) = trained_index(1);
+        let d = euclid();
+        let before = index.len();
+        let id = index.insert(vec![0.05, 0.0], &d);
+        assert_eq!(index.len(), before + 1);
+        assert_eq!(id, before);
+        let removed = index.remove(0);
+        assert_eq!(index.len(), before);
+        assert_eq!(removed, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn retrieval_finds_an_inserted_duplicate() {
+        let (mut index, _) = trained_index(2);
+        let d = euclid();
+        let query = vec![0.123, 0.0];
+        let inserted = index.insert(query.clone(), &d);
+        let result = index.retrieve(&query, &d, 1, 10);
+        assert_eq!(result[0], inserted, "the exact duplicate must be the 1-NN");
+    }
+
+    #[test]
+    fn drift_is_low_on_the_training_distribution() {
+        let (index, _) = trained_index(3);
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = index.check_drift(&d, 40, 200, 4, 0.4, &mut rng);
+        assert!(report.triple_error < 0.4, "unexpected drift {}", report.triple_error);
+        assert!(!report.needs_retraining);
+    }
+
+    #[test]
+    fn drift_is_detected_after_the_distribution_shifts() {
+        let (mut index, _) = trained_index(5);
+        let d = euclid();
+        // Replace the database with objects from a region the model never
+        // saw; its reference objects carry little information there.
+        for _ in 0..index.len() {
+            index.remove(0);
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..60 {
+            index.insert(vec![500.0 + (i % 7) as f64 * 0.3, 400.0 + (i % 5) as f64 * 0.2], &d);
+        }
+        let shifted = index.check_drift(&d, 40, 300, 4, 0.0, &mut rng);
+        // With threshold 0 any nonzero error flags retraining; the point is
+        // that the error is substantially worse than on the original data.
+        let (fresh_index, _) = trained_index(5);
+        let baseline = fresh_index.check_drift(&d, 40, 300, 4, 0.0, &mut StdRng::seed_from_u64(7));
+        assert!(
+            shifted.triple_error >= baseline.triple_error,
+            "shifted error {} should be at least baseline {}",
+            shifted.triple_error,
+            baseline.triple_error
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_checks_bounds() {
+        let (mut index, _) = trained_index(8);
+        let n = index.len();
+        let _ = index.remove(n);
+    }
+}

@@ -1,0 +1,332 @@
+//! The evaluation methodology of Section 9.
+//!
+//! For every embedding method the paper reports, for each `k` and accuracy
+//! percentage `B`, the smallest number of exact distance computations per
+//! query that retrieves **all** `k` true nearest neighbors for at least `B`%
+//! of the queries — minimised over the method's two free parameters, the
+//! embedding dimensionality `d` and the number `p` of candidates kept after
+//! the filter step.
+//!
+//! The key observation that makes the sweep cheap is that, for a fixed query
+//! and a fixed `d`, the smallest workable `p` is simply the worst *filter
+//! rank* among the query's `k` true neighbors. So we compute one filter
+//! ranking per (query, dimensionality) pair and derive every `(k, B, p)`
+//! combination from it, instead of re-running retrieval for every parameter
+//! setting.
+
+use crate::filter_refine::FilterRefineIndex;
+use crate::knn::KnnResult;
+use qse_distance::DistanceMeasure;
+use serde::{Deserialize, Serialize};
+
+/// The evaluation of one embedding method at one dimensionality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensionEvaluation {
+    /// Dimensionality of the embedding (for boosted models: number of
+    /// boosting rounds kept).
+    pub dim: usize,
+    /// Exact distance computations needed to embed one query at this
+    /// dimensionality.
+    pub embedding_cost: usize,
+    /// `rank_needed[query][k-1]` = the smallest `p` such that the filter step
+    /// keeps all `k` true nearest neighbors of that query.
+    pub rank_needed: Vec<Vec<usize>>,
+}
+
+impl DimensionEvaluation {
+    /// Evaluate one index against precomputed ground truth.
+    ///
+    /// `ground_truth[i]` must hold at least `kmax` true neighbors of query
+    /// `i`. The cost of this call is `|queries| · embedding_cost` exact
+    /// distances (the filter rankings); no refine-step distances are needed
+    /// because the minimal `p` is derived from ranks.
+    pub fn evaluate<O, D>(
+        index: &FilterRefineIndex<O>,
+        queries: &[O],
+        distance: &D,
+        ground_truth: &[KnnResult],
+        kmax: usize,
+        threads: usize,
+    ) -> Self
+    where
+        O: Clone + Send + Sync,
+        D: DistanceMeasure<O> + Sync,
+    {
+        assert_eq!(queries.len(), ground_truth.len(), "one ground-truth entry per query");
+        assert!(kmax >= 1, "kmax must be at least 1");
+        assert!(
+            ground_truth.iter().all(|g| g.neighbors.len() >= kmax),
+            "ground truth must contain at least kmax neighbors per query"
+        );
+
+        let compute_one = |qi: usize| -> Vec<usize> {
+            let (ranking, _) = index.filter_ranking(&queries[qi], distance);
+            // position[db_index] = rank (0-based) in the filter ordering.
+            let mut position = vec![0usize; ranking.len()];
+            for (rank, &db_index) in ranking.iter().enumerate() {
+                position[db_index] = rank;
+            }
+            let mut worst_so_far = 0usize;
+            (0..kmax)
+                .map(|j| {
+                    let neighbor = ground_truth[qi].neighbors[j];
+                    worst_so_far = worst_so_far.max(position[neighbor] + 1);
+                    worst_so_far
+                })
+                .collect()
+        };
+
+        let rank_needed: Vec<Vec<usize>> = if threads <= 1 || queries.len() < 2 {
+            (0..queries.len()).map(compute_one).collect()
+        } else {
+            let mut out: Vec<Option<Vec<usize>>> = vec![None; queries.len()];
+            let chunk = queries.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for (ci, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+                    let start = ci * chunk;
+                    let compute_one = &compute_one;
+                    scope.spawn(move |_| {
+                        for (offset, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = Some(compute_one(start + offset));
+                        }
+                    });
+                }
+            })
+            .expect("evaluation worker thread panicked");
+            out.into_iter().map(|r| r.expect("all queries evaluated")).collect()
+        };
+
+        Self { dim: index.dim(), embedding_cost: index.embedding_cost(), rank_needed }
+    }
+
+    /// The smallest `p` that succeeds (retrieves all `k` true neighbors) for
+    /// at least `accuracy_pct`% of the queries.
+    pub fn required_p(&self, k: usize, accuracy_pct: f64) -> usize {
+        assert!(k >= 1 && k <= self.rank_needed[0].len(), "k out of range");
+        assert!((0.0..=100.0).contains(&accuracy_pct), "accuracy must be a percentage");
+        let mut ranks: Vec<usize> = self.rank_needed.iter().map(|r| r[k - 1]).collect();
+        ranks.sort_unstable();
+        let n = ranks.len();
+        // Smallest p that covers ceil(pct/100 · n) queries.
+        let needed = ((accuracy_pct / 100.0) * n as f64).ceil() as usize;
+        let needed = needed.clamp(1, n);
+        ranks[needed - 1]
+    }
+}
+
+/// One `(k, accuracy)` entry of a cost table: the minimum per-query exact
+/// distance budget and the parameters that achieve it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostRow {
+    /// Number of nearest neighbors that must all be retrieved.
+    pub k: usize,
+    /// Fraction of queries (in percent) for which retrieval must succeed.
+    pub accuracy_pct: f64,
+    /// Minimum number of exact distance computations per query.
+    pub cost: usize,
+    /// The embedding dimensionality achieving that minimum.
+    pub best_dim: usize,
+    /// The filter-step candidate count `p` achieving that minimum.
+    pub best_p: usize,
+}
+
+/// All dimensionalities of one method evaluated on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodEvaluation {
+    /// Display name of the method (e.g. "FastMap", "Se-QS").
+    pub method: String,
+    /// Database size (the brute-force cost, reported for reference).
+    pub database_size: usize,
+    /// Per-dimensionality evaluations.
+    pub dimensions: Vec<DimensionEvaluation>,
+}
+
+impl MethodEvaluation {
+    /// Assemble a method evaluation.
+    ///
+    /// # Panics
+    /// Panics if no dimensionalities were evaluated.
+    pub fn new(method: impl Into<String>, database_size: usize, dimensions: Vec<DimensionEvaluation>) -> Self {
+        assert!(!dimensions.is_empty(), "need at least one evaluated dimensionality");
+        Self { method: method.into(), database_size, dimensions }
+    }
+
+    /// The number of queries in the underlying evaluation.
+    pub fn query_count(&self) -> usize {
+        self.dimensions[0].rank_needed.len()
+    }
+
+    /// The paper's figure of merit: the minimum, over the evaluated
+    /// dimensionalities and all `p`, of the per-query exact-distance budget
+    /// needed to retrieve all `k` true neighbors for `accuracy_pct`% of
+    /// queries.
+    pub fn optimal_cost(&self, k: usize, accuracy_pct: f64) -> CostRow {
+        let mut best: Option<CostRow> = None;
+        for d in &self.dimensions {
+            let p = d.required_p(k, accuracy_pct);
+            // The refine step needs at least k candidates and never more than
+            // the database.
+            let p = p.max(k).min(self.database_size);
+            let cost = (d.embedding_cost + p).min(self.database_size);
+            let row = CostRow { k, accuracy_pct, cost, best_dim: d.dim, best_p: p };
+            if best.as_ref().map_or(true, |b| row.cost < b.cost) {
+                best = Some(row);
+            }
+        }
+        best.expect("at least one dimensionality evaluated")
+    }
+
+    /// The speed-up factor over brute force at the given operating point
+    /// (brute force computes `database_size` exact distances per query).
+    pub fn speedup(&self, k: usize, accuracy_pct: f64) -> f64 {
+        let row = self.optimal_cost(k, accuracy_pct);
+        self.database_size as f64 / row.cost as f64
+    }
+}
+
+/// A complete cost table (several methods × several `(k, accuracy)` rows),
+/// ready to be printed by the benchmark harnesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Name of the workload ("synthetic MNIST / shape context", ...).
+    pub workload: String,
+    /// Database size (brute-force cost).
+    pub database_size: usize,
+    /// Number of evaluation queries.
+    pub query_count: usize,
+    /// Per-method rows, keyed by method name.
+    pub entries: Vec<(String, Vec<CostRow>)>,
+}
+
+impl CostReport {
+    /// Build a report by evaluating each method at the given `(k, pct)`
+    /// operating points.
+    pub fn build(
+        workload: impl Into<String>,
+        methods: &[MethodEvaluation],
+        ks: &[usize],
+        percentages: &[f64],
+    ) -> Self {
+        assert!(!methods.is_empty(), "need at least one method");
+        let entries = methods
+            .iter()
+            .map(|m| {
+                let rows = ks
+                    .iter()
+                    .flat_map(|&k| percentages.iter().map(move |&pct| (k, pct)))
+                    .map(|(k, pct)| m.optimal_cost(k, pct))
+                    .collect();
+                (m.method.clone(), rows)
+            })
+            .collect();
+        Self {
+            workload: workload.into(),
+            database_size: methods[0].database_size,
+            query_count: methods[0].query_count(),
+            entries,
+        }
+    }
+
+    /// Render the report as a fixed-width text table in the style of Table 1.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (database = {}, queries = {}, brute force = {} distances/query)\n",
+            self.workload, self.database_size, self.query_count, self.database_size
+        ));
+        out.push_str(&format!("{:<6} {:<6}", "k", "pct"));
+        for (name, _) in &self.entries {
+            out.push_str(&format!(" {name:>10}"));
+        }
+        out.push('\n');
+        if let Some((_, first_rows)) = self.entries.first() {
+            for (i, row) in first_rows.iter().enumerate() {
+                out.push_str(&format!("{:<6} {:<6}", row.k, row.accuracy_pct));
+                for (_, rows) in &self.entries {
+                    out.push_str(&format!(" {:>10}", rows[i].cost));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim_eval(dim: usize, cost: usize, ranks: Vec<Vec<usize>>) -> DimensionEvaluation {
+        DimensionEvaluation { dim, embedding_cost: cost, rank_needed: ranks }
+    }
+
+    #[test]
+    fn required_p_takes_the_accuracy_percentile() {
+        // Four queries, k = 1 ranks 1, 2, 5, 50.
+        let d = dim_eval(4, 8, vec![vec![1], vec![2], vec![5], vec![50]]);
+        assert_eq!(d.required_p(1, 100.0), 50);
+        assert_eq!(d.required_p(1, 75.0), 5);
+        assert_eq!(d.required_p(1, 50.0), 2);
+        assert_eq!(d.required_p(1, 1.0), 1);
+    }
+
+    #[test]
+    fn rank_needed_is_monotone_in_k_by_construction() {
+        let d = dim_eval(2, 4, vec![vec![3, 7, 7], vec![1, 2, 9]]);
+        for q in &d.rank_needed {
+            for w in q.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+        assert_eq!(d.required_p(3, 100.0), 9);
+    }
+
+    #[test]
+    fn optimal_cost_picks_the_cheapest_dimensionality() {
+        // Low-dim embedding: cheap to embed but needs a big p; high-dim: the
+        // opposite. The optimum depends on the accuracy target.
+        let low = dim_eval(2, 4, vec![vec![200], vec![5], vec![6], vec![4]]);
+        let high = dim_eval(32, 64, vec![vec![1], vec![1], vec![2], vec![1]]);
+        let m = MethodEvaluation::new("toy", 1000, vec![low, high]);
+        let at_100 = m.optimal_cost(1, 100.0);
+        assert_eq!(at_100.cost, 64 + 2);
+        assert_eq!(at_100.best_dim, 32);
+        let at_75 = m.optimal_cost(1, 75.0);
+        assert_eq!(at_75.cost, 4 + 6);
+        assert_eq!(at_75.best_dim, 2);
+    }
+
+    #[test]
+    fn cost_never_exceeds_brute_force() {
+        let bad = dim_eval(2, 90, vec![vec![95], vec![99]]);
+        let m = MethodEvaluation::new("bad", 100, vec![bad]);
+        assert_eq!(m.optimal_cost(1, 100.0).cost, 100);
+        assert!(m.speedup(1, 100.0) >= 1.0);
+    }
+
+    #[test]
+    fn speedup_is_database_over_cost() {
+        let d = dim_eval(4, 10, vec![vec![10], vec![10]]);
+        let m = MethodEvaluation::new("x", 2000, vec![d]);
+        assert!((m.speedup(1, 100.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_table_lists_all_methods_and_rows() {
+        let a = MethodEvaluation::new("A", 100, vec![dim_eval(2, 4, vec![vec![5, 9], vec![3, 7]])]);
+        let b = MethodEvaluation::new("B", 100, vec![dim_eval(2, 6, vec![vec![2, 4], vec![1, 2]])]);
+        let report = CostReport::build("toy workload", &[a, b], &[1, 2], &[90.0, 100.0]);
+        assert_eq!(report.entries.len(), 2);
+        assert_eq!(report.entries[0].1.len(), 4);
+        let table = report.to_table();
+        assert!(table.contains("toy workload"));
+        assert!(table.contains('A') && table.contains('B'));
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn rejects_k_beyond_ground_truth() {
+        let d = dim_eval(2, 4, vec![vec![1, 2]]);
+        let _ = d.required_p(3, 100.0);
+    }
+}

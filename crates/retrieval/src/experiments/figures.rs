@@ -1,0 +1,253 @@
+//! Figures 4, 5 and 6: exact-distance cost vs `k` curves.
+//!
+//! * **Figure 4** — synthetic MNIST / shape context: for accuracy targets of
+//!   90%, 95% and 99%, the number of exact distance computations per query
+//!   needed to retrieve all `k` nearest neighbors, `k = 1..kmax`, for
+//!   FastMap, Ra-QI, Se-QI and Se-QS.
+//! * **Figure 5** — the same curves on the time-series / constrained-DTW
+//!   workload.
+//! * **Figure 6** — Se-QS trained with a deliberately tiny preprocessing
+//!   budget ("Quick Se-QS": small `C`, `Xtr` and triple count) compared with
+//!   regular Se-QS and FastMap at 95% accuracy.
+
+use super::runner::{evaluate_methods, Method, WorkloadScale};
+use super::workloads::{digits_workload, timeseries_workload};
+use crate::evaluate::MethodEvaluation;
+use qse_core::MethodVariant;
+use serde::{Deserialize, Serialize};
+
+/// One cost-vs-k curve for one method at one accuracy target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostCurve {
+    /// Method label.
+    pub method: String,
+    /// `costs[i]` = exact distances per query to retrieve all `ks[i]`
+    /// neighbors at the figure's accuracy target.
+    pub costs: Vec<usize>,
+}
+
+/// All curves of one figure panel (one accuracy target).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigurePanel {
+    /// Accuracy target in percent (90, 95 or 99 in the paper).
+    pub accuracy_pct: f64,
+    /// The evaluated values of `k`.
+    pub ks: Vec<usize>,
+    /// One curve per method.
+    pub curves: Vec<CostCurve>,
+}
+
+/// A complete figure: several panels over one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Name of the figure ("Figure 4", ...).
+    pub name: String,
+    /// Workload description.
+    pub workload: String,
+    /// Database size (the brute-force cost ceiling).
+    pub database_size: usize,
+    /// One panel per accuracy target.
+    pub panels: Vec<FigurePanel>,
+}
+
+impl Figure {
+    /// Render the figure as text series (one block per panel).
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{} — {} (database = {})\n",
+            self.name, self.workload, self.database_size
+        );
+        for panel in &self.panels {
+            out.push_str(&format!("-- accuracy {:.0}% --\n", panel.accuracy_pct));
+            out.push_str("k");
+            for c in &panel.curves {
+                out.push_str(&format!("\t{}", c.method));
+            }
+            out.push('\n');
+            for (i, k) in panel.ks.iter().enumerate() {
+                out.push_str(&format!("{k}"));
+                for c in &panel.curves {
+                    out.push_str(&format!("\t{}", c.costs[i]));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// The default `k` sweep of the figures (1..=kmax, subsampled to keep output
+/// readable).
+pub fn default_ks(kmax: usize) -> Vec<usize> {
+    let mut ks: Vec<usize> = vec![1, 2, 5, 10, 20, 30, 40, 50];
+    ks.retain(|&k| k <= kmax);
+    if ks.is_empty() {
+        ks.push(kmax.max(1));
+    }
+    ks
+}
+
+/// Build the panels of a figure from already-computed method evaluations.
+pub fn panels_from_evaluations(
+    evaluations: &[MethodEvaluation],
+    ks: &[usize],
+    percentages: &[f64],
+) -> Vec<FigurePanel> {
+    percentages
+        .iter()
+        .map(|&pct| FigurePanel {
+            accuracy_pct: pct,
+            ks: ks.to_vec(),
+            curves: evaluations
+                .iter()
+                .map(|m| CostCurve {
+                    method: m.method.clone(),
+                    costs: ks.iter().map(|&k| m.optimal_cost(k, pct).cost).collect(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 4: the synthetic-MNIST / shape-context workload.
+pub fn run_fig4(
+    database_size: usize,
+    query_count: usize,
+    points_per_shape: usize,
+    scale: &WorkloadScale,
+    seed: u64,
+) -> Figure {
+    let (database, queries, distance) =
+        digits_workload(database_size, query_count, points_per_shape, seed);
+    let evaluations =
+        evaluate_methods(&database, &queries, &distance, scale, &Method::figures(), seed);
+    let ks = default_ks(scale.kmax);
+    Figure {
+        name: "Figure 4".into(),
+        workload: "synthetic MNIST digits, shape context distance".into(),
+        database_size,
+        panels: panels_from_evaluations(&evaluations, &ks, &[90.0, 95.0, 99.0]),
+    }
+}
+
+/// Figure 5: the time-series / constrained-DTW workload.
+pub fn run_fig5(
+    database_size: usize,
+    query_count: usize,
+    series_length: usize,
+    series_dims: usize,
+    scale: &WorkloadScale,
+    seed: u64,
+) -> Figure {
+    let (database, queries, distance) =
+        timeseries_workload(database_size, query_count, series_length, series_dims, seed);
+    let evaluations =
+        evaluate_methods(&database, &queries, &distance, scale, &Method::figures(), seed);
+    let ks = default_ks(scale.kmax);
+    Figure {
+        name: "Figure 5".into(),
+        workload: "synthetic time series, constrained DTW".into(),
+        database_size,
+        panels: panels_from_evaluations(&evaluations, &ks, &[90.0, 95.0, 99.0]),
+    }
+}
+
+/// Figure 6: "Quick Se-QS" (reduced preprocessing budget) vs regular Se-QS vs
+/// FastMap, at 95% accuracy, on the digits workload.
+pub fn run_fig6(
+    database_size: usize,
+    query_count: usize,
+    points_per_shape: usize,
+    scale: &WorkloadScale,
+    seed: u64,
+) -> Figure {
+    let (database, queries, distance) =
+        digits_workload(database_size, query_count, points_per_shape, seed);
+
+    // Regular budget: FastMap + Se-QS.
+    let regular = evaluate_methods(
+        &database,
+        &queries,
+        &distance,
+        scale,
+        &[Method::FastMap, Method::Boosted(MethodVariant::SeQs)],
+        seed,
+    );
+    // Quick budget: Se-QS with shrunken C, Xtr and triple count.
+    let quick_scale = WorkloadScale::quick_preprocessing(scale);
+    let mut quick = evaluate_methods(
+        &database,
+        &queries,
+        &distance,
+        &quick_scale,
+        &[Method::Boosted(MethodVariant::SeQs)],
+        seed ^ 0xBEEF,
+    );
+    quick[0].method = "Quick Se-QS".into();
+
+    let mut evaluations = regular;
+    let mut renamed = Vec::with_capacity(3);
+    renamed.push(evaluations.remove(0)); // FastMap
+    renamed.push(quick.remove(0)); // Quick Se-QS
+    let mut regular_seqs = evaluations.remove(0);
+    regular_seqs.method = "Regular Se-QS".into();
+    renamed.push(regular_seqs);
+
+    let ks = default_ks(scale.kmax);
+    Figure {
+        name: "Figure 6".into(),
+        workload: "synthetic MNIST digits, shape context distance (preprocessing budget study)"
+            .into(),
+        database_size,
+        panels: panels_from_evaluations(&renamed, &ks, &[95.0]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::DimensionEvaluation;
+
+    fn fake_eval(name: &str, db: usize, ranks: Vec<Vec<usize>>) -> MethodEvaluation {
+        MethodEvaluation::new(
+            name,
+            db,
+            vec![DimensionEvaluation { dim: 4, embedding_cost: 8, rank_needed: ranks }],
+        )
+    }
+
+    #[test]
+    fn panels_have_one_curve_per_method_and_one_cost_per_k() {
+        let a = fake_eval("A", 100, vec![vec![1, 2, 3], vec![2, 2, 4]]);
+        let b = fake_eval("B", 100, vec![vec![5, 6, 7], vec![1, 8, 9]]);
+        let panels = panels_from_evaluations(&[a, b], &[1, 3], &[90.0, 100.0]);
+        assert_eq!(panels.len(), 2);
+        assert_eq!(panels[0].curves.len(), 2);
+        assert_eq!(panels[0].curves[0].costs.len(), 2);
+    }
+
+    #[test]
+    fn default_ks_respect_kmax() {
+        assert_eq!(default_ks(50), vec![1, 2, 5, 10, 20, 30, 40, 50]);
+        assert_eq!(default_ks(5), vec![1, 2, 5]);
+        assert_eq!(default_ks(1), vec![1]);
+    }
+
+    #[test]
+    fn figure_text_contains_all_methods() {
+        let a = fake_eval("FastMap", 100, vec![vec![1], vec![2]]);
+        let b = fake_eval("Se-QS", 100, vec![vec![1], vec![1]]);
+        let fig = Figure {
+            name: "Figure X".into(),
+            workload: "toy".into(),
+            database_size: 100,
+            panels: panels_from_evaluations(&[a, b], &[1], &[95.0]),
+        };
+        let text = fig.to_text();
+        assert!(text.contains("FastMap") && text.contains("Se-QS") && text.contains("95%"));
+    }
+
+    // End-to-end figure runs on real (tiny) workloads are exercised by the
+    // workspace-level integration tests and the bench harnesses; they are too
+    // slow for unit tests because of the shape-context / DTW distances.
+}

@@ -1,0 +1,27 @@
+//! Experiment drivers that regenerate every figure and table of the paper's
+//! evaluation (Section 9) on the synthetic workloads of `qse-dataset`.
+//!
+//! Each driver is parameterised by a [`runner::WorkloadScale`] so the same
+//! code can be run at unit-test scale (seconds), benchmark scale (minutes)
+//! or closer to paper scale (hours). EXPERIMENTS.md records the scale each
+//! reported number was produced at.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Figure 1 (toy example)             | [`fig1::run_fig1`] |
+//! | Figure 4 (MNIST / shape context)   | [`figures::run_fig4`] |
+//! | Figure 5 (time series / cDTW)      | [`figures::run_fig5`] |
+//! | Figure 6 (quick vs regular Se-QS)  | [`figures::run_fig6`] |
+//! | Table 1 (both datasets)            | [`table1::run_table1`] |
+//! | Section 9 speed-up discussion      | [`speedup::run_speedup`] |
+//! | Ablations (ours)                   | [`ablation::run_ablation`] |
+
+pub mod ablation;
+pub mod fig1;
+pub mod figures;
+pub mod runner;
+pub mod speedup;
+pub mod table1;
+pub mod workloads;
+
+pub use runner::{evaluate_methods, Method, WorkloadScale};

@@ -1,0 +1,393 @@
+//! The generic experiment runner: train every requested method on a workload
+//! and evaluate it across a sweep of embedding dimensionalities.
+//!
+//! This is the shared machinery behind Figures 4–6 and Table 1. The paper's
+//! protocol (Section 9) is: train each method once at the maximum
+//! dimensionality, then for every `(k, accuracy)` pair report the best
+//! operating point over the embedding dimensionality `d` and the filter
+//! parameter `p`. Boosted models and FastMap both yield valid prefixes, so
+//! one training run per method suffices.
+
+use crate::evaluate::{DimensionEvaluation, MethodEvaluation};
+use crate::filter_refine::FilterRefineIndex;
+use crate::knn::ground_truth;
+use qse_core::{BoostMapTrainer, MethodVariant, TrainerConfig, TrainingData, TripleSampler};
+use qse_distance::DistanceMeasure;
+use qse_embedding::{Embedding, FastMap, FastMapConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A method to be evaluated by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// The FastMap baseline (Faloutsos & Lin).
+    FastMap,
+    /// One of the four BoostMap-family variants (Ra/Se × QI/QS).
+    Boosted(MethodVariant),
+}
+
+impl Method {
+    /// The five methods of Table 1, in the paper's column order.
+    pub fn table1() -> Vec<Method> {
+        let mut methods = vec![Method::FastMap];
+        methods.extend(MethodVariant::all().into_iter().map(Method::Boosted));
+        methods
+    }
+
+    /// The four methods plotted in Figures 4 and 5 (Ra-QS is omitted there
+    /// to avoid clutter, exactly as in the paper).
+    pub fn figures() -> Vec<Method> {
+        vec![
+            Method::FastMap,
+            Method::Boosted(MethodVariant::RaQi),
+            Method::Boosted(MethodVariant::SeQi),
+            Method::Boosted(MethodVariant::SeQs),
+        ]
+    }
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::FastMap => "FastMap",
+            Method::Boosted(v) => v.label(),
+        }
+    }
+}
+
+/// The knobs that determine the computational scale of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadScale {
+    /// Size of the candidate pool `C` (also the FastMap training sample).
+    pub candidate_pool: usize,
+    /// Size of the training pool `Xtr`.
+    pub training_pool: usize,
+    /// Number of training triples.
+    pub training_triples: usize,
+    /// Boosting rounds (the maximum embedding dimensionality of the boosted
+    /// methods; FastMap is trained with `max(dims_to_evaluate)` dimensions).
+    pub rounds: usize,
+    /// Candidate 1-D embeddings evaluated per boosting round (`m`).
+    pub candidates_per_round: usize,
+    /// Random splitter intervals tried per candidate in QS mode.
+    pub intervals_per_candidate: usize,
+    /// Maximum number of nearest neighbors evaluated (`kmax`).
+    pub kmax: usize,
+    /// Embedding dimensionalities (boosting-round prefixes) to sweep.
+    pub dims_to_evaluate: Vec<usize>,
+    /// Worker threads for distance matrices, ground truth and evaluation.
+    pub threads: usize,
+}
+
+impl WorkloadScale {
+    /// A scale small enough for unit tests (seconds on cheap distances).
+    pub fn tiny() -> Self {
+        Self {
+            candidate_pool: 40,
+            training_pool: 40,
+            training_triples: 300,
+            rounds: 10,
+            candidates_per_round: 25,
+            intervals_per_candidate: 6,
+            kmax: 5,
+            dims_to_evaluate: vec![2, 4, 8, 10],
+            threads: 2,
+        }
+    }
+
+    /// The default benchmark scale: small enough to regenerate every figure
+    /// on a laptop in minutes, large enough to show the paper's trends.
+    pub fn bench() -> Self {
+        Self {
+            candidate_pool: 120,
+            training_pool: 120,
+            training_triples: 3_000,
+            rounds: 40,
+            candidates_per_round: 60,
+            intervals_per_candidate: 10,
+            kmax: 50,
+            dims_to_evaluate: vec![4, 8, 16, 24, 32, 40],
+            threads: 8,
+        }
+    }
+
+    /// The paper's own "Quick" configuration of Figure 6, scaled to the
+    /// reproduction database sizes: small pools and few triples.
+    pub fn quick_preprocessing(base: &WorkloadScale) -> Self {
+        Self {
+            candidate_pool: base.candidate_pool / 4,
+            training_pool: base.training_pool / 4,
+            training_triples: base.training_triples / 6,
+            ..base.clone()
+        }
+    }
+
+    /// The trainer configuration induced by this scale.
+    pub fn trainer_config(&self, variant: MethodVariant) -> TrainerConfig {
+        TrainerConfig {
+            rounds: self.rounds,
+            candidates_per_round: self.candidates_per_round,
+            intervals_per_candidate: self.intervals_per_candidate,
+            query_sensitivity: variant.sensitivity(),
+            ..TrainerConfig::default()
+        }
+    }
+}
+
+/// Evaluate `methods` on one workload. Returns one [`MethodEvaluation`] per
+/// method, in input order.
+pub fn evaluate_methods<O, D>(
+    database: &[O],
+    queries: &[O],
+    distance: &D,
+    scale: &WorkloadScale,
+    methods: &[Method],
+    seed: u64,
+) -> Vec<MethodEvaluation>
+where
+    O: Clone + Send + Sync + 'static,
+    D: DistanceMeasure<O> + Sync,
+{
+    assert!(!methods.is_empty(), "need at least one method to evaluate");
+    assert!(
+        scale.kmax <= database.len(),
+        "kmax = {} exceeds the database size {}",
+        scale.kmax,
+        database.len()
+    );
+    let truth = ground_truth(queries, database, distance, scale.kmax, scale.threads);
+
+    methods
+        .iter()
+        .map(|method| match method {
+            Method::FastMap => evaluate_fastmap(database, queries, distance, scale, &truth, seed),
+            Method::Boosted(variant) => evaluate_boosted(
+                *variant, database, queries, distance, scale, &truth, seed,
+            ),
+        })
+        .collect()
+}
+
+/// The dimensionalities actually evaluated for a model trained with
+/// `trained_rounds` rounds: the requested sweep clipped to what exists.
+fn usable_dims(requested: &[usize], trained_rounds: usize) -> Vec<usize> {
+    let mut dims: Vec<usize> = requested
+        .iter()
+        .copied()
+        .map(|d| d.min(trained_rounds))
+        .filter(|&d| d >= 1)
+        .collect();
+    dims.sort_unstable();
+    dims.dedup();
+    dims
+}
+
+fn evaluate_fastmap<O, D>(
+    database: &[O],
+    queries: &[O],
+    distance: &D,
+    scale: &WorkloadScale,
+    truth: &[crate::knn::KnnResult],
+    seed: u64,
+) -> MethodEvaluation
+where
+    O: Clone + Send + Sync + 'static,
+    D: DistanceMeasure<O> + Sync,
+{
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA57_3A90);
+    let sample_size = scale.candidate_pool.min(database.len());
+    let sample: Vec<O> = database
+        .choose_multiple(&mut rng, sample_size)
+        .cloned()
+        .collect();
+    let max_dim = scale.dims_to_evaluate.iter().copied().max().unwrap_or(8).max(1);
+    let fastmap = FastMap::train(
+        &sample,
+        distance,
+        FastMapConfig { dimensions: max_dim, pivot_iterations: 4 },
+        &mut rng,
+    );
+    // Embed the database once at full dimensionality, slice per prefix.
+    let full_vectors = fastmap.embed_all(database, distance);
+    let dims = usable_dims(&scale.dims_to_evaluate, max_dim);
+    let evaluations = dims
+        .iter()
+        .map(|&d| {
+            let prefix = fastmap.prefix(d);
+            let vectors: Vec<Vec<f64>> =
+                full_vectors.iter().map(|v| v[..d].to_vec()).collect();
+            let index = FilterRefineIndex::from_vectors_global(prefix, vectors);
+            DimensionEvaluation::evaluate(&index, queries, distance, truth, scale.kmax, scale.threads)
+        })
+        .collect();
+    MethodEvaluation::new("FastMap", database.len(), evaluations)
+}
+
+fn evaluate_boosted<O, D>(
+    variant: MethodVariant,
+    database: &[O],
+    queries: &[O],
+    distance: &D,
+    scale: &WorkloadScale,
+    truth: &[crate::knn::KnnResult],
+    seed: u64,
+) -> MethodEvaluation
+where
+    O: Clone + Send + Sync + 'static,
+    D: DistanceMeasure<O> + Sync,
+{
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_variant(variant));
+    // Sample the pools C and Xtr from the database.
+    let candidate_pool: Vec<O> = database
+        .choose_multiple(&mut rng, scale.candidate_pool.min(database.len()))
+        .cloned()
+        .collect();
+    let training_pool: Vec<O> = database
+        .choose_multiple(&mut rng, scale.training_pool.min(database.len()))
+        .cloned()
+        .collect();
+    let data = TrainingData::precompute(candidate_pool, training_pool, distance, scale.threads);
+
+    // Triple sampling per the variant, with the paper's k1 guideline.
+    let k1 = TripleSampler::suggested_k1(scale.kmax, data.training_count(), database.len())
+        .min(data.training_count().saturating_sub(2))
+        .max(1);
+    let sampler = TripleSampler::new(variant.sampling(k1));
+    let triples = sampler.sample(&data.train_to_train, scale.training_triples, &mut rng);
+
+    let trainer = BoostMapTrainer::new(scale.trainer_config(variant));
+    let model = trainer.train(&data, &triples, &mut rng);
+
+    // Embed the database once under the full model, slice prefixes. Model
+    // prefixes keep coordinates in first-use order, so a prefix's coordinate
+    // list is a prefix of the full coordinate list.
+    let full_embedding = model.embedding();
+    let full_vectors = full_embedding.embed_all(database, distance);
+    let dims = usable_dims(&scale.dims_to_evaluate, model.rounds());
+    let evaluations = dims
+        .iter()
+        .map(|&rounds| {
+            let prefix = model.prefix(rounds);
+            let d = prefix.dim();
+            let vectors: Vec<Vec<f64>> =
+                full_vectors.iter().map(|v| v[..d].to_vec()).collect();
+            let index = FilterRefineIndex::from_vectors_query_sensitive(prefix, vectors);
+            DimensionEvaluation::evaluate(&index, queries, distance, truth, scale.kmax, scale.threads)
+        })
+        .collect();
+    MethodEvaluation::new(variant.label(), database.len(), evaluations)
+}
+
+fn hash_variant(variant: MethodVariant) -> u64 {
+    match variant {
+        MethodVariant::RaQi => 0x1111,
+        MethodVariant::RaQs => 0x2222,
+        MethodVariant::SeQi => 0x3333,
+        MethodVariant::SeQs => 0x4444,
+    }
+}
+
+/// Sample `count` random indices in `0..population` without replacement.
+/// Exposed for ablation drivers that need reproducible sub-sampling.
+pub fn sample_indices<R: Rng>(population: usize, count: usize, rng: &mut R) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..population).collect();
+    all.shuffle(rng);
+    all.truncate(count.min(population));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_distance::traits::{FnDistance, MetricProperties};
+
+    fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
+        FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        })
+    }
+
+    /// A clustered 2-D vector workload that is cheap to evaluate but has the
+    /// structure (clusters, noise) the methods need to differentiate.
+    fn vector_workload(db: usize, queries: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let make = |rng: &mut StdRng| {
+            let cluster = rng.gen_range(0..5);
+            let cx = (cluster % 3) as f64 * 10.0;
+            let cy = (cluster / 3) as f64 * 10.0;
+            vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]
+        };
+        let database = (0..db).map(|_| make(&mut rng)).collect();
+        let query_set = (0..queries).map(|_| make(&mut rng)).collect();
+        (database, query_set)
+    }
+
+    #[test]
+    fn runner_evaluates_all_requested_methods() {
+        let (db, queries) = vector_workload(80, 12, 1);
+        let scale = WorkloadScale::tiny();
+        let evals = evaluate_methods(
+            &db,
+            &queries,
+            &euclid(),
+            &scale,
+            &[Method::FastMap, Method::Boosted(MethodVariant::SeQs)],
+            42,
+        );
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[0].method, "FastMap");
+        assert_eq!(evals[1].method, "Se-QS");
+        for eval in &evals {
+            assert!(!eval.dimensions.is_empty());
+            let row = eval.optimal_cost(1, 90.0);
+            assert!(row.cost >= 1 && row.cost <= db.len());
+        }
+    }
+
+    #[test]
+    fn embedding_methods_beat_brute_force_on_easy_clustered_data() {
+        let (db, queries) = vector_workload(120, 15, 3);
+        let scale = WorkloadScale::tiny();
+        let evals = evaluate_methods(
+            &db,
+            &queries,
+            &euclid(),
+            &scale,
+            &[Method::Boosted(MethodVariant::SeQs)],
+            7,
+        );
+        let row = evals[0].optimal_cost(1, 90.0);
+        assert!(
+            row.cost < db.len(),
+            "Se-QS should beat brute force ({} vs {})",
+            row.cost,
+            db.len()
+        );
+    }
+
+    #[test]
+    fn usable_dims_are_clipped_and_deduplicated() {
+        assert_eq!(usable_dims(&[2, 4, 64, 64], 10), vec![2, 4, 10]);
+        assert_eq!(usable_dims(&[16], 4), vec![4]);
+    }
+
+    #[test]
+    fn method_lists_match_the_paper() {
+        assert_eq!(Method::table1().len(), 5);
+        assert_eq!(Method::figures().len(), 4);
+        assert_eq!(Method::FastMap.label(), "FastMap");
+        assert_eq!(Method::Boosted(MethodVariant::SeQs).label(), "Se-QS");
+    }
+
+    #[test]
+    fn sample_indices_has_no_duplicates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_indices(50, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+    }
+}

@@ -1,0 +1,98 @@
+//! The Section 9 speed-up discussion.
+//!
+//! On the original 50-query test set of the time-series dataset the paper
+//! reports a speed-up factor of 51.2 over brute force at 100% recall of the
+//! true nearest neighbor (and notes that the indexing method of Vlachos et
+//! al. achieves roughly a factor of 5 on the same queries). This driver
+//! reproduces the measurement: train Se-QS on the time-series workload,
+//! evaluate at `k = 1`, and report `|database| / cost` for several accuracy
+//! targets alongside the FastMap baseline.
+
+use super::runner::{evaluate_methods, Method, WorkloadScale};
+use super::workloads::timeseries_workload;
+use qse_core::MethodVariant;
+use serde::{Deserialize, Serialize};
+
+/// Speed-up factors over brute force at `k = 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Database size (brute-force distances per query).
+    pub database_size: usize,
+    /// Number of evaluation queries.
+    pub query_count: usize,
+    /// `(method, accuracy_pct, exact distances per query, speed-up factor)`.
+    pub rows: Vec<(String, f64, usize, f64)>,
+}
+
+impl SpeedupReport {
+    /// Speed-up of a given method at a given accuracy, if present.
+    pub fn speedup_of(&self, method: &str, accuracy_pct: f64) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(m, pct, _, _)| m == method && *pct == accuracy_pct)
+            .map(|(_, _, _, s)| *s)
+    }
+
+    /// Render as text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "1-NN speed-up over brute force ({} database objects, {} queries)\n",
+            self.database_size, self.query_count
+        );
+        for (method, pct, cost, speedup) in &self.rows {
+            out.push_str(&format!(
+                "{method:>10} @ {pct:>5.1}%: {cost:>8} distances/query  (speed-up {speedup:.1}x)\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Run the speed-up experiment on the time-series workload.
+pub fn run_speedup(
+    database_size: usize,
+    query_count: usize,
+    series_length: usize,
+    scale: &WorkloadScale,
+    seed: u64,
+) -> SpeedupReport {
+    let (database, queries, distance) =
+        timeseries_workload(database_size, query_count, series_length, 2, seed);
+    let methods = [Method::FastMap, Method::Boosted(MethodVariant::SeQs)];
+    let evaluations = evaluate_methods(&database, &queries, &distance, scale, &methods, seed);
+    let mut rows = Vec::new();
+    for eval in &evaluations {
+        for pct in [90.0, 95.0, 99.0, 100.0] {
+            let row = eval.optimal_cost(1, pct);
+            rows.push((eval.method.clone(), pct, row.cost, eval.speedup(1, pct)));
+        }
+    }
+    SpeedupReport { database_size, query_count: queries.len(), rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{DimensionEvaluation, MethodEvaluation};
+
+    #[test]
+    fn speedup_report_formats_and_lookups() {
+        let eval = MethodEvaluation::new(
+            "Se-QS",
+            1000,
+            vec![DimensionEvaluation {
+                dim: 8,
+                embedding_cost: 10,
+                rank_needed: vec![vec![5], vec![15]],
+            }],
+        );
+        let report = SpeedupReport {
+            database_size: 1000,
+            query_count: 2,
+            rows: vec![("Se-QS".into(), 100.0, eval.optimal_cost(1, 100.0).cost, eval.speedup(1, 100.0))],
+        };
+        assert_eq!(report.speedup_of("Se-QS", 100.0), Some(40.0));
+        assert!(report.to_text().contains("Se-QS"));
+        assert_eq!(report.speedup_of("FastMap", 100.0), None);
+    }
+}

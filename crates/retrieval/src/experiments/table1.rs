@@ -1,0 +1,81 @@
+//! Table 1: exact-distance counts for selected `(k, accuracy)` pairs on both
+//! workloads, for all five methods (FastMap, Ra-QI, Ra-QS, Se-QI, Se-QS).
+
+use super::runner::{evaluate_methods, Method, WorkloadScale};
+use super::workloads::{digits_workload, timeseries_workload};
+use crate::evaluate::CostReport;
+use serde::{Deserialize, Serialize};
+
+/// The `(k, pct)` grid of Table 1.
+pub fn table1_ks(kmax: usize) -> Vec<usize> {
+    [1usize, 10, 50].into_iter().filter(|&k| k <= kmax).collect()
+}
+
+/// The accuracy percentages of Table 1.
+pub const TABLE1_PERCENTAGES: [f64; 4] = [90.0, 95.0, 99.0, 100.0];
+
+/// Both halves of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// The synthetic-MNIST / shape-context half.
+    pub digits: CostReport,
+    /// The time-series / constrained-DTW half.
+    pub timeseries: CostReport,
+}
+
+impl Table1 {
+    /// Render both halves as text, in the layout of the paper's Table 1.
+    pub fn to_text(&self) -> String {
+        format!("{}\n{}", self.digits.to_table(), self.timeseries.to_table())
+    }
+}
+
+/// Regenerate Table 1 at the given workload sizes and training scale.
+#[allow(clippy::too_many_arguments)]
+pub fn run_table1(
+    digits_db: usize,
+    digits_queries: usize,
+    points_per_shape: usize,
+    series_db: usize,
+    series_queries: usize,
+    series_length: usize,
+    scale: &WorkloadScale,
+    seed: u64,
+) -> Table1 {
+    let ks = table1_ks(scale.kmax);
+
+    let (ddb, dq, ddist) = digits_workload(digits_db, digits_queries, points_per_shape, seed);
+    let digit_evals = evaluate_methods(&ddb, &dq, &ddist, scale, &Method::table1(), seed);
+    let digits = CostReport::build(
+        "Synthetic MNIST digits with Shape Context",
+        &digit_evals,
+        &ks,
+        &TABLE1_PERCENTAGES,
+    );
+
+    let (tdb, tq, tdist) = timeseries_workload(series_db, series_queries, series_length, 2, seed);
+    let series_evals = evaluate_methods(&tdb, &tq, &tdist, scale, &Method::table1(), seed);
+    let timeseries = CostReport::build(
+        "Synthetic time series with Constrained DTW",
+        &series_evals,
+        &ks,
+        &TABLE1_PERCENTAGES,
+    );
+
+    Table1 { digits, timeseries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_grid_matches_the_paper() {
+        assert_eq!(table1_ks(50), vec![1, 10, 50]);
+        assert_eq!(table1_ks(10), vec![1, 10]);
+        assert_eq!(TABLE1_PERCENTAGES, [90.0, 95.0, 99.0, 100.0]);
+    }
+
+    // Full Table 1 regeneration is exercised by the `table1` bench binary and
+    // the integration tests at reduced scale; it is too slow for unit tests.
+}

@@ -1,0 +1,92 @@
+//! Workload construction: the synthetic stand-ins for the paper's two
+//! datasets, packaged as (database, queries, distance) triples.
+
+use qse_dataset::{DigitGenerator, DigitGeneratorConfig, TimeSeriesGenerator, TimeSeriesGeneratorConfig};
+use qse_distance::dtw::TimeSeries;
+use qse_distance::{ConstrainedDtw, PointSet, ShapeContextDistance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The synthetic-MNIST workload: labeled digit point sets compared with the
+/// Shape Context Distance. Queries are generated from the same generative
+/// model but with a different random stream, mirroring the paper's disjoint
+/// MNIST train / test split.
+pub fn digits_workload(
+    database_size: usize,
+    query_count: usize,
+    points_per_shape: usize,
+    seed: u64,
+) -> (Vec<PointSet>, Vec<PointSet>, ShapeContextDistance) {
+    assert!(database_size > 0 && query_count > 0, "workload sizes must be positive");
+    let generator = DigitGenerator::new(DigitGeneratorConfig {
+        points_per_shape,
+        ..DigitGeneratorConfig::default()
+    });
+    let mut db_rng = StdRng::seed_from_u64(seed);
+    let mut query_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let database = generator.generate(database_size, &mut db_rng);
+    let queries = generator.generate_random_labels(query_count, &mut query_rng);
+    (database, queries, ShapeContextDistance::new())
+}
+
+/// The time-series workload: seed patterns expanded with noise, amplitude
+/// scaling and random time compression / decompression, compared with
+/// constrained DTW (Sakoe–Chiba band of 10%), as in Vlachos et al. and the
+/// paper's Section 9.
+pub fn timeseries_workload(
+    database_size: usize,
+    query_count: usize,
+    base_length: usize,
+    dimensions: usize,
+    seed: u64,
+) -> (Vec<TimeSeries>, Vec<TimeSeries>, ConstrainedDtw) {
+    assert!(database_size > 0 && query_count > 0, "workload sizes must be positive");
+    let mut seed_rng = StdRng::seed_from_u64(seed);
+    let generator = TimeSeriesGenerator::new(
+        TimeSeriesGeneratorConfig { base_length, dimensions, ..TimeSeriesGeneratorConfig::default() },
+        &mut seed_rng,
+    );
+    let mut db_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut query_rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    let database = generator.generate_unlabeled(database_size, &mut db_rng);
+    let queries = generator.generate_unlabeled(query_count, &mut query_rng);
+    (database, queries, ConstrainedDtw::paper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_distance::DistanceMeasure;
+
+    #[test]
+    fn digit_workload_has_requested_sizes() {
+        let (db, queries, dist) = digits_workload(30, 10, 16, 7);
+        assert_eq!(db.len(), 30);
+        assert_eq!(queries.len(), 10);
+        assert!(dist.distance(&db[0], &queries[0]).is_finite());
+    }
+
+    #[test]
+    fn digit_queries_differ_from_database() {
+        let (db, queries, _) = digits_workload(10, 10, 16, 7);
+        assert!(db.iter().zip(&queries).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn timeseries_workload_has_requested_sizes() {
+        let (db, queries, dist) = timeseries_workload(20, 5, 32, 2, 11);
+        assert_eq!(db.len(), 20);
+        assert_eq!(queries.len(), 5);
+        assert!(dist.distance(&db[0], &queries[0]).is_finite());
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let (a, _, _) = digits_workload(8, 4, 16, 3);
+        let (b, _, _) = digits_workload(8, 4, 16, 3);
+        assert_eq!(a, b);
+        let (c, _, _) = timeseries_workload(8, 4, 32, 1, 3);
+        let (d, _, _) = timeseries_workload(8, 4, 32, 1, 3);
+        assert_eq!(c, d);
+    }
+}

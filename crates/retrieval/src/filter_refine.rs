@@ -1,0 +1,334 @@
+//! Filter-and-refine retrieval (Section 8 of the paper).
+//!
+//! Given an embedding `F` (and, for query-sensitive models, the distance
+//! `D_out`), retrieval of the k nearest neighbors of a query `q` proceeds in
+//! three steps:
+//!
+//! 1. **Embedding step** — compute `F(q)` by measuring the exact distances
+//!    between `q` and the embedding's reference / pivot objects.
+//! 2. **Filter step** — rank the (pre-embedded) database by the cheap
+//!    vector distance and keep the best `p` candidates.
+//! 3. **Refine step** — measure the exact distance from `q` to each of the
+//!    `p` candidates and return the best `k`.
+//!
+//! The per-query budget the paper reports is the number of exact distance
+//! computations spent in steps 1 and 3; the filter step touches only
+//! vectors. [`FilterRefineIndex`] supports both a *global* L1 filter distance
+//! (FastMap, Lipschitz, original BoostMap) and the *query-sensitive*
+//! weighted L1 of a trained [`QseModel`].
+
+use qse_core::QseModel;
+use qse_distance::{DistanceMeasure, LpDistance};
+use qse_embedding::Embedding;
+use serde::{Deserialize, Serialize};
+
+/// How the filter step scores database vectors against the query.
+enum FilterKind<O> {
+    /// Plain (unweighted) L1 distance between embedded vectors.
+    GlobalL1 { embedding: Box<dyn Embedding<O>> },
+    /// The query-sensitive weighted L1 distance `D_out` of a trained model.
+    QuerySensitive { model: QseModel<O> },
+}
+
+/// A database indexed for filter-and-refine retrieval under one embedding.
+pub struct FilterRefineIndex<O> {
+    kind: FilterKind<O>,
+    vectors: Vec<Vec<f64>>,
+}
+
+/// The outcome of one filter-and-refine retrieval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalOutcome {
+    /// Indices of the k reported neighbors, best first (by exact distance).
+    pub neighbors: Vec<usize>,
+    /// Exact distances of the reported neighbors.
+    pub distances: Vec<f64>,
+    /// Exact distance computations spent embedding the query.
+    pub embedding_cost: usize,
+    /// Exact distance computations spent in the refine step (= p).
+    pub refine_cost: usize,
+}
+
+impl RetrievalOutcome {
+    /// Total exact distance computations for this query (the paper's cost
+    /// metric).
+    pub fn total_cost(&self) -> usize {
+        self.embedding_cost + self.refine_cost
+    }
+}
+
+impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
+    /// Index `database` under a global-L1 embedding (FastMap, Lipschitz,
+    /// query-insensitive BoostMap, ...). The indexing cost is
+    /// `|database| · embedding_cost` exact distances, paid offline.
+    pub fn build_global<E>(
+        embedding: E,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+    ) -> Self
+    where
+        E: Embedding<O> + 'static,
+    {
+        assert!(!database.is_empty(), "cannot index an empty database");
+        let vectors = embedding.embed_all(database, distance);
+        Self { kind: FilterKind::GlobalL1 { embedding: Box::new(embedding) }, vectors }
+    }
+
+    /// Index `database` under a trained (query-sensitive or insensitive)
+    /// [`QseModel`]. Database objects are embedded with `F_out`; at query
+    /// time the filter step uses `D_out`.
+    pub fn build_query_sensitive(
+        model: QseModel<O>,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+    ) -> Self {
+        assert!(!database.is_empty(), "cannot index an empty database");
+        let embedding = model.embedding();
+        let vectors = embedding.embed_all(database, distance);
+        Self { kind: FilterKind::QuerySensitive { model }, vectors }
+    }
+
+    /// Index a database whose vectors under this embedding have already been
+    /// computed elsewhere (e.g. once at the maximum dimensionality, then
+    /// truncated for each prefix during a parameter sweep).
+    ///
+    /// # Panics
+    /// Panics if the vectors are empty or their dimensionality does not match
+    /// the embedding.
+    pub fn from_vectors_global<E>(embedding: E, vectors: Vec<Vec<f64>>) -> Self
+    where
+        E: Embedding<O> + 'static,
+    {
+        assert!(!vectors.is_empty(), "cannot index an empty database");
+        assert!(
+            vectors.iter().all(|v| v.len() == embedding.dim()),
+            "vector dimensionality does not match the embedding"
+        );
+        Self { kind: FilterKind::GlobalL1 { embedding: Box::new(embedding) }, vectors }
+    }
+
+    /// Like [`Self::from_vectors_global`] but for a trained [`QseModel`].
+    ///
+    /// # Panics
+    /// Panics if the vectors are empty or their dimensionality does not match
+    /// the model.
+    pub fn from_vectors_query_sensitive(model: QseModel<O>, vectors: Vec<Vec<f64>>) -> Self {
+        assert!(!vectors.is_empty(), "cannot index an empty database");
+        assert!(
+            vectors.iter().all(|v| v.len() == model.dim()),
+            "vector dimensionality does not match the model"
+        );
+        Self { kind: FilterKind::QuerySensitive { model }, vectors }
+    }
+
+    /// Dimensionality of the indexed vectors.
+    pub fn dim(&self) -> usize {
+        match &self.kind {
+            FilterKind::GlobalL1 { embedding } => embedding.dim(),
+            FilterKind::QuerySensitive { model } => model.dim(),
+        }
+    }
+
+    /// Number of database objects indexed.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` if the index is empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Exact distance computations needed to embed one query.
+    pub fn embedding_cost(&self) -> usize {
+        match &self.kind {
+            FilterKind::GlobalL1 { embedding } => embedding.embedding_cost(),
+            FilterKind::QuerySensitive { model } => model.embedding_cost(),
+        }
+    }
+
+    /// The embedded database vectors.
+    pub fn vectors(&self) -> &[Vec<f64>] {
+        &self.vectors
+    }
+
+    /// The filter ranking for `query`: database indices sorted by increasing
+    /// filter (embedded-space) distance, together with the number of exact
+    /// distance computations spent on the embedding step.
+    ///
+    /// This is the building block both of [`Self::retrieve`] and of the
+    /// evaluation harness, which derives from one ranking the minimum `p`
+    /// needed for every `k` without re-running retrieval.
+    pub fn filter_ranking(
+        &self,
+        query: &O,
+        distance: &dyn DistanceMeasure<O>,
+    ) -> (Vec<usize>, usize) {
+        let scores: Vec<f64> = match &self.kind {
+            FilterKind::GlobalL1 { embedding } => {
+                let q = embedding.embed(query, distance);
+                let l1 = LpDistance::l1();
+                self.vectors.iter().map(|v| l1.eval(&q, v)).collect()
+            }
+            FilterKind::QuerySensitive { model } => {
+                let eq = model.embed_query(query, distance);
+                self.vectors.iter().map(|v| eq.distance_to(v)).collect()
+            }
+        };
+        let mut order: Vec<usize> = (0..self.vectors.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        (order, self.embedding_cost())
+    }
+
+    /// Full filter-and-refine retrieval of the `k` (approximate) nearest
+    /// neighbors of `query`, keeping `p` candidates after the filter step.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero, `p < k`, or `p` exceeds the database size.
+    pub fn retrieve(
+        &self,
+        query: &O,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> RetrievalOutcome {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(p >= k, "p = {p} must be at least k = {k}");
+        assert!(
+            p <= database.len(),
+            "p = {p} exceeds the database size {}",
+            database.len()
+        );
+        assert_eq!(
+            database.len(),
+            self.vectors.len(),
+            "database does not match the indexed vectors"
+        );
+        let (ranking, embedding_cost) = self.filter_ranking(query, distance);
+        // Refine: exact distances to the p best filter candidates.
+        let mut refined: Vec<(usize, f64)> = ranking[..p]
+            .iter()
+            .map(|&i| (i, distance.distance(query, &database[i])))
+            .collect();
+        refined.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        refined.truncate(k);
+        RetrievalOutcome {
+            neighbors: refined.iter().map(|(i, _)| *i).collect(),
+            distances: refined.iter().map(|(_, d)| *d).collect(),
+            embedding_cost,
+            refine_cost: p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::knn;
+    use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData, TripleSampler};
+    use qse_distance::traits::{FnDistance, MetricProperties};
+    use qse_distance::CountingDistance;
+    use qse_embedding::{FastMap, FastMapConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
+        FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        })
+    }
+
+    fn grid_database() -> Vec<Vec<f64>> {
+        let mut db = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                db.push(vec![i as f64, j as f64]);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn full_p_retrieval_is_exact() {
+        // With p = |database| the refine step sees everything, so the result
+        // must equal brute-force k-NN regardless of the embedding quality.
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 2, pivot_iterations: 3 }, &mut rng);
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let q = vec![3.2, 7.1];
+        let out = index.retrieve(&q, &db, &d, 5, db.len());
+        let truth = knn(&q, &db, &d, 5);
+        assert_eq!(out.neighbors, truth.neighbors);
+    }
+
+    #[test]
+    fn cost_accounting_matches_measured_distances() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(2);
+        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 3, pivot_iterations: 3 }, &mut rng);
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let counting = CountingDistance::new(euclid());
+        let out = index.retrieve(&vec![5.5, 5.5], &db, &counting, 3, 20);
+        assert_eq!(out.embedding_cost, 6);
+        assert_eq!(out.refine_cost, 20);
+        assert_eq!(counting.count() as usize, out.total_cost());
+    }
+
+    #[test]
+    fn filter_ranking_contains_every_database_index_once() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 2, pivot_iterations: 3 }, &mut rng);
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let (ranking, cost) = index.filter_ranking(&vec![0.0, 0.0], &d);
+        assert_eq!(cost, 4);
+        let mut sorted = ranking.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..db.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_sensitive_index_retrieves_true_neighbors_with_small_p() {
+        // Train a tiny Se-QS model on 1-D clustered data and check the filter
+        // step puts the true nearest neighbor in front.
+        let db: Vec<Vec<f64>> = (0..60)
+            .map(|i| if i % 2 == 0 { vec![i as f64 * 0.05] } else { vec![50.0 + i as f64 * 0.05] })
+            .collect();
+        let d = euclid();
+        let data = TrainingData::precompute(db.clone(), db.clone(), &d, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let triples = TripleSampler::selective(4).sample(&data.train_to_train, 300, &mut rng);
+        let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+        let index = FilterRefineIndex::build_query_sensitive(model, &db, &d);
+        let q = vec![1.07];
+        let truth = knn(&q, &db, &d, 1);
+        let out = index.retrieve(&q, &db, &d, 1, 10);
+        assert_eq!(out.neighbors[0], truth.neighbors[0]);
+        assert!(out.total_cost() < db.len(), "should beat brute force");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least k")]
+    fn rejects_p_smaller_than_k() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(5);
+        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 2, pivot_iterations: 2 }, &mut rng);
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let _ = index.retrieve(&vec![0.0, 0.0], &db, &d, 5, 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! # qse-retrieval
+//!
+//! Filter-and-refine retrieval, exact ground truth, evaluation harness and
+//! experiment drivers for the reproduction of *Query-Sensitive Embeddings*
+//! (SIGMOD 2005).
+//!
+//! * [`knn`] — brute-force exact k-nearest-neighbor search, the ground truth
+//!   every experiment is scored against (and the "number of exact distance
+//!   computations of brute force = |database|" baseline of Table 1).
+//! * [`filter_refine`] — the three-step retrieval framework of Section 8
+//!   (embed the query, rank the database by the cheap embedded distance, keep
+//!   the best `p`, re-rank those by the exact distance), instrumented so the
+//!   reported exact-distance counts are measured.
+//! * [`evaluate`] — the evaluation methodology of Section 9: for each query
+//!   the *filter rank* of its true neighbors determines the smallest `p` that
+//!   retrieves all `k` of them; sweeping the embedding dimensionality `d` and
+//!   `p` yields, for each `(k, accuracy)` pair, the minimum number of exact
+//!   distance computations per query.
+//! * [`dynamic`] — online insertion / removal of database objects and the
+//!   embedding-drift monitor sketched in Section 7.1.
+//! * [`experiments`] — drivers that regenerate every figure and table of the
+//!   paper's evaluation on the synthetic workloads of `qse-dataset`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamic;
+pub mod evaluate;
+pub mod experiments;
+pub mod filter_refine;
+pub mod knn;
+
+pub use evaluate::{CostReport, CostRow, MethodEvaluation};
+pub use filter_refine::{FilterRefineIndex, RetrievalOutcome};
+pub use knn::{ground_truth, KnnResult};

@@ -1,0 +1,69 @@
+//! Handwritten-digit retrieval under the Shape Context Distance — the
+//! paper's MNIST scenario at reproduction scale.
+//!
+//! Builds a database of synthetic digits, trains the paper's Se-QS method
+//! and the FastMap baseline, and compares how many exact shape-context
+//! evaluations each needs per query to find the true nearest neighbor.
+//!
+//! Run with: `cargo run --release --example digit_retrieval`
+
+use query_sensitive_embeddings::prelude::*;
+use query_sensitive_embeddings::retrieval::experiments::runner::{
+    evaluate_methods, Method, WorkloadScale,
+};
+use query_sensitive_embeddings::retrieval::experiments::workloads::digits_workload;
+
+fn main() {
+    // Keep the example small enough to finish in about a minute in release
+    // mode; the bench harnesses run the same code at larger scale.
+    let database_size = 250;
+    let query_count = 40;
+    let points_per_shape = 24;
+
+    println!("generating {database_size} synthetic digits + {query_count} queries ...");
+    let (database, queries, distance) =
+        digits_workload(database_size, query_count, points_per_shape, 2024);
+
+    // A nearest-neighbor classification sanity check on the workload itself.
+    let truth = ground_truth(&queries, &database, &distance, 1, 8);
+    let agree = queries
+        .iter()
+        .zip(&truth)
+        .filter(|(q, t)| q.label == database[t.neighbors[0]].label)
+        .count();
+    println!(
+        "1-NN classification accuracy of the exact distance: {agree}/{} queries",
+        queries.len()
+    );
+
+    let scale = WorkloadScale {
+        candidate_pool: 80,
+        training_pool: 80,
+        training_triples: 1_500,
+        rounds: 24,
+        candidates_per_round: 40,
+        intervals_per_candidate: 8,
+        kmax: 5,
+        dims_to_evaluate: vec![4, 8, 16, 24],
+        threads: 8,
+    };
+    println!("training FastMap and Se-QS ...");
+    let evaluations = evaluate_methods(
+        &database,
+        &queries,
+        &distance,
+        &scale,
+        &[Method::FastMap, Method::Boosted(MethodVariant::SeQs)],
+        7,
+    );
+
+    println!("\nexact shape-context distances per query (k = 1):");
+    println!("{:<10} {:>8} {:>8} {:>8}", "method", "90%", "95%", "99%");
+    for eval in &evaluations {
+        let c90 = eval.optimal_cost(1, 90.0).cost;
+        let c95 = eval.optimal_cost(1, 95.0).cost;
+        let c99 = eval.optimal_cost(1, 99.0).cost;
+        println!("{:<10} {c90:>8} {c95:>8} {c99:>8}", eval.method);
+    }
+    println!("(brute force = {database_size} distances per query)");
+}

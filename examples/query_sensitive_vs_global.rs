@@ -1,0 +1,30 @@
+//! The Figure 1 toy example: why a query-sensitive distance measure helps.
+//!
+//! Twenty database points and ten queries in the unit square, three
+//! reference objects defining a 3-D embedding. Globally the 3-D embedding
+//! (with a plain L1 distance) classifies object triples better than any
+//! single coordinate — but near each reference object, that reference's own
+//! coordinate is the better judge. A query-sensitive weighted L1 distance
+//! exploits exactly that.
+//!
+//! Run with: `cargo run --release --example query_sensitive_vs_global`
+
+use query_sensitive_embeddings::retrieval::experiments::fig1::run_fig1;
+
+fn main() {
+    for seed in [1u64, 2, 3] {
+        let result = run_fig1(seed);
+        println!("=== toy configuration (seed {seed}) ===");
+        print!("{}", result.to_text());
+        println!(
+            "query-sensitivity pays off: {}\n",
+            if result.query_sensitivity_pays_off() { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "Interpretation: the global 3-D embedding is the best *average* classifier,\n\
+         but for queries that sit close to a reference object the corresponding 1-D\n\
+         coordinate alone is more reliable — which is exactly the behaviour the\n\
+         query-sensitive distance D_out of the paper encodes via its splitters."
+    );
+}

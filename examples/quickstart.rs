@@ -1,0 +1,79 @@
+//! Quickstart: train a query-sensitive embedding on a toy vector space and
+//! use it for filter-and-refine nearest-neighbor retrieval.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- 1. A "database" in a toy space -------------------------------------
+    // Five Gaussian clusters of 2-D points under the Euclidean distance. The
+    // point of the library is of course expensive distances (DTW, shape
+    // context, edit distance, ...) — see the other examples — but the API is
+    // identical for any `DistanceMeasure`.
+    let mut rng = StdRng::seed_from_u64(42);
+    let cluster_point = |c: usize, rng: &mut StdRng| -> Vec<f64> {
+        let cx = (c % 3) as f64 * 12.0;
+        let cy = (c / 3) as f64 * 12.0;
+        vec![cx + rng.gen_range(-1.5..1.5), cy + rng.gen_range(-1.5..1.5)]
+    };
+    let database: Vec<Vec<f64>> = (0..400).map(|i| cluster_point(i % 5, &mut rng)).collect();
+    let queries: Vec<Vec<f64>> = (0..50).map(|i| cluster_point(i % 5, &mut rng)).collect();
+    // Count every exact distance evaluation so we can report honest costs.
+    let distance = CountingDistance::new(LpDistance::l2());
+
+    // --- 2. Preprocessing: distance matrices + training triples -------------
+    let pools: Vec<Vec<f64>> = database.iter().take(120).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &distance, 4);
+    let mut train_rng = StdRng::seed_from_u64(7);
+    let triples = TripleSampler::selective(5).sample(&data.train_to_train, 2_000, &mut train_rng);
+    println!(
+        "preprocessing: {} exact distances, {} training triples",
+        distance.reset(),
+        triples.len()
+    );
+
+    // --- 3. Train the query-sensitive embedding (the paper's Se-QS) ---------
+    let config = TrainerConfig { rounds: 24, candidates_per_round: 60, ..TrainerConfig::default() };
+    let model = BoostMapTrainer::new(config).train(&data, &triples, &mut train_rng);
+    println!(
+        "trained model: {} boosting rounds, {} distinct coordinates, query-sensitive = {}",
+        model.rounds(),
+        model.dim(),
+        model.is_query_sensitive()
+    );
+    println!(
+        "final training-triple error: {:.3}",
+        model.history().strong_errors.last().copied().unwrap_or(1.0)
+    );
+
+    // --- 4. Index the database and answer queries ---------------------------
+    let index = FilterRefineIndex::build_query_sensitive(model, &database, &distance);
+    println!("indexing cost: {} exact distances (offline)", distance.reset());
+
+    let k = 3;
+    let p = 25;
+    let mut correct = 0usize;
+    let mut total_cost = 0usize;
+    for query in &queries {
+        let truth = ground_truth(std::slice::from_ref(query), &database, &distance, k, 1);
+        distance.reset();
+        let result = index.retrieve(query, &database, &distance, k, p);
+        total_cost += result.total_cost();
+        if result.neighbors == truth[0].neighbors {
+            correct += 1;
+        }
+    }
+    println!(
+        "retrieved all {k} true nearest neighbors for {}/{} queries",
+        correct,
+        queries.len()
+    );
+    println!(
+        "average cost: {:.1} exact distances per query (brute force = {})",
+        total_cost as f64 / queries.len() as f64,
+        database.len()
+    );
+}

@@ -1,0 +1,68 @@
+//! Time-series retrieval under constrained Dynamic Time Warping — the
+//! paper's second experimental scenario at reproduction scale.
+//!
+//! Shows the speed-up over brute force that the query-sensitive embedding
+//! achieves at 1-NN retrieval, mirroring the speed-up discussion of
+//! Section 9.
+//!
+//! Run with: `cargo run --release --example timeseries_retrieval`
+
+use query_sensitive_embeddings::prelude::*;
+use query_sensitive_embeddings::retrieval::experiments::runner::WorkloadScale;
+use query_sensitive_embeddings::retrieval::experiments::speedup::run_speedup;
+use rand::SeedableRng;
+
+fn main() {
+    let database_size = 400;
+    let query_count = 40;
+    let series_length = 64;
+
+    let scale = WorkloadScale {
+        candidate_pool: 100,
+        training_pool: 100,
+        training_triples: 2_000,
+        rounds: 28,
+        candidates_per_round: 40,
+        intervals_per_candidate: 8,
+        kmax: 5,
+        dims_to_evaluate: vec![4, 8, 16, 28],
+        threads: 8,
+    };
+
+    println!(
+        "building a {database_size}-sequence cDTW workload and training FastMap + Se-QS ..."
+    );
+    let report = run_speedup(database_size, query_count, series_length, &scale, 11);
+    print!("{}", report.to_text());
+
+    if let (Some(seqs), Some(fm)) =
+        (report.speedup_of("Se-QS", 95.0), report.speedup_of("FastMap", 95.0))
+    {
+        println!(
+            "\nAt 95% accuracy Se-QS is {:.1}x faster than brute force and {:.1}x faster than FastMap.",
+            seqs,
+            seqs / fm
+        );
+    }
+
+    // Also demonstrate a single end-to-end query through the public API.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let generator = TimeSeriesGenerator::with_default_config(&mut rng);
+    let database = generator.generate_unlabeled(200, &mut rng);
+    let query = generator.variation(3, &mut rng);
+    let distance = CountingDistance::new(ConstrainedDtw::paper());
+
+    let pools: Vec<TimeSeries> = database.iter().take(60).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &distance, 4);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 800, &mut rng);
+    let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+    let index = FilterRefineIndex::build_query_sensitive(model, &database, &distance);
+    distance.reset();
+    let outcome = index.retrieve(&query, &database, &distance, 1, 15);
+    println!(
+        "\nsingle query: nearest neighbor = #{} at cDTW distance {:.3}, using {} exact distances",
+        outcome.neighbors[0],
+        outcome.distances[0],
+        outcome.total_cost()
+    );
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: full train → embed → index → retrieve
+//! pipelines for every method variant, on small but realistic workloads.
+
+use query_sensitive_embeddings::prelude::*;
+use query_sensitive_embeddings::retrieval::experiments::runner::{
+    evaluate_methods, Method, WorkloadScale,
+};
+use query_sensitive_embeddings::retrieval::experiments::workloads::{
+    digits_workload, timeseries_workload,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small but structured vector workload (clusters in the plane) under the
+/// Euclidean distance, cheap enough to run every variant on.
+fn vector_workload(db: usize, queries: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut make = |rng: &mut StdRng| {
+        let c = rng.gen_range(0..6);
+        vec![
+            (c % 3) as f64 * 15.0 + rng.gen_range(-1.0..1.0),
+            (c / 3) as f64 * 15.0 + rng.gen_range(-1.0..1.0),
+        ]
+    };
+    let database = (0..db).map(|_| make(&mut rng)).collect();
+    let query_set = (0..queries).map(|_| make(&mut rng)).collect();
+    (database, query_set)
+}
+
+#[test]
+fn every_method_variant_trains_and_retrieves() {
+    let (db, queries) = vector_workload(150, 20, 1);
+    let distance = LpDistance::l2();
+    let scale = WorkloadScale::tiny();
+    let evaluations =
+        evaluate_methods(&db, &queries, &distance, &scale, &Method::table1(), 99);
+    assert_eq!(evaluations.len(), 5);
+    for eval in &evaluations {
+        let row = eval.optimal_cost(1, 90.0);
+        assert!(row.cost >= 1 && row.cost <= db.len(), "{}: cost {}", eval.method, row.cost);
+        // Retrieving more neighbors can never be cheaper at the same accuracy.
+        let row_k5 = eval.optimal_cost(scale.kmax, 90.0);
+        assert!(row_k5.cost >= row.cost, "{}: k=5 cheaper than k=1", eval.method);
+    }
+}
+
+#[test]
+fn query_sensitive_beats_or_matches_fastmap_on_clustered_vectors() {
+    let (db, queries) = vector_workload(200, 25, 3);
+    let distance = LpDistance::l2();
+    let scale = WorkloadScale::tiny();
+    let evaluations = evaluate_methods(
+        &db,
+        &queries,
+        &distance,
+        &scale,
+        &[Method::FastMap, Method::Boosted(MethodVariant::SeQs)],
+        7,
+    );
+    let fastmap = evaluations[0].optimal_cost(1, 90.0).cost;
+    let seqs = evaluations[1].optimal_cost(1, 90.0).cost;
+    // On this easy workload both should beat brute force, and the learned
+    // query-sensitive embedding should not be worse than the baseline by more
+    // than a small factor (it usually wins outright).
+    assert!(seqs < db.len(), "Se-QS should beat brute force");
+    assert!(
+        seqs <= fastmap.saturating_mul(2),
+        "Se-QS ({seqs}) should be competitive with FastMap ({fastmap})"
+    );
+}
+
+#[test]
+fn filter_and_refine_with_full_p_equals_exact_knn_for_trained_model() {
+    let (db, queries) = vector_workload(100, 5, 5);
+    let distance = LpDistance::l2();
+    let mut rng = StdRng::seed_from_u64(11);
+    let pools: Vec<Vec<f64>> = db.iter().take(50).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &distance, 2);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 400, &mut rng);
+    let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+    let index = FilterRefineIndex::build_query_sensitive(model, &db, &distance);
+    for q in &queries {
+        let truth = ground_truth(std::slice::from_ref(q), &db, &distance, 3, 1);
+        let out = index.retrieve(q, &db, &distance, 3, db.len());
+        assert_eq!(out.neighbors, truth[0].neighbors);
+    }
+}
+
+#[test]
+fn digits_pipeline_end_to_end_small_scale() {
+    // Shape-context distances are expensive, so this stays tiny; the point is
+    // that the whole pipeline (generator → shape context → training →
+    // retrieval) holds together and beats brute force.
+    let (db, queries, distance) = digits_workload(80, 8, 16, 17);
+    let scale = WorkloadScale {
+        candidate_pool: 30,
+        training_pool: 30,
+        training_triples: 200,
+        rounds: 8,
+        candidates_per_round: 15,
+        intervals_per_candidate: 5,
+        kmax: 3,
+        dims_to_evaluate: vec![4, 8],
+        threads: 4,
+    };
+    let evaluations = evaluate_methods(
+        &db,
+        &queries,
+        &distance,
+        &scale,
+        &[Method::Boosted(MethodVariant::SeQs)],
+        23,
+    );
+    let row = evaluations[0].optimal_cost(1, 90.0);
+    assert!(row.cost <= db.len());
+    assert!(row.best_p >= 1);
+}
+
+#[test]
+fn timeseries_pipeline_end_to_end_small_scale() {
+    let (db, queries, distance) = timeseries_workload(100, 10, 32, 2, 29);
+    let scale = WorkloadScale {
+        candidate_pool: 40,
+        training_pool: 40,
+        training_triples: 300,
+        rounds: 10,
+        candidates_per_round: 20,
+        intervals_per_candidate: 5,
+        kmax: 3,
+        dims_to_evaluate: vec![4, 10],
+        threads: 4,
+    };
+    let evaluations = evaluate_methods(
+        &db,
+        &queries,
+        &distance,
+        &scale,
+        &[Method::FastMap, Method::Boosted(MethodVariant::SeQs)],
+        31,
+    );
+    for eval in &evaluations {
+        let row = eval.optimal_cost(1, 90.0);
+        assert!(row.cost <= db.len(), "{} cost {} exceeds brute force", eval.method, row.cost);
+    }
+}
+
+#[test]
+fn trained_model_survives_serialization_and_produces_identical_rankings() {
+    let (db, queries) = vector_workload(80, 4, 37);
+    let distance = LpDistance::l2();
+    let mut rng = StdRng::seed_from_u64(41);
+    let pools: Vec<Vec<f64>> = db.iter().take(40).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &distance, 2);
+    let triples = TripleSampler::selective(3).sample(&data.train_to_train, 300, &mut rng);
+    let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+
+    let json = model.to_json().expect("serialize");
+    let restored: QseModel<Vec<f64>> = QseModel::from_json(&json).expect("deserialize");
+    assert_eq!(model, restored);
+
+    let index_a = FilterRefineIndex::build_query_sensitive(model, &db, &distance);
+    let index_b = FilterRefineIndex::build_query_sensitive(restored, &db, &distance);
+    for q in &queries {
+        let (rank_a, _) = index_a.filter_ranking(q, &distance);
+        let (rank_b, _) = index_b.filter_ranking(q, &distance);
+        assert_eq!(rank_a, rank_b);
+    }
+}
