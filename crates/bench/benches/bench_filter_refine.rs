@@ -15,9 +15,17 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
-    FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
-    })
+    FnDistance::new(
+        "euclid",
+        MetricProperties::Metric,
+        |a: &Vec<f64>, b: &Vec<f64>| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        },
+    )
 }
 
 fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
@@ -50,9 +58,11 @@ fn bench_filter_step(c: &mut Criterion) {
         let index = build_index(&db);
         let d = euclid();
         let query = vec![6.0, 6.0];
-        group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |bench, _| {
-            bench.iter(|| black_box(index.filter_ranking(black_box(&query), &d)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(db_size),
+            &db_size,
+            |bench, _| bench.iter(|| black_box(index.filter_ranking(black_box(&query), &d))),
+        );
     }
     group.finish();
 }

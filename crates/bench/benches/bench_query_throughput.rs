@@ -1,0 +1,115 @@
+//! Query-engine throughput benchmarks: single-query latency and batched
+//! queries/second for the Se-QS (query-sensitive weighted L1) and FastMap
+//! (global L1) filter steps, at database sizes 1k and 10k.
+//!
+//! These benchmarks exercise the filter-and-refine hot path end to end —
+//! embed the query, O(n) top-p selection over the flat vector store, refine
+//! the p survivors — and the batched variants additionally exercise the
+//! rayon fan-out of `retrieve_batch`. Run with
+//!
+//! ```text
+//! cargo bench --bench bench_query_throughput
+//! RAYON_NUM_THREADS=1 cargo bench --bench bench_query_throughput
+//! ```
+//!
+//! and compare the `batch*` lines to see the scaling with cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData, TripleSampler};
+use qse_distance::traits::{FnDistance, MetricProperties};
+use qse_retrieval::FilterRefineIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const BATCH: usize = 256;
+const K: usize = 10;
+const P: usize = 50;
+
+fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
+    FnDistance::new(
+        "euclid",
+        MetricProperties::Metric,
+        |a: &Vec<f64>, b: &Vec<f64>| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        },
+    )
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0..9);
+            vec![
+                (c % 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+                (c / 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+fn queries(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    clustered(n, seed ^ 0x0005_1EED)
+}
+
+fn seqs_index(db: &[Vec<f64>]) -> FilterRefineIndex<Vec<f64>> {
+    let d = euclid();
+    let mut rng = StdRng::seed_from_u64(71);
+    let pools: Vec<Vec<f64>> = db.iter().take(80).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &d, 8);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 800, &mut rng);
+    let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+    FilterRefineIndex::build_query_sensitive(model, db, &d)
+}
+
+fn fastmap_index(db: &[Vec<f64>]) -> FilterRefineIndex<Vec<f64>> {
+    use qse_embedding::{FastMap, FastMapConfig};
+    let d = euclid();
+    let mut rng = StdRng::seed_from_u64(72);
+    let sample: Vec<Vec<f64>> = db.iter().take(80).cloned().collect();
+    let fm = FastMap::train(
+        &sample,
+        &d,
+        FastMapConfig {
+            dimensions: 8,
+            pivot_iterations: 4,
+        },
+        &mut rng,
+    );
+    FilterRefineIndex::build_global(fm, db, &d)
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let d = euclid();
+    for &db_size in &[1_000usize, 10_000] {
+        let db = clustered(db_size, 1);
+        let batch = queries(BATCH, 2);
+        let single = batch[0].clone();
+        for (method, index) in [("seqs", seqs_index(&db)), ("fastmap", fastmap_index(&db))] {
+            let mut group = c.benchmark_group(format!("query_throughput/{method}"));
+            group.bench_with_input(
+                BenchmarkId::new("single_query_latency", db_size),
+                &db_size,
+                |b, _| b.iter(|| black_box(index.retrieve(black_box(&single), &db, &d, K, P))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch{BATCH}_queries"), db_size),
+                &db_size,
+                |b, _| b.iter(|| black_box(index.retrieve_batch(black_box(&batch), &db, &d, K, P))),
+            );
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_query_throughput
+);
+criterion_main!(benches);

@@ -3,18 +3,24 @@
 //! query-insensitive trainers (the `O(m · t)` per-round cost of Section 7).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qse_core::{
-    BoostMapTrainer, QuerySensitivity, TrainerConfig, TrainingData, TripleSampler,
-};
+use qse_core::{BoostMapTrainer, QuerySensitivity, TrainerConfig, TrainingData, TripleSampler};
 use qse_distance::traits::{FnDistance, MetricProperties};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
-    FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
-    })
+    FnDistance::new(
+        "euclid",
+        MetricProperties::Metric,
+        |a: &Vec<f64>, b: &Vec<f64>| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        },
+    )
 }
 
 fn objects(n: usize) -> Vec<Vec<f64>> {
@@ -72,9 +78,7 @@ fn bench_boosting(c: &mut Criterion) {
         group.bench_function(name, |bench| {
             bench.iter(|| {
                 let mut train_rng = StdRng::seed_from_u64(31);
-                black_box(
-                    BoostMapTrainer::new(config).train(&data, &triples, &mut train_rng),
-                )
+                black_box(BoostMapTrainer::new(config).train(&data, &triples, &mut train_rng))
             })
         });
     }

@@ -10,7 +10,11 @@ fn main() {
         .skip(1)
         .filter_map(|a| a.parse().ok())
         .collect();
-    let seeds = if seeds.is_empty() { vec![1, 2, 3, 4, 5] } else { seeds };
+    let seeds = if seeds.is_empty() {
+        vec![1, 2, 3, 4, 5]
+    } else {
+        seeds
+    };
 
     let mut wins = 0usize;
     for &seed in &seeds {
@@ -18,7 +22,10 @@ fn main() {
         println!("=== Figure 1 toy configuration, seed {seed} ===");
         print!("{}", result.to_text());
         let ok = result.query_sensitivity_pays_off();
-        println!("query-sensitivity pays off: {}\n", if ok { "yes" } else { "no" });
+        println!(
+            "query-sensitivity pays off: {}\n",
+            if ok { "yes" } else { "no" }
+        );
         wins += usize::from(ok);
     }
     println!(

@@ -13,6 +13,12 @@ fn main() {
         "[fig4] scale = {} (database {}, queries {}, {} points/shape)",
         hs.name, hs.digits_db, hs.digits_queries, hs.points_per_shape
     );
-    let figure = run_fig4(hs.digits_db, hs.digits_queries, hs.points_per_shape, &hs.scale, 2005);
+    let figure = run_fig4(
+        hs.digits_db,
+        hs.digits_queries,
+        hs.points_per_shape,
+        &hs.scale,
+        2005,
+    );
     print!("{}", figure.to_text());
 }

@@ -13,7 +13,13 @@ fn main() {
         "[fig5] scale = {} (database {}, queries {}, length {})",
         hs.name, hs.series_db, hs.series_queries, hs.series_length
     );
-    let figure =
-        run_fig5(hs.series_db, hs.series_queries, hs.series_length, 2, &hs.scale, 2005);
+    let figure = run_fig5(
+        hs.series_db,
+        hs.series_queries,
+        hs.series_length,
+        2,
+        &hs.scale,
+        2005,
+    );
     print!("{}", figure.to_text());
 }

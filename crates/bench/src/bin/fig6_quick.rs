@@ -13,6 +13,12 @@ fn main() {
         "[fig6] scale = {} (database {}, queries {})",
         hs.name, hs.digits_db, hs.digits_queries
     );
-    let figure = run_fig6(hs.digits_db, hs.digits_queries, hs.points_per_shape, &hs.scale, 2005);
+    let figure = run_fig6(
+        hs.digits_db,
+        hs.digits_queries,
+        hs.points_per_shape,
+        &hs.scale,
+        2005,
+    );
     print!("{}", figure.to_text());
 }

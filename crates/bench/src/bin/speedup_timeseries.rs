@@ -10,8 +10,13 @@ use qse_retrieval::experiments::speedup::run_speedup;
 fn main() {
     let hs = HarnessScale::from_env();
     eprintln!("[speedup] scale = {}", hs.name);
-    let report =
-        run_speedup(hs.series_db, hs.series_queries, hs.series_length, &hs.scale, 2005);
+    let report = run_speedup(
+        hs.series_db,
+        hs.series_queries,
+        hs.series_length,
+        &hs.scale,
+        2005,
+    );
     print!("{}", report.to_text());
     if let Some(s) = report.speedup_of("Se-QS", 100.0) {
         println!(

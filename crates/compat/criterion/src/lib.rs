@@ -1,0 +1,276 @@
+//! A minimal, self-contained stand-in for the parts of the `criterion` API
+//! used by this workspace (the build environment has no access to a crates
+//! registry; see `crates/compat/README.md`).
+//!
+//! Each benchmark runs one warm-up iteration followed by `sample_size` timed
+//! iterations and prints the mean and minimum wall-clock time per iteration.
+//! This is deliberately simpler than real criterion (no bootstrap statistics,
+//! no HTML reports) but produces honest, comparable numbers and keeps the
+//! `criterion_group!` / `criterion_main!` bench targets runnable with
+//! `cargo bench`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver configuration and sink.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark (at least 1).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is fixed to one iteration.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; command-line arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the throughput denominator (printed alongside timings).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Run one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Times the benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Option<Duration>) -> Self {
+        Self {
+            sample_size,
+            measurement_time,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Run the routine once for warm-up, then `sample_size` timed times
+    /// (stopping early if the configured measurement time is exhausted).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        let budget = self.measurement_time.unwrap_or(Duration::from_secs(3600));
+        let started = Instant::now();
+        for done in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if done + 1 < self.sample_size && started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<55} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id:<55} time: [mean {} | min {}] ({} samples)",
+            format_duration(mean),
+            format_duration(min),
+            self.samples.len()
+        );
+    }
+}
+
+/// Throughput annotation (accepted, not currently printed).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Define a function running a list of benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the `main` of a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn groups_run_parameterized_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut hits = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| hits += n as u32)
+        });
+        group.finish();
+        assert_eq!(hits, 7 * 3);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("us"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with(" s"));
+    }
+}

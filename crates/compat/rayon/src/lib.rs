@@ -1,0 +1,438 @@
+//! A minimal, self-contained stand-in for the parts of the `rayon` API used
+//! by this workspace (the build environment has no access to a crates
+//! registry; see `crates/compat/README.md`).
+//!
+//! Execution model: every parallel stage partitions its input into
+//! contiguous chunks — one per worker — and runs them on
+//! [`std::thread::scope`] threads, concatenating results **in input order**.
+//! That makes `collect` order-stable, exactly like real rayon's indexed
+//! parallel iterators, so callers can build bit-deterministic reductions on
+//! top (see `qse-core::trainer`).
+//!
+//! The worker count is `RAYON_NUM_THREADS` when set (a value of `1` disables
+//! parallelism entirely), otherwise [`std::thread::available_parallelism`].
+//! The variable is re-read on every parallel call, so tests can flip it at
+//! run time.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// The number of worker threads parallel calls will use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// Map `f` over owned items on worker threads; output preserves input order.
+fn parallel_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads();
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut batches: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let batch: Vec<T> = it.by_ref().take(chunk).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let mut out = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon: worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// Apply `f` to every `(index, chunk)` of `slice.chunks_mut(size)` on worker
+/// threads (chunks are disjoint, so this is safe to parallelize).
+fn parallel_chunks_mut<T, F>(slice: &mut [T], size: usize, f: &F)
+where
+    T: Send,
+    F: Fn((usize, &mut [T])) + Sync,
+{
+    let size = size.max(1);
+    let threads = current_num_threads();
+    let total_chunks = slice.len().div_ceil(size);
+    if threads <= 1 || total_chunks <= 1 {
+        for (i, chunk) in slice.chunks_mut(size).enumerate() {
+            f((i, chunk));
+        }
+        return;
+    }
+    // Hand each worker a contiguous band of whole chunks.
+    let chunks_per_band = total_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = slice;
+        let mut first_chunk = 0usize;
+        while !rest.is_empty() {
+            let band_len = (chunks_per_band * size).min(rest.len());
+            let (band, tail) = rest.split_at_mut(band_len);
+            rest = tail;
+            let start = first_chunk;
+            first_chunk += band_len.div_ceil(size);
+            scope.spawn(move || {
+                for (offset, chunk) in band.chunks_mut(size).enumerate() {
+                    f((start + offset, chunk));
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    use super::{parallel_chunks_mut, parallel_map_vec};
+
+    /// An eager, order-preserving parallel iterator. Adapters are lazy;
+    /// [`ParallelIterator::drive`] (called by the terminal operations)
+    /// materializes the pipeline, running `map`/`for_each` stages on worker
+    /// threads.
+    pub trait ParallelIterator: Sized {
+        /// Item type produced by this stage.
+        type Item: Send;
+
+        /// Materialize all items, in input order, applying parallel stages.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Map every item through `f` in parallel.
+        fn map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pair every item with its index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Consume every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _ = Map {
+                base: self,
+                f: |item| f(item),
+            }
+            .drive();
+        }
+
+        /// Collect the items (order-stable) into `C`.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_ordered_vec(self.drive())
+        }
+    }
+
+    /// Collection types a parallel iterator can be collected into.
+    pub trait FromParallelIterator<T> {
+        /// Build the collection from the already-ordered items.
+        fn from_ordered_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Lazy `map` adapter.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, U, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        U: Send,
+        F: Fn(I::Item) -> U + Sync,
+    {
+        type Item = U;
+        fn drive(self) -> Vec<U> {
+            parallel_map_vec(self.base.drive(), &self.f)
+        }
+    }
+
+    /// Lazy `enumerate` adapter.
+    pub struct Enumerate<I> {
+        base: I,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+        fn drive(self) -> Vec<(usize, I::Item)> {
+            self.base.drive().into_iter().enumerate().collect()
+        }
+    }
+
+    /// Leaf iterator over a shared slice.
+    pub struct SliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+        fn drive(self) -> Vec<&'a T> {
+            self.slice.iter().collect()
+        }
+    }
+
+    /// Leaf iterator over an owned vector.
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Leaf iterator over a `usize` range.
+    pub struct RangeIter {
+        range: std::ops::Range<usize>,
+    }
+
+    impl ParallelIterator for RangeIter {
+        type Item = usize;
+        fn drive(self) -> Vec<usize> {
+            self.range.collect()
+        }
+    }
+
+    /// Types convertible into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Item type of the resulting iterator.
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = RangeIter;
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter { range: self }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn into_par_iter(self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    /// `par_iter` on slice-like types.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type (a shared reference).
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrowing parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over disjoint mutable chunks of `chunk_size`
+        /// elements (the last chunk may be shorter).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+            ChunksMut {
+                slice: self,
+                size: chunk_size,
+            }
+        }
+    }
+
+    /// Parallel mutable-chunk iterator (supports `enumerate().for_each(..)`
+    /// and `for_each(..)`).
+    pub struct ChunksMut<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send> ChunksMut<'a, T> {
+        /// Pair every chunk with its index.
+        pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+            EnumerateChunksMut { inner: self }
+        }
+
+        /// Consume every chunk in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            parallel_chunks_mut(self.slice, self.size, &|(_, chunk): (usize, &mut [T])| {
+                f(chunk)
+            });
+        }
+    }
+
+    /// Enumerated parallel mutable-chunk iterator.
+    pub struct EnumerateChunksMut<'a, T> {
+        inner: ChunksMut<'a, T>,
+    }
+
+    impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+        /// Consume every `(index, chunk)` pair in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            parallel_chunks_mut(self.inner.slice, self.inner.size, &f);
+        }
+    }
+}
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges_and_vecs() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 257);
+        assert_eq!(squares[16], 256);
+        let owned: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(owned, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn enumerate_attaches_input_indices() {
+        let v = [10, 20, 30];
+        let pairs: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_exactly_once() {
+        let mut data = vec![0u64; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64 + 1;
+            }
+        });
+        for (j, x) in data.iter().enumerate() {
+            assert_eq!(*x, (j / 10) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn respects_thread_count_of_one() {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        assert!(super::current_num_threads() >= 1);
+    }
+}

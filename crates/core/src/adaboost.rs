@@ -15,10 +15,8 @@
 //! works on precomputed *margins* `m_i = y_i · h(o_i)`, which is all `Z`
 //! depends on.
 
-use serde::{Deserialize, Serialize};
-
 /// The weight distribution over training examples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightDistribution {
     weights: Vec<f64>,
 }
@@ -29,8 +27,13 @@ impl WeightDistribution {
     /// # Panics
     /// Panics if `n` is zero.
     pub fn uniform(n: usize) -> Self {
-        assert!(n > 0, "cannot create a weight distribution over zero examples");
-        Self { weights: vec![1.0 / n as f64; n] }
+        assert!(
+            n > 0,
+            "cannot create a weight distribution over zero examples"
+        );
+        Self {
+            weights: vec![1.0 / n as f64; n],
+        }
     }
 
     /// The current weights (always sum to 1).
@@ -55,14 +58,25 @@ impl WeightDistribution {
     /// # Panics
     /// Panics if the slices disagree in length with the distribution.
     pub fn update(&mut self, alpha: f64, outputs: &[f64], labels: &[f64]) -> f64 {
-        assert_eq!(outputs.len(), self.weights.len(), "output/weight length mismatch");
-        assert_eq!(labels.len(), self.weights.len(), "label/weight length mismatch");
+        assert_eq!(
+            outputs.len(),
+            self.weights.len(),
+            "output/weight length mismatch"
+        );
+        assert_eq!(
+            labels.len(),
+            self.weights.len(),
+            "label/weight length mismatch"
+        );
         let mut z = 0.0;
         for ((w, h), y) in self.weights.iter_mut().zip(outputs).zip(labels) {
             *w *= (-alpha * y * h).exp();
             z += *w;
         }
-        assert!(z.is_finite() && z > 0.0, "degenerate AdaBoost normaliser z = {z}");
+        assert!(
+            z.is_finite() && z > 0.0,
+            "degenerate AdaBoost normaliser z = {z}"
+        );
         for w in &mut self.weights {
             *w /= z;
         }
@@ -112,15 +126,28 @@ pub struct AlphaSearch {
 ///   weights when a classifier is perfect on the weighted sample).
 /// * otherwise bisect until the bracket is tighter than `tol`.
 pub fn optimize_alpha(margins: &[f64], weights: &[f64], alpha_max: f64, tol: f64) -> AlphaSearch {
-    assert_eq!(margins.len(), weights.len(), "margin/weight length mismatch");
-    assert!(alpha_max > 0.0 && tol > 0.0, "alpha_max and tol must be positive");
+    assert_eq!(
+        margins.len(),
+        weights.len(),
+        "margin/weight length mismatch"
+    );
+    assert!(
+        alpha_max > 0.0 && tol > 0.0,
+        "alpha_max and tol must be positive"
+    );
     let d0 = z_derivative(0.0, margins, weights);
     if d0 >= 0.0 {
-        return AlphaSearch { alpha: 0.0, z: 1.0_f64.min(z_value(0.0, margins, weights)) };
+        return AlphaSearch {
+            alpha: 0.0,
+            z: 1.0_f64.min(z_value(0.0, margins, weights)),
+        };
     }
     let dmax = z_derivative(alpha_max, margins, weights);
     if dmax <= 0.0 {
-        return AlphaSearch { alpha: alpha_max, z: z_value(alpha_max, margins, weights) };
+        return AlphaSearch {
+            alpha: alpha_max,
+            z: z_value(alpha_max, margins, weights),
+        };
     }
     let (mut lo, mut hi) = (0.0, alpha_max);
     while hi - lo > tol {
@@ -132,7 +159,10 @@ pub fn optimize_alpha(margins: &[f64], weights: &[f64], alpha_max: f64, tol: f64
         }
     }
     let alpha = 0.5 * (lo + hi);
-    AlphaSearch { alpha, z: z_value(alpha, margins, weights) }
+    AlphaSearch {
+        alpha,
+        z: z_value(alpha, margins, weights),
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +204,11 @@ mod tests {
         let weights = vec![0.25; 4];
         let res = optimize_alpha(&margins, &weights, 10.0, 1e-9);
         let expected = 0.5 * (0.75_f64 / 0.25).ln();
-        assert!((res.alpha - expected).abs() < 1e-6, "{} vs {expected}", res.alpha);
+        assert!(
+            (res.alpha - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            res.alpha
+        );
         // And the resulting Z matches 2 sqrt(ε (1-ε)).
         let expected_z = 2.0 * (0.25_f64 * 0.75).sqrt();
         assert!((res.z - expected_z).abs() < 1e-6);
@@ -231,10 +265,9 @@ mod tests {
             // Pick the classifier with the lowest Z this round.
             let mut best: Option<(usize, AlphaSearch)> = None;
             for (ci, outputs) in weak.iter().enumerate() {
-                let margins: Vec<f64> =
-                    outputs.iter().zip(&labels).map(|(h, y)| h * y).collect();
+                let margins: Vec<f64> = outputs.iter().zip(&labels).map(|(h, y)| h * y).collect();
                 let res = optimize_alpha(&margins, dist.weights(), 5.0, 1e-9);
-                if best.as_ref().map_or(true, |(_, b)| res.z < b.z) {
+                if best.as_ref().is_none_or(|(_, b)| res.z < b.z) {
                     best = Some((ci, res));
                 }
             }
@@ -252,7 +285,10 @@ mod tests {
             .zip(&labels)
             .filter(|(s, y)| s.signum() != y.signum())
             .count();
-        assert_eq!(errors, 0, "strong classifier should separate the toy data: {strong:?}");
+        assert_eq!(
+            errors, 0,
+            "strong classifier should separate the toy data: {strong:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! A small, dependency-free JSON codec used to persist trained models.
+//!
+//! The build environment has no crates-registry access, so `serde_json` is
+//! replaced by this hand-rolled value model + recursive-descent parser. One
+//! deliberate extension: the non-finite numbers that occur in trained models
+//! (splitter intervals store `±∞` bounds) are written as the bare literals
+//! `inf`, `-inf` and `nan`, and the parser accepts them back. Everything
+//! else is plain JSON. Finite numbers are printed with Rust's shortest
+//! round-trip formatting, so parse(print(x)) reproduces `x` bit-exactly and
+//! a serialized model deserializes to an **equal** model (asserted by the
+//! workspace integration tests).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, including the extended literals `inf`, `-inf`, `nan`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; key order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Error raised by parsing or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// Create an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Serialize to a compact JSON string.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => {
+                if x.is_nan() {
+                    out.push_str("nan");
+                } else if *x == f64::INFINITY {
+                    out.push_str("inf");
+                } else if *x == f64::NEG_INFINITY {
+                    out.push_str("-inf");
+                } else {
+                    // Shortest round-trip representation.
+                    out.push_str(&format!("{x:?}"));
+                }
+            }
+            JsonValue::String(s) => write_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON string (accepting the extended number literals).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    /// The number held by this value, if any.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            JsonValue::Number(x) => Ok(*x),
+            other => Err(JsonError::new(format!(
+                "expected a number, found {other:?}"
+            ))),
+        }
+    }
+
+    /// The array held by this value, if any.
+    pub fn as_array(&self) -> Result<&[JsonValue], JsonError> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(JsonError::new(format!(
+                "expected an array, found {other:?}"
+            ))),
+        }
+    }
+
+    /// The string held by this value, if any.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            other => Err(JsonError::new(format!(
+                "expected a string, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Result<&JsonValue, JsonError> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field `{key}`"))),
+            other => Err(JsonError::new(format!(
+                "expected an object, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(JsonValue::Null),
+            Some(b'n') if self.literal("nan") => Ok(JsonValue::Number(f64::NAN)),
+            Some(b'i') if self.literal("inf") => Ok(JsonValue::Number(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-inf") => {
+                self.pos += 4;
+                Ok(JsonValue::Number(f64::NEG_INFINITY))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex_escape_after_u()?;
+                            let code = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: must be followed by an
+                                // escaped low surrogate; combine the pair.
+                                if self.bytes.get(self.pos + 1..self.pos + 3)
+                                    != Some(b"\\u".as_slice())
+                                {
+                                    return Err(JsonError::new("unpaired high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex_escape_after_u()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(JsonError::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError::new("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(JsonError::new("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Decode the 4 hex digits following the `u` the cursor sits on, leaving
+    /// the cursor on the last digit (the caller consumes it like any other
+    /// escape character).
+    fn hex_escape_after_u(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| JsonError::new("invalid \\u escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| JsonError::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonError::new(format!("invalid number `{text}`")))
+    }
+}
+
+/// Types that can round-trip through [`JsonValue`]. This plays the role the
+/// `Serialize`/`Deserialize` pair played before the workspace went
+/// dependency-free; only the types that are actually persisted implement it.
+pub trait JsonCodec: Sized {
+    /// Encode `self`.
+    fn to_json_value(&self) -> JsonValue;
+    /// Decode a value produced by [`JsonCodec::to_json_value`].
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError>;
+}
+
+impl JsonCodec for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Number(*self)
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_f64()
+    }
+}
+
+impl JsonCodec for usize {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Number(*self as f64)
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let x = value.as_f64()?;
+        if x.fract() != 0.0 || !(0.0..=(u64::MAX as f64)).contains(&x) {
+            return Err(JsonError::new(format!(
+                "expected a non-negative integer, found {x}"
+            )));
+        }
+        Ok(x as usize)
+    }
+}
+
+impl JsonCodec for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected a bool, found {other:?}"))),
+        }
+    }
+}
+
+impl JsonCodec for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.clone())
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(JsonCodec::to_json_value).collect())
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        value.as_array()?.iter().map(T::from_json_value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for x in [
+            0.0,
+            -1.5,
+            1e300,
+            1.0 / 3.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let text = JsonValue::Number(x).dump();
+            let back = JsonValue::parse(&text).expect("parse");
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{text}");
+        }
+        let nan = JsonValue::parse("nan").unwrap().as_f64().unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn structures_round_trip() {
+        let value = JsonValue::Object(vec![
+            ("name".into(), JsonValue::String("Se-QS \"model\"\n".into())),
+            (
+                "values".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Number(1.25),
+                    JsonValue::Bool(true),
+                    JsonValue::Null,
+                ]),
+            ),
+            ("empty".into(), JsonValue::Array(vec![])),
+        ]);
+        let text = value.dump();
+        assert_eq!(JsonValue::parse(&text).expect("parse"), value);
+    }
+
+    #[test]
+    fn parses_standard_json_with_whitespace() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2.5e1 , -3 ] , \"b\" : { } } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64().unwrap(),
+            25.0
+        );
+    }
+
+    #[test]
+    fn codec_vec_round_trips() {
+        let xs = vec![1.0, f64::INFINITY, -0.125];
+        let back =
+            Vec::<f64>::from_json_value(&JsonValue::parse(&xs.to_json_value().dump()).unwrap())
+                .unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs_parse() {
+        let v = JsonValue::parse("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "A\u{1F600}");
+        assert!(
+            JsonValue::parse("\"\\ud83d\"").is_err(),
+            "lone high surrogate"
+        );
+        assert!(
+            JsonValue::parse("\"\\ud83d\\u0041\"").is_err(),
+            "bad low surrogate"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,", "\"abc", "{\"a\" 1}", "1 2", "tru"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let v = JsonValue::parse("{\"a\":1}").unwrap();
+        assert!(v.get("b").is_err());
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adaboost;
+pub mod json;
 pub mod model;
 pub mod trainer;
 pub mod training_data;

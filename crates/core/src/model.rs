@@ -14,14 +14,15 @@
 //! and the property tests at the workspace root verify that identity on
 //! random models.
 
+use crate::json::{JsonCodec, JsonError, JsonValue};
 use crate::weak::Interval;
 use qse_distance::DistanceMeasure;
+use qse_embedding::one_d::Candidate;
 use qse_embedding::{CompositeEmbedding, Embedding, OneDEmbedding};
-use serde::{Deserialize, Serialize};
 
 /// One term `α_j · Q̃_{F'_j, V_j}` of the boosted classifier, expressed
 /// against the model's list of distinct coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeakLearner {
     /// Index into [`QseModel::coordinates`] of the 1-D embedding `F'_j`.
     pub coordinate: usize,
@@ -35,7 +36,7 @@ pub struct WeakLearner {
 
 /// A query embedded by a [`QseModel`]: its coordinates under `F_out` and the
 /// per-coordinate weights `A_i(q)` of the query-sensitive distance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddedQuery {
     /// `F_out(q)`.
     pub coordinates: Vec<f64>,
@@ -60,7 +61,7 @@ impl EmbeddedQuery {
 }
 
 /// Per-round training diagnostics recorded by the trainer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainingHistory {
     /// Weighted training error of the chosen weak classifier at each round.
     pub weak_errors: Vec<f64>,
@@ -72,7 +73,7 @@ pub struct TrainingHistory {
 }
 
 /// A trained query-sensitive (or query-insensitive) embedding model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QseModel<O> {
     coordinates: Vec<OneDEmbedding<O>>,
     learners: Vec<WeakLearner>,
@@ -90,13 +91,23 @@ impl<O: Clone + Send + Sync> QseModel<O> {
         learners: Vec<WeakLearner>,
         history: TrainingHistory,
     ) -> Self {
-        assert!(!coordinates.is_empty(), "a model needs at least one coordinate");
-        assert!(!learners.is_empty(), "a model needs at least one weak learner");
+        assert!(
+            !coordinates.is_empty(),
+            "a model needs at least one coordinate"
+        );
+        assert!(
+            !learners.is_empty(),
+            "a model needs at least one weak learner"
+        );
         assert!(
             learners.iter().all(|l| l.coordinate < coordinates.len()),
             "weak learner refers to a missing coordinate"
         );
-        Self { coordinates, learners, history }
+        Self {
+            coordinates,
+            learners,
+            history,
+        }
     }
 
     /// Output dimensionality `d` (number of distinct 1-D embeddings).
@@ -154,7 +165,10 @@ impl<O: Clone + Send + Sync> QseModel<O> {
         );
         let mut weights = vec![0.0; self.coordinates.len()];
         for learner in &self.learners {
-            if learner.interval.accepts(query_coordinates[learner.coordinate]) {
+            if learner
+                .interval
+                .accepts(query_coordinates[learner.coordinate])
+            {
                 weights[learner.coordinate] += learner.alpha;
             }
         }
@@ -166,7 +180,10 @@ impl<O: Clone + Send + Sync> QseModel<O> {
     pub fn embed_query(&self, query: &O, distance: &dyn DistanceMeasure<O>) -> EmbeddedQuery {
         let coordinates = self.embedding().embed(query, distance);
         let weights = self.query_weights(&coordinates);
-        EmbeddedQuery { coordinates, weights }
+        EmbeddedQuery {
+            coordinates,
+            weights,
+        }
     }
 
     /// The boosted classifier `H(q, a, b)` evaluated on already-embedded
@@ -190,7 +207,10 @@ impl<O: Clone + Send + Sync> QseModel<O> {
     /// distance (Eq. 3 with `D = D_out`). Proposition 1 states this equals
     /// [`Self::classify_embedded`]; the equality is exercised by tests.
     pub fn classifier_from_distance(&self, q: &[f64], a: &[f64], b: &[f64]) -> f64 {
-        let eq = EmbeddedQuery { coordinates: q.to_vec(), weights: self.query_weights(q) };
+        let eq = EmbeddedQuery {
+            coordinates: q.to_vec(),
+            weights: self.query_weights(q),
+        };
         eq.distance_to(b) - eq.distance_to(a)
     }
 
@@ -218,31 +238,180 @@ impl<O: Clone + Send + Sync> QseModel<O> {
                 remap[l.coordinate] = coordinates.len();
                 coordinates.push(self.coordinates[l.coordinate].clone());
             }
-            learners.push(WeakLearner { coordinate: remap[l.coordinate], ..*l });
+            learners.push(WeakLearner {
+                coordinate: remap[l.coordinate],
+                ..*l
+            });
         }
         let history = TrainingHistory {
-            weak_errors: self.history.weak_errors.iter().copied().take(rounds).collect(),
+            weak_errors: self
+                .history
+                .weak_errors
+                .iter()
+                .copied()
+                .take(rounds)
+                .collect(),
             z_values: self.history.z_values.iter().copied().take(rounds).collect(),
-            strong_errors: self.history.strong_errors.iter().copied().take(rounds).collect(),
+            strong_errors: self
+                .history
+                .strong_errors
+                .iter()
+                .copied()
+                .take(rounds)
+                .collect(),
         };
-        Self { coordinates, learners, history }
+        Self {
+            coordinates,
+            learners,
+            history,
+        }
     }
 
     /// Serialize the model to a JSON string (for persistence of trained
     /// models between the training and evaluation phases of the benchmarks).
-    pub fn to_json(&self) -> serde_json::Result<String>
+    /// Non-finite interval bounds are written as the extended literals
+    /// `inf` / `-inf` (see [`crate::json`]).
+    pub fn to_json(&self) -> String
     where
-        O: Serialize,
+        O: JsonCodec,
     {
-        serde_json::to_string(self)
+        self.to_json_value().dump()
     }
 
     /// Deserialize a model previously produced by [`Self::to_json`].
-    pub fn from_json(json: &str) -> serde_json::Result<Self>
+    pub fn from_json(json: &str) -> Result<Self, JsonError>
     where
-        O: for<'de> Deserialize<'de>,
+        O: JsonCodec,
     {
-        serde_json::from_str(json)
+        Self::from_json_value(&JsonValue::parse(json)?)
+    }
+}
+
+impl JsonCodec for Interval {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("lo".into(), JsonValue::Number(self.lo)),
+            ("hi".into(), JsonValue::Number(self.hi)),
+        ])
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let lo = value.get("lo")?.as_f64()?;
+        let hi = value.get("hi")?.as_f64()?;
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            return Err(JsonError::new(format!("invalid interval [{lo}, {hi}]")));
+        }
+        Ok(Interval { lo, hi })
+    }
+}
+
+impl JsonCodec for WeakLearner {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("coordinate".into(), self.coordinate.to_json_value()),
+            ("interval".into(), self.interval.to_json_value()),
+            ("alpha".into(), JsonValue::Number(self.alpha)),
+        ])
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(WeakLearner {
+            coordinate: usize::from_json_value(value.get("coordinate")?)?,
+            interval: Interval::from_json_value(value.get("interval")?)?,
+            alpha: value.get("alpha")?.as_f64()?,
+        })
+    }
+}
+
+impl JsonCodec for TrainingHistory {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("weak_errors".into(), self.weak_errors.to_json_value()),
+            ("z_values".into(), self.z_values.to_json_value()),
+            ("strong_errors".into(), self.strong_errors.to_json_value()),
+        ])
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(TrainingHistory {
+            weak_errors: Vec::from_json_value(value.get("weak_errors")?)?,
+            z_values: Vec::from_json_value(value.get("z_values")?)?,
+            strong_errors: Vec::from_json_value(value.get("strong_errors")?)?,
+        })
+    }
+}
+
+impl<O: JsonCodec> JsonCodec for Candidate<O> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("id".into(), self.id.to_json_value()),
+            ("object".into(), self.object.to_json_value()),
+        ])
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Candidate::new(
+            usize::from_json_value(value.get("id")?)?,
+            O::from_json_value(value.get("object")?)?,
+        ))
+    }
+}
+
+impl<O: JsonCodec> JsonCodec for OneDEmbedding<O> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            OneDEmbedding::Reference { reference } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("reference".into())),
+                ("reference".into(), reference.to_json_value()),
+            ]),
+            OneDEmbedding::Pivot { x1, x2, d12 } => JsonValue::Object(vec![
+                ("type".into(), JsonValue::String("pivot".into())),
+                ("x1".into(), x1.to_json_value()),
+                ("x2".into(), x2.to_json_value()),
+                ("d12".into(), JsonValue::Number(*d12)),
+            ]),
+        }
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        match value.get("type")?.as_str()? {
+            "reference" => Ok(OneDEmbedding::Reference {
+                reference: Candidate::from_json_value(value.get("reference")?)?,
+            }),
+            "pivot" => Ok(OneDEmbedding::Pivot {
+                x1: Candidate::from_json_value(value.get("x1")?)?,
+                x2: Candidate::from_json_value(value.get("x2")?)?,
+                d12: value.get("d12")?.as_f64()?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown 1-D embedding type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl<O: JsonCodec + Clone + Send + Sync> JsonCodec for QseModel<O> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("coordinates".into(), self.coordinates.to_json_value()),
+            ("learners".into(), self.learners.to_json_value()),
+            ("history".into(), self.history.to_json_value()),
+        ])
+    }
+    fn from_json_value(value: &JsonValue) -> Result<Self, JsonError> {
+        let coordinates = Vec::from_json_value(value.get("coordinates")?)?;
+        let learners: Vec<WeakLearner> = Vec::from_json_value(value.get("learners")?)?;
+        let history = TrainingHistory::from_json_value(value.get("history")?)?;
+        if coordinates.is_empty() || learners.is_empty() {
+            return Err(JsonError::new(
+                "a model needs at least one coordinate and learner",
+            ));
+        }
+        if learners.iter().any(|l| l.coordinate >= coordinates.len()) {
+            return Err(JsonError::new(
+                "weak learner refers to a missing coordinate",
+            ));
+        }
+        Ok(QseModel {
+            coordinates,
+            learners,
+            history,
+        })
     }
 }
 
@@ -253,7 +422,9 @@ mod tests {
     use qse_embedding::one_d::Candidate;
 
     fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
-        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        })
     }
 
     /// A small hand-built model over the real line with two reference
@@ -265,11 +436,23 @@ mod tests {
         ];
         let learners = vec![
             // Trust coordinate 0 only for queries within distance 3 of r=0.
-            WeakLearner { coordinate: 0, interval: Interval::new(0.0, 3.0), alpha: 2.0 },
+            WeakLearner {
+                coordinate: 0,
+                interval: Interval::new(0.0, 3.0),
+                alpha: 2.0,
+            },
             // Trust coordinate 1 only for queries within distance 3 of r=10.
-            WeakLearner { coordinate: 1, interval: Interval::new(0.0, 3.0), alpha: 1.5 },
+            WeakLearner {
+                coordinate: 1,
+                interval: Interval::new(0.0, 3.0),
+                alpha: 1.5,
+            },
             // A query-insensitive learner on coordinate 0.
-            WeakLearner { coordinate: 0, interval: Interval::full(), alpha: 0.5 },
+            WeakLearner {
+                coordinate: 0,
+                interval: Interval::full(),
+                alpha: 0.5,
+            },
         ];
         QseModel::new(coordinates, learners, TrainingHistory::default())
     }
@@ -345,7 +528,7 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_the_model() {
         let m = example_model();
-        let json = m.to_json().expect("serialize");
+        let json = m.to_json();
         let back: QseModel<f64> = QseModel::from_json(&json).expect("deserialize");
         assert_eq!(m, back);
     }
@@ -353,8 +536,11 @@ mod tests {
     #[test]
     fn query_insensitive_model_has_constant_weights() {
         let coordinates = vec![OneDEmbedding::reference(Candidate::new(0, 0.0))];
-        let learners =
-            vec![WeakLearner { coordinate: 0, interval: Interval::full(), alpha: 1.25 }];
+        let learners = vec![WeakLearner {
+            coordinate: 0,
+            interval: Interval::full(),
+            alpha: 1.25,
+        }];
         let m = QseModel::new(coordinates, learners, TrainingHistory::default());
         assert!(!m.is_query_sensitive());
         assert_eq!(m.query_weights(&[0.0]), m.query_weights(&[100.0]));
@@ -364,8 +550,11 @@ mod tests {
     #[should_panic(expected = "missing coordinate")]
     fn rejects_dangling_learner() {
         let coordinates = vec![OneDEmbedding::reference(Candidate::new(0, 0.0_f64))];
-        let learners =
-            vec![WeakLearner { coordinate: 3, interval: Interval::full(), alpha: 1.0 }];
+        let learners = vec![WeakLearner {
+            coordinate: 3,
+            interval: Interval::full(),
+            alpha: 1.0,
+        }];
         let _ = QseModel::new(coordinates, learners, TrainingHistory::default());
     }
 

@@ -19,6 +19,20 @@
 //! The output is a [`QseModel`]: the distinct 1-D embeddings used by the
 //! strong classifier plus the `(coordinate, V_j, α_j)` triples that define
 //! the query-sensitive distance `D_out`.
+//!
+//! ## Parallelism and determinism
+//!
+//! Step 2–4 dominate training cost (`O(m · t)` per round for `m` candidates
+//! and `t` triples) and are embarrassingly parallel across candidates. The
+//! trainer therefore **pre-draws** every candidate's randomness (its spec
+//! and its splitter-interval parameters) sequentially from the caller's RNG,
+//! then evaluates all candidate slots in parallel with rayon, and finally
+//! reduces by the strict total order `(Z, slot index)`. Because each slot's
+//! evaluation is a pure function of the pre-drawn randomness and the round
+//! state, the chosen weak classifier — and hence the whole trained model —
+//! is **bit-identical at any thread count** (including
+//! `RAYON_NUM_THREADS=1`). This invariant is asserted by the workspace
+//! integration tests.
 
 use crate::adaboost::{optimize_alpha, WeightDistribution};
 use crate::model::{QseModel, TrainingHistory, WeakLearner};
@@ -27,12 +41,12 @@ use crate::triples::{TrainingTriple, TripleSamplingStrategy};
 use crate::weak::{classifier_margin, weighted_error, Interval};
 use qse_embedding::one_d::{Candidate, OneDEmbedding};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Whether the trainer learns splitters (query-sensitive) or plain BoostMap
 /// weak classifiers (query-insensitive).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuerySensitivity {
     /// Original BoostMap: a single global weighted L1 distance ("QI").
     Insensitive,
@@ -44,7 +58,7 @@ pub enum QuerySensitivity {
 /// The four method variants compared throughout Section 9, crossing the
 /// triple-sampling strategy (random "Ra" vs selective "Se") with the distance
 /// type (query-insensitive "QI" vs query-sensitive "QS").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MethodVariant {
     /// Random triples, query-insensitive distance — the original BoostMap.
     RaQi,
@@ -59,7 +73,12 @@ pub enum MethodVariant {
 impl MethodVariant {
     /// All four variants in the order used by Table 1.
     pub fn all() -> [MethodVariant; 4] {
-        [MethodVariant::RaQi, MethodVariant::RaQs, MethodVariant::SeQi, MethodVariant::SeQs]
+        [
+            MethodVariant::RaQi,
+            MethodVariant::RaQs,
+            MethodVariant::SeQi,
+            MethodVariant::SeQs,
+        ]
     }
 
     /// The label used in the paper's figures and tables.
@@ -91,7 +110,7 @@ impl MethodVariant {
 }
 
 /// Trainer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainerConfig {
     /// Number of boosting rounds `J`. The output model has at most this many
     /// weak learners and at most this many distinct coordinates.
@@ -132,7 +151,12 @@ impl Default for TrainerConfig {
 impl TrainerConfig {
     /// A configuration suitable for quick unit tests and examples.
     pub fn quick() -> Self {
-        Self { rounds: 12, candidates_per_round: 30, intervals_per_candidate: 8, ..Self::default() }
+        Self {
+            rounds: 12,
+            candidates_per_round: 30,
+            intervals_per_candidate: 8,
+            ..Self::default()
+        }
     }
 
     /// Flip the query-sensitivity switch.
@@ -155,6 +179,27 @@ enum Spec {
     Pivot { c1: usize, c2: usize },
 }
 
+/// Pre-drawn parameters of one splitter interval: two triple indices whose
+/// query values bound the interval, and which of the three shapes (below /
+/// above / bounded) to build from them.
+#[derive(Debug, Clone, Copy)]
+struct IntervalDraw {
+    q1: usize,
+    q2: usize,
+    kind: u8,
+}
+
+/// Everything random about one candidate slot, drawn sequentially before the
+/// parallel evaluation so results cannot depend on thread scheduling.
+#[derive(Debug, Clone)]
+struct CandidateDraw {
+    /// The candidate spec; `None` for degenerate draws, which keep their
+    /// slot (and their consumed randomness) but evaluate to nothing.
+    spec: Option<Spec>,
+    /// Splitter-interval draws (empty in query-insensitive mode).
+    intervals: Vec<IntervalDraw>,
+}
+
 /// The trainer.
 #[derive(Debug, Clone)]
 pub struct BoostMapTrainer {
@@ -168,9 +213,18 @@ impl BoostMapTrainer {
     /// Panics if the configuration is degenerate.
     pub fn new(config: TrainerConfig) -> Self {
         assert!(config.rounds >= 1, "need at least one boosting round");
-        assert!(config.candidates_per_round >= 1, "need at least one candidate per round");
-        assert!(config.intervals_per_candidate >= 1, "need at least one interval per candidate");
-        assert!(config.alpha_max > 0.0 && config.alpha_tolerance > 0.0, "invalid alpha search");
+        assert!(
+            config.candidates_per_round >= 1,
+            "need at least one candidate per round"
+        );
+        assert!(
+            config.intervals_per_candidate >= 1,
+            "need at least one interval per candidate"
+        );
+        assert!(
+            config.alpha_max > 0.0 && config.alpha_tolerance > 0.0,
+            "invalid alpha search"
+        );
         Self { config }
     }
 
@@ -197,7 +251,9 @@ impl BoostMapTrainer {
         assert!(!triples.is_empty(), "cannot train on an empty triple set");
         let n_train = data.training_count();
         assert!(
-            triples.iter().all(|t| t.q < n_train && t.a < n_train && t.b < n_train),
+            triples
+                .iter()
+                .all(|t| t.q < n_train && t.a < n_train && t.b < n_train),
             "triple refers to an object outside the training pool"
         );
         let n_cand = data.candidate_count();
@@ -213,22 +269,33 @@ impl BoostMapTrainer {
         let mut strong: Vec<f64> = vec![0.0; triples.len()];
 
         for _round in 0..self.config.rounds {
-            let mut best: Option<RoundChoice> = None;
-            for _ in 0..self.config.candidates_per_round {
-                let spec = self.random_spec(n_cand, data, rng);
-                let Some(spec) = spec else { continue };
-                let Some(evaluated) = self.evaluate_spec(spec, data, triples) else { continue };
-                let choice = self.choose_interval_and_alpha(
-                    &evaluated,
-                    &labels,
-                    distribution.weights(),
-                    rng,
-                );
-                let Some(choice) = choice else { continue };
-                if best.as_ref().map_or(true, |b| choice.z < b.z) {
-                    best = Some(choice);
-                }
-            }
+            // Pre-draw every candidate's randomness sequentially so the RNG
+            // stream — and therefore the trained model — does not depend on
+            // how the evaluation below is scheduled across threads.
+            let draws: Vec<CandidateDraw> = (0..self.config.candidates_per_round)
+                .map(|_| self.draw_candidate(n_cand, data, triples.len(), rng))
+                .collect();
+
+            // Evaluate every candidate slot in parallel: embedding values on
+            // all triples, splitter-interval search, and the α line search.
+            let weights = distribution.weights();
+            let evaluated: Vec<Option<RoundChoice>> = draws
+                .par_iter()
+                .map(|draw| {
+                    let spec = draw.spec?;
+                    let evaluated = self.evaluate_spec(spec, data, triples)?;
+                    self.choose_interval_and_alpha(&evaluated, draw, &labels, weights)
+                })
+                .collect();
+
+            // Deterministic reduce: strict total order on (Z, slot index), so
+            // the winner is independent of evaluation order.
+            let best = evaluated
+                .into_iter()
+                .enumerate()
+                .filter_map(|(slot, choice)| choice.map(|c| (slot, c)))
+                .min_by(|(sa, a), (sb, b)| a.z.total_cmp(&b.z).then(sa.cmp(sb)))
+                .map(|(_, choice)| choice);
             let Some(choice) = best else { break };
             if choice.alpha_scaled <= 0.0 || choice.z >= 1.0 - 1e-12 {
                 // No candidate reduces the training loss any further.
@@ -281,28 +348,45 @@ impl BoostMapTrainer {
         QseModel::new(coordinates, learners, history)
     }
 
-    /// Draw one random candidate 1-D embedding spec. Returns `None` for
-    /// degenerate draws (identical pivots, zero pivot distance).
-    fn random_spec<O, R: Rng>(
+    /// Draw one candidate slot's full randomness: the 1-D embedding spec
+    /// (`None` for degenerate draws — identical pivots, zero pivot distance)
+    /// plus the splitter-interval parameters used in query-sensitive mode.
+    ///
+    /// Every slot consumes the same amount of randomness regardless of
+    /// whether its spec turns out to be degenerate, so the stream stays
+    /// aligned and slot contents depend only on the RNG state at round start.
+    fn draw_candidate<O, R: Rng>(
         &self,
         n_cand: usize,
         data: &TrainingData<O>,
+        triple_count: usize,
         rng: &mut R,
-    ) -> Option<Spec> {
+    ) -> CandidateDraw {
         let want_pivot = self.config.use_pivot_embeddings && n_cand >= 2 && rng.gen_bool(0.5);
-        if want_pivot {
+        let spec = if want_pivot {
             let c1 = rng.gen_range(0..n_cand);
             let c2 = rng.gen_range(0..n_cand);
-            if c1 == c2 {
-                return None;
+            if c1 == c2 || data.cand_to_cand.get(c1, c2) <= 0.0 {
+                None
+            } else {
+                Some(Spec::Pivot { c1, c2 })
             }
-            if data.cand_to_cand.get(c1, c2) <= 0.0 {
-                return None;
-            }
-            Some(Spec::Pivot { c1, c2 })
         } else {
-            Some(Spec::Reference { c: rng.gen_range(0..n_cand) })
-        }
+            Some(Spec::Reference {
+                c: rng.gen_range(0..n_cand),
+            })
+        };
+        let intervals = match self.config.query_sensitivity {
+            QuerySensitivity::Insensitive => Vec::new(),
+            QuerySensitivity::Sensitive => (0..self.config.intervals_per_candidate)
+                .map(|_| IntervalDraw {
+                    q1: rng.gen_range(0..triple_count),
+                    q2: rng.gen_range(0..triple_count),
+                    kind: rng.gen_range(0..3u8),
+                })
+                .collect(),
+        };
+        CandidateDraw { spec, intervals }
     }
 
     /// The 1-D embedding value of training object `t` under `spec`, computed
@@ -339,14 +423,20 @@ impl BoostMapTrainer {
                 )
             })
             .collect();
-        let margins_raw: Vec<f64> =
-            values.iter().map(|(q, a, b)| classifier_margin(*q, *a, *b)).collect();
-        let scale =
-            margins_raw.iter().map(|m| m.abs()).sum::<f64>() / margins_raw.len() as f64;
+        let margins_raw: Vec<f64> = values
+            .iter()
+            .map(|(q, a, b)| classifier_margin(*q, *a, *b))
+            .collect();
+        let scale = margins_raw.iter().map(|m| m.abs()).sum::<f64>() / margins_raw.len() as f64;
         if !(scale.is_finite()) || scale <= 0.0 {
             return None;
         }
-        Some(EvaluatedSpec { spec, values, margins_raw, scale })
+        Some(EvaluatedSpec {
+            spec,
+            values,
+            margins_raw,
+            scale,
+        })
     }
 
     /// Materialize a spec into an owned [`OneDEmbedding`] over the candidate
@@ -366,44 +456,40 @@ impl BoostMapTrainer {
 
     /// For one evaluated candidate embedding, choose the best splitter
     /// interval (by weighted training error) and then the optimal `α` (by
-    /// minimising `Z`). Returns `None` if nothing useful was found.
-    fn choose_interval_and_alpha<R: Rng>(
+    /// minimising `Z`). All randomness comes pre-drawn in `draw`, so this is
+    /// a pure function safe to run on any worker thread. Returns `None` if
+    /// nothing useful was found.
+    fn choose_interval_and_alpha(
         &self,
         evaluated: &EvaluatedSpec,
+        draw: &CandidateDraw,
         labels: &[f64],
         weights: &[f64],
-        rng: &mut R,
     ) -> Option<RoundChoice> {
-        let intervals: Vec<Interval> = match self.config.query_sensitivity {
-            QuerySensitivity::Insensitive => vec![Interval::full()],
-            QuerySensitivity::Sensitive => {
-                let mut out = Vec::with_capacity(self.config.intervals_per_candidate + 1);
-                out.push(Interval::full());
-                let q_values: Vec<f64> = evaluated.values.iter().map(|(q, _, _)| *q).collect();
-                for _ in 0..self.config.intervals_per_candidate {
-                    let x1 = q_values[rng.gen_range(0..q_values.len())];
-                    let x2 = q_values[rng.gen_range(0..q_values.len())];
-                    let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
-                    // Mix of bounded intervals and half-lines.
-                    let interval = match rng.gen_range(0..3) {
-                        0 => Interval::new(f64::NEG_INFINITY, hi),
-                        1 => Interval::new(lo, f64::INFINITY),
-                        _ => Interval::new(lo, hi),
-                    };
-                    out.push(interval);
-                }
-                out
-            }
-        };
+        let mut intervals = Vec::with_capacity(draw.intervals.len() + 1);
+        intervals.push(Interval::full());
+        for d in &draw.intervals {
+            let x1 = evaluated.values[d.q1].0;
+            let x2 = evaluated.values[d.q2].0;
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            // Mix of bounded intervals and half-lines.
+            let interval = match d.kind {
+                0 => Interval::new(f64::NEG_INFINITY, hi),
+                1 => Interval::new(lo, f64::INFINITY),
+                _ => Interval::new(lo, hi),
+            };
+            intervals.push(interval);
+        }
 
-        // Pick the interval with the lowest weighted training error.
+        // Pick the interval with the lowest weighted training error
+        // (sequential over this slot's few intervals, so deterministic).
         let (best_interval, best_error) = intervals
             .into_iter()
             .map(|v| {
                 let err = weighted_error(&v, &evaluated.values, labels, weights);
                 (v, err)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
 
         // Scaled classifier outputs under that interval.
         let outputs_scaled: Vec<f64> = evaluated
@@ -418,9 +504,17 @@ impl BoostMapTrainer {
                 }
             })
             .collect();
-        let margins: Vec<f64> =
-            outputs_scaled.iter().zip(labels).map(|(h, y)| h * y).collect();
-        let search = optimize_alpha(&margins, weights, self.config.alpha_max, self.config.alpha_tolerance);
+        let margins: Vec<f64> = outputs_scaled
+            .iter()
+            .zip(labels)
+            .map(|(h, y)| h * y)
+            .collect();
+        let search = optimize_alpha(
+            &margins,
+            weights,
+            self.config.alpha_max,
+            self.config.alpha_tolerance,
+        );
         if search.alpha <= 0.0 {
             return None;
         }
@@ -470,7 +564,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
-        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        })
     }
 
     /// Training data over a 1-D space with two well-separated clusters.
@@ -496,7 +592,10 @@ mod tests {
         assert!(!hist.strong_errors.is_empty());
         let first = hist.strong_errors[0];
         let last = *hist.strong_errors.last().unwrap();
-        assert!(last <= first, "strong error should not increase: {first} -> {last}");
+        assert!(
+            last <= first,
+            "strong error should not increase: {first} -> {last}"
+        );
         assert!(last < 0.25, "final training error too high: {last}");
         // Every chosen weak classifier must have reduced the loss.
         assert!(hist.z_values.iter().all(|z| *z < 1.0));
@@ -603,8 +702,14 @@ mod tests {
         assert_eq!(MethodVariant::all().len(), 4);
         assert_eq!(MethodVariant::SeQs.label(), "Se-QS");
         assert_eq!(MethodVariant::RaQi.label(), "Ra-QI");
-        assert_eq!(MethodVariant::SeQs.sensitivity(), QuerySensitivity::Sensitive);
-        assert_eq!(MethodVariant::SeQi.sensitivity(), QuerySensitivity::Insensitive);
+        assert_eq!(
+            MethodVariant::SeQs.sensitivity(),
+            QuerySensitivity::Sensitive
+        );
+        assert_eq!(
+            MethodVariant::SeQi.sensitivity(),
+            QuerySensitivity::Insensitive
+        );
         assert_eq!(
             MethodVariant::RaQs.sampling(5),
             TripleSamplingStrategy::Random
@@ -626,6 +731,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one boosting round")]
     fn rejects_zero_rounds() {
-        let _ = BoostMapTrainer::new(TrainerConfig { rounds: 0, ..TrainerConfig::default() });
+        let _ = BoostMapTrainer::new(TrainerConfig {
+            rounds: 0,
+            ..TrainerConfig::default()
+        });
     }
 }

@@ -52,13 +52,25 @@ impl<O: Sync> TrainingData<O> {
     where
         D: DistanceMeasure<O> + Sync + ?Sized,
     {
-        assert!(!candidates.is_empty(), "the candidate pool C must not be empty");
-        assert!(!training_objects.is_empty(), "the training pool Xtr must not be empty");
+        assert!(
+            !candidates.is_empty(),
+            "the candidate pool C must not be empty"
+        );
+        assert!(
+            !training_objects.is_empty(),
+            "the training pool Xtr must not be empty"
+        );
         let cand_to_cand = DistanceMatrix::all_pairs(&candidates, distance, threads);
         let cand_to_train =
             DistanceMatrix::compute_parallel(&candidates, &training_objects, distance, threads);
         let train_to_train = DistanceMatrix::all_pairs(&training_objects, distance, threads);
-        Self { candidates, training_objects, cand_to_cand, cand_to_train, train_to_train }
+        Self {
+            candidates,
+            training_objects,
+            cand_to_cand,
+            cand_to_train,
+            train_to_train,
+        }
     }
 
     /// Number of candidate objects `|C|`.
@@ -87,7 +99,9 @@ mod tests {
     use qse_distance::traits::{FnDistance, MetricProperties};
 
     fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
-        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        })
     }
 
     #[test]

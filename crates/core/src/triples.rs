@@ -10,11 +10,10 @@
 
 use qse_distance::DistanceMatrix;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A labeled training triple. Indices refer to positions in the training
 /// pool `Xtr`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrainingTriple {
     /// Index of the "query" object `q`.
     pub q: usize,
@@ -34,7 +33,7 @@ impl TrainingTriple {
 }
 
 /// Which triple-sampling strategy to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TripleSamplingStrategy {
     /// Uniformly random distinct triples — the original BoostMap ("Ra").
     Random,
@@ -80,7 +79,7 @@ impl TripleSampler {
     /// |database|`, and at least 1.
     pub fn suggested_k1(kmax: usize, training_pool: usize, database_size: usize) -> usize {
         assert!(database_size > 0, "database must not be empty");
-        ((kmax * training_pool + database_size - 1) / database_size).max(1)
+        (kmax * training_pool).div_ceil(database_size).max(1)
     }
 
     /// The strategy this sampler uses.
@@ -139,7 +138,12 @@ impl TripleSampler {
                     if dqa == dqb {
                         continue;
                     }
-                    TrainingTriple { q, a, b, label: if dqa < dqb { 1 } else { -1 } }
+                    TrainingTriple {
+                        q,
+                        a,
+                        b,
+                        label: if dqa < dqb { 1 } else { -1 },
+                    }
                 }
                 TripleSamplingStrategy::Selective { k1 } => {
                     let q = rng.gen_range(0..n);
@@ -150,8 +154,7 @@ impl TripleSampler {
                         order.sort_by(|&x, &y| {
                             train_to_train
                                 .get(q, x)
-                                .partial_cmp(&train_to_train.get(q, y))
-                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .total_cmp(&train_to_train.get(q, y))
                                 .then(x.cmp(&y))
                         });
                         order
@@ -168,7 +171,12 @@ impl TripleSampler {
                     if dqa == dqb {
                         continue;
                     }
-                    TrainingTriple { q, a, b, label: if dqa < dqb { 1 } else { -1 } }
+                    TrainingTriple {
+                        q,
+                        a,
+                        b,
+                        label: if dqa < dqb { 1 } else { -1 },
+                    }
                 }
             };
             triples.push(triple);
@@ -186,7 +194,9 @@ mod tests {
 
     fn line_matrix(n: usize) -> DistanceMatrix {
         let objects: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let d = FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs());
+        let d = FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        });
         DistanceMatrix::compute(&objects, &objects, &d)
     }
 
@@ -220,8 +230,7 @@ mod tests {
                 (0..30)
                     .filter(|&i| i != t.q)
                     .filter(|&i| {
-                        m.get(t.q, i) < m.get(t.q, x)
-                            || (m.get(t.q, i) == m.get(t.q, x) && i < x)
+                        m.get(t.q, i) < m.get(t.q, x) || (m.get(t.q, i) == m.get(t.q, x) && i < x)
                     })
                     .count()
                     + 1

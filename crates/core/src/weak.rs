@@ -15,60 +15,17 @@
 //! classifiers to actual [`qse_embedding::OneDEmbedding`]s happens in
 //! [`crate::model`].
 
-use serde::{Deserialize, Serialize};
-
 /// A closed interval `[lo, hi]` of the real line, possibly unbounded (the
 /// query-insensitive special case `V = (-∞, +∞)`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Unbounded ends are stored as IEEE infinities; the JSON codec of
+/// [`crate::json`] writes them as the extended literals `inf` / `-inf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Lower end (inclusive); `-∞` for an unbounded-below interval.
-    /// (Serialized as `None` because JSON has no representation of infinity.)
-    #[serde(with = "optional_infinity", default = "neg_infinity")]
     pub lo: f64,
     /// Upper end (inclusive); `+∞` for an unbounded-above interval.
-    #[serde(with = "optional_infinity", default = "pos_infinity")]
     pub hi: f64,
-}
-
-fn neg_infinity() -> f64 {
-    f64::NEG_INFINITY
-}
-
-fn pos_infinity() -> f64 {
-    f64::INFINITY
-}
-
-/// JSON cannot encode ±∞, so unbounded interval ends are serialized as
-/// `None` and reconstructed on deserialization (sign inferred from the
-/// serialized flag).
-mod optional_infinity {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    #[derive(Serialize, Deserialize)]
-    enum Bound {
-        NegInfinity,
-        PosInfinity,
-        Finite(f64),
-    }
-
-    pub fn serialize<S: Serializer>(value: &f64, serializer: S) -> Result<S::Ok, S::Error> {
-        let bound = if *value == f64::NEG_INFINITY {
-            Bound::NegInfinity
-        } else if *value == f64::INFINITY {
-            Bound::PosInfinity
-        } else {
-            Bound::Finite(*value)
-        };
-        bound.serialize(serializer)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<f64, D::Error> {
-        Ok(match Bound::deserialize(deserializer)? {
-            Bound::NegInfinity => f64::NEG_INFINITY,
-            Bound::PosInfinity => f64::INFINITY,
-            Bound::Finite(v) => v,
-        })
-    }
 }
 
 impl Interval {
@@ -77,7 +34,10 @@ impl Interval {
     /// # Panics
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "interval requires lo <= hi, got [{lo}, {hi}]");
         Self { lo, hi }
     }
@@ -86,7 +46,10 @@ impl Interval {
     /// turns a query-sensitive classifier into the query-insensitive
     /// classifier of the original BoostMap.
     pub fn full() -> Self {
-        Self { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
     }
 
     /// `[0, hi]` — the "within distance τ of the reference object" splitter
@@ -202,8 +165,8 @@ mod tests {
     #[test]
     fn weighted_error_counts_mistakes_abstentions_and_ties() {
         let values = vec![
-            (0.0, 1.0, 4.0), // margin > 0
-            (0.0, 4.0, 1.0), // margin < 0
+            (0.0, 1.0, 4.0),  // margin > 0
+            (0.0, 4.0, 1.0),  // margin < 0
             (9.0, 8.0, 12.0), // query outside V → abstain
         ];
         let labels = vec![1.0, 1.0, 1.0];

@@ -164,7 +164,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty database")]
     fn split_rejects_query_count_too_large() {
-        let _ = Dataset::split_random((0..5).collect::<Vec<u32>>(), 5, &mut StdRng::seed_from_u64(0));
+        let _ = Dataset::split_random(
+            (0..5).collect::<Vec<u32>>(),
+            5,
+            &mut StdRng::seed_from_u64(0),
+        );
     }
 
     #[test]

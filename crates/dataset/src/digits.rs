@@ -22,10 +22,9 @@
 
 use qse_distance::shape_context::{Point2, PointSet};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the synthetic digit generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DigitGeneratorConfig {
     /// Number of sample points per generated shape (the paper's shape
     /// context uses 100 per image; 32–64 keeps the `O(n³)` Hungarian matching
@@ -65,7 +64,9 @@ struct Stroke {
 
 impl Stroke {
     fn line(points: &[(f64, f64)]) -> Self {
-        Self { points: points.to_vec() }
+        Self {
+            points: points.to_vec(),
+        }
     }
 
     /// An arc of an ellipse centred at `(cx, cy)` with radii `(rx, ry)` from
@@ -130,7 +131,9 @@ fn templates() -> Vec<DigitTemplate> {
     let arc = Stroke::arc;
     vec![
         // 0: a tall ellipse.
-        DigitTemplate { strokes: vec![arc(0.5, 0.5, 0.32, 0.45, 0.0, 2.0 * PI, 40)] },
+        DigitTemplate {
+            strokes: vec![arc(0.5, 0.5, 0.32, 0.45, 0.0, 2.0 * PI, 40)],
+        },
         // 1: a vertical bar with a small flag.
         DigitTemplate {
             strokes: vec![
@@ -214,8 +217,14 @@ impl DigitGenerator {
     /// # Panics
     /// Panics if `points_per_shape < 4`.
     pub fn new(config: DigitGeneratorConfig) -> Self {
-        assert!(config.points_per_shape >= 4, "need at least 4 points per shape");
-        Self { config, templates: templates() }
+        assert!(
+            config.points_per_shape >= 4,
+            "need at least 4 points per shape"
+        );
+        Self {
+            config,
+            templates: templates(),
+        }
     }
 
     /// The generator configuration.
@@ -261,7 +270,11 @@ impl DigitGenerator {
             let share = share.max(2).min(cfg.points_per_shape - allocated);
             allocated += share;
             for i in 0..share {
-                let t = if share == 1 { 0.5 } else { i as f64 / (share - 1) as f64 };
+                let t = if share == 1 {
+                    0.5
+                } else {
+                    i as f64 / (share - 1) as f64
+                };
                 let (mut x, mut y) = stroke.at(t);
                 // Smooth deformation.
                 x += warp_amp * (freq_x * y * 2.0 * PI + phase_x).sin();
@@ -285,12 +298,16 @@ impl DigitGenerator {
 
     /// Generate `count` samples with labels cycling uniformly over 0–9.
     pub fn generate<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<PointSet> {
-        (0..count).map(|i| self.sample((i % 10) as u8, rng)).collect()
+        (0..count)
+            .map(|i| self.sample((i % 10) as u8, rng))
+            .collect()
     }
 
     /// Generate `count` samples with uniformly random labels.
     pub fn generate_random_labels<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<PointSet> {
-        (0..count).map(|_| self.sample(rng.gen_range(0..10u8), rng)).collect()
+        (0..count)
+            .map(|_| self.sample(rng.gen_range(0..10u8), rng))
+            .collect()
     }
 }
 
@@ -395,6 +412,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4 points")]
     fn rejects_too_few_points() {
-        let _ = DigitGenerator::new(DigitGeneratorConfig { points_per_shape: 2, ..Default::default() });
+        let _ = DigitGenerator::new(DigitGeneratorConfig {
+            points_per_shape: 2,
+            ..Default::default()
+        });
     }
 }

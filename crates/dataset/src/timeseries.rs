@@ -17,11 +17,10 @@
 
 use qse_distance::dtw::TimeSeries;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// Configuration of the synthetic time-series generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeSeriesGeneratorConfig {
     /// Nominal sequence length before random time compression/decompression.
     /// The paper's sequences average ~500 points; the default here is shorter
@@ -59,22 +58,35 @@ impl Default for TimeSeriesGeneratorConfig {
 
 /// Families of seed patterns; each seed instance fixes random parameters of
 /// one family.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum SeedPattern {
     /// Sum of a few sinusoids with fixed frequencies/phases per dimension.
-    SineMixture { freqs: Vec<Vec<f64>>, phases: Vec<Vec<f64>>, amps: Vec<Vec<f64>> },
+    SineMixture {
+        freqs: Vec<Vec<f64>>,
+        phases: Vec<Vec<f64>>,
+        amps: Vec<Vec<f64>>,
+    },
     /// A smoothed random walk (fixed increments replayed each render).
     RandomWalk { increments: Vec<Vec<f64>> },
     /// Cylinder–bell–funnel style events (plateau / ramp up / ramp down).
-    CylinderBellFunnel { kind: u8, start: f64, duration: f64, amplitude: f64 },
+    CylinderBellFunnel {
+        kind: u8,
+        start: f64,
+        duration: f64,
+        amplitude: f64,
+    },
     /// Second-order autoregressive process with fixed innovations.
-    Ar2 { a1: f64, a2: f64, innovations: Vec<Vec<f64>> },
+    Ar2 {
+        a1: f64,
+        a2: f64,
+        innovations: Vec<Vec<f64>>,
+    },
     /// Linear chirp (frequency sweeps over time).
     Chirp { f0: f64, f1: f64, amp: f64 },
 }
 
 /// A seed: one pattern instance plus an identifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Seed {
     /// Index of the seed in the library; doubles as a "class" label.
     pub id: usize,
@@ -86,7 +98,11 @@ impl Seed {
     /// `t ∈ [0, 1]`, for the requested dimensionality.
     fn value_at(&self, t: f64, dims: usize) -> Vec<f64> {
         match &self.pattern {
-            SeedPattern::SineMixture { freqs, phases, amps } => (0..dims)
+            SeedPattern::SineMixture {
+                freqs,
+                phases,
+                amps,
+            } => (0..dims)
                 .map(|d| {
                     freqs[d]
                         .iter()
@@ -103,21 +119,30 @@ impl Seed {
                     increments[d][..upto].iter().sum()
                 })
                 .collect(),
-            SeedPattern::CylinderBellFunnel { kind, start, duration, amplitude } => {
+            SeedPattern::CylinderBellFunnel {
+                kind,
+                start,
+                duration,
+                amplitude,
+            } => {
                 let in_event = t >= *start && t <= start + duration;
                 let base = if in_event {
                     let local = (t - start) / duration;
                     match kind % 3 {
-                        0 => *amplitude,                     // cylinder
-                        1 => amplitude * local,              // bell (ramp up)
-                        _ => amplitude * (1.0 - local),      // funnel (ramp down)
+                        0 => *amplitude,                // cylinder
+                        1 => amplitude * local,         // bell (ramp up)
+                        _ => amplitude * (1.0 - local), // funnel (ramp down)
                     }
                 } else {
                     0.0
                 };
                 (0..dims).map(|d| base * (1.0 + 0.25 * d as f64)).collect()
             }
-            SeedPattern::Ar2 { a1, a2, innovations } => (0..dims)
+            SeedPattern::Ar2 {
+                a1,
+                a2,
+                innovations,
+            } => (0..dims)
                 .map(|d| {
                     let steps = innovations[d].len();
                     let upto = ((t * steps as f64) as usize).min(steps);
@@ -159,7 +184,10 @@ impl TimeSeriesGenerator {
         assert!(config.dimensions >= 1, "dimensions must be at least 1");
         assert!(config.seed_patterns >= 1, "need at least one seed pattern");
         let seeds = (0..config.seed_patterns)
-            .map(|id| Seed { id, pattern: random_pattern(id, config.dimensions, config.base_length, rng) })
+            .map(|id| Seed {
+                id,
+                pattern: random_pattern(id, config.dimensions, config.base_length, rng),
+            })
             .collect();
         Self { config, seeds }
     }
@@ -206,7 +234,8 @@ impl TimeSeriesGenerator {
             let t = i as f64 / (length - 1) as f64;
             // Local compression/decompression: perturb the time axis with a
             // smooth periodic displacement, keeping it within [0, 1].
-            let t_warped = (t + local_amp * 0.2 * (2.0 * PI * t + local_phase).sin()).clamp(0.0, 1.0);
+            let t_warped =
+                (t + local_amp * 0.2 * (2.0 * PI * t + local_phase).sin()).clamp(0.0, 1.0);
             let mut v = seed.value_at(t_warped, cfg.dimensions);
             for x in &mut v {
                 *x = *x * amp_scale + gaussian(rng) * cfg.noise;
@@ -235,14 +264,18 @@ impl TimeSeriesGenerator {
 
     /// Generate a database of `count` sequences, discarding the seed labels.
     pub fn generate_unlabeled<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<TimeSeries> {
-        self.generate(count, rng).into_iter().map(|(s, _)| s).collect()
+        self.generate(count, rng)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
     }
 }
 
 fn random_pattern<R: Rng>(id: usize, dims: usize, base_length: usize, rng: &mut R) -> SeedPattern {
     match id % 5 {
         0 => {
-            let mk = |rng: &mut R| -> Vec<f64> { (0..3).map(|_| rng.gen_range(0.5..6.0)).collect() };
+            let mk =
+                |rng: &mut R| -> Vec<f64> { (0..3).map(|_| rng.gen_range(0.5..6.0)).collect() };
             SeedPattern::SineMixture {
                 freqs: (0..dims).map(|_| mk(rng)).collect(),
                 phases: (0..dims)
@@ -379,7 +412,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 8")]
     fn rejects_degenerate_length() {
-        let cfg = TimeSeriesGeneratorConfig { base_length: 2, ..Default::default() };
+        let cfg = TimeSeriesGeneratorConfig {
+            base_length: 2,
+            ..Default::default()
+        };
         let _ = TimeSeriesGenerator::new(cfg, &mut StdRng::seed_from_u64(0));
     }
 }

@@ -19,13 +19,12 @@
 
 use qse_distance::traits::{DistanceMeasure, MetricProperties};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A point of the toy 2-D space.
 pub type Point = [f64; 2];
 
 /// Euclidean distance on the toy 2-D space.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Euclidean2D;
 
 impl DistanceMeasure<Point> for Euclidean2D {
@@ -43,7 +42,7 @@ impl DistanceMeasure<Point> for Euclidean2D {
 }
 
 /// The Figure 1 toy configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ToyConfiguration {
     /// The twenty database points.
     pub database: Vec<Point>,
@@ -90,7 +89,10 @@ pub fn toy_configuration<R: Rng>(
 ) -> ToyConfiguration {
     assert!(database_size >= 4, "need at least 4 database points");
     assert!(query_count >= 3, "need at least 3 queries");
-    assert!(closeness > 0.0 && closeness < 0.5, "closeness must be in (0, 0.5)");
+    assert!(
+        closeness > 0.0 && closeness < 0.5,
+        "closeness must be in (0, 0.5)"
+    );
 
     let database: Vec<Point> = (0..database_size)
         .map(|_| [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
@@ -103,16 +105,19 @@ pub fn toy_configuration<R: Rng>(
     let second = (0..database_size)
         .max_by(|&a, &b| {
             d.distance(&database[first], &database[a])
-                .partial_cmp(&d.distance(&database[first], &database[b]))
-                .expect("distances are finite")
+                .total_cmp(&d.distance(&database[first], &database[b]))
         })
         .expect("non-empty database");
     let third = (0..database_size)
         .filter(|&i| i != first && i != second)
         .max_by(|&a, &b| {
-            let da = d.distance(&database[first], &database[a]).min(d.distance(&database[second], &database[a]));
-            let db = d.distance(&database[first], &database[b]).min(d.distance(&database[second], &database[b]));
-            da.partial_cmp(&db).expect("distances are finite")
+            let da = d
+                .distance(&database[first], &database[a])
+                .min(d.distance(&database[second], &database[a]));
+            let db = d
+                .distance(&database[first], &database[b])
+                .min(d.distance(&database[second], &database[b]));
+            da.total_cmp(&db)
         })
         .expect("at least four database points");
     let reference_indices = [first, second, third];
@@ -170,7 +175,10 @@ mod tests {
         let refs = cfg.references();
         for (slot, &qi) in cfg.marked_query_indices.iter().enumerate() {
             let dist = d.distance(&cfg.queries[qi], &refs[slot]);
-            assert!(dist <= 0.08 + 1e-9, "marked query {slot} is {dist} from its reference");
+            assert!(
+                dist <= 0.08 + 1e-9,
+                "marked query {slot} is {dist} from its reference"
+            );
         }
     }
 

@@ -10,10 +10,9 @@
 
 use crate::shape_context::PointSet;
 use crate::traits::{DistanceMeasure, MetricProperties};
-use serde::{Deserialize, Serialize};
 
 /// How the two directed distances are combined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChamferVariant {
     /// Directed chamfer distance: mean distance from each point of `a` to its
     /// nearest neighbor in `b` (asymmetric).
@@ -26,7 +25,7 @@ pub enum ChamferVariant {
 }
 
 /// Chamfer distance between point sets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChamferDistance {
     /// Combination rule.
     pub variant: ChamferVariant,
@@ -34,7 +33,9 @@ pub struct ChamferDistance {
 
 impl Default for ChamferDistance {
     fn default() -> Self {
-        Self { variant: ChamferVariant::SymmetricMean }
+        Self {
+            variant: ChamferVariant::SymmetricMean,
+        }
     }
 }
 
@@ -46,12 +47,16 @@ impl ChamferDistance {
 
     /// Directed (asymmetric) chamfer distance.
     pub fn directed() -> Self {
-        Self { variant: ChamferVariant::Directed }
+        Self {
+            variant: ChamferVariant::Directed,
+        }
     }
 
     /// Max-combined symmetric chamfer distance.
     pub fn symmetric_max() -> Self {
-        Self { variant: ChamferVariant::SymmetricMax }
+        Self {
+            variant: ChamferVariant::SymmetricMax,
+        }
     }
 
     fn directed_distance(a: &PointSet, b: &PointSet) -> f64 {
@@ -108,7 +113,11 @@ mod tests {
     #[test]
     fn zero_for_identical_sets() {
         let a = ps(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
-        for d in [ChamferDistance::symmetric(), ChamferDistance::directed(), ChamferDistance::symmetric_max()] {
+        for d in [
+            ChamferDistance::symmetric(),
+            ChamferDistance::directed(),
+            ChamferDistance::symmetric_max(),
+        ] {
             assert_eq!(d.eval(&a, &a), 0.0);
         }
     }
@@ -128,7 +137,10 @@ mod tests {
     fn symmetric_variants_are_symmetric() {
         let a = ps(&[(0.0, 0.0), (2.0, 1.0), (3.0, -1.0)]);
         let b = ps(&[(0.5, 0.5), (2.5, 0.5)]);
-        for d in [ChamferDistance::symmetric(), ChamferDistance::symmetric_max()] {
+        for d in [
+            ChamferDistance::symmetric(),
+            ChamferDistance::symmetric_max(),
+        ] {
             assert!((d.eval(&a, &b) - d.eval(&b, &a)).abs() < 1e-12);
         }
     }

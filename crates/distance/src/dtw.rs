@@ -15,11 +15,10 @@
 //! two-row rolling dynamic program.
 
 use crate::traits::{DistanceMeasure, MetricProperties};
-use serde::{Deserialize, Serialize};
 
 /// A multi-dimensional time series: `values[t]` is the sample at time `t`,
 /// a point in `R^dim`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     /// Per-timestep samples; every inner vector has length [`TimeSeries::dim`].
     values: Vec<Vec<f64>>,
@@ -33,7 +32,10 @@ impl TimeSeries {
     /// Panics if the series is empty or the samples have inconsistent
     /// dimensionality.
     pub fn new(values: Vec<Vec<f64>>) -> Self {
-        assert!(!values.is_empty(), "a time series must have at least one sample");
+        assert!(
+            !values.is_empty(),
+            "a time series must have at least one sample"
+        );
         let dim = values[0].len();
         assert!(dim > 0, "samples must have at least one dimension");
         assert!(
@@ -92,12 +94,15 @@ impl TimeSeries {
             .iter()
             .map(|v| v.iter().zip(&mean).map(|(x, m)| x - m).collect())
             .collect();
-        Self { values, dim: self.dim }
+        Self {
+            values,
+            dim: self.dim,
+        }
     }
 }
 
 /// How the Sakoe–Chiba band width is specified.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BandWidth {
     /// A fixed number of off-diagonal cells.
     Absolute(usize),
@@ -116,7 +121,10 @@ impl BandWidth {
         let requested = match self {
             BandWidth::Absolute(w) => w,
             BandWidth::Relative(frac) => {
-                assert!((0.0..=1.0).contains(&frac), "relative band must be in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&frac),
+                    "relative band must be in [0, 1]"
+                );
                 (frac * shorter as f64).round() as usize
             }
             BandWidth::Unconstrained => longer,
@@ -126,7 +134,7 @@ impl BandWidth {
 }
 
 /// How the local (per-cell) cost between two samples is computed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LocalCost {
     /// Euclidean distance between samples.
     Euclidean,
@@ -156,7 +164,7 @@ impl LocalCost {
 }
 
 /// Constrained Dynamic Time Warping distance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConstrainedDtw {
     /// Sakoe–Chiba band specification.
     pub band: BandWidth,
@@ -174,17 +182,26 @@ impl ConstrainedDtw {
     /// The configuration used in the paper: a Sakoe–Chiba band of 10% of the
     /// shorter sequence, Euclidean local cost.
     pub fn paper() -> Self {
-        Self { band: BandWidth::Relative(0.10), local_cost: LocalCost::Euclidean }
+        Self {
+            band: BandWidth::Relative(0.10),
+            local_cost: LocalCost::Euclidean,
+        }
     }
 
     /// Unconstrained (full) DTW.
     pub fn unconstrained() -> Self {
-        Self { band: BandWidth::Unconstrained, local_cost: LocalCost::Euclidean }
+        Self {
+            band: BandWidth::Unconstrained,
+            local_cost: LocalCost::Euclidean,
+        }
     }
 
     /// DTW with an absolute band width.
     pub fn with_absolute_band(width: usize) -> Self {
-        Self { band: BandWidth::Absolute(width), local_cost: LocalCost::Euclidean }
+        Self {
+            band: BandWidth::Absolute(width),
+            local_cost: LocalCost::Euclidean,
+        }
     }
 
     /// Replace the local cost function.
@@ -243,7 +260,11 @@ impl ConstrainedDtw {
     /// addition to the distance. Used in tests and diagnostics; `O(n·m)`
     /// memory.
     pub fn eval_with_path(&self, a: &TimeSeries, b: &TimeSeries) -> (f64, Vec<(usize, usize)>) {
-        assert_eq!(a.dim(), b.dim(), "DTW requires series of equal dimensionality");
+        assert_eq!(
+            a.dim(),
+            b.dim(),
+            "DTW requires series of equal dimensionality"
+        );
         let swapped = a.len() > b.len();
         let (rows, cols) = if swapped { (b, a) } else { (a, b) };
         let n = rows.len();
@@ -339,7 +360,10 @@ mod tests {
             .sum();
         let dtw = ConstrainedDtw::unconstrained().eval(&a, &b);
         assert!(dtw < lockstep, "dtw {dtw} should beat lockstep {lockstep}");
-        assert!(dtw <= 1e-12, "a single-step shift should warp away entirely, got {dtw}");
+        assert!(
+            dtw <= 1e-12,
+            "a single-step shift should warp away entirely, got {dtw}"
+        );
     }
 
     #[test]

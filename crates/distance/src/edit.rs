@@ -9,13 +9,12 @@
 //! about).
 
 use crate::traits::{DistanceMeasure, MetricProperties};
-use serde::{Deserialize, Serialize};
 
 /// A generic sequence-of-symbols object for edit-distance experiments.
 pub type Symbols = Vec<u8>;
 
 /// Weighted edit distance between byte sequences.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EditDistance {
     /// Cost of inserting one symbol.
     pub insert_cost: f64,
@@ -34,7 +33,11 @@ impl Default for EditDistance {
 impl EditDistance {
     /// Unit-cost Levenshtein distance.
     pub fn levenshtein() -> Self {
-        Self { insert_cost: 1.0, delete_cost: 1.0, substitute_cost: 1.0 }
+        Self {
+            insert_cost: 1.0,
+            delete_cost: 1.0,
+            substitute_cost: 1.0,
+        }
     }
 
     /// Weighted edit distance.
@@ -43,9 +46,16 @@ impl EditDistance {
     /// Panics if any cost is negative or non-finite.
     pub fn weighted(insert_cost: f64, delete_cost: f64, substitute_cost: f64) -> Self {
         for c in [insert_cost, delete_cost, substitute_cost] {
-            assert!(c.is_finite() && c >= 0.0, "edit costs must be finite and non-negative");
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "edit costs must be finite and non-negative"
+            );
         }
-        Self { insert_cost, delete_cost, substitute_cost }
+        Self {
+            insert_cost,
+            delete_cost,
+            substitute_cost,
+        }
     }
 
     /// Evaluate the distance between two byte slices.
@@ -63,7 +73,11 @@ impl EditDistance {
         for i in 1..=n {
             curr[0] = i as f64 * self.delete_cost;
             for j in 1..=m {
-                let sub = if a[i - 1] == b[j - 1] { 0.0 } else { self.substitute_cost };
+                let sub = if a[i - 1] == b[j - 1] {
+                    0.0
+                } else {
+                    self.substitute_cost
+                };
                 curr[j] = (prev[j - 1] + sub)
                     .min(prev[j] + self.delete_cost)
                     .min(curr[j - 1] + self.insert_cost);
@@ -145,7 +159,10 @@ mod tests {
     #[test]
     fn weighted_asymmetry_reported() {
         let d = EditDistance::weighted(1.0, 5.0, 1.0);
-        assert_eq!(DistanceMeasure::<[u8]>::properties(&d), MetricProperties::Asymmetric);
+        assert_eq!(
+            DistanceMeasure::<[u8]>::properties(&d),
+            MetricProperties::Asymmetric
+        );
         assert_ne!(d.eval(b"ab", b"a"), d.eval(b"a", b"ab"));
     }
 

@@ -19,7 +19,11 @@ pub struct CostMatrix {
 impl CostMatrix {
     /// Create a cost matrix with all entries set to `fill`.
     pub fn filled(rows: usize, cols: usize, fill: f64) -> Self {
-        Self { rows, cols, data: vec![fill; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
     }
 
     /// Create a cost matrix from a row-major vector.
@@ -93,7 +97,10 @@ pub fn solve_assignment(costs: &CostMatrix) -> Assignment {
                 row_to_col[*tc] = Some(tr);
             }
         }
-        return Assignment { row_to_col, total_cost: sol.total_cost };
+        return Assignment {
+            row_to_col,
+            total_cost: sol.total_cost,
+        };
     }
 
     let n = costs.rows();
@@ -157,20 +164,25 @@ pub fn solve_assignment(costs: &CostMatrix) -> Assignment {
 
     let mut row_to_col = vec![None; n];
     let mut total_cost = 0.0;
-    for j in 1..=m {
-        let r = matched_col_to_row[j];
+    for (j, &r) in matched_col_to_row.iter().enumerate().take(m + 1).skip(1) {
         if r > 0 {
             row_to_col[r - 1] = Some(j - 1);
             total_cost += costs.get(r - 1, j - 1);
         }
     }
-    Assignment { row_to_col, total_cost }
+    Assignment {
+        row_to_col,
+        total_cost,
+    }
 }
 
 /// Brute-force optimal assignment by enumerating permutations. Exponential;
 /// only used to validate [`solve_assignment`] in tests and property tests.
 pub fn brute_force_assignment(costs: &CostMatrix) -> f64 {
-    assert!(costs.rows() <= costs.cols(), "brute force expects rows <= cols");
+    assert!(
+        costs.rows() <= costs.cols(),
+        "brute force expects rows <= cols"
+    );
     fn recurse(costs: &CostMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
         if row == costs.rows() {
             return 0.0;
@@ -218,7 +230,7 @@ mod tests {
         let a = solve_assignment(&c);
         assert!((a.total_cost - 5.0).abs() < 1e-12, "got {}", a.total_cost);
         // The matching must be a permutation.
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for col in a.row_to_col.iter().flatten() {
             assert!(!seen[*col]);
             seen[*col] = true;
@@ -248,7 +260,9 @@ mod tests {
         // dependency in unit tests.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 10.0
         };
         for n in 1..=6 {

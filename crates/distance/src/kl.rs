@@ -7,10 +7,9 @@
 //! the symmetrised Jeffreys divergence, and the Jensen–Shannon divergence.
 
 use crate::traits::{DistanceMeasure, MetricProperties};
-use serde::{Deserialize, Serialize};
 
 /// How the divergence is symmetrised (if at all).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KlVariant {
     /// Plain `KL(p || q)` — asymmetric.
     Asymmetric,
@@ -26,7 +25,7 @@ pub enum KlVariant {
 /// Inputs need not be normalized: they are renormalized internally, and a
 /// small smoothing epsilon avoids infinite divergences when a bin is empty in
 /// one distribution but not the other.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KlDivergence {
     /// Which symmetrisation to use.
     pub variant: KlVariant,
@@ -36,24 +35,36 @@ pub struct KlDivergence {
 
 impl Default for KlDivergence {
     fn default() -> Self {
-        Self { variant: KlVariant::Asymmetric, epsilon: 1e-10 }
+        Self {
+            variant: KlVariant::Asymmetric,
+            epsilon: 1e-10,
+        }
     }
 }
 
 impl KlDivergence {
     /// Plain asymmetric KL divergence.
     pub fn asymmetric() -> Self {
-        Self { variant: KlVariant::Asymmetric, ..Self::default() }
+        Self {
+            variant: KlVariant::Asymmetric,
+            ..Self::default()
+        }
     }
 
     /// Symmetrised (Jeffreys) divergence.
     pub fn jeffreys() -> Self {
-        Self { variant: KlVariant::Jeffreys, ..Self::default() }
+        Self {
+            variant: KlVariant::Jeffreys,
+            ..Self::default()
+        }
     }
 
     /// Jensen–Shannon divergence.
     pub fn jensen_shannon() -> Self {
-        Self { variant: KlVariant::JensenShannon, ..Self::default() }
+        Self {
+            variant: KlVariant::JensenShannon,
+            ..Self::default()
+        }
     }
 
     fn normalize(&self, p: &[f64]) -> Vec<f64> {
@@ -80,7 +91,11 @@ impl KlDivergence {
     /// # Panics
     /// Panics if the vectors differ in length or contain negative mass.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "distributions must have the same number of bins");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "distributions must have the same number of bins"
+        );
         let p = self.normalize(a);
         let q = self.normalize(b);
         match self.variant {
@@ -128,7 +143,11 @@ mod tests {
     #[test]
     fn zero_for_identical_distributions() {
         let p = [0.25, 0.25, 0.5];
-        for d in [KlDivergence::asymmetric(), KlDivergence::jeffreys(), KlDivergence::jensen_shannon()] {
+        for d in [
+            KlDivergence::asymmetric(),
+            KlDivergence::jeffreys(),
+            KlDivergence::jensen_shannon(),
+        ] {
             assert!(d.eval(&p, &p).abs() < 1e-9);
         }
     }
@@ -170,7 +189,10 @@ mod tests {
     fn unnormalized_inputs_are_renormalized() {
         let d = KlDivergence::jeffreys();
         let a = d.eval(&[2.0, 2.0, 4.0], &[1.0, 1.0, 2.0]);
-        assert!(a.abs() < 1e-9, "proportional masses should coincide, got {a}");
+        assert!(
+            a.abs() < 1e-9,
+            "proportional masses should coincide, got {a}"
+        );
     }
 
     #[test]

@@ -18,10 +18,9 @@
 //! lengths we fall back to the (weaker but always valid) trivial bound 0.
 
 use crate::dtw::{BandWidth, TimeSeries};
-use serde::{Deserialize, Serialize};
 
 /// The upper/lower envelope of a series under a Sakoe–Chiba band.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// `upper[t][d]` = max of dimension `d` over the band window around `t`.
     pub upper: Vec<Vec<f64>>,
@@ -99,7 +98,11 @@ pub fn lb_keogh_nearest_neighbor(
     dtw: &crate::dtw::ConstrainedDtw,
 ) -> (usize, usize) {
     assert!(!database.is_empty(), "cannot search an empty database");
-    assert_eq!(database.len(), envelopes.len(), "one envelope per database series");
+    assert_eq!(
+        database.len(),
+        envelopes.len(),
+        "one envelope per database series"
+    );
     // Order candidates by increasing lower bound so good candidates tighten
     // the best-so-far early and prune the rest.
     let mut order: Vec<(usize, f64)> = envelopes
@@ -107,7 +110,7 @@ pub fn lb_keogh_nearest_neighbor(
         .enumerate()
         .map(|(i, env)| (i, lb_keogh(query, env)))
         .collect();
-    order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     let mut best = usize::MAX;
     let mut best_dist = f64::INFINITY;
@@ -175,7 +178,10 @@ mod tests {
         let env_b = Envelope::build(&b, radius);
         let bound = lb_keogh(&a, &env_b);
         let exact = dtw.eval(&a, &b);
-        assert!(bound <= exact + 1e-9, "LB_Keogh {bound} exceeds cDTW {exact}");
+        assert!(
+            bound <= exact + 1e-9,
+            "LB_Keogh {bound} exceeds cDTW {exact}"
+        );
         assert!(bound >= 0.0);
     }
 
@@ -201,8 +207,10 @@ mod tests {
         let database: Vec<TimeSeries> = (0..20)
             .map(|i| series(&[i as f64, i as f64 + 1.0, i as f64 + 2.0, i as f64 + 1.0]))
             .collect();
-        let envelopes: Vec<Envelope> =
-            database.iter().map(|s| Envelope::build(s, radius)).collect();
+        let envelopes: Vec<Envelope> = database
+            .iter()
+            .map(|s| Envelope::build(s, radius))
+            .collect();
         let query = series(&[7.2, 8.1, 9.0, 8.3]);
 
         // Brute force ground truth.
@@ -213,8 +221,7 @@ mod tests {
                     .unwrap()
             })
             .unwrap();
-        let (found, exact_used) =
-            lb_keogh_nearest_neighbor(&query, &database, &envelopes, &dtw);
+        let (found, exact_used) = lb_keogh_nearest_neighbor(&query, &database, &envelopes, &dtw);
         assert_eq!(found, brute);
         assert!(
             exact_used < database.len(),

@@ -3,15 +3,16 @@
 //! The training stage of the paper needs *"distances DX from every object in
 //! C ... to every object in C and to every object in Xtr"* plus *"all
 //! distances between pairs of objects in Xtr"* (Section 7). Computing those
-//! matrices is often the dominant preprocessing cost, so this module computes
-//! them in parallel with `crossbeam` scoped threads and stores them densely.
+//! matrices is often the dominant preprocessing cost, so this module fills
+//! them row-parallel on the workspace's rayon substrate and stores them
+//! densely (row-major, one flat allocation).
 
 use crate::traits::DistanceMeasure;
-use serde::{Deserialize, Serialize};
+use rayon::prelude::*;
 
 /// A dense, row-major matrix of precomputed distances between two object
 /// collections (`rows[i]` vs `cols[j]`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
     rows: usize,
     cols: usize,
@@ -68,11 +69,13 @@ impl DistanceMatrix {
         Self { rows, cols, data }
     }
 
-    /// Compute all distances between `row_objects` and `col_objects` using
-    /// `threads` worker threads (rows are partitioned across workers).
+    /// Compute all distances between `row_objects` and `col_objects` with
+    /// rows partitioned across rayon worker threads.
     ///
-    /// Falls back to the sequential path when `threads <= 1` or there is only
-    /// a handful of rows.
+    /// `threads <= 1` forces the sequential path; any larger value enables
+    /// the parallel path, whose actual width follows `RAYON_NUM_THREADS`.
+    /// The output is identical to [`Self::compute`] regardless of thread
+    /// count (each worker fills disjoint whole rows).
     pub fn compute_parallel<O, D>(
         row_objects: &[O],
         col_objects: &[O],
@@ -85,25 +88,18 @@ impl DistanceMatrix {
     {
         let rows = row_objects.len();
         let cols = col_objects.len();
-        if threads <= 1 || rows < 2 {
+        if threads <= 1 || rows < 2 || cols == 0 {
             return Self::compute(row_objects, col_objects, distance);
         }
         let mut data = vec![0.0f64; rows * cols];
-        let chunk_rows = rows.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (chunk_index, chunk) in data.chunks_mut(chunk_rows * cols).enumerate() {
-                let row_start = chunk_index * chunk_rows;
-                scope.spawn(move |_| {
-                    for (local_i, out_row) in chunk.chunks_mut(cols).enumerate() {
-                        let a = &row_objects[row_start + local_i];
-                        for (j, b) in col_objects.iter().enumerate() {
-                            out_row[j] = distance.distance(a, b);
-                        }
-                    }
-                });
-            }
-        })
-        .expect("distance matrix worker thread panicked");
+        data.par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a = &row_objects[i];
+                for (j, b) in col_objects.iter().enumerate() {
+                    out_row[j] = distance.distance(a, b);
+                }
+            });
         Self { rows, cols, data }
     }
 
@@ -121,15 +117,18 @@ impl DistanceMatrix {
     /// selective triple sampler of Section 6 uses to find the k'-th nearest
     /// neighbor of a training object.
     pub fn nearest_columns(&self, i: usize, k: usize) -> Vec<usize> {
+        if k == 0 {
+            return Vec::new();
+        }
         let row = self.row(i);
+        let by_distance_then_index =
+            |a: &usize, b: &usize| row[*a].total_cmp(&row[*b]).then(a.cmp(b));
         let mut order: Vec<usize> = (0..self.cols).collect();
-        order.sort_by(|&a, &b| {
-            row[a]
-                .partial_cmp(&row[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        order.truncate(k);
+        if k < order.len() {
+            order.select_nth_unstable_by(k - 1, by_distance_then_index);
+            order.truncate(k);
+        }
+        order.sort_unstable_by(by_distance_then_index);
         order
     }
 }
@@ -140,7 +139,9 @@ mod tests {
     use crate::traits::{FnDistance, MetricProperties};
 
     fn abs_distance() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
-        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        })
     }
 
     #[test]

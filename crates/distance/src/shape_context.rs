@@ -24,10 +24,9 @@
 
 use crate::hungarian::{solve_assignment, CostMatrix};
 use crate::traits::{DistanceMeasure, MetricProperties};
-use serde::{Deserialize, Serialize};
 
 /// A 2-D point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point2 {
     /// Horizontal coordinate.
     pub x: f64,
@@ -51,7 +50,7 @@ impl Point2 {
 
 /// A shape represented as a set of 2-D sample points, optionally tagged with
 /// a class label (the digit identity for the MNIST-style experiments).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointSet {
     points: Vec<Point2>,
     /// Optional class label (digit 0–9 for the synthetic MNIST workload).
@@ -65,8 +64,14 @@ impl PointSet {
     /// Panics if fewer than 2 points are supplied (shape contexts are
     /// undefined for singleton shapes).
     pub fn new(points: Vec<Point2>) -> Self {
-        assert!(points.len() >= 2, "a shape needs at least two sample points");
-        Self { points, label: None }
+        assert!(
+            points.len() >= 2,
+            "a shape needs at least two sample points"
+        );
+        Self {
+            points,
+            label: None,
+        }
     }
 
     /// Build a labeled point set.
@@ -122,7 +127,7 @@ impl PointSet {
 }
 
 /// A single log-polar shape-context histogram.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapeContext {
     /// Flattened histogram, `radial_bins * angular_bins` entries, normalized
     /// to sum to 1.
@@ -130,7 +135,7 @@ pub struct ShapeContext {
 }
 
 /// Configuration of the shape-context descriptor and distance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShapeContextConfig {
     /// Number of radial (log-spaced) bins. The original method uses 5.
     pub radial_bins: usize,
@@ -166,16 +171,10 @@ impl Default for ShapeContextConfig {
 }
 
 /// The Shape Context Distance between two [`PointSet`]s.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ShapeContextDistance {
     /// Descriptor / cost configuration.
     pub config: ShapeContextConfig,
-}
-
-impl Default for ShapeContextDistance {
-    fn default() -> Self {
-        Self { config: ShapeContextConfig::default() }
-    }
 }
 
 impl ShapeContextDistance {
@@ -186,8 +185,14 @@ impl ShapeContextDistance {
 
     /// Distance with a custom configuration.
     pub fn with_config(config: ShapeContextConfig) -> Self {
-        assert!(config.radial_bins > 0 && config.angular_bins > 0, "bins must be positive");
-        assert!(config.r_inner > 0.0 && config.r_outer > config.r_inner, "invalid radii");
+        assert!(
+            config.radial_bins > 0 && config.angular_bins > 0,
+            "bins must be positive"
+        );
+        assert!(
+            config.r_inner > 0.0 && config.r_outer > config.r_inner,
+            "invalid radii"
+        );
         Self { config }
     }
 
@@ -270,8 +275,7 @@ impl ShapeContextDistance {
         let matched = assignment.row_to_col.iter().flatten().count().max(1);
         let matching_cost = assignment.total_cost / matched as f64;
         let surplus = (large.len() - small.len()) as f64;
-        let unmatched_cost =
-            self.config.unmatched_penalty * surplus / large.len().max(1) as f64;
+        let unmatched_cost = self.config.unmatched_penalty * surplus / large.len().max(1) as f64;
 
         // Alignment cost: mean displacement of matched points after centering
         // each shape on its centroid and normalizing by its own scale (a
@@ -383,7 +387,10 @@ mod tests {
         let d = sc.eval(&a, &b);
         let d_other = sc.eval(&a, &other);
         assert!(d < 0.05, "translated copies should nearly match, got {d}");
-        assert!(d * 10.0 < d_other, "translated copy ({d}) vs different shape ({d_other})");
+        assert!(
+            d * 10.0 < d_other,
+            "translated copy ({d}) vs different shape ({d_other})"
+        );
     }
 
     #[test]
@@ -395,7 +402,10 @@ mod tests {
         let d = sc.eval(&a, &b);
         let d_other = sc.eval(&a, &other);
         assert!(d < 0.05, "scaled copies should nearly match, got {d}");
-        assert!(d * 10.0 < d_other, "scaled copy ({d}) vs different shape ({d_other})");
+        assert!(
+            d * 10.0 < d_other,
+            "scaled copy ({d}) vs different shape ({d_other})"
+        );
     }
 
     #[test]
@@ -432,15 +442,22 @@ mod tests {
         assert_eq!(descs.len(), s.len());
         for d in descs {
             let sum: f64 = d.histogram.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "histogram should sum to 1, got {sum}");
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "histogram should sum to 1, got {sum}"
+            );
             assert!(d.histogram.iter().all(|v| *v >= 0.0));
         }
     }
 
     #[test]
     fn chi_squared_properties() {
-        let a = ShapeContext { histogram: vec![0.5, 0.5, 0.0] };
-        let b = ShapeContext { histogram: vec![0.0, 0.5, 0.5] };
+        let a = ShapeContext {
+            histogram: vec![0.5, 0.5, 0.0],
+        };
+        let b = ShapeContext {
+            histogram: vec![0.0, 0.5, 0.5],
+        };
         assert_eq!(ShapeContextDistance::chi_squared(&a, &a), 0.0);
         let ab = ShapeContextDistance::chi_squared(&a, &b);
         let ba = ShapeContextDistance::chi_squared(&b, &a);

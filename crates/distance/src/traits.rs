@@ -113,7 +113,11 @@ pub struct FnDistance<F> {
 impl<F> FnDistance<F> {
     /// Wrap a closure as a distance measure with the given properties.
     pub fn new(name: &'static str, properties: MetricProperties, f: F) -> Self {
-        Self { f, properties, name }
+        Self {
+            f,
+            properties,
+            name,
+        }
     }
 }
 

@@ -9,7 +9,6 @@
 //! it needs the trained splitters.
 
 use crate::traits::{DistanceMeasure, MetricProperties};
-use serde::{Deserialize, Serialize};
 
 /// Dense `f64` vector type used throughout the workspace for embedded
 /// objects.
@@ -19,7 +18,7 @@ pub type Vector = Vec<f64>;
 ///
 /// `p = 1` is the measure the paper uses in the filter step; `p = 2` is the
 /// Euclidean distance used by FastMap's original formulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LpDistance {
     /// The exponent `p >= 1`.
     pub p: f64,
@@ -107,7 +106,7 @@ impl DistanceMeasure<Vector> for LpDistance {
 /// specific query has been fixed, which is exactly how `qse-core` implements
 /// it: it computes the weight vector `A_i(q)` for the query and then hands it
 /// to [`WeightedL1`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightedL1 {
     weights: Vec<f64>,
 }
@@ -127,7 +126,9 @@ impl WeightedL1 {
 
     /// Uniform weights of 1.0 (plain L1) in `dim` dimensions.
     pub fn uniform(dim: usize) -> Self {
-        Self { weights: vec![1.0; dim] }
+        Self {
+            weights: vec![1.0; dim],
+        }
     }
 
     /// The weight vector.
@@ -145,8 +146,16 @@ impl WeightedL1 {
     /// # Panics
     /// Panics if the vectors do not match the weight dimensionality.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), self.weights.len(), "vector/weight dimensionality mismatch");
-        assert_eq!(b.len(), self.weights.len(), "vector/weight dimensionality mismatch");
+        assert_eq!(
+            a.len(),
+            self.weights.len(),
+            "vector/weight dimensionality mismatch"
+        );
+        assert_eq!(
+            b.len(),
+            self.weights.len(),
+            "vector/weight dimensionality mismatch"
+        );
         self.weights
             .iter()
             .zip(a.iter().zip(b))
@@ -185,7 +194,7 @@ impl DistanceMeasure<Vector> for WeightedL1 {
 
 /// Squared Euclidean distance (not a metric — violates the triangle
 /// inequality) occasionally useful as a cheap proxy in tests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SquaredEuclidean;
 
 impl SquaredEuclidean {

@@ -11,11 +11,10 @@
 use crate::one_d::OneDEmbedding;
 use crate::traits::Embedding;
 use qse_distance::DistanceMeasure;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A `d`-dimensional embedding defined coordinate-wise by 1-D embeddings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompositeEmbedding<O> {
     coordinates: Vec<OneDEmbedding<O>>,
 }
@@ -26,7 +25,10 @@ impl<O: Clone> CompositeEmbedding<O> {
     /// # Panics
     /// Panics if no coordinates are supplied.
     pub fn new(coordinates: Vec<OneDEmbedding<O>>) -> Self {
-        assert!(!coordinates.is_empty(), "an embedding needs at least one coordinate");
+        assert!(
+            !coordinates.is_empty(),
+            "an embedding needs at least one coordinate"
+        );
         Self { coordinates }
     }
 
@@ -43,8 +45,13 @@ impl<O: Clone> CompositeEmbedding<O> {
     /// # Panics
     /// Panics if `dim` is zero or larger than the current dimensionality.
     pub fn prefix(&self, dim: usize) -> Self {
-        assert!(dim >= 1 && dim <= self.coordinates.len(), "invalid prefix length {dim}");
-        Self { coordinates: self.coordinates[..dim].to_vec() }
+        assert!(
+            dim >= 1 && dim <= self.coordinates.len(),
+            "invalid prefix length {dim}"
+        );
+        Self {
+            coordinates: self.coordinates[..dim].to_vec(),
+        }
     }
 
     /// The distinct candidate objects referenced by the coordinate functions,
@@ -104,7 +111,9 @@ mod tests {
     use qse_distance::traits::{FnDistance, MetricProperties};
 
     fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
-        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        })
     }
 
     fn example() -> CompositeEmbedding<f64> {

@@ -18,10 +18,9 @@
 use crate::traits::Embedding;
 use qse_distance::DistanceMeasure;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of FastMap construction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FastMapConfig {
     /// Output dimensionality.
     pub dimensions: usize,
@@ -32,14 +31,17 @@ pub struct FastMapConfig {
 
 impl Default for FastMapConfig {
     fn default() -> Self {
-        Self { dimensions: 16, pivot_iterations: 5 }
+        Self {
+            dimensions: 16,
+            pivot_iterations: 5,
+        }
     }
 }
 
 /// One FastMap coordinate: a pair of pivot objects, their residual-space
 /// distance, and the pivots' own coordinates in all *previous* dimensions
 /// (needed to compute residual distances to a new query object).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct FastMapLevel<O> {
     pivot_a: O,
     pivot_b: O,
@@ -52,7 +54,7 @@ struct FastMapLevel<O> {
 }
 
 /// A trained FastMap embedding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FastMap<O> {
     levels: Vec<FastMapLevel<O>>,
 }
@@ -72,8 +74,14 @@ impl<O: Clone + Send + Sync> FastMap<O> {
         config: FastMapConfig,
         rng: &mut R,
     ) -> Self {
-        assert!(sample.len() >= 2, "FastMap needs at least two sample objects");
-        assert!(config.dimensions >= 1, "FastMap needs at least one dimension");
+        assert!(
+            sample.len() >= 2,
+            "FastMap needs at least two sample objects"
+        );
+        assert!(
+            config.dimensions >= 1,
+            "FastMap needs at least one dimension"
+        );
         let n = sample.len();
         // coords[i] = coordinates assigned to sample object i so far.
         let mut coords: Vec<Vec<f64>> = vec![Vec::with_capacity(config.dimensions); n];
@@ -99,7 +107,7 @@ impl<O: Clone + Send + Sync> FastMap<O> {
                     .max_by(|&p, &q| {
                         let dp = residual(&coords, a, p, distance.distance(&sample[a], &sample[p]));
                         let dq = residual(&coords, a, q, distance.distance(&sample[a], &sample[q]));
-                        dp.partial_cmp(&dq).unwrap_or(std::cmp::Ordering::Equal)
+                        dp.total_cmp(&dq)
                     })
                     .expect("non-empty sample");
                 if b == a {
@@ -150,8 +158,13 @@ impl<O: Clone + Send + Sync> FastMap<O> {
     /// # Panics
     /// Panics if `dim` is zero or exceeds the trained dimensionality.
     pub fn prefix(&self, dim: usize) -> Self {
-        assert!(dim >= 1 && dim <= self.levels.len(), "invalid prefix length {dim}");
-        Self { levels: self.levels[..dim].to_vec() }
+        assert!(
+            dim >= 1 && dim <= self.levels.len(),
+            "invalid prefix length {dim}"
+        );
+        Self {
+            levels: self.levels[..dim].to_vec(),
+        }
     }
 }
 
@@ -224,7 +237,10 @@ mod tests {
         let fm = FastMap::train(
             &sample,
             &euclid(),
-            FastMapConfig { dimensions: 2, pivot_iterations: 5 },
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 5,
+            },
             &mut rng,
         );
         let embedded: Vec<Vec<f64>> = sample.iter().map(|o| fm.embed(o, &euclid())).collect();
@@ -247,7 +263,10 @@ mod tests {
         let fm = FastMap::train(
             &sample,
             &euclid(),
-            FastMapConfig { dimensions: 4, pivot_iterations: 3 },
+            FastMapConfig {
+                dimensions: 4,
+                pivot_iterations: 3,
+            },
             &mut rng,
         );
         assert_eq!(fm.embedding_cost(), 8);
@@ -263,7 +282,10 @@ mod tests {
         let fm = FastMap::train(
             &sample,
             &euclid(),
-            FastMapConfig { dimensions: 3, pivot_iterations: 3 },
+            FastMapConfig {
+                dimensions: 3,
+                pivot_iterations: 3,
+            },
             &mut rng,
         );
         let p = fm.prefix(2);
@@ -282,7 +304,10 @@ mod tests {
         let fm = FastMap::train(
             &sample,
             &euclid(),
-            FastMapConfig { dimensions: 3, pivot_iterations: 2 },
+            FastMapConfig {
+                dimensions: 3,
+                pivot_iterations: 2,
+            },
             &mut rng,
         );
         let v = fm.embed(&vec![2.0, 2.0], &euclid());
@@ -294,15 +319,28 @@ mod tests {
     fn works_with_non_metric_distances() {
         // Squared differences violate the triangle inequality; FastMap must
         // still produce finite coordinates thanks to residual clamping.
-        let sq = FnDistance::new("sq", MetricProperties::SymmetricNonMetric, |a: &f64, b: &f64| {
-            (a - b) * (a - b)
-        });
+        let sq = FnDistance::new(
+            "sq",
+            MetricProperties::SymmetricNonMetric,
+            |a: &f64, b: &f64| (a - b) * (a - b),
+        );
         let sample: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let mut rng = StdRng::seed_from_u64(5);
-        let fm = FastMap::train(&sample, &sq, FastMapConfig { dimensions: 4, pivot_iterations: 3 }, &mut rng);
+        let fm = FastMap::train(
+            &sample,
+            &sq,
+            FastMapConfig {
+                dimensions: 4,
+                pivot_iterations: 3,
+            },
+            &mut rng,
+        );
         for x in [0.0, 3.3, 19.0, 25.0] {
             let v = fm.embed(&x, &sq);
-            assert!(v.iter().all(|c| c.is_finite()), "non-finite embedding for {x}: {v:?}");
+            assert!(
+                v.iter().all(|c| c.is_finite()),
+                "non-finite embedding for {x}: {v:?}"
+            );
         }
     }
 
@@ -315,7 +353,10 @@ mod tests {
         let fm = FastMap::train(
             &sample,
             &euclid(),
-            FastMapConfig { dimensions: 2, pivot_iterations: 5 },
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 5,
+            },
             &mut rng,
         );
         let embedded: Vec<Vec<f64>> = sample.iter().map(|o| fm.embed(o, &euclid())).collect();
@@ -325,7 +366,9 @@ mod tests {
             let nn_orig = (0..sample.len())
                 .filter(|&i| i != qi)
                 .min_by(|&a, &b| {
-                    l2.eval(q, &sample[a]).partial_cmp(&l2.eval(q, &sample[b])).unwrap()
+                    l2.eval(q, &sample[a])
+                        .partial_cmp(&l2.eval(q, &sample[b]))
+                        .unwrap()
                 })
                 .unwrap();
             let nn_emb = (0..sample.len())
@@ -340,7 +383,11 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree as f64 >= 0.9 * sample.len() as f64, "agreement {agree}/{}", sample.len());
+        assert!(
+            agree as f64 >= 0.9 * sample.len() as f64,
+            "agreement {agree}/{}",
+            sample.len()
+        );
     }
 
     #[test]

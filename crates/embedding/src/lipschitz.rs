@@ -20,10 +20,9 @@ use crate::traits::Embedding;
 use qse_distance::DistanceMeasure;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A Lipschitz embedding defined by explicit reference sets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LipschitzEmbedding<O> {
     reference_sets: Vec<Vec<O>>,
 }
@@ -34,7 +33,10 @@ impl<O: Clone + Send + Sync> LipschitzEmbedding<O> {
     /// # Panics
     /// Panics if there are no sets or any set is empty.
     pub fn new(reference_sets: Vec<Vec<O>>) -> Self {
-        assert!(!reference_sets.is_empty(), "need at least one reference set");
+        assert!(
+            !reference_sets.is_empty(),
+            "need at least one reference set"
+        );
         assert!(
             reference_sets.iter().all(|s| !s.is_empty()),
             "reference sets must be non-empty"
@@ -52,15 +54,15 @@ impl<O: Clone + Send + Sync> LipschitzEmbedding<O> {
         rng: &mut R,
     ) -> Self {
         assert!(!sample.is_empty(), "need a non-empty sample");
-        assert!(max_size_exponent >= 1 && sets_per_size >= 1, "degenerate Bourgain parameters");
+        assert!(
+            max_size_exponent >= 1 && sets_per_size >= 1,
+            "degenerate Bourgain parameters"
+        );
         let mut sets = Vec::new();
         for exp in 1..=max_size_exponent {
             let size = (1usize << exp).min(sample.len());
             for _ in 0..sets_per_size {
-                let set: Vec<O> = sample
-                    .choose_multiple(rng, size)
-                    .cloned()
-                    .collect();
+                let set: Vec<O> = sample.choose_multiple(rng, size).cloned().collect();
                 sets.push(set);
             }
         }
@@ -97,7 +99,7 @@ impl<O: Clone + Send + Sync> Embedding<O> for LipschitzEmbedding<O> {
 /// A SparseMap-style embedding: Lipschitz reference sets whose per-coordinate
 /// size is capped, bounding the number of exact distances spent per embedded
 /// object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseMapEmbedding<O> {
     inner: LipschitzEmbedding<O>,
 }
@@ -116,7 +118,10 @@ impl<O: Clone + Send + Sync> SparseMapEmbedding<O> {
         rng: &mut R,
     ) -> Self {
         assert!(!sample.is_empty(), "need a non-empty sample");
-        assert!(dimensions >= 1 && max_refs_per_coordinate >= 1, "degenerate parameters");
+        assert!(
+            dimensions >= 1 && max_refs_per_coordinate >= 1,
+            "degenerate parameters"
+        );
         let mut sets = Vec::with_capacity(dimensions);
         for i in 0..dimensions {
             // Later coordinates get (geometrically) larger sets, capped.
@@ -124,7 +129,9 @@ impl<O: Clone + Send + Sync> SparseMapEmbedding<O> {
             let set: Vec<O> = sample.choose_multiple(rng, target).cloned().collect();
             sets.push(set);
         }
-        Self { inner: LipschitzEmbedding::new(sets) }
+        Self {
+            inner: LipschitzEmbedding::new(sets),
+        }
     }
 }
 
@@ -152,7 +159,9 @@ mod tests {
     }
 
     fn sample() -> Vec<Vec<f64>> {
-        (0..32).map(|i| vec![(i % 8) as f64, (i / 8) as f64]).collect()
+        (0..32)
+            .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+            .collect()
     }
 
     #[test]

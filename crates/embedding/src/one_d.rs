@@ -16,13 +16,12 @@
 
 use crate::traits::Embedding;
 use qse_distance::DistanceMeasure;
-use serde::{Deserialize, Serialize};
 
 /// A candidate object tagged with the identifier it had in the candidate set
 /// `C` it was drawn from. The identifier lets composite embeddings
 /// de-duplicate exact distance computations when several 1-D embeddings share
 /// a reference or pivot object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate<O> {
     /// Identifier of the object within its candidate pool.
     pub id: usize,
@@ -38,7 +37,7 @@ impl<O> Candidate<O> {
 }
 
 /// A one-dimensional embedding built from candidate objects.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OneDEmbedding<O> {
     /// `F^r(x) = DX(x, r)` for a reference object `r` (Eq. 1).
     Reference {
@@ -159,7 +158,9 @@ mod tests {
     use qse_distance::traits::{FnDistance, MetricProperties};
 
     fn euclid1d() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
-        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        })
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The [`Embedding`] trait.
 
 use qse_distance::DistanceMeasure;
+use rayon::prelude::*;
 
 /// A function `F : X → R^d` mapping objects into a real vector space.
 ///
@@ -20,9 +21,19 @@ pub trait Embedding<O>: Send + Sync {
     /// Number of exact distance computations needed to embed one new object.
     fn embedding_cost(&self) -> usize;
 
-    /// Embed a whole collection (convenience; same as mapping [`Self::embed`]).
-    fn embed_all(&self, objects: &[O], distance: &dyn DistanceMeasure<O>) -> Vec<Vec<f64>> {
-        objects.iter().map(|o| self.embed(o, distance)).collect()
+    /// Embed a whole collection, fanned out across rayon worker threads.
+    ///
+    /// Results are in input order and identical to mapping [`Self::embed`]
+    /// sequentially; exact-distance accounting stays correct because
+    /// [`qse_distance::CountingDistance`] counts atomically.
+    fn embed_all(&self, objects: &[O], distance: &dyn DistanceMeasure<O>) -> Vec<Vec<f64>>
+    where
+        O: Sync,
+    {
+        objects
+            .par_iter()
+            .map(|o| self.embed(o, distance))
+            .collect()
     }
 }
 

@@ -9,6 +9,7 @@
 //! [`DynamicIndex`] implements exactly that protocol on top of a trained
 //! [`QseModel`].
 
+use crate::filter_refine::FlatVectors;
 use crate::knn::knn;
 use qse_core::{QseModel, TripleSampler};
 use qse_distance::{DistanceMatrix, DistanceMeasure};
@@ -20,7 +21,7 @@ pub struct DynamicIndex<O> {
     model: QseModel<O>,
     embedding: CompositeEmbedding<O>,
     objects: Vec<O>,
-    vectors: Vec<Vec<f64>>,
+    vectors: FlatVectors,
 }
 
 /// The result of an embedding-drift check.
@@ -37,8 +38,13 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
     /// Build the index from a trained model and an initial database.
     pub fn new(model: QseModel<O>, database: Vec<O>, distance: &dyn DistanceMeasure<O>) -> Self {
         let embedding = model.embedding();
-        let vectors = embedding.embed_all(&database, distance);
-        Self { model, embedding, objects: database, vectors }
+        let vectors = FlatVectors::from_rows(embedding.embed_all(&database, distance));
+        Self {
+            model,
+            embedding,
+            objects: database,
+            vectors,
+        }
     }
 
     /// Number of objects currently indexed.
@@ -62,7 +68,7 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
     pub fn insert(&mut self, object: O, distance: &dyn DistanceMeasure<O>) -> usize {
         let vector = self.embedding.embed(&object, distance);
         self.objects.push(object);
-        self.vectors.push(vector);
+        self.vectors.push(&vector);
         self.objects.len() - 1
     }
 
@@ -92,14 +98,21 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         assert!(!self.objects.is_empty(), "cannot query an empty index");
         assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
         let eq = self.model.embed_query(query, distance);
-        let mut order: Vec<usize> = (0..self.vectors.len()).collect();
-        order.sort_by(|&a, &b| {
-            eq.distance_to(&self.vectors[a])
-                .partial_cmp(&eq.distance_to(&self.vectors[b]))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        order.truncate(p);
+        // Filter step: O(n) scan + O(n) selection of the best p (NaN-safe,
+        // ties broken by index), matching the static index's hot path.
+        let scores: Vec<f64> = self
+            .vectors
+            .iter_rows()
+            .map(|row| eq.distance_to(row))
+            .collect();
+        let by_score_then_index =
+            |a: &usize, b: &usize| scores[*a].total_cmp(&scores[*b]).then(a.cmp(b));
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        if p < order.len() {
+            order.select_nth_unstable_by(p - 1, by_score_then_index);
+            order.truncate(p);
+        }
+        order.sort_unstable_by(by_score_then_index);
         let candidates: Vec<O> = order.iter().map(|&i| self.objects[i].clone()).collect();
         let refined = knn(query, &candidates, distance, k);
         refined.neighbors.into_iter().map(|i| order[i]).collect()
@@ -122,8 +135,14 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         error_threshold: f64,
         rng: &mut R,
     ) -> DriftReport {
-        assert!(sample_size >= 3, "need at least 3 objects to sample triples");
-        assert!(!self.objects.is_empty(), "cannot check drift of an empty index");
+        assert!(
+            sample_size >= 3,
+            "need at least 3 objects to sample triples"
+        );
+        assert!(
+            !self.objects.is_empty(),
+            "cannot check drift of an empty index"
+        );
         let sample_size = sample_size.min(self.objects.len());
         // Sample a subset of the current database.
         let mut indices: Vec<usize> = (0..self.objects.len()).collect();
@@ -140,7 +159,9 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         let embedded: Vec<Vec<f64>> = self.embedding.embed_all(&sample, distance);
         let mut errors = 0.0;
         for t in &triples {
-            let h = self.model.classify_embedded(&embedded[t.q], &embedded[t.a], &embedded[t.b]);
+            let h = self
+                .model
+                .classify_embedded(&embedded[t.q], &embedded[t.a], &embedded[t.b]);
             if h == 0.0 {
                 errors += 0.5;
             } else if (h > 0.0) != (t.label == 1) {
@@ -148,7 +169,10 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
             }
         }
         let triple_error = errors / triples.len() as f64;
-        DriftReport { triple_error, needs_retraining: triple_error > error_threshold }
+        DriftReport {
+            triple_error,
+            needs_retraining: triple_error > error_threshold,
+        }
     }
 }
 
@@ -161,9 +185,17 @@ mod tests {
     use rand::SeedableRng;
 
     fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
-        FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
-        })
+        FnDistance::new(
+            "euclid",
+            MetricProperties::Metric,
+            |a: &Vec<f64>, b: &Vec<f64>| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+            },
+        )
     }
 
     fn two_cluster_db(n: usize) -> Vec<Vec<f64>> {
@@ -217,7 +249,11 @@ mod tests {
         let d = euclid();
         let mut rng = StdRng::seed_from_u64(4);
         let report = index.check_drift(&d, 40, 200, 4, 0.4, &mut rng);
-        assert!(report.triple_error < 0.4, "unexpected drift {}", report.triple_error);
+        assert!(
+            report.triple_error < 0.4,
+            "unexpected drift {}",
+            report.triple_error
+        );
         assert!(!report.needs_retraining);
     }
 
@@ -232,7 +268,10 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(6);
         for i in 0..60 {
-            index.insert(vec![500.0 + (i % 7) as f64 * 0.3, 400.0 + (i % 5) as f64 * 0.2], &d);
+            index.insert(
+                vec![500.0 + (i % 7) as f64 * 0.3, 400.0 + (i % 5) as f64 * 0.2],
+                &d,
+            );
         }
         let shifted = index.check_drift(&d, 40, 300, 4, 0.0, &mut rng);
         // With threshold 0 any nonzero error flags retraining; the point is

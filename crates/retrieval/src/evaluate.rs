@@ -17,10 +17,10 @@
 use crate::filter_refine::FilterRefineIndex;
 use crate::knn::KnnResult;
 use qse_distance::DistanceMeasure;
-use serde::{Deserialize, Serialize};
+use rayon::prelude::*;
 
 /// The evaluation of one embedding method at one dimensionality.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DimensionEvaluation {
     /// Dimensionality of the embedding (for boosted models: number of
     /// boosting rounds kept).
@@ -52,7 +52,11 @@ impl DimensionEvaluation {
         O: Clone + Send + Sync,
         D: DistanceMeasure<O> + Sync,
     {
-        assert_eq!(queries.len(), ground_truth.len(), "one ground-truth entry per query");
+        assert_eq!(
+            queries.len(),
+            ground_truth.len(),
+            "one ground-truth entry per query"
+        );
         assert!(kmax >= 1, "kmax must be at least 1");
         assert!(
             ground_truth.iter().all(|g| g.neighbors.len() >= kmax),
@@ -79,31 +83,29 @@ impl DimensionEvaluation {
         let rank_needed: Vec<Vec<usize>> = if threads <= 1 || queries.len() < 2 {
             (0..queries.len()).map(compute_one).collect()
         } else {
-            let mut out: Vec<Option<Vec<usize>>> = vec![None; queries.len()];
-            let chunk = queries.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
-                for (ci, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-                    let start = ci * chunk;
-                    let compute_one = &compute_one;
-                    scope.spawn(move |_| {
-                        for (offset, slot) in slot_chunk.iter_mut().enumerate() {
-                            *slot = Some(compute_one(start + offset));
-                        }
-                    });
-                }
-            })
-            .expect("evaluation worker thread panicked");
-            out.into_iter().map(|r| r.expect("all queries evaluated")).collect()
+            // One filter ranking per query, fanned out on the rayon
+            // substrate (worker count follows RAYON_NUM_THREADS).
+            (0..queries.len())
+                .into_par_iter()
+                .map(&compute_one)
+                .collect()
         };
 
-        Self { dim: index.dim(), embedding_cost: index.embedding_cost(), rank_needed }
+        Self {
+            dim: index.dim(),
+            embedding_cost: index.embedding_cost(),
+            rank_needed,
+        }
     }
 
     /// The smallest `p` that succeeds (retrieves all `k` true neighbors) for
     /// at least `accuracy_pct`% of the queries.
     pub fn required_p(&self, k: usize, accuracy_pct: f64) -> usize {
         assert!(k >= 1 && k <= self.rank_needed[0].len(), "k out of range");
-        assert!((0.0..=100.0).contains(&accuracy_pct), "accuracy must be a percentage");
+        assert!(
+            (0.0..=100.0).contains(&accuracy_pct),
+            "accuracy must be a percentage"
+        );
         let mut ranks: Vec<usize> = self.rank_needed.iter().map(|r| r[k - 1]).collect();
         ranks.sort_unstable();
         let n = ranks.len();
@@ -116,7 +118,7 @@ impl DimensionEvaluation {
 
 /// One `(k, accuracy)` entry of a cost table: the minimum per-query exact
 /// distance budget and the parameters that achieve it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostRow {
     /// Number of nearest neighbors that must all be retrieved.
     pub k: usize,
@@ -131,7 +133,7 @@ pub struct CostRow {
 }
 
 /// All dimensionalities of one method evaluated on one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodEvaluation {
     /// Display name of the method (e.g. "FastMap", "Se-QS").
     pub method: String,
@@ -146,9 +148,20 @@ impl MethodEvaluation {
     ///
     /// # Panics
     /// Panics if no dimensionalities were evaluated.
-    pub fn new(method: impl Into<String>, database_size: usize, dimensions: Vec<DimensionEvaluation>) -> Self {
-        assert!(!dimensions.is_empty(), "need at least one evaluated dimensionality");
-        Self { method: method.into(), database_size, dimensions }
+    pub fn new(
+        method: impl Into<String>,
+        database_size: usize,
+        dimensions: Vec<DimensionEvaluation>,
+    ) -> Self {
+        assert!(
+            !dimensions.is_empty(),
+            "need at least one evaluated dimensionality"
+        );
+        Self {
+            method: method.into(),
+            database_size,
+            dimensions,
+        }
     }
 
     /// The number of queries in the underlying evaluation.
@@ -168,8 +181,14 @@ impl MethodEvaluation {
             // the database.
             let p = p.max(k).min(self.database_size);
             let cost = (d.embedding_cost + p).min(self.database_size);
-            let row = CostRow { k, accuracy_pct, cost, best_dim: d.dim, best_p: p };
-            if best.as_ref().map_or(true, |b| row.cost < b.cost) {
+            let row = CostRow {
+                k,
+                accuracy_pct,
+                cost,
+                best_dim: d.dim,
+                best_p: p,
+            };
+            if best.as_ref().is_none_or(|b| row.cost < b.cost) {
                 best = Some(row);
             }
         }
@@ -186,7 +205,7 @@ impl MethodEvaluation {
 
 /// A complete cost table (several methods × several `(k, accuracy)` rows),
 /// ready to be printed by the benchmark harnesses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostReport {
     /// Name of the workload ("synthetic MNIST / shape context", ...).
     pub workload: String,
@@ -257,7 +276,11 @@ mod tests {
     use super::*;
 
     fn dim_eval(dim: usize, cost: usize, ranks: Vec<Vec<usize>>) -> DimensionEvaluation {
-        DimensionEvaluation { dim, embedding_cost: cost, rank_needed: ranks }
+        DimensionEvaluation {
+            dim,
+            embedding_cost: cost,
+            rank_needed: ranks,
+        }
     }
 
     #[test]

@@ -22,10 +22,9 @@ use qse_embedding::Embedding;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// One ablation row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationRow {
     /// Description of the configuration.
     pub configuration: String,
@@ -38,7 +37,7 @@ pub struct AblationRow {
 }
 
 /// The ablation report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationReport {
     /// Database size (brute-force cost).
     pub database_size: usize,
@@ -74,7 +73,13 @@ pub fn run_ablation(
 ) -> AblationReport {
     let (database, queries, distance) =
         digits_workload(database_size, query_count, points_per_shape, seed);
-    let truth = ground_truth(&queries, &database, &distance, scale.kmax.min(5), scale.threads);
+    let truth = ground_truth(
+        &queries,
+        &database,
+        &distance,
+        scale.kmax.min(5),
+        scale.threads,
+    );
     let kmax = scale.kmax.min(5);
 
     // Shared training pools so the ablations differ only in the knob studied.
@@ -94,15 +99,25 @@ pub fn run_ablation(
 
     let base_config = scale.trainer_config(MethodVariant::SeQs);
     let configurations: Vec<(String, TrainerConfig, usize)> = vec![
-        ("default (reference + pivot, full budget)".into(), base_config, scale.training_triples),
+        (
+            "default (reference + pivot, full budget)".into(),
+            base_config,
+            scale.training_triples,
+        ),
         (
             "reference-only 1-D embeddings".into(),
-            TrainerConfig { use_pivot_embeddings: false, ..base_config },
+            TrainerConfig {
+                use_pivot_embeddings: false,
+                ..base_config
+            },
             scale.training_triples,
         ),
         (
             "single splitter interval per candidate".into(),
-            TrainerConfig { intervals_per_candidate: 1, ..base_config },
+            TrainerConfig {
+                intervals_per_candidate: 1,
+                ..base_config
+            },
             scale.training_triples,
         ),
         (
@@ -136,7 +151,12 @@ pub fn run_ablation(
             let vectors = embedding.embed_all(&database, &distance);
             let index = FilterRefineIndex::from_vectors_query_sensitive(model, vectors);
             let evaluation = DimensionEvaluation::evaluate(
-                &index, &queries, &distance, &truth, kmax, scale.threads,
+                &index,
+                &queries,
+                &distance,
+                &truth,
+                kmax,
+                scale.threads,
             );
             let method = MethodEvaluation::new(name.clone(), database.len(), vec![evaluation]);
             AblationRow {
@@ -148,7 +168,10 @@ pub fn run_ablation(
         })
         .collect();
 
-    AblationReport { database_size: database.len(), rows }
+    AblationReport {
+        database_size: database.len(),
+        rows,
+    }
 }
 
 #[cfg(test)]

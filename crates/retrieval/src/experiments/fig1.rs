@@ -22,10 +22,9 @@ use qse_dataset::toy2d::{paper_figure1, Euclidean2D, Point, ToyConfiguration};
 use qse_distance::DistanceMeasure;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Triple-classification failure rates for the toy configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Result {
     /// Failure rate of the 3-D embedding over all triples.
     pub global_embedding_error: f64,
@@ -110,7 +109,11 @@ pub fn evaluate_configuration(config: &ToyConfiguration) -> Fig1Result {
     let d = Euclidean2D;
     let refs = config.references();
     let embed = |x: &Point| -> [f64; 3] {
-        [d.distance(x, &refs[0]), d.distance(x, &refs[1]), d.distance(x, &refs[2])]
+        [
+            d.distance(x, &refs[0]),
+            d.distance(x, &refs[1]),
+            d.distance(x, &refs[2]),
+        ]
     };
     let l1 = |a: &[f64; 3], b: &[f64; 3]| -> f64 {
         (a[0] - b[0]).abs() + (a[1] - b[1]).abs() + (a[2] - b[2]).abs()
@@ -130,12 +133,14 @@ pub fn evaluate_configuration(config: &ToyConfiguration) -> Fig1Result {
         let marked_slot = config.marked_query_indices.iter().position(|&m| m == qi);
         for ai in 0..config.database.len() {
             for bi in (ai + 1)..config.database.len() {
-                let truth = d.distance(q, &config.database[bi]) - d.distance(q, &config.database[ai]);
+                let truth =
+                    d.distance(q, &config.database[bi]) - d.distance(q, &config.database[ai]);
                 if truth == 0.0 {
                     continue;
                 }
                 total += 1;
-                let global_pred = l1(&q_embedded[qi], &db_embedded[bi]) - l1(&q_embedded[qi], &db_embedded[ai]);
+                let global_pred =
+                    l1(&q_embedded[qi], &db_embedded[bi]) - l1(&q_embedded[qi], &db_embedded[ai]);
                 let gf = failure(global_pred, truth);
                 global_fail += gf;
                 for r in 0..3 {
@@ -177,8 +182,13 @@ mod tests {
         // Average the check over a few seeds: the claim is statistical, and
         // the paper's own configuration was presumably chosen to illustrate
         // it clearly.
-        let wins = (0..5).filter(|&s| run_fig1(s).query_sensitivity_pays_off()).count();
-        assert!(wins >= 3, "query sensitivity paid off in only {wins}/5 configurations");
+        let wins = (0..5)
+            .filter(|&s| run_fig1(s).query_sensitivity_pays_off())
+            .count();
+        assert!(
+            wins >= 3,
+            "query sensitivity paid off in only {wins}/5 configurations"
+        );
     }
 
     #[test]
@@ -205,7 +215,11 @@ mod tests {
         for e in all {
             assert!((0.0..=1.0).contains(e), "invalid rate {e}");
         }
-        assert!(r.triple_count > 1000, "expected ~1900 informative triples, got {}", r.triple_count);
+        assert!(
+            r.triple_count > 1000,
+            "expected ~1900 informative triples, got {}",
+            r.triple_count
+        );
     }
 
     #[test]

@@ -14,10 +14,9 @@ use super::runner::{evaluate_methods, Method, WorkloadScale};
 use super::workloads::{digits_workload, timeseries_workload};
 use crate::evaluate::MethodEvaluation;
 use qse_core::MethodVariant;
-use serde::{Deserialize, Serialize};
 
 /// One cost-vs-k curve for one method at one accuracy target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostCurve {
     /// Method label.
     pub method: String,
@@ -27,7 +26,7 @@ pub struct CostCurve {
 }
 
 /// All curves of one figure panel (one accuracy target).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigurePanel {
     /// Accuracy target in percent (90, 95 or 99 in the paper).
     pub accuracy_pct: f64,
@@ -38,7 +37,7 @@ pub struct FigurePanel {
 }
 
 /// A complete figure: several panels over one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Name of the figure ("Figure 4", ...).
     pub name: String,
@@ -59,7 +58,7 @@ impl Figure {
         );
         for panel in &self.panels {
             out.push_str(&format!("-- accuracy {:.0}% --\n", panel.accuracy_pct));
-            out.push_str("k");
+            out.push('k');
             for c in &panel.curves {
                 out.push_str(&format!("\t{}", c.method));
             }
@@ -119,8 +118,14 @@ pub fn run_fig4(
 ) -> Figure {
     let (database, queries, distance) =
         digits_workload(database_size, query_count, points_per_shape, seed);
-    let evaluations =
-        evaluate_methods(&database, &queries, &distance, scale, &Method::figures(), seed);
+    let evaluations = evaluate_methods(
+        &database,
+        &queries,
+        &distance,
+        scale,
+        &Method::figures(),
+        seed,
+    );
     let ks = default_ks(scale.kmax);
     Figure {
         name: "Figure 4".into(),
@@ -141,8 +146,14 @@ pub fn run_fig5(
 ) -> Figure {
     let (database, queries, distance) =
         timeseries_workload(database_size, query_count, series_length, series_dims, seed);
-    let evaluations =
-        evaluate_methods(&database, &queries, &distance, scale, &Method::figures(), seed);
+    let evaluations = evaluate_methods(
+        &database,
+        &queries,
+        &distance,
+        scale,
+        &Method::figures(),
+        seed,
+    );
     let ks = default_ks(scale.kmax);
     Figure {
         name: "Figure 5".into(),
@@ -212,7 +223,11 @@ mod tests {
         MethodEvaluation::new(
             name,
             db,
-            vec![DimensionEvaluation { dim: 4, embedding_cost: 8, rank_needed: ranks }],
+            vec![DimensionEvaluation {
+                dim: 4,
+                embedding_cost: 8,
+                rank_needed: ranks,
+            }],
         )
     }
 

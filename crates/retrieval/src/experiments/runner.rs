@@ -17,10 +17,9 @@ use qse_embedding::{Embedding, FastMap, FastMapConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A method to be evaluated by the runner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// The FastMap baseline (Faloutsos & Lin).
     FastMap,
@@ -57,7 +56,7 @@ impl Method {
 }
 
 /// The knobs that determine the computational scale of an experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadScale {
     /// Size of the candidate pool `C` (also the FastMap training sample).
     pub candidate_pool: usize,
@@ -162,9 +161,9 @@ where
         .iter()
         .map(|method| match method {
             Method::FastMap => evaluate_fastmap(database, queries, distance, scale, &truth, seed),
-            Method::Boosted(variant) => evaluate_boosted(
-                *variant, database, queries, distance, scale, &truth, seed,
-            ),
+            Method::Boosted(variant) => {
+                evaluate_boosted(*variant, database, queries, distance, scale, &truth, seed)
+            }
         })
         .collect()
 }
@@ -201,11 +200,20 @@ where
         .choose_multiple(&mut rng, sample_size)
         .cloned()
         .collect();
-    let max_dim = scale.dims_to_evaluate.iter().copied().max().unwrap_or(8).max(1);
+    let max_dim = scale
+        .dims_to_evaluate
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(8)
+        .max(1);
     let fastmap = FastMap::train(
         &sample,
         distance,
-        FastMapConfig { dimensions: max_dim, pivot_iterations: 4 },
+        FastMapConfig {
+            dimensions: max_dim,
+            pivot_iterations: 4,
+        },
         &mut rng,
     );
     // Embed the database once at full dimensionality, slice per prefix.
@@ -215,10 +223,16 @@ where
         .iter()
         .map(|&d| {
             let prefix = fastmap.prefix(d);
-            let vectors: Vec<Vec<f64>> =
-                full_vectors.iter().map(|v| v[..d].to_vec()).collect();
+            let vectors: Vec<Vec<f64>> = full_vectors.iter().map(|v| v[..d].to_vec()).collect();
             let index = FilterRefineIndex::from_vectors_global(prefix, vectors);
-            DimensionEvaluation::evaluate(&index, queries, distance, truth, scale.kmax, scale.threads)
+            DimensionEvaluation::evaluate(
+                &index,
+                queries,
+                distance,
+                truth,
+                scale.kmax,
+                scale.threads,
+            )
         })
         .collect();
     MethodEvaluation::new("FastMap", database.len(), evaluations)
@@ -270,10 +284,16 @@ where
         .map(|&rounds| {
             let prefix = model.prefix(rounds);
             let d = prefix.dim();
-            let vectors: Vec<Vec<f64>> =
-                full_vectors.iter().map(|v| v[..d].to_vec()).collect();
+            let vectors: Vec<Vec<f64>> = full_vectors.iter().map(|v| v[..d].to_vec()).collect();
             let index = FilterRefineIndex::from_vectors_query_sensitive(prefix, vectors);
-            DimensionEvaluation::evaluate(&index, queries, distance, truth, scale.kmax, scale.threads)
+            DimensionEvaluation::evaluate(
+                &index,
+                queries,
+                distance,
+                truth,
+                scale.kmax,
+                scale.threads,
+            )
         })
         .collect();
     MethodEvaluation::new(variant.label(), database.len(), evaluations)
@@ -303,9 +323,17 @@ mod tests {
     use qse_distance::traits::{FnDistance, MetricProperties};
 
     fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
-        FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
-        })
+        FnDistance::new(
+            "euclid",
+            MetricProperties::Metric,
+            |a: &Vec<f64>, b: &Vec<f64>| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+            },
+        )
     }
 
     /// A clustered 2-D vector workload that is cheap to evaluate but has the

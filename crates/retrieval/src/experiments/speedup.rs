@@ -11,10 +11,9 @@
 use super::runner::{evaluate_methods, Method, WorkloadScale};
 use super::workloads::timeseries_workload;
 use qse_core::MethodVariant;
-use serde::{Deserialize, Serialize};
 
 /// Speed-up factors over brute force at `k = 1`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupReport {
     /// Database size (brute-force distances per query).
     pub database_size: usize,
@@ -67,7 +66,11 @@ pub fn run_speedup(
             rows.push((eval.method.clone(), pct, row.cost, eval.speedup(1, pct)));
         }
     }
-    SpeedupReport { database_size, query_count: queries.len(), rows }
+    SpeedupReport {
+        database_size,
+        query_count: queries.len(),
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -89,7 +92,12 @@ mod tests {
         let report = SpeedupReport {
             database_size: 1000,
             query_count: 2,
-            rows: vec![("Se-QS".into(), 100.0, eval.optimal_cost(1, 100.0).cost, eval.speedup(1, 100.0))],
+            rows: vec![(
+                "Se-QS".into(),
+                100.0,
+                eval.optimal_cost(1, 100.0).cost,
+                eval.speedup(1, 100.0),
+            )],
         };
         assert_eq!(report.speedup_of("Se-QS", 100.0), Some(40.0));
         assert!(report.to_text().contains("Se-QS"));

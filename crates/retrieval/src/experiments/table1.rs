@@ -4,18 +4,20 @@
 use super::runner::{evaluate_methods, Method, WorkloadScale};
 use super::workloads::{digits_workload, timeseries_workload};
 use crate::evaluate::CostReport;
-use serde::{Deserialize, Serialize};
 
 /// The `(k, pct)` grid of Table 1.
 pub fn table1_ks(kmax: usize) -> Vec<usize> {
-    [1usize, 10, 50].into_iter().filter(|&k| k <= kmax).collect()
+    [1usize, 10, 50]
+        .into_iter()
+        .filter(|&k| k <= kmax)
+        .collect()
 }
 
 /// The accuracy percentages of Table 1.
 pub const TABLE1_PERCENTAGES: [f64; 4] = [90.0, 95.0, 99.0, 100.0];
 
 /// Both halves of Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
     /// The synthetic-MNIST / shape-context half.
     pub digits: CostReport,

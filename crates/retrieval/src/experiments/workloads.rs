@@ -1,7 +1,9 @@
 //! Workload construction: the synthetic stand-ins for the paper's two
 //! datasets, packaged as (database, queries, distance) triples.
 
-use qse_dataset::{DigitGenerator, DigitGeneratorConfig, TimeSeriesGenerator, TimeSeriesGeneratorConfig};
+use qse_dataset::{
+    DigitGenerator, DigitGeneratorConfig, TimeSeriesGenerator, TimeSeriesGeneratorConfig,
+};
 use qse_distance::dtw::TimeSeries;
 use qse_distance::{ConstrainedDtw, PointSet, ShapeContextDistance};
 use rand::rngs::StdRng;
@@ -17,7 +19,10 @@ pub fn digits_workload(
     points_per_shape: usize,
     seed: u64,
 ) -> (Vec<PointSet>, Vec<PointSet>, ShapeContextDistance) {
-    assert!(database_size > 0 && query_count > 0, "workload sizes must be positive");
+    assert!(
+        database_size > 0 && query_count > 0,
+        "workload sizes must be positive"
+    );
     let generator = DigitGenerator::new(DigitGeneratorConfig {
         points_per_shape,
         ..DigitGeneratorConfig::default()
@@ -40,10 +45,17 @@ pub fn timeseries_workload(
     dimensions: usize,
     seed: u64,
 ) -> (Vec<TimeSeries>, Vec<TimeSeries>, ConstrainedDtw) {
-    assert!(database_size > 0 && query_count > 0, "workload sizes must be positive");
+    assert!(
+        database_size > 0 && query_count > 0,
+        "workload sizes must be positive"
+    );
     let mut seed_rng = StdRng::seed_from_u64(seed);
     let generator = TimeSeriesGenerator::new(
-        TimeSeriesGeneratorConfig { base_length, dimensions, ..TimeSeriesGeneratorConfig::default() },
+        TimeSeriesGeneratorConfig {
+            base_length,
+            dimensions,
+            ..TimeSeriesGeneratorConfig::default()
+        },
         &mut seed_rng,
     );
     let mut db_rng = StdRng::seed_from_u64(seed.wrapping_add(1));

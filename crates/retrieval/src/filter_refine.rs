@@ -6,7 +6,7 @@
 //!
 //! 1. **Embedding step** — compute `F(q)` by measuring the exact distances
 //!    between `q` and the embedding's reference / pivot objects.
-//! 2. **Filter step** — rank the (pre-embedded) database by the cheap
+//! 2. **Filter step** — score the (pre-embedded) database by the cheap
 //!    vector distance and keep the best `p` candidates.
 //! 3. **Refine step** — measure the exact distance from `q` to each of the
 //!    `p` candidates and return the best `k`.
@@ -16,11 +16,31 @@
 //! vectors. [`FilterRefineIndex`] supports both a *global* L1 filter distance
 //! (FastMap, Lipschitz, original BoostMap) and the *query-sensitive*
 //! weighted L1 of a trained [`QseModel`].
+//!
+//! ## The filter step as a hot path
+//!
+//! At production database sizes the filter scan dominates wall-clock time
+//! (the exact distances are few but the scan touches every vector), so it is
+//! engineered accordingly:
+//!
+//! * embedded database vectors are stored in one flat row-major `Vec<f64>`
+//!   ([`FlatVectors`]) so the scan walks memory linearly with stride
+//!   `dim` instead of chasing one heap allocation per vector;
+//! * [`FilterRefineIndex::retrieve`] keeps the best `p` candidates with
+//!   `select_nth_unstable_by` — an O(n) selection — and only sorts those
+//!   `p`, instead of sorting the whole database (O(n log n));
+//! * [`FilterRefineIndex::retrieve_batch`] fans a query batch out across
+//!   rayon worker threads.
+//!
+//! Selection uses the strict total order `(score, index)` (NaN-safe via
+//! `f64::total_cmp`), so its result is **identical** to taking the first `p`
+//! entries of the fully sorted ranking — asserted for every `(k, p)` by the
+//! workspace tests.
 
 use qse_core::QseModel;
-use qse_distance::{DistanceMeasure, LpDistance};
+use qse_distance::DistanceMeasure;
 use qse_embedding::Embedding;
-use serde::{Deserialize, Serialize};
+use rayon::prelude::*;
 
 /// How the filter step scores database vectors against the query.
 enum FilterKind<O> {
@@ -30,14 +50,120 @@ enum FilterKind<O> {
     QuerySensitive { model: QseModel<O> },
 }
 
+/// Embedded database vectors in flat row-major storage: row `i` occupies
+/// `data[i * dim .. (i + 1) * dim]`. Keeping all rows in one allocation makes
+/// the filter scan cache-friendly and prefetchable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatVectors {
+    data: Vec<f64>,
+    dim: usize,
+    rows: usize,
+}
+
+impl FlatVectors {
+    /// Flatten per-object vectors into row-major storage.
+    ///
+    /// # Panics
+    /// Panics if the rows disagree in dimensionality.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let dim = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "all embedded vectors must share one dimensionality"
+        );
+        let count = rows.len();
+        let mut data = Vec::with_capacity(count * dim);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        Self {
+            data,
+            dim,
+            rows: count,
+        }
+    }
+
+    /// Number of rows (database objects).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Dimensionality (the row stride).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterator over all rows in index order (always exactly [`Self::len`]
+    /// items, even in the degenerate zero-dimensional case).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.rows).map(|i| self.row(i))
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the row has the wrong dimensionality.
+    pub fn push(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Remove row `index` by moving the last row into its slot (O(dim)).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn swap_remove(&mut self, index: usize) {
+        assert!(index < self.rows, "row index {index} out of bounds");
+        let last = self.rows - 1;
+        if index != last {
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[index * self.dim..(index + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+        }
+        self.data.truncate(last * self.dim);
+        self.rows = last;
+    }
+}
+
+/// Indices of the `p` smallest scores, in increasing order under the strict
+/// total order `(score, index)` — exactly the first `p` entries of a full
+/// `(score, index)` sort, computed with O(n) selection + O(p log p) sort.
+/// `p >= scores.len()` degrades to the full sorted ranking.
+///
+/// Shared by the static index, the dynamic index and the evaluation harness
+/// so every filter path is *provably* the same selection.
+pub(crate) fn top_p_by_score(scores: &[f64], p: usize) -> Vec<usize> {
+    let by_score_then_index =
+        |a: &usize, b: &usize| scores[*a].total_cmp(&scores[*b]).then(a.cmp(b));
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    if p >= 1 && p < order.len() {
+        // O(n): after this, positions 0..p hold the p smallest under the
+        // strict total order (score, index).
+        order.select_nth_unstable_by(p - 1, by_score_then_index);
+        order.truncate(p);
+    }
+    order.sort_unstable_by(by_score_then_index);
+    order
+}
+
 /// A database indexed for filter-and-refine retrieval under one embedding.
 pub struct FilterRefineIndex<O> {
     kind: FilterKind<O>,
-    vectors: Vec<Vec<f64>>,
+    vectors: FlatVectors,
 }
 
 /// The outcome of one filter-and-refine retrieval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RetrievalOutcome {
     /// Indices of the k reported neighbors, best first (by exact distance).
     pub neighbors: Vec<usize>,
@@ -60,18 +186,20 @@ impl RetrievalOutcome {
 impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     /// Index `database` under a global-L1 embedding (FastMap, Lipschitz,
     /// query-insensitive BoostMap, ...). The indexing cost is
-    /// `|database| · embedding_cost` exact distances, paid offline.
-    pub fn build_global<E>(
-        embedding: E,
-        database: &[O],
-        distance: &dyn DistanceMeasure<O>,
-    ) -> Self
+    /// `|database| · embedding_cost` exact distances, paid offline (the
+    /// embedding pass runs in parallel).
+    pub fn build_global<E>(embedding: E, database: &[O], distance: &dyn DistanceMeasure<O>) -> Self
     where
         E: Embedding<O> + 'static,
     {
         assert!(!database.is_empty(), "cannot index an empty database");
-        let vectors = embedding.embed_all(database, distance);
-        Self { kind: FilterKind::GlobalL1 { embedding: Box::new(embedding) }, vectors }
+        let vectors = FlatVectors::from_rows(embedding.embed_all(database, distance));
+        Self {
+            kind: FilterKind::GlobalL1 {
+                embedding: Box::new(embedding),
+            },
+            vectors,
+        }
     }
 
     /// Index `database` under a trained (query-sensitive or insensitive)
@@ -84,8 +212,11 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     ) -> Self {
         assert!(!database.is_empty(), "cannot index an empty database");
         let embedding = model.embedding();
-        let vectors = embedding.embed_all(database, distance);
-        Self { kind: FilterKind::QuerySensitive { model }, vectors }
+        let vectors = FlatVectors::from_rows(embedding.embed_all(database, distance));
+        Self {
+            kind: FilterKind::QuerySensitive { model },
+            vectors,
+        }
     }
 
     /// Index a database whose vectors under this embedding have already been
@@ -104,7 +235,12 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
             vectors.iter().all(|v| v.len() == embedding.dim()),
             "vector dimensionality does not match the embedding"
         );
-        Self { kind: FilterKind::GlobalL1 { embedding: Box::new(embedding) }, vectors }
+        Self {
+            kind: FilterKind::GlobalL1 {
+                embedding: Box::new(embedding),
+            },
+            vectors: FlatVectors::from_rows(vectors),
+        }
     }
 
     /// Like [`Self::from_vectors_global`] but for a trained [`QseModel`].
@@ -118,7 +254,10 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
             vectors.iter().all(|v| v.len() == model.dim()),
             "vector dimensionality does not match the model"
         );
-        Self { kind: FilterKind::QuerySensitive { model }, vectors }
+        Self {
+            kind: FilterKind::QuerySensitive { model },
+            vectors: FlatVectors::from_rows(vectors),
+        }
     }
 
     /// Dimensionality of the indexed vectors.
@@ -147,42 +286,74 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         }
     }
 
-    /// The embedded database vectors.
-    pub fn vectors(&self) -> &[Vec<f64>] {
+    /// The embedded database vectors (flat row-major storage).
+    pub fn vectors(&self) -> &FlatVectors {
         &self.vectors
     }
 
-    /// The filter ranking for `query`: database indices sorted by increasing
-    /// filter (embedded-space) distance, together with the number of exact
-    /// distance computations spent on the embedding step.
+    /// The filter score of every database vector against `query`, plus the
+    /// embedding-step cost. This is the O(n · dim) linear scan at the heart
+    /// of the filter step; it walks the flat storage row by row.
+    fn filter_scores(&self, query: &O, distance: &dyn DistanceMeasure<O>) -> (Vec<f64>, usize) {
+        let scores = match &self.kind {
+            FilterKind::GlobalL1 { embedding } => {
+                let q = embedding.embed(query, distance);
+                self.vectors
+                    .iter_rows()
+                    .map(|row| q.iter().zip(row).map(|(a, b)| (a - b).abs()).sum())
+                    .collect()
+            }
+            FilterKind::QuerySensitive { model } => {
+                let eq = model.embed_query(query, distance);
+                self.vectors
+                    .iter_rows()
+                    .map(|row| eq.distance_to(row))
+                    .collect()
+            }
+        };
+        (scores, self.embedding_cost())
+    }
+
+    /// The full filter ranking for `query`: database indices sorted by
+    /// increasing filter (embedded-space) distance, together with the number
+    /// of exact distance computations spent on the embedding step.
     ///
-    /// This is the building block both of [`Self::retrieve`] and of the
-    /// evaluation harness, which derives from one ranking the minimum `p`
-    /// needed for every `k` without re-running retrieval.
+    /// The evaluation harness needs the complete order (it derives, from one
+    /// ranking, the minimum `p` for every `k`); retrieval itself uses the
+    /// cheaper [`Self::filter_top_p`].
     pub fn filter_ranking(
         &self,
         query: &O,
         distance: &dyn DistanceMeasure<O>,
     ) -> (Vec<usize>, usize) {
-        let scores: Vec<f64> = match &self.kind {
-            FilterKind::GlobalL1 { embedding } => {
-                let q = embedding.embed(query, distance);
-                let l1 = LpDistance::l1();
-                self.vectors.iter().map(|v| l1.eval(&q, v)).collect()
-            }
-            FilterKind::QuerySensitive { model } => {
-                let eq = model.embed_query(query, distance);
-                self.vectors.iter().map(|v| eq.distance_to(v)).collect()
-            }
-        };
-        let mut order: Vec<usize> = (0..self.vectors.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[a]
-                .partial_cmp(&scores[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        (order, self.embedding_cost())
+        let (scores, cost) = self.filter_scores(query, distance);
+        let order = top_p_by_score(&scores, scores.len());
+        (order, cost)
+    }
+
+    /// The best `p` filter candidates for `query`, in increasing filter
+    /// distance, plus the embedding-step cost.
+    ///
+    /// Runs in O(n) selection + O(p log p) sort instead of the O(n log n)
+    /// full sort, and returns exactly the first `p` entries
+    /// [`Self::filter_ranking`] would produce (ties broken by index).
+    ///
+    /// # Panics
+    /// Panics if `p` is zero or exceeds the database size.
+    pub fn filter_top_p(
+        &self,
+        query: &O,
+        distance: &dyn DistanceMeasure<O>,
+        p: usize,
+    ) -> (Vec<usize>, usize) {
+        assert!(p >= 1, "p must be at least 1");
+        assert!(
+            p <= self.vectors.len(),
+            "p = {p} exceeds the database size {}",
+            self.vectors.len()
+        );
+        let (scores, cost) = self.filter_scores(query, distance);
+        (top_p_by_score(&scores, p), cost)
     }
 
     /// Full filter-and-refine retrieval of the `k` (approximate) nearest
@@ -210,17 +381,13 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
             self.vectors.len(),
             "database does not match the indexed vectors"
         );
-        let (ranking, embedding_cost) = self.filter_ranking(query, distance);
+        let (candidates, embedding_cost) = self.filter_top_p(query, distance, p);
         // Refine: exact distances to the p best filter candidates.
-        let mut refined: Vec<(usize, f64)> = ranking[..p]
-            .iter()
-            .map(|&i| (i, distance.distance(query, &database[i])))
+        let mut refined: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|i| (i, distance.distance(query, &database[i])))
             .collect();
-        refined.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        refined.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         refined.truncate(k);
         RetrievalOutcome {
             neighbors: refined.iter().map(|(i, _)| *i).collect(),
@@ -228,6 +395,27 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
             embedding_cost,
             refine_cost: p,
         }
+    }
+
+    /// Retrieve a whole batch of queries, fanned out across rayon worker
+    /// threads. Results are returned in query order and are identical to
+    /// calling [`Self::retrieve`] per query; the worker count follows
+    /// `RAYON_NUM_THREADS`.
+    ///
+    /// # Panics
+    /// As [`Self::retrieve`].
+    pub fn retrieve_batch(
+        &self,
+        queries: &[O],
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Vec<RetrievalOutcome> {
+        queries
+            .par_iter()
+            .map(|query| self.retrieve(query, database, distance, k, p))
+            .collect()
     }
 }
 
@@ -243,9 +431,17 @@ mod tests {
     use rand::SeedableRng;
 
     fn euclid() -> FnDistance<impl Fn(&Vec<f64>, &Vec<f64>) -> f64 + Send + Sync> {
-        FnDistance::new("euclid", MetricProperties::Metric, |a: &Vec<f64>, b: &Vec<f64>| {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
-        })
+        FnDistance::new(
+            "euclid",
+            MetricProperties::Metric,
+            |a: &Vec<f64>, b: &Vec<f64>| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+            },
+        )
     }
 
     fn grid_database() -> Vec<Vec<f64>> {
@@ -259,13 +455,51 @@ mod tests {
     }
 
     #[test]
+    fn flat_vectors_store_rows_in_order() {
+        let fv = FlatVectors::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(fv.len(), 3);
+        assert_eq!(fv.dim(), 2);
+        assert_eq!(fv.row(1), &[3.0, 4.0]);
+        let rows: Vec<&[f64]> = fv.iter_rows().collect();
+        assert_eq!(
+            rows,
+            vec![&[1.0, 2.0][..], &[3.0, 4.0][..], &[5.0, 6.0][..]]
+        );
+    }
+
+    #[test]
+    fn flat_vectors_push_and_swap_remove() {
+        let mut fv = FlatVectors::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        fv.push(&[4.0]);
+        assert_eq!(fv.len(), 4);
+        fv.swap_remove(0);
+        assert_eq!(fv.len(), 3);
+        assert_eq!(fv.row(0), &[4.0]);
+        assert_eq!(fv.row(1), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimensionality")]
+    fn flat_vectors_reject_ragged_rows() {
+        let _ = FlatVectors::from_rows(vec![vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
     fn full_p_retrieval_is_exact() {
         // With p = |database| the refine step sees everything, so the result
         // must equal brute-force k-NN regardless of the embedding quality.
         let db = grid_database();
         let d = euclid();
         let mut rng = StdRng::seed_from_u64(1);
-        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 2, pivot_iterations: 3 }, &mut rng);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 3,
+            },
+            &mut rng,
+        );
         let index = FilterRefineIndex::build_global(fm, &db, &d);
         let q = vec![3.2, 7.1];
         let out = index.retrieve(&q, &db, &d, 5, db.len());
@@ -278,7 +512,15 @@ mod tests {
         let db = grid_database();
         let d = euclid();
         let mut rng = StdRng::seed_from_u64(2);
-        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 3, pivot_iterations: 3 }, &mut rng);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 3,
+                pivot_iterations: 3,
+            },
+            &mut rng,
+        );
         let index = FilterRefineIndex::build_global(fm, &db, &d);
         let counting = CountingDistance::new(euclid());
         let out = index.retrieve(&vec![5.5, 5.5], &db, &counting, 3, 20);
@@ -292,7 +534,15 @@ mod tests {
         let db = grid_database();
         let d = euclid();
         let mut rng = StdRng::seed_from_u64(3);
-        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 2, pivot_iterations: 3 }, &mut rng);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 3,
+            },
+            &mut rng,
+        );
         let index = FilterRefineIndex::build_global(fm, &db, &d);
         let (ranking, cost) = index.filter_ranking(&vec![0.0, 0.0], &d);
         assert_eq!(cost, 4);
@@ -302,11 +552,65 @@ mod tests {
     }
 
     #[test]
+    fn top_p_selection_matches_full_sort_prefix_for_every_p() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(4);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 3,
+            },
+            &mut rng,
+        );
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let query = vec![4.4, 4.6];
+        let (full, _) = index.filter_ranking(&query, &d);
+        for p in [1, 2, 3, 7, 50, 99, 100] {
+            let (top, _) = index.filter_top_p(&query, &d, p);
+            assert_eq!(top, full[..p], "p = {p}");
+        }
+    }
+
+    #[test]
+    fn retrieve_batch_matches_individual_retrievals() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(5);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 3,
+            },
+            &mut rng,
+        );
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let queries: Vec<Vec<f64>> = (0..17)
+            .map(|i| vec![i as f64 * 0.55, (17 - i) as f64 * 0.5])
+            .collect();
+        let batch = index.retrieve_batch(&queries, &db, &d, 3, 12);
+        assert_eq!(batch.len(), queries.len());
+        for (q, out) in queries.iter().zip(&batch) {
+            assert_eq!(*out, index.retrieve(q, &db, &d, 3, 12));
+        }
+    }
+
+    #[test]
     fn query_sensitive_index_retrieves_true_neighbors_with_small_p() {
         // Train a tiny Se-QS model on 1-D clustered data and check the filter
         // step puts the true nearest neighbor in front.
         let db: Vec<Vec<f64>> = (0..60)
-            .map(|i| if i % 2 == 0 { vec![i as f64 * 0.05] } else { vec![50.0 + i as f64 * 0.05] })
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![i as f64 * 0.05]
+                } else {
+                    vec![50.0 + i as f64 * 0.05]
+                }
+            })
             .collect();
         let d = euclid();
         let data = TrainingData::precompute(db.clone(), db.clone(), &d, 1);
@@ -327,7 +631,15 @@ mod tests {
         let db = grid_database();
         let d = euclid();
         let mut rng = StdRng::seed_from_u64(5);
-        let fm = FastMap::train(&db, &d, FastMapConfig { dimensions: 2, pivot_iterations: 2 }, &mut rng);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 2,
+            },
+            &mut rng,
+        );
         let index = FilterRefineIndex::build_global(fm, &db, &d);
         let _ = index.retrieve(&vec![0.0, 0.0], &db, &d, 5, 3);
     }

@@ -5,9 +5,12 @@
 //! brute force: *"brute force search would require 60000 exact distance
 //! computations in the MNIST dataset and 31818 ... in the time series
 //! dataset"* (Table 1 caption). This module provides that ground truth,
-//! optionally computed in parallel across queries.
+//! computed in parallel across queries on the rayon substrate. The per-query
+//! top-k step uses `select_nth_unstable_by` (O(n) + O(k log k)) instead of a
+//! full sort, with NaN-safe `(distance, index)` ordering.
 
 use qse_distance::DistanceMeasure;
+use rayon::prelude::*;
 
 /// The result of an exact k-NN query.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,26 +31,33 @@ where
     D: DistanceMeasure<O> + ?Sized,
 {
     assert!(k >= 1, "k must be at least 1");
-    assert!(k <= database.len(), "k = {k} exceeds the database size {}", database.len());
+    assert!(
+        k <= database.len(),
+        "k = {k} exceeds the database size {}",
+        database.len()
+    );
     let mut scored: Vec<(usize, f64)> = database
         .iter()
         .enumerate()
         .map(|(i, o)| (i, distance.distance(query, o)))
         .collect();
-    scored.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
-    scored.truncate(k);
+    let by_distance_then_index =
+        |a: &(usize, f64), b: &(usize, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
+    if k < scored.len() {
+        // O(n) selection of the k nearest; only those get sorted.
+        scored.select_nth_unstable_by(k - 1, by_distance_then_index);
+        scored.truncate(k);
+    }
+    scored.sort_unstable_by(by_distance_then_index);
     KnnResult {
         neighbors: scored.iter().map(|(i, _)| *i).collect(),
         distances: scored.iter().map(|(_, d)| *d).collect(),
     }
 }
 
-/// Exact `kmax` nearest neighbors for every query, computed with `threads`
-/// worker threads.
+/// Exact `kmax` nearest neighbors for every query, computed across rayon
+/// worker threads (`threads <= 1` forces the sequential path; larger values
+/// enable the parallel path, whose width follows `RAYON_NUM_THREADS`).
 ///
 /// This is the (expensive) ground-truth step of the evaluation harness; its
 /// cost is `|queries| · |database|` exact distance computations.
@@ -64,22 +74,15 @@ where
 {
     assert!(!queries.is_empty(), "need at least one query");
     if threads <= 1 || queries.len() < 2 {
-        return queries.iter().map(|q| knn(q, database, distance, kmax)).collect();
+        return queries
+            .iter()
+            .map(|q| knn(q, database, distance, kmax))
+            .collect();
     }
-    let mut results: Vec<Option<KnnResult>> = vec![None; queries.len()];
-    let chunk = queries.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (ci, out_chunk) in results.chunks_mut(chunk).enumerate() {
-            let start = ci * chunk;
-            scope.spawn(move |_| {
-                for (offset, slot) in out_chunk.iter_mut().enumerate() {
-                    *slot = Some(knn(&queries[start + offset], database, distance, kmax));
-                }
-            });
-        }
-    })
-    .expect("ground-truth worker thread panicked");
-    results.into_iter().map(|r| r.expect("all queries processed")).collect()
+    queries
+        .par_iter()
+        .map(|q| knn(q, database, distance, kmax))
+        .collect()
 }
 
 #[cfg(test)]
@@ -89,7 +92,9 @@ mod tests {
     use qse_distance::CountingDistance;
 
     fn abs() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
-        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| (a - b).abs())
+        FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+            (a - b).abs()
+        })
     }
 
     #[test]

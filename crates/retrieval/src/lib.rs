@@ -31,5 +31,5 @@ pub mod filter_refine;
 pub mod knn;
 
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};
-pub use filter_refine::{FilterRefineIndex, RetrievalOutcome};
+pub use filter_refine::{FilterRefineIndex, FlatVectors, RetrievalOutcome};
 pub use knn::{ground_truth, KnnResult};

@@ -18,7 +18,11 @@ fn main() {
         print!("{}", result.to_text());
         println!(
             "query-sensitivity pays off: {}\n",
-            if result.query_sensitivity_pays_off() { "yes" } else { "no" }
+            if result.query_sensitivity_pays_off() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!(

@@ -36,7 +36,11 @@ fn main() {
     );
 
     // --- 3. Train the query-sensitive embedding (the paper's Se-QS) ---------
-    let config = TrainerConfig { rounds: 24, candidates_per_round: 60, ..TrainerConfig::default() };
+    let config = TrainerConfig {
+        rounds: 24,
+        candidates_per_round: 60,
+        ..TrainerConfig::default()
+    };
     let model = BoostMapTrainer::new(config).train(&data, &triples, &mut train_rng);
     println!(
         "trained model: {} boosting rounds, {} distinct coordinates, query-sensitive = {}",
@@ -51,7 +55,10 @@ fn main() {
 
     // --- 4. Index the database and answer queries ---------------------------
     let index = FilterRefineIndex::build_query_sensitive(model, &database, &distance);
-    println!("indexing cost: {} exact distances (offline)", distance.reset());
+    println!(
+        "indexing cost: {} exact distances (offline)",
+        distance.reset()
+    );
 
     let k = 3;
     let p = 25;

@@ -29,15 +29,14 @@ fn main() {
         threads: 8,
     };
 
-    println!(
-        "building a {database_size}-sequence cDTW workload and training FastMap + Se-QS ..."
-    );
+    println!("building a {database_size}-sequence cDTW workload and training FastMap + Se-QS ...");
     let report = run_speedup(database_size, query_count, series_length, &scale, 11);
     print!("{}", report.to_text());
 
-    if let (Some(seqs), Some(fm)) =
-        (report.speedup_of("Se-QS", 95.0), report.speedup_of("FastMap", 95.0))
-    {
+    if let (Some(seqs), Some(fm)) = (
+        report.speedup_of("Se-QS", 95.0),
+        report.speedup_of("FastMap", 95.0),
+    ) {
         println!(
             "\nAt 95% accuracy Se-QS is {:.1}x faster than brute force and {:.1}x faster than FastMap.",
             seqs,

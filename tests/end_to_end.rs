@@ -16,7 +16,7 @@ use rand::SeedableRng;
 fn vector_workload(db: usize, queries: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     use rand::Rng;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut make = |rng: &mut StdRng| {
+    let make = |rng: &mut StdRng| {
         let c = rng.gen_range(0..6);
         vec![
             (c % 3) as f64 * 15.0 + rng.gen_range(-1.0..1.0),
@@ -33,15 +33,23 @@ fn every_method_variant_trains_and_retrieves() {
     let (db, queries) = vector_workload(150, 20, 1);
     let distance = LpDistance::l2();
     let scale = WorkloadScale::tiny();
-    let evaluations =
-        evaluate_methods(&db, &queries, &distance, &scale, &Method::table1(), 99);
+    let evaluations = evaluate_methods(&db, &queries, &distance, &scale, &Method::table1(), 99);
     assert_eq!(evaluations.len(), 5);
     for eval in &evaluations {
         let row = eval.optimal_cost(1, 90.0);
-        assert!(row.cost >= 1 && row.cost <= db.len(), "{}: cost {}", eval.method, row.cost);
+        assert!(
+            row.cost >= 1 && row.cost <= db.len(),
+            "{}: cost {}",
+            eval.method,
+            row.cost
+        );
         // Retrieving more neighbors can never be cheaper at the same accuracy.
         let row_k5 = eval.optimal_cost(scale.kmax, 90.0);
-        assert!(row_k5.cost >= row.cost, "{}: k=5 cheaper than k=1", eval.method);
+        assert!(
+            row_k5.cost >= row.cost,
+            "{}: k=5 cheaper than k=1",
+            eval.method
+        );
     }
 }
 
@@ -141,7 +149,12 @@ fn timeseries_pipeline_end_to_end_small_scale() {
     );
     for eval in &evaluations {
         let row = eval.optimal_cost(1, 90.0);
-        assert!(row.cost <= db.len(), "{} cost {} exceeds brute force", eval.method, row.cost);
+        assert!(
+            row.cost <= db.len(),
+            "{} cost {} exceeds brute force",
+            eval.method,
+            row.cost
+        );
     }
 }
 
@@ -155,7 +168,7 @@ fn trained_model_survives_serialization_and_produces_identical_rankings() {
     let triples = TripleSampler::selective(3).sample(&data.train_to_train, 300, &mut rng);
     let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
 
-    let json = model.to_json().expect("serialize");
+    let json = model.to_json();
     let restored: QseModel<Vec<f64>> = QseModel::from_json(&json).expect("deserialize");
     assert_eq!(model, restored);
 

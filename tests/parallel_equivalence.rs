@@ -1,0 +1,125 @@
+//! Guarantees of the parallel query engine: every parallel code path must
+//! produce results **bit-identical** to its sequential counterpart, at any
+//! thread count.
+//!
+//! The rayon substrate re-reads `RAYON_NUM_THREADS` on every parallel call,
+//! so these tests flip the variable at run time. They set it explicitly
+//! around each comparison; the variable is process-global, which is safe
+//! here precisely because thread count is not allowed to affect any result
+//! (the property under test).
+
+use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serializes every thread-count override: the variable is process-global
+/// and the tests in this binary run concurrently.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0..6);
+            vec![
+                (c % 3) as f64 * 15.0 + rng.gen_range(-1.0..1.0),
+                (c / 3) as f64 * 15.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+fn train_model(threads: usize, db: &[Vec<f64>]) -> QseModel<Vec<f64>> {
+    with_thread_count(threads, || {
+        let d = LpDistance::l2();
+        let pools: Vec<Vec<f64>> = db.iter().take(50).cloned().collect();
+        let data = TrainingData::precompute(pools.clone(), pools, &d, 4);
+        let mut rng = StdRng::seed_from_u64(4242);
+        let triples = TripleSampler::selective(4).sample(&data.train_to_train, 400, &mut rng);
+        BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+    })
+}
+
+#[test]
+fn trained_models_are_identical_across_thread_counts() {
+    // The tentpole guarantee: pre-drawn randomness + (Z, slot) min-reduce
+    // make the trained model independent of worker scheduling.
+    let db = clustered(120, 7);
+    let single = train_model(1, &db);
+    for threads in [2, 8] {
+        let multi = train_model(threads, &db);
+        assert_eq!(single, multi, "model diverged at {threads} threads");
+        assert_eq!(
+            single.to_json(),
+            multi.to_json(),
+            "serialized bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn distance_matrices_are_identical_across_thread_counts() {
+    let db = clustered(60, 11);
+    let d = LpDistance::l2();
+    let seq = with_thread_count(1, || DistanceMatrix::all_pairs(&db, &d, 1));
+    for threads in [2, 8] {
+        let par = with_thread_count(threads, || DistanceMatrix::all_pairs(&db, &d, 8));
+        assert_eq!(seq, par, "matrix diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn ground_truth_is_identical_across_thread_counts() {
+    let db = clustered(90, 13);
+    let queries = clustered(17, 14);
+    let d = LpDistance::l2();
+    let seq = ground_truth(&queries, &db, &d, 5, 1);
+    for threads in [2, 8] {
+        let par = with_thread_count(threads, || ground_truth(&queries, &db, &d, 5, 8));
+        assert_eq!(seq, par, "ground truth diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn batched_retrieval_is_identical_across_thread_counts() {
+    let db = clustered(150, 17);
+    let d = LpDistance::l2();
+    let model = train_model(1, &db);
+    let index = FilterRefineIndex::build_query_sensitive(model, &db, &d);
+    let queries = clustered(23, 19);
+    let sequential: Vec<RetrievalOutcome> = queries
+        .iter()
+        .map(|q| index.retrieve(q, &db, &d, 3, 20))
+        .collect();
+    for threads in [1, 2, 8] {
+        let batch = with_thread_count(threads, || index.retrieve_batch(&queries, &db, &d, 3, 20));
+        assert_eq!(sequential, batch, "batch diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_embed_all_matches_sequential_embedding() {
+    use query_sensitive_embeddings::embedding::Embedding;
+    let db = clustered(80, 23);
+    let d = LpDistance::l2();
+    let model = train_model(1, &db);
+    let embedding = model.embedding();
+    let sequential: Vec<Vec<f64>> = db.iter().map(|o| embedding.embed(o, &d)).collect();
+    for threads in [1, 2, 8] {
+        let parallel = with_thread_count(threads, || embedding.embed_all(&db, &d));
+        assert_eq!(
+            sequential, parallel,
+            "embed_all diverged at {threads} threads"
+        );
+    }
+}

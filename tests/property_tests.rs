@@ -1,5 +1,7 @@
-//! Property-based tests (proptest) on the core invariants of the
-//! reproduction:
+//! Property-style tests on the core invariants of the reproduction, run
+//! over many deterministic pseudo-random cases (the `proptest` crate is not
+//! available in this offline build environment, so cases are drawn from the
+//! workspace's seeded RNG instead — same spirit, reproducible failures):
 //!
 //! * metric axioms for the measures that claim them, symmetry for the
 //!   symmetric non-metric ones,
@@ -8,11 +10,12 @@
 //! * Proposition 1 of the paper (the boosted classifier equals the
 //!   classifier induced by `F_out` + `D_out`) on randomly generated models,
 //! * embedding-prefix consistency,
-//! * filter-and-refine recall = 1 when `p = |database|`.
+//! * filter-and-refine recall = 1 when `p = |database|`,
+//! * top-p selection ≡ full-sort prefix for every `p` (the filter hot path).
 
-use proptest::prelude::*;
 use query_sensitive_embeddings::core::model::{QseModel, TrainingHistory, WeakLearner};
 use query_sensitive_embeddings::core::Interval;
+use query_sensitive_embeddings::distance::chamfer::ChamferDistance;
 use query_sensitive_embeddings::distance::dtw::{ConstrainedDtw, TimeSeries};
 use query_sensitive_embeddings::distance::edit::EditDistance;
 use query_sensitive_embeddings::distance::hungarian::{
@@ -20,221 +23,267 @@ use query_sensitive_embeddings::distance::hungarian::{
 };
 use query_sensitive_embeddings::distance::kl::KlDivergence;
 use query_sensitive_embeddings::distance::shape_context::{Point2, PointSet};
-use query_sensitive_embeddings::distance::chamfer::ChamferDistance;
+use query_sensitive_embeddings::distance::traits::{FnDistance, MetricProperties};
 use query_sensitive_embeddings::embedding::one_d::Candidate;
 use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-50.0..50.0f64, len)
+const CASES: usize = 64;
+
+fn abs_distance() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
+    FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
+        (a - b).abs()
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn small_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-50.0..50.0)).collect()
+}
 
-    // ---------------- Lp / weighted L1 ----------------
-
-    #[test]
-    fn l1_and_l2_satisfy_metric_axioms(a in small_vec(6), b in small_vec(6), c in small_vec(6)) {
+#[test]
+fn l1_and_l2_satisfy_metric_axioms() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let a = small_vec(&mut rng, 6);
+        let b = small_vec(&mut rng, 6);
+        let c = small_vec(&mut rng, 6);
         for d in [LpDistance::l1(), LpDistance::l2()] {
             let ab = d.eval(&a, &b);
             let ba = d.eval(&b, &a);
-            prop_assert!(ab >= 0.0);
-            prop_assert!((ab - ba).abs() < 1e-9);
-            prop_assert!(d.eval(&a, &a) < 1e-12);
-            let ac = d.eval(&a, &c);
-            let cb = d.eval(&c, &b);
-            prop_assert!(ab <= ac + cb + 1e-9);
+            assert!(ab >= 0.0);
+            assert!((ab - ba).abs() < 1e-9);
+            assert!(d.eval(&a, &a) < 1e-12);
+            assert!(ab <= d.eval(&a, &c) + d.eval(&c, &b) + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn weighted_l1_triangle_inequality(
-        a in small_vec(5),
-        b in small_vec(5),
-        c in small_vec(5),
-        w in prop::collection::vec(0.0..10.0f64, 5),
-    ) {
+#[test]
+fn weighted_l1_triangle_inequality_and_symmetry() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let a = small_vec(&mut rng, 5);
+        let b = small_vec(&mut rng, 5);
+        let c = small_vec(&mut rng, 5);
+        let w: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..10.0)).collect();
         let d = WeightedL1::new(w);
-        prop_assert!(d.eval(&a, &b) <= d.eval(&a, &c) + d.eval(&c, &b) + 1e-9);
-        prop_assert!((d.eval(&a, &b) - d.eval(&b, &a)).abs() < 1e-9);
+        assert!(d.eval(&a, &b) <= d.eval(&a, &c) + d.eval(&c, &b) + 1e-9);
+        assert!((d.eval(&a, &b) - d.eval(&b, &a)).abs() < 1e-9);
     }
+}
 
-    // ---------------- DTW ----------------
+fn random_series(rng: &mut StdRng, min_len: usize, max_len: usize) -> TimeSeries {
+    let len = rng.gen_range(min_len..max_len);
+    TimeSeries::univariate((0..len).map(|_| rng.gen_range(-5.0..5.0)))
+}
 
-    #[test]
-    fn dtw_is_symmetric_and_zero_on_identical(
-        a in prop::collection::vec(-5.0..5.0f64, 4..20),
-        b in prop::collection::vec(-5.0..5.0f64, 4..20),
-    ) {
-        let sa = TimeSeries::univariate(a.iter().copied());
-        let sb = TimeSeries::univariate(b.iter().copied());
-        let d = ConstrainedDtw::paper();
-        prop_assert!((d.eval(&sa, &sb) - d.eval(&sb, &sa)).abs() < 1e-9);
-        prop_assert!(d.eval(&sa, &sa) < 1e-12);
-        prop_assert!(d.eval(&sa, &sb) >= 0.0);
+#[test]
+fn dtw_is_symmetric_and_zero_on_identical() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    let d = ConstrainedDtw::paper();
+    for _ in 0..CASES {
+        let sa = random_series(&mut rng, 4, 20);
+        let sb = random_series(&mut rng, 4, 20);
+        assert!((d.eval(&sa, &sb) - d.eval(&sb, &sa)).abs() < 1e-9);
+        assert!(d.eval(&sa, &sa) < 1e-12);
+        assert!(d.eval(&sa, &sb) >= 0.0);
     }
+}
 
-    #[test]
-    fn dtw_band_widening_never_increases_distance(
-        a in prop::collection::vec(-5.0..5.0f64, 6..16),
-        b in prop::collection::vec(-5.0..5.0f64, 6..16),
-    ) {
-        let sa = TimeSeries::univariate(a.iter().copied());
-        let sb = TimeSeries::univariate(b.iter().copied());
+#[test]
+fn dtw_band_widening_never_increases_distance() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let sa = random_series(&mut rng, 6, 16);
+        let sb = random_series(&mut rng, 6, 16);
         let mut last = f64::INFINITY;
         for w in 0..8 {
             let d = ConstrainedDtw::with_absolute_band(w).eval(&sa, &sb);
-            prop_assert!(d <= last + 1e-9, "band {} gave {} > {}", w, d, last);
+            assert!(d <= last + 1e-9, "band {w} gave {d} > {last}");
             last = d;
         }
     }
+}
 
-    #[test]
-    fn dtw_is_bounded_by_lockstep_on_equal_lengths(
-        pairs in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 4..20),
-    ) {
+#[test]
+fn dtw_is_bounded_by_lockstep_on_equal_lengths() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
+        let len = rng.gen_range(4..20);
+        let pairs: Vec<(f64, f64)> = (0..len)
+            .map(|_| (rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+            .collect();
         let a = TimeSeries::univariate(pairs.iter().map(|p| p.0));
         let b = TimeSeries::univariate(pairs.iter().map(|p| p.1));
         let lockstep: f64 = pairs.iter().map(|p| (p.0 - p.1).abs()).sum();
-        prop_assert!(ConstrainedDtw::unconstrained().eval(&a, &b) <= lockstep + 1e-9);
+        assert!(ConstrainedDtw::unconstrained().eval(&a, &b) <= lockstep + 1e-9);
     }
+}
 
-    // ---------------- edit distance / KL ----------------
-
-    #[test]
-    fn levenshtein_metric_axioms(
-        a in prop::collection::vec(0u8..4, 0..12),
-        b in prop::collection::vec(0u8..4, 0..12),
-        c in prop::collection::vec(0u8..4, 0..12),
-    ) {
-        let d = EditDistance::levenshtein();
-        prop_assert_eq!(d.eval(&a, &b), d.eval(&b, &a));
-        prop_assert_eq!(d.eval(&a, &a), 0.0);
-        prop_assert!(d.eval(&a, &b) <= d.eval(&a, &c) + d.eval(&c, &b) + 1e-9);
-        prop_assert!(d.eval(&a, &b) <= a.len().max(b.len()) as f64);
+#[test]
+fn levenshtein_metric_axioms() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    let d = EditDistance::levenshtein();
+    let word = |rng: &mut StdRng| -> Vec<u8> {
+        let len = rng.gen_range(0..12usize);
+        (0..len).map(|_| rng.gen_range(0u8..4)).collect()
+    };
+    for _ in 0..CASES {
+        let a = word(&mut rng);
+        let b = word(&mut rng);
+        let c = word(&mut rng);
+        assert_eq!(d.eval(&a, &b), d.eval(&b, &a));
+        assert_eq!(d.eval(&a, &a), 0.0);
+        assert!(d.eval(&a, &b) <= d.eval(&a, &c) + d.eval(&c, &b) + 1e-9);
+        assert!(d.eval(&a, &b) <= a.len().max(b.len()) as f64);
     }
+}
 
-    #[test]
-    fn kl_divergences_are_nonnegative_and_js_is_symmetric(
-        p in prop::collection::vec(0.01..10.0f64, 4),
-        q in prop::collection::vec(0.01..10.0f64, 4),
-    ) {
-        prop_assert!(KlDivergence::asymmetric().eval(&p, &q) >= -1e-12);
+#[test]
+fn kl_divergences_are_nonnegative_and_js_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let p: Vec<f64> = (0..4).map(|_| rng.gen_range(0.01..10.0)).collect();
+        let q: Vec<f64> = (0..4).map(|_| rng.gen_range(0.01..10.0)).collect();
+        assert!(KlDivergence::asymmetric().eval(&p, &q) >= -1e-12);
         let js = KlDivergence::jensen_shannon();
-        prop_assert!((js.eval(&p, &q) - js.eval(&q, &p)).abs() < 1e-9);
-        prop_assert!(js.eval(&p, &q) <= std::f64::consts::LN_2 + 1e-9);
+        assert!((js.eval(&p, &q) - js.eval(&q, &p)).abs() < 1e-9);
+        assert!(js.eval(&p, &q) <= std::f64::consts::LN_2 + 1e-9);
     }
+}
 
-    // ---------------- chamfer ----------------
-
-    #[test]
-    fn chamfer_symmetric_variant_is_symmetric_and_nonnegative(
-        a in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 2..10),
-        b in prop::collection::vec((-5.0..5.0f64, -5.0..5.0f64), 2..10),
-    ) {
-        let pa = PointSet::new(a.iter().map(|(x, y)| Point2::new(*x, *y)).collect());
-        let pb = PointSet::new(b.iter().map(|(x, y)| Point2::new(*x, *y)).collect());
-        let d = ChamferDistance::symmetric();
-        prop_assert!(d.eval(&pa, &pb) >= 0.0);
-        prop_assert!((d.eval(&pa, &pb) - d.eval(&pb, &pa)).abs() < 1e-9);
-        prop_assert!(d.eval(&pa, &pa) < 1e-12);
+#[test]
+fn chamfer_symmetric_variant_is_symmetric_and_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    let points = |rng: &mut StdRng| -> PointSet {
+        let len = rng.gen_range(2..10usize);
+        PointSet::new(
+            (0..len)
+                .map(|_| Point2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect(),
+        )
+    };
+    let d = ChamferDistance::symmetric();
+    for _ in 0..CASES {
+        let pa = points(&mut rng);
+        let pb = points(&mut rng);
+        assert!(d.eval(&pa, &pb) >= 0.0);
+        assert!((d.eval(&pa, &pb) - d.eval(&pb, &pa)).abs() < 1e-9);
+        assert!(d.eval(&pa, &pa) < 1e-12);
     }
+}
 
-    // ---------------- Hungarian ----------------
-
-    #[test]
-    fn hungarian_matches_exhaustive_search(
-        costs in prop::collection::vec(0.0..20.0f64, 16),
-    ) {
+#[test]
+fn hungarian_matches_exhaustive_search() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for _ in 0..CASES {
+        let costs: Vec<f64> = (0..16).map(|_| rng.gen_range(0.0..20.0)).collect();
         let m = CostMatrix::from_rows(4, 4, costs);
         let fast = solve_assignment(&m).total_cost;
         let brute = brute_force_assignment(&m);
-        prop_assert!((fast - brute).abs() < 1e-6, "{} vs {}", fast, brute);
+        assert!((fast - brute).abs() < 1e-6, "{fast} vs {brute}");
     }
+}
 
-    // ---------------- Proposition 1 on random models ----------------
-
-    #[test]
-    fn proposition_1_holds_for_random_models(
-        refs in prop::collection::vec(-20.0..20.0f64, 1..5),
-        learners in prop::collection::vec((0usize..5, 0.0..5.0f64, 0.0..20.0f64, 0.01..3.0f64), 1..8),
-        q in -25.0..25.0f64,
-        a in -25.0..25.0f64,
-        b in -25.0..25.0f64,
-    ) {
-        let coordinates: Vec<OneDEmbedding<f64>> = refs
-            .iter()
-            .enumerate()
-            .map(|(i, r)| OneDEmbedding::reference(Candidate::new(i, *r)))
+#[test]
+fn proposition_1_holds_for_random_models() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let abs = abs_distance();
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..5usize);
+        let coordinates: Vec<OneDEmbedding<f64>> = (0..dim)
+            .map(|i| OneDEmbedding::reference(Candidate::new(i, rng.gen_range(-20.0..20.0))))
             .collect();
-        let learners: Vec<WeakLearner> = learners
-            .into_iter()
-            .map(|(c, lo, span, alpha)| WeakLearner {
-                coordinate: c % coordinates.len(),
-                interval: Interval::new(lo, lo + span),
-                alpha,
+        let learner_count = rng.gen_range(1..8usize);
+        let learners: Vec<WeakLearner> = (0..learner_count)
+            .map(|_| {
+                let lo = rng.gen_range(0.0..5.0);
+                WeakLearner {
+                    coordinate: rng.gen_range(0..dim),
+                    interval: Interval::new(lo, lo + rng.gen_range(0.0..20.0)),
+                    alpha: rng.gen_range(0.01..3.0),
+                }
             })
             .collect();
         let model = QseModel::new(coordinates, learners, TrainingHistory::default());
-        let abs = query_sensitive_embeddings::distance::traits::FnDistance::new(
-            "abs",
-            query_sensitive_embeddings::distance::traits::MetricProperties::Metric,
-            |x: &f64, y: &f64| (x - y).abs(),
-        );
         let emb = model.embedding();
+        let q = rng.gen_range(-25.0..25.0);
+        let a = rng.gen_range(-25.0..25.0);
+        let b = rng.gen_range(-25.0..25.0);
         let fq = emb.embed(&q, &abs);
         let fa = emb.embed(&a, &abs);
         let fb = emb.embed(&b, &abs);
         let h = model.classify_embedded(&fq, &fa, &fb);
         let via_distance = model.classifier_from_distance(&fq, &fa, &fb);
-        prop_assert!((h - via_distance).abs() < 1e-9 * (1.0 + h.abs()));
-    }
-
-    // ---------------- embedding prefixes ----------------
-
-    #[test]
-    fn composite_prefix_coordinates_match_full_embedding(
-        refs in prop::collection::vec(-20.0..20.0f64, 2..6),
-        x in -25.0..25.0f64,
-    ) {
-        let abs = query_sensitive_embeddings::distance::traits::FnDistance::new(
-            "abs",
-            query_sensitive_embeddings::distance::traits::MetricProperties::Metric,
-            |a: &f64, b: &f64| (a - b).abs(),
+        assert!(
+            (h - via_distance).abs() < 1e-9 * (1.0 + h.abs()),
+            "Proposition 1 violated: {h} vs {via_distance}"
         );
-        let coords: Vec<OneDEmbedding<f64>> = refs
-            .iter()
-            .enumerate()
-            .map(|(i, r)| OneDEmbedding::reference(Candidate::new(i, *r)))
+    }
+}
+
+#[test]
+fn composite_prefix_coordinates_match_full_embedding() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    let abs = abs_distance();
+    for _ in 0..CASES {
+        let dim = rng.gen_range(2..6usize);
+        let coords: Vec<OneDEmbedding<f64>> = (0..dim)
+            .map(|i| OneDEmbedding::reference(Candidate::new(i, rng.gen_range(-20.0..20.0))))
             .collect();
         let full = CompositeEmbedding::new(coords);
+        let x = rng.gen_range(-25.0..25.0);
         let v_full = full.embed(&x, &abs);
         for d in 1..=full.dim() {
             let v_prefix = full.prefix(d).embed(&x, &abs);
-            prop_assert_eq!(&v_full[..d], &v_prefix[..]);
+            assert_eq!(&v_full[..d], &v_prefix[..]);
         }
     }
+}
 
-    // ---------------- filter-and-refine recall ----------------
-
-    #[test]
-    fn full_p_filter_refine_has_perfect_recall(
-        db in prop::collection::vec(-100.0..100.0f64, 10..40),
-        query in -100.0..100.0f64,
-    ) {
-        let abs = query_sensitive_embeddings::distance::traits::FnDistance::new(
-            "abs",
-            query_sensitive_embeddings::distance::traits::MetricProperties::Metric,
-            |a: &f64, b: &f64| (a - b).abs(),
-        );
+#[test]
+fn full_p_filter_refine_has_perfect_recall() {
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    let abs = abs_distance();
+    for _ in 0..CASES {
+        let len = rng.gen_range(10..40usize);
+        let db: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let query = rng.gen_range(-100.0..100.0);
         // A deliberately poor 1-coordinate embedding: distance to db[0].
-        let embedding = CompositeEmbedding::new(vec![OneDEmbedding::reference(Candidate::new(
-            0,
-            db[0],
-        ))]);
+        let embedding =
+            CompositeEmbedding::new(vec![OneDEmbedding::reference(Candidate::new(0, db[0]))]);
         let index = FilterRefineIndex::build_global(embedding, &db, &abs);
         let out = index.retrieve(&query, &db, &abs, 3, db.len());
         let truth = ground_truth(std::slice::from_ref(&query), &db, &abs, 3, 1);
-        prop_assert_eq!(out.neighbors, truth[0].neighbors.clone());
+        assert_eq!(out.neighbors, truth[0].neighbors);
+    }
+}
+
+#[test]
+fn top_p_selection_equals_full_sort_prefix_on_random_inputs() {
+    // The filter hot path: for random embedded databases (including
+    // duplicated scores, which exercise the by-index tie-break), the O(n)
+    // selection must return exactly the first p entries of the full sort,
+    // for every p.
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let abs = abs_distance();
+    for case in 0..CASES {
+        let len = rng.gen_range(5..60usize);
+        // Half the cases draw from a tiny value set to force score ties.
+        let db: Vec<f64> = if case % 2 == 0 {
+            (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect()
+        } else {
+            (0..len).map(|_| rng.gen_range(0..4) as f64).collect()
+        };
+        let embedding =
+            CompositeEmbedding::new(vec![OneDEmbedding::reference(Candidate::new(0, db[0]))]);
+        let index = FilterRefineIndex::build_global(embedding, &db, &abs);
+        let query = rng.gen_range(-100.0..100.0);
+        let (full, _) = index.filter_ranking(&query, &abs);
+        for p in 1..=len {
+            let (top, _) = index.filter_top_p(&query, &abs, p);
+            assert_eq!(top, full[..p], "case {case}, p = {p}");
+        }
     }
 }
