@@ -1,6 +1,13 @@
 //! Query-engine throughput benchmarks: single-query latency and batched
 //! queries/second for the Se-QS (query-sensitive weighted L1) and FastMap
-//! (global L1) filter steps, at database sizes 1k and 10k.
+//! (global L1) filter steps, at database sizes 1k and 10k — plus two
+//! substrate microbenchmarks:
+//!
+//! * `filter_kernel/*` — the blocked `WeightedL1::eval_flat` batch kernel
+//!   against the row-by-row scalar `eval` loop over the same flat store;
+//! * `fanout_substrate/*` — a 256-chunk `par_map` on the persistent worker
+//!   pool against the same fan-out on freshly spawned `std::thread::scope`
+//!   threads (the substrate the pool replaced).
 //!
 //! These benchmarks exercise the filter-and-refine hot path end to end —
 //! embed the query, O(n) top-p selection over the flat vector store, refine
@@ -17,9 +24,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData, TripleSampler};
 use qse_distance::traits::{FnDistance, MetricProperties};
+use qse_distance::{FlatVectors, WeightedL1};
 use qse_retrieval::FilterRefineIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use std::hint::black_box;
 
 const BATCH: usize = 256;
@@ -107,9 +116,96 @@ fn bench_query_throughput(c: &mut Criterion) {
     }
 }
 
+/// Kernel vs scalar: score one query against every row of a flat store.
+/// `eval_flat` is the blocked lane kernel the filter step runs; the scalar
+/// baseline is the row-by-row `eval` loop it replaced (results are
+/// bit-identical — asserted by the workspace property tests — so this
+/// measures pure kernel speedup).
+fn bench_filter_kernel(c: &mut Criterion) {
+    const DIM: usize = 8;
+    let mut rng = StdRng::seed_from_u64(11);
+    let weights: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.1..2.0)).collect();
+    let query: Vec<f64> = (0..DIM).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    let d = WeightedL1::new(weights);
+    for &db_size in &[1_000usize, 10_000] {
+        let rows: Vec<Vec<f64>> = (0..db_size)
+            .map(|_| (0..DIM).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        let store = FlatVectors::from_rows_with_dim(DIM, rows);
+        let mut out = vec![0.0; store.len()];
+        let mut group = c.benchmark_group("filter_kernel");
+        group.bench_with_input(BenchmarkId::new("eval_flat", db_size), &db_size, |b, _| {
+            b.iter(|| {
+                d.eval_flat(black_box(&query), black_box(&store), &mut out);
+                black_box(out[db_size - 1])
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scalar_rows", db_size),
+            &db_size,
+            |b, _| {
+                b.iter(|| {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        *slot = d.eval(black_box(&query), store.row(i));
+                    }
+                    black_box(out[db_size - 1])
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+/// Persistent pool vs per-call scoped spawning: fan 256 small work items out
+/// across `RAYON_NUM_THREADS` workers. The `scoped_spawn` baseline is
+/// exactly what the rayon shim did before the persistent pool: partition
+/// into contiguous chunks and `std::thread::scope`-spawn one thread per
+/// chunk, per call.
+fn bench_fanout_substrate(c: &mut Criterion) {
+    const ITEMS: usize = 256;
+    let inputs: Vec<u64> = (0..ITEMS as u64).collect();
+    let work = |x: &u64| -> u64 {
+        // A few hundred ns of arithmetic, standing in for one small query.
+        let mut acc = *x;
+        for i in 0..200u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("fanout_substrate");
+    group.bench_function(format!("pool_par_map/{ITEMS}"), |b| {
+        b.iter(|| {
+            let out: Vec<u64> = inputs.par_iter().map(work).collect();
+            black_box(out)
+        })
+    });
+    group.bench_function(format!("scoped_spawn/{ITEMS}"), |b| {
+        b.iter(|| {
+            let threads = rayon::current_num_threads();
+            if threads <= 1 {
+                let out: Vec<u64> = inputs.iter().map(work).collect();
+                return black_box(out);
+            }
+            let chunk = ITEMS.div_ceil(threads);
+            let mut out: Vec<u64> = Vec::with_capacity(ITEMS);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = inputs
+                    .chunks(chunk)
+                    .map(|batch| scope.spawn(move || batch.iter().map(work).collect::<Vec<u64>>()))
+                    .collect();
+                for handle in handles {
+                    out.extend(handle.join().expect("scoped worker panicked"));
+                }
+            });
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_query_throughput
+    targets = bench_query_throughput, bench_filter_kernel, bench_fanout_substrate
 );
 criterion_main!(benches);

@@ -3,16 +3,26 @@
 //! registry; see `crates/compat/README.md`).
 //!
 //! Execution model: every parallel stage partitions its input into
-//! contiguous chunks — one per worker — and runs them on
-//! [`std::thread::scope`] threads, concatenating results **in input order**.
-//! That makes `collect` order-stable, exactly like real rayon's indexed
-//! parallel iterators, so callers can build bit-deterministic reductions on
-//! top (see `qse-core::trainer`).
+//! contiguous chunks — one per worker — and runs them on a **lazily
+//! initialized persistent worker pool**, concatenating results **in input
+//! order**. That makes `collect` order-stable, exactly like real rayon's
+//! indexed parallel iterators, so callers can build bit-deterministic
+//! reductions on top (see `qse-core::trainer`).
+//!
+//! The pool (see [`pool`]) is created on the first parallel call that wants
+//! more than one thread and lives for the rest of the process: workers park
+//! on a condition variable when idle and are fed jobs through a shared
+//! injector queue, so steady-state parallel calls pay a channel push + wake
+//! instead of a `std::thread::spawn` per chunk. The calling thread always
+//! executes the first chunk itself and *helps drain the queue* while waiting
+//! for the remaining chunks, which keeps nested parallel calls
+//! deadlock-free. Panics inside a chunk are caught, forwarded, and re-thrown
+//! on the calling thread with their original payload.
 //!
 //! The worker count is `RAYON_NUM_THREADS` when set (a value of `1` disables
 //! parallelism entirely), otherwise [`std::thread::available_parallelism`].
 //! The variable is re-read on every parallel call, so tests can flip it at
-//! run time.
+//! run time; the pool only ever grows (workers are cheap to keep parked).
 
 #![warn(missing_docs)]
 
@@ -33,7 +43,298 @@ pub fn current_num_threads() -> usize {
     }
 }
 
+/// The persistent worker pool every parallel primitive executes on.
+///
+/// Design (documented in detail in `crates/compat/README.md`):
+///
+/// * **Lazy init** — nothing is spawned until the first parallel call with
+///   `current_num_threads() > 1`; the registry lives in a `OnceLock` and
+///   grows on demand (never shrinks), up to [`MAX_WORKERS`].
+/// * **Channel-fed** — jobs are lifetime-erased `Box<dyn FnOnce()>` values
+///   pushed onto one shared FIFO injector (mutex + condvar); idle workers
+///   park on the condvar and cost no CPU.
+/// * **Scoped semantics without scoped threads** — a parallel call submits
+///   its chunks, runs the first chunk inline, then blocks until a per-call
+///   latch counts every chunk done. Because the call never returns (or
+///   unwinds) before the latch closes, chunk closures may safely borrow the
+///   caller's stack even though the workers are plain `'static` threads.
+/// * **Help-first waiting** — while blocked on its latch the caller pops and
+///   runs queued jobs, so a nested parallel call issued from inside a worker
+///   can always make progress even when every worker is busy.
+/// * **Shutdown** — workers are detached daemon threads parked on the
+///   condvar; they hold no resources beyond their stacks and exit with the
+///   process. There is deliberately no teardown path (mirroring rayon's
+///   global pool).
+pub mod pool {
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+    use std::time::Duration;
+
+    /// Hard cap on pool growth, far above any sane `RAYON_NUM_THREADS`.
+    pub const MAX_WORKERS: usize = 256;
+
+    /// A lifetime-erased unit of work.
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    /// Lock a mutex, ignoring poisoning (jobs catch panics internally, and
+    /// every critical section here is panic-free anyway).
+    fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+        mutex
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The shared injector queue workers feed from.
+    struct Injector {
+        queue: Mutex<VecDeque<Job>>,
+        job_ready: Condvar,
+    }
+
+    /// The process-global pool: the injector plus the grow-only worker count.
+    pub(crate) struct Registry {
+        injector: Injector,
+        spawned: Mutex<usize>,
+    }
+
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+    /// The lazily-created global registry.
+    pub(crate) fn registry() -> &'static Registry {
+        REGISTRY.get_or_init(|| Registry {
+            injector: Injector {
+                queue: Mutex::new(VecDeque::new()),
+                job_ready: Condvar::new(),
+            },
+            spawned: Mutex::new(0),
+        })
+    }
+
+    /// The number of worker threads currently spawned (0 until the first
+    /// multi-threaded parallel call). Exposed for tests and diagnostics.
+    pub fn spawned_workers() -> usize {
+        REGISTRY.get().map_or(0, |r| *lock(&r.spawned))
+    }
+
+    impl Registry {
+        /// Grow the pool so at least `wanted` workers exist (capped at
+        /// [`MAX_WORKERS`]; the cap is safe because waiting callers drain
+        /// the queue themselves).
+        pub(crate) fn ensure_workers(&'static self, wanted: usize) {
+            let wanted = wanted.min(MAX_WORKERS);
+            let mut spawned = lock(&self.spawned);
+            while *spawned < wanted {
+                *spawned += 1;
+                let id = *spawned;
+                std::thread::Builder::new()
+                    .name(format!("qse-rayon-worker-{id}"))
+                    .spawn(move || self.worker_loop())
+                    .expect("rayon: failed to spawn pool worker");
+            }
+        }
+
+        fn worker_loop(&'static self) {
+            loop {
+                let job = {
+                    let mut queue = lock(&self.injector.queue);
+                    loop {
+                        if let Some(job) = queue.pop_front() {
+                            break job;
+                        }
+                        queue = self
+                            .injector
+                            .job_ready
+                            .wait(queue)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                };
+                // Jobs wrap user code in `catch_unwind`, so this cannot take
+                // the worker down.
+                job();
+            }
+        }
+
+        fn inject(&'static self, job: Job) {
+            lock(&self.injector.queue).push_back(job);
+            self.injector.job_ready.notify_one();
+        }
+
+        fn try_pop(&'static self) -> Option<Job> {
+            lock(&self.injector.queue).pop_front()
+        }
+
+        /// Block until `latch` closes, executing queued jobs while waiting
+        /// (help-first scheduling: this is what makes nested parallel calls
+        /// deadlock-free even with every worker busy).
+        fn help_until_done(&'static self, latch: &Latch) {
+            loop {
+                if latch.is_done() {
+                    return;
+                }
+                match self.try_pop() {
+                    Some(job) => job(),
+                    None => latch.park_briefly(),
+                }
+            }
+        }
+    }
+
+    /// Per-call completion latch: counts outstanding jobs and records the
+    /// first panic payload.
+    struct LatchState {
+        remaining: usize,
+        panic: Option<Box<dyn Any + Send>>,
+    }
+
+    struct Latch {
+        state: Mutex<LatchState>,
+        done: Condvar,
+    }
+
+    impl Latch {
+        fn new(jobs: usize) -> Self {
+            Self {
+                state: Mutex::new(LatchState {
+                    remaining: jobs,
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            lock(&self.state).remaining == 0
+        }
+
+        fn park_briefly(&self) {
+            let state = lock(&self.state);
+            if state.remaining > 0 {
+                // The timeout only matters in the rare window where a job is
+                // injected elsewhere between our queue check and this wait;
+                // completion of our own jobs notifies immediately.
+                let _ = self
+                    .done
+                    .wait_timeout(state, Duration::from_micros(200))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+
+        fn record_panic(&self, payload: Box<dyn Any + Send>) {
+            let mut state = lock(&self.state);
+            state.panic.get_or_insert(payload);
+        }
+
+        fn complete_one(&self) {
+            let mut state = lock(&self.state);
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+
+        fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+            lock(&self.state).panic.take()
+        }
+    }
+
+    /// Erase the environment lifetime of a job so it can cross into the
+    /// `'static` worker pool.
+    ///
+    /// # Safety
+    /// The caller must not return (or unwind) before the job has finished
+    /// executing; [`run_batch`] guarantees this by blocking on a latch that
+    /// only closes after the job's final statement.
+    unsafe fn erase<'env>(job: Box<dyn FnOnce() + Send + 'env>) -> Job {
+        std::mem::transmute(job)
+    }
+
+    /// Run every task to completion — the first inline on the calling
+    /// thread, the rest on pool workers — and return their results in task
+    /// order. Blocks until all tasks are done; if any task panicked, the
+    /// first panic payload is re-thrown here (after all tasks finished, so
+    /// borrowed environments stay valid throughout).
+    ///
+    /// This is the single execution primitive behind `join`, `par_map` and
+    /// `par_chunks_mut`.
+    pub(crate) fn run_batch<'env, T, F>(tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let count = tasks.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        if count == 1 {
+            let mut tasks = tasks;
+            return vec![(tasks.pop().expect("count checked above"))()];
+        }
+        let registry = registry();
+        registry.ensure_workers(count - 1);
+        let latch = Arc::new(Latch::new(count - 1));
+        let slots: Vec<Arc<Mutex<Option<T>>>> =
+            (1..count).map(|_| Arc::new(Mutex::new(None))).collect();
+        let mut tasks = tasks.into_iter();
+        let first = tasks.next().expect("count checked above");
+        for (task, slot) in tasks.zip(&slots) {
+            let slot = Arc::clone(slot);
+            let latch = Arc::clone(&latch);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                match catch_unwind(AssertUnwindSafe(task)) {
+                    Ok(value) => *lock(&slot) = Some(value),
+                    Err(payload) => latch.record_panic(payload),
+                }
+                // Release the slot (which may hold a `'env`-bound value)
+                // BEFORE the latch closes: once it does, a sibling panic can
+                // unwind the caller and free `'env` data, and this worker
+                // must no longer own anything that borrows it. (The task
+                // itself was consumed by `catch_unwind` above; the remaining
+                // latch Arc is `'static`.)
+                drop(slot);
+                latch.complete_one();
+            });
+            // SAFETY: `help_until_done` below blocks until the latch has
+            // counted this job's completion, so every borrow the job
+            // captures outlives its execution.
+            registry.inject(unsafe { erase(job) });
+        }
+        let first_result = catch_unwind(AssertUnwindSafe(first));
+        registry.help_until_done(&latch);
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+        let first_value = match first_result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        };
+        let mut out = Vec::with_capacity(count);
+        out.push(first_value);
+        for slot in &slots {
+            out.push(
+                lock(slot)
+                    .take()
+                    .expect("pool job completed without storing a result"),
+            );
+        }
+        out
+    }
+}
+
+/// Either of two result types — internal plumbing for [`join`].
+enum Either<A, B> {
+    A(A),
+    B(B),
+}
+
 /// Run two closures, potentially in parallel, and return both results.
+///
+/// The first closure always runs on the calling thread; the second runs on a
+/// pool worker when `current_num_threads() > 1`. On that pooled path both
+/// closures are executed to completion even if one panics (the panic is then
+/// re-thrown with its original payload); at one thread execution is
+/// sequential — like real rayon's fallback — so a panic in the first closure
+/// prevents the second from starting.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -46,15 +347,24 @@ where
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("rayon: joined task panicked");
-        (ra, rb)
-    })
+    type Task<'env, RA, RB> = Box<dyn FnOnce() -> Either<RA, RB> + Send + 'env>;
+    let tasks: Vec<Task<'_, RA, RB>> = vec![
+        Box::new(move || Either::A(a())),
+        Box::new(move || Either::B(b())),
+    ];
+    let mut results = pool::run_batch(tasks);
+    let rb = match results.pop() {
+        Some(Either::B(rb)) => rb,
+        _ => unreachable!("task order is preserved"),
+    };
+    let ra = match results.pop() {
+        Some(Either::A(ra)) => ra,
+        _ => unreachable!("task order is preserved"),
+    };
+    (ra, rb)
 }
 
-/// Map `f` over owned items on worker threads; output preserves input order.
+/// Map `f` over owned items on pool workers; output preserves input order.
 fn parallel_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
     T: Send,
@@ -76,21 +386,22 @@ where
         }
         batches.push(batch);
     }
+    let tasks: Vec<Box<dyn FnOnce() -> Vec<U> + Send + '_>> = batches
+        .into_iter()
+        .map(|batch| {
+            Box::new(move || batch.into_iter().map(f).collect::<Vec<U>>())
+                as Box<dyn FnOnce() -> Vec<U> + Send + '_>
+        })
+        .collect();
     let mut out = Vec::with_capacity(len);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = batches
-            .into_iter()
-            .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        for handle in handles {
-            out.extend(handle.join().expect("rayon: worker thread panicked"));
-        }
-    });
+    for batch in pool::run_batch(tasks) {
+        out.extend(batch);
+    }
     out
 }
 
-/// Apply `f` to every `(index, chunk)` of `slice.chunks_mut(size)` on worker
-/// threads (chunks are disjoint, so this is safe to parallelize).
+/// Apply `f` to every `(index, chunk)` of `slice.chunks_mut(size)` on pool
+/// workers (chunks are disjoint, so this is safe to parallelize).
 fn parallel_chunks_mut<T, F>(slice: &mut [T], size: usize, f: &F)
 where
     T: Send,
@@ -107,22 +418,22 @@ where
     }
     // Hand each worker a contiguous band of whole chunks.
     let chunks_per_band = total_chunks.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = slice;
-        let mut first_chunk = 0usize;
-        while !rest.is_empty() {
-            let band_len = (chunks_per_band * size).min(rest.len());
-            let (band, tail) = rest.split_at_mut(band_len);
-            rest = tail;
-            let start = first_chunk;
-            first_chunk += band_len.div_ceil(size);
-            scope.spawn(move || {
-                for (offset, chunk) in band.chunks_mut(size).enumerate() {
-                    f((start + offset, chunk));
-                }
-            });
-        }
-    });
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+    let mut rest = slice;
+    let mut first_chunk = 0usize;
+    while !rest.is_empty() {
+        let band_len = (chunks_per_band * size).min(rest.len());
+        let (band, tail) = rest.split_at_mut(band_len);
+        rest = tail;
+        let start = first_chunk;
+        first_chunk += band_len.div_ceil(size);
+        tasks.push(Box::new(move || {
+            for (offset, chunk) in band.chunks_mut(size).enumerate() {
+                f((start + offset, chunk));
+            }
+        }));
+    }
+    pool::run_batch(tasks);
 }
 
 /// Parallel iterator traits and adapters.
@@ -425,6 +736,38 @@ mod tests {
         let (a, b) = super::join(|| 6 * 7, || "ok");
         assert_eq!(a, 42);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn pool_survives_repeated_calls() {
+        // Exercise the persistent pool across many batches; results must be
+        // stable every time (the conformance suite covers the rest).
+        for round in 0..50u64 {
+            let out: Vec<u64> = (0..97u64)
+                .map(|i| i + round)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|x| x * 3)
+                .collect();
+            assert_eq!(out, (0..97).map(|i| (i + round) * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // A parallel call inside a parallel call must not deadlock: the
+        // waiting caller helps drain the injector queue.
+        let out: Vec<usize> = (0..8)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..16).into_par_iter().map(|j| i * 16 + j).collect();
+                inner.into_iter().sum::<usize>()
+            })
+            .collect();
+        let expect: Vec<usize> = (0..8)
+            .map(|i| (0..16).map(|j| i * 16 + j).sum::<usize>())
+            .collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -47,16 +47,28 @@ pub struct EmbeddedQuery {
 impl EmbeddedQuery {
     /// `D_out(F_out(q), x)` for a database object's embedding `x` (Eq. 11).
     ///
+    /// Delegates to the workspace's canonical blocked weighted-L1 routine
+    /// (`qse_distance::vector::weighted_l1_row`), so the result is
+    /// bit-identical to what [`Self::score_flat`] writes for the same row.
+    ///
     /// # Panics
     /// Panics if `x` has the wrong dimensionality.
     pub fn distance_to(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.coordinates.len(), "dimensionality mismatch");
-        self.coordinates
-            .iter()
-            .zip(&self.weights)
-            .zip(x)
-            .map(|((q, w), xi)| w * (q - xi).abs())
-            .sum()
+        qse_distance::vector::weighted_l1_row(&self.weights, &self.coordinates, x)
+    }
+
+    /// Score this query against every row of a flat vector store in one
+    /// pass: `out[i] = D_out(F_out(q), row_i)`. This is the query-sensitive
+    /// filter step's hot kernel — no per-row allocation, blocked
+    /// auto-vectorizable reduction, bit-identical to calling
+    /// [`Self::distance_to`] row by row.
+    ///
+    /// # Panics
+    /// Panics if the store's dimensionality differs from the query's or
+    /// `out.len() != vectors.len()`.
+    pub fn score_flat(&self, vectors: &qse_distance::FlatVectors, out: &mut [f64]) {
+        qse_distance::vector::weighted_l1_flat(&self.weights, &self.coordinates, vectors, out)
     }
 }
 

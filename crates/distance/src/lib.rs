@@ -15,7 +15,9 @@
 //! ## Provided distance measures
 //!
 //! * [`vector`] — `Lp` norms, the plain and *weighted* `L1` distances used to
-//!   compare embedded vectors (Section 5.4).
+//!   compare embedded vectors (Section 5.4), the flat row-major
+//!   [`FlatVectors`] store, and the blocked [`WeightedL1::eval_flat`] batch
+//!   kernel behind the filter step's hot scan.
 //! * [`dtw`] — constrained (Sakoe–Chiba band) Dynamic Time Warping over
 //!   multi-dimensional sequences, the exact distance of the time-series
 //!   experiments (Section 9).
@@ -59,4 +61,4 @@ pub use dtw::{ConstrainedDtw, TimeSeries};
 pub use matrix::DistanceMatrix;
 pub use shape_context::{PointSet, ShapeContextDistance};
 pub use traits::{DistanceMeasure, MetricProperties};
-pub use vector::{LpDistance, WeightedL1};
+pub use vector::{FlatVectors, LpDistance, WeightedL1};

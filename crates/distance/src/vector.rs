@@ -1,5 +1,6 @@
-//! Vector-space distances: `Lp` norms and the (query-sensitive) weighted
-//! `L1` distance.
+//! Vector-space distances: `Lp` norms, the (query-sensitive) weighted `L1`
+//! distance, the flat row-major vector store, and the blocked weighted-L1
+//! batch kernel that scores a query against every stored row.
 //!
 //! The paper compares the embeddings of two objects with an `L1` distance
 //! (original BoostMap, FastMap) or with the *query-sensitive weighted* `L1`
@@ -7,12 +8,214 @@
 //! first (query) argument. The plain building blocks live here; the
 //! query-sensitive weighting logic itself lives in `qse-core::model` because
 //! it needs the trained splitters.
+//!
+//! ## One canonical summation order
+//!
+//! Every weighted-L1 evaluation in the workspace — [`WeightedL1::eval`] on a
+//! pair of slices, [`WeightedL1::eval_flat`] over a [`FlatVectors`] store,
+//! and `EmbeddedQuery::distance_to` in `qse-core` — reduces coordinates
+//! through the same blocked routine ([`weighted_l1_row`]): [`LANES`]-wide
+//! blocks feeding [`LANES`] independent accumulators, combined pairwise,
+//! then the sequential remainder. Floating-point addition is not
+//! associative, so sharing one order is what makes the batch kernel
+//! **bit-identical** to the row-by-row path (asserted by the workspace
+//! property tests), while the independent accumulators give the optimizer
+//! license to auto-vectorize the hot filter scan.
 
 use crate::traits::{DistanceMeasure, MetricProperties};
 
 /// Dense `f64` vector type used throughout the workspace for embedded
 /// objects.
 pub type Vector = Vec<f64>;
+
+/// Width of one coordinate block in the weighted-L1 kernel, and the number
+/// of independent accumulators it carries. Four `f64` lanes fill a 256-bit
+/// vector register; the independent accumulators break the loop-carried
+/// addition dependency so the compiler can keep them in separate registers.
+pub const LANES: usize = 4;
+
+/// `Σ_i w_i |a_i − b_i|` in the workspace's canonical blocked order: full
+/// [`LANES`]-wide blocks accumulate into [`LANES`] independent sums
+/// (pairwise-combined at the end), the tail is added sequentially.
+///
+/// This is the single scalar routine behind [`WeightedL1::eval`], the
+/// [`WeightedL1::eval_flat`] batch kernel and `EmbeddedQuery::distance_to`,
+/// so all of them agree bitwise.
+///
+/// The slices must share one length; full-length checking is left to the
+/// callers (debug builds assert).
+#[inline]
+pub fn weighted_l1_row(weights: &[f64], a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(weights.len(), a.len(), "weight/vector length mismatch");
+    debug_assert_eq!(weights.len(), b.len(), "weight/vector length mismatch");
+    let mut acc = [0.0f64; LANES];
+    let mut w_blocks = weights.chunks_exact(LANES);
+    let mut a_blocks = a.chunks_exact(LANES);
+    let mut b_blocks = b.chunks_exact(LANES);
+    for ((w, x), y) in (&mut w_blocks).zip(&mut a_blocks).zip(&mut b_blocks) {
+        for lane in 0..LANES {
+            acc[lane] += w[lane] * (x[lane] - y[lane]).abs();
+        }
+    }
+    let mut tail = 0.0;
+    for ((w, x), y) in w_blocks
+        .remainder()
+        .iter()
+        .zip(a_blocks.remainder())
+        .zip(b_blocks.remainder())
+    {
+        tail += w * (x - y).abs();
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Embedded database vectors in flat row-major storage: row `i` occupies
+/// `data[i * dim .. (i + 1) * dim]`. Keeping all rows in one allocation
+/// makes the filter scan cache-friendly and prefetchable, and lets the
+/// [`WeightedL1::eval_flat`] kernel walk the buffer without touching one
+/// heap allocation per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatVectors {
+    data: Vec<f64>,
+    dim: usize,
+    rows: usize,
+}
+
+impl FlatVectors {
+    /// An empty store whose rows will have `dim` coordinates. Unlike
+    /// [`Self::from_rows`] on an empty vector (which must infer `dim = 0`),
+    /// this keeps the dimensionality explicit so later [`Self::push`] calls
+    /// are checked against the intended width.
+    pub fn with_dim(dim: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            dim,
+            rows: 0,
+        }
+    }
+
+    /// Flatten per-object vectors into row-major storage, inferring the
+    /// dimensionality from the first row (`0` if there are none — prefer
+    /// [`Self::from_rows_with_dim`] when the store may start empty).
+    ///
+    /// # Panics
+    /// Panics if the rows disagree in dimensionality.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let dim = rows.first().map_or(0, Vec::len);
+        Self::from_rows_with_dim(dim, rows)
+    }
+
+    /// Flatten per-object vectors into row-major storage with an explicit
+    /// dimensionality (the right constructor when `rows` may be empty).
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dim`.
+    pub fn from_rows_with_dim(dim: usize, rows: Vec<Vec<f64>>) -> Self {
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "all embedded vectors must have dimensionality {dim}"
+        );
+        let count = rows.len();
+        let mut data = Vec::with_capacity(count * dim);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        Self {
+            data,
+            dim,
+            rows: count,
+        }
+    }
+
+    /// Number of rows (database objects).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Dimensionality (the row stride).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The whole row-major buffer (`len() * dim()` values).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let row = &self.data[i * self.dim..(i + 1) * self.dim];
+        debug_assert_eq!(row.len(), self.dim);
+        row
+    }
+
+    /// Iterator over all rows in index order (always exactly [`Self::len`]
+    /// items, even in the degenerate zero-dimensional case).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.rows).map(|i| self.row(i))
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the row has the wrong dimensionality.
+    pub fn push(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        debug_assert_eq!(self.data.len(), self.rows * self.dim);
+    }
+
+    /// Remove row `index` by moving the last row into its slot (O(dim)).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn swap_remove(&mut self, index: usize) {
+        assert!(index < self.rows, "row index {index} out of bounds");
+        let last = self.rows - 1;
+        if index != last {
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[index * self.dim..(index + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+        }
+        self.data.truncate(last * self.dim);
+        self.rows = last;
+        debug_assert_eq!(self.data.len(), self.rows * self.dim);
+    }
+}
+
+/// The weighted-L1 batch kernel: score `query` against every row of
+/// `vectors`, writing `out[i] = Σ_j weights[j] · |query[j] − row_i[j]|`.
+///
+/// This is the raw entry point used by `EmbeddedQuery` (whose per-query
+/// weights live outside a [`WeightedL1`] value); prefer
+/// [`WeightedL1::eval_flat`] when you have a distance object. Rows are read
+/// straight out of the contiguous buffer (`chunks_exact`, no per-row `Vec`),
+/// each reduced by [`weighted_l1_row`], so every output is **bit-identical**
+/// to evaluating that row on its own.
+///
+/// # Panics
+/// Panics if `weights`/`query` do not match the store's dimensionality or
+/// `out` does not have exactly one slot per row.
+pub fn weighted_l1_flat(weights: &[f64], query: &[f64], vectors: &FlatVectors, out: &mut [f64]) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(query.len(), dim, "query/store dimensionality mismatch");
+    assert_eq!(out.len(), vectors.len(), "one output slot per row required");
+    if dim == 0 {
+        // Zero-dimensional rows: every distance is the empty sum.
+        out.fill(0.0);
+        return;
+    }
+    for (row, slot) in vectors.as_slice().chunks_exact(dim).zip(out.iter_mut()) {
+        debug_assert_eq!(row.len(), dim);
+        *slot = weighted_l1_row(weights, query, row);
+    }
+}
 
 /// The `Lp` distance between two equal-length vectors.
 ///
@@ -141,7 +344,9 @@ impl WeightedL1 {
         self.weights.len()
     }
 
-    /// Evaluate `Σ_i w_i |a_i − b_i|`.
+    /// Evaluate `Σ_i w_i |a_i − b_i|` (in the canonical blocked order of
+    /// [`weighted_l1_row`], so the result is bit-identical to what
+    /// [`Self::eval_flat`] writes for the same row).
     ///
     /// # Panics
     /// Panics if the vectors do not match the weight dimensionality.
@@ -156,11 +361,23 @@ impl WeightedL1 {
             self.weights.len(),
             "vector/weight dimensionality mismatch"
         );
-        self.weights
-            .iter()
-            .zip(a.iter().zip(b))
-            .map(|(w, (x, y))| w * (x - y).abs())
-            .sum()
+        weighted_l1_row(&self.weights, a, b)
+    }
+
+    /// Score `query` against every row of `vectors` in one pass over the
+    /// contiguous buffer: `out[i] = Σ_j w_j |query_j − row_i_j|`.
+    ///
+    /// This is the filter step's hot kernel. It allocates nothing, walks the
+    /// flat storage row by row, and reduces coordinates in [`LANES`]-wide
+    /// blocks with independent accumulators (see [`weighted_l1_row`]), so
+    /// each `out[i]` is **bit-identical** to `self.eval(query, vectors.row(i))`
+    /// while the scan auto-vectorizes.
+    ///
+    /// # Panics
+    /// Panics if `query` or the store do not match the weight dimensionality,
+    /// or if `out.len() != vectors.len()`.
+    pub fn eval_flat(&self, query: &[f64], vectors: &FlatVectors, out: &mut [f64]) {
+        weighted_l1_flat(&self.weights, query, vectors, out)
     }
 }
 
@@ -307,5 +524,89 @@ mod tests {
     fn trait_objects_over_vectors() {
         let d: Box<dyn DistanceMeasure<Vec<f64>>> = Box::new(LpDistance::l1());
         assert_eq!(d.distance(&vec![0.0, 0.0], &vec![1.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn eval_flat_matches_per_row_eval_bitwise() {
+        // Dims straddling the lane width, including the exact multiples.
+        for dim in [1, 3, 4, 5, 7, 8, 11, 16, 67] {
+            let weights: Vec<f64> = (0..dim).map(|i| 0.25 + (i % 5) as f64 * 0.61).collect();
+            let query: Vec<f64> = (0..dim).map(|i| (i as f64).sin() * 9.0).collect();
+            let rows: Vec<Vec<f64>> = (0..13)
+                .map(|r| {
+                    (0..dim)
+                        .map(|i| ((r * dim + i) as f64).cos() * 7.0)
+                        .collect()
+                })
+                .collect();
+            let d = WeightedL1::new(weights);
+            let fv = FlatVectors::from_rows_with_dim(dim, rows);
+            let mut out = vec![f64::NAN; fv.len()];
+            d.eval_flat(&query, &fv, &mut out);
+            for (i, score) in out.iter().enumerate() {
+                assert_eq!(
+                    score.to_bits(),
+                    d.eval(&query, fv.row(i)).to_bits(),
+                    "dim {dim}, row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_flat_on_empty_store_writes_nothing() {
+        let d = WeightedL1::uniform(3);
+        let fv = FlatVectors::with_dim(3);
+        let mut out: Vec<f64> = Vec::new();
+        d.eval_flat(&[1.0, 2.0, 3.0], &fv, &mut out);
+        assert!(out.is_empty());
+        assert!(fv.is_empty());
+        assert_eq!(fv.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn eval_flat_handles_zero_dimensional_rows() {
+        // dim = 0: every row is the empty vector and every distance is 0.
+        let d = WeightedL1::new(Vec::new());
+        let mut fv = FlatVectors::with_dim(0);
+        fv.push(&[]);
+        fv.push(&[]);
+        fv.push(&[]);
+        assert_eq!(fv.len(), 3);
+        let mut out = vec![f64::NAN; 3];
+        d.eval_flat(&[], &fv, &mut out);
+        assert_eq!(out, vec![0.0, 0.0, 0.0]);
+        fv.swap_remove(1);
+        assert_eq!(fv.len(), 2);
+        let mut out = vec![f64::NAN; 2];
+        d.eval_flat(&[], &fv, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn flat_vectors_push_after_empty_constructor_keeps_dim() {
+        let mut fv = FlatVectors::with_dim(2);
+        fv.push(&[1.0, 2.0]);
+        fv.push(&[3.0, 4.0]);
+        fv.swap_remove(0);
+        assert_eq!(fv.len(), 1);
+        assert_eq!(fv.row(0), &[3.0, 4.0]);
+        assert_eq!(fv.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row dimensionality mismatch")]
+    fn flat_vectors_with_dim_rejects_mismatched_push() {
+        let mut fv = FlatVectors::with_dim(2);
+        fv.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per row")]
+    fn eval_flat_rejects_wrong_output_length() {
+        let d = WeightedL1::uniform(2);
+        let fv = FlatVectors::from_rows(vec![vec![0.0, 0.0]]);
+        let mut out = vec![0.0; 2];
+        d.eval_flat(&[0.0, 0.0], &fv, &mut out);
     }
 }

@@ -9,7 +9,7 @@
 //! [`DynamicIndex`] implements exactly that protocol on top of a trained
 //! [`QseModel`].
 
-use crate::filter_refine::FlatVectors;
+use crate::filter_refine::{top_p_by_score, FlatVectors};
 use crate::knn::knn;
 use qse_core::{QseModel, TripleSampler};
 use qse_distance::{DistanceMatrix, DistanceMeasure};
@@ -38,7 +38,10 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
     /// Build the index from a trained model and an initial database.
     pub fn new(model: QseModel<O>, database: Vec<O>, distance: &dyn DistanceMeasure<O>) -> Self {
         let embedding = model.embedding();
-        let vectors = FlatVectors::from_rows(embedding.embed_all(&database, distance));
+        // The explicit dimensionality matters when `database` is empty: the
+        // store must still accept `model.dim()`-wide rows from `insert`.
+        let vectors =
+            FlatVectors::from_rows_with_dim(model.dim(), embedding.embed_all(&database, distance));
         Self {
             model,
             embedding,
@@ -98,21 +101,12 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         assert!(!self.objects.is_empty(), "cannot query an empty index");
         assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
         let eq = self.model.embed_query(query, distance);
-        // Filter step: O(n) scan + O(n) selection of the best p (NaN-safe,
-        // ties broken by index), matching the static index's hot path.
-        let scores: Vec<f64> = self
-            .vectors
-            .iter_rows()
-            .map(|row| eq.distance_to(row))
-            .collect();
-        let by_score_then_index =
-            |a: &usize, b: &usize| scores[*a].total_cmp(&scores[*b]).then(a.cmp(b));
-        let mut order: Vec<usize> = (0..scores.len()).collect();
-        if p < order.len() {
-            order.select_nth_unstable_by(p - 1, by_score_then_index);
-            order.truncate(p);
-        }
-        order.sort_unstable_by(by_score_then_index);
+        // Filter step: one pass of the blocked weighted-L1 kernel over the
+        // flat storage + O(n) selection of the best p (NaN-safe, ties broken
+        // by index) — exactly the static index's hot path.
+        let mut scores = vec![0.0; self.vectors.len()];
+        eq.score_flat(&self.vectors, &mut scores);
+        let order = top_p_by_score(&scores, p);
         let candidates: Vec<O> = order.iter().map(|&i| self.objects[i].clone()).collect();
         let refined = knn(query, &candidates, distance, k);
         refined.neighbors.into_iter().map(|i| order[i]).collect()
@@ -292,5 +286,24 @@ mod tests {
         let (mut index, _) = trained_index(8);
         let n = index.len();
         let _ = index.remove(n);
+    }
+
+    #[test]
+    fn index_built_over_empty_database_accepts_inserts() {
+        // Regression: the flat store must carry the model's dimensionality
+        // even when the initial database is empty, otherwise the first
+        // insert hits a dim-0 store and panics.
+        let (trained, _) = trained_index(9);
+        let d = euclid();
+        let model = trained.model().clone();
+        let mut index = DynamicIndex::new(model, Vec::new(), &d);
+        assert!(index.is_empty());
+        let a = index.insert(vec![0.1, 0.0], &d);
+        let b = index.insert(vec![20.5, 5.0], &d);
+        assert_eq!((a, b), (0, 1));
+        let hit = index.retrieve(&vec![0.0, 0.0], &d, 1, 2);
+        assert_eq!(hit[0], 0);
+        index.remove(0);
+        assert_eq!(index.len(), 1);
     }
 }

@@ -24,13 +24,19 @@
 //! engineered accordingly:
 //!
 //! * embedded database vectors are stored in one flat row-major `Vec<f64>`
-//!   ([`FlatVectors`]) so the scan walks memory linearly with stride
-//!   `dim` instead of chasing one heap allocation per vector;
+//!   ([`FlatVectors`], re-exported from `qse-distance`) so the scan walks
+//!   memory linearly with stride `dim` instead of chasing one heap
+//!   allocation per vector;
+//! * the scan itself is the blocked batch kernel
+//!   [`WeightedL1::eval_flat`](qse_distance::WeightedL1::eval_flat) /
+//!   [`EmbeddedQuery::score_flat`](qse_core::EmbeddedQuery::score_flat) —
+//!   fixed-width lanes, independent accumulators, no per-row allocation —
+//!   whose outputs are bit-identical to the row-by-row scalar path;
 //! * [`FilterRefineIndex::retrieve`] keeps the best `p` candidates with
 //!   `select_nth_unstable_by` — an O(n) selection — and only sorts those
 //!   `p`, instead of sorting the whole database (O(n log n));
 //! * [`FilterRefineIndex::retrieve_batch`] fans a query batch out across
-//!   rayon worker threads.
+//!   the persistent rayon worker pool.
 //!
 //! Selection uses the strict total order `(score, index)` (NaN-safe via
 //! `f64::total_cmp`), so its result is **identical** to taking the first `p`
@@ -38,101 +44,23 @@
 //! workspace tests.
 
 use qse_core::QseModel;
-use qse_distance::DistanceMeasure;
+use qse_distance::{DistanceMeasure, WeightedL1};
 use qse_embedding::Embedding;
 use rayon::prelude::*;
 
+pub use qse_distance::FlatVectors;
+
 /// How the filter step scores database vectors against the query.
 enum FilterKind<O> {
-    /// Plain (unweighted) L1 distance between embedded vectors.
-    GlobalL1 { embedding: Box<dyn Embedding<O>> },
+    /// Plain (unweighted) L1 distance between embedded vectors, evaluated by
+    /// the flat kernel with uniform weights (1.0 · |a − b| is exact, so this
+    /// equals the unweighted scan bit for bit).
+    GlobalL1 {
+        embedding: Box<dyn Embedding<O>>,
+        filter: WeightedL1,
+    },
     /// The query-sensitive weighted L1 distance `D_out` of a trained model.
     QuerySensitive { model: QseModel<O> },
-}
-
-/// Embedded database vectors in flat row-major storage: row `i` occupies
-/// `data[i * dim .. (i + 1) * dim]`. Keeping all rows in one allocation makes
-/// the filter scan cache-friendly and prefetchable.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FlatVectors {
-    data: Vec<f64>,
-    dim: usize,
-    rows: usize,
-}
-
-impl FlatVectors {
-    /// Flatten per-object vectors into row-major storage.
-    ///
-    /// # Panics
-    /// Panics if the rows disagree in dimensionality.
-    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
-        let dim = rows.first().map_or(0, Vec::len);
-        assert!(
-            rows.iter().all(|r| r.len() == dim),
-            "all embedded vectors must share one dimensionality"
-        );
-        let count = rows.len();
-        let mut data = Vec::with_capacity(count * dim);
-        for row in rows {
-            data.extend_from_slice(&row);
-        }
-        Self {
-            data,
-            dim,
-            rows: count,
-        }
-    }
-
-    /// Number of rows (database objects).
-    pub fn len(&self) -> usize {
-        self.rows
-    }
-
-    /// `true` if there are no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows == 0
-    }
-
-    /// Dimensionality (the row stride).
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
-    /// Row `i` as a slice.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
-    }
-
-    /// Iterator over all rows in index order (always exactly [`Self::len`]
-    /// items, even in the degenerate zero-dimensional case).
-    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
-        (0..self.rows).map(|i| self.row(i))
-    }
-
-    /// Append one row.
-    ///
-    /// # Panics
-    /// Panics if the row has the wrong dimensionality.
-    pub fn push(&mut self, row: &[f64]) {
-        assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
-        self.data.extend_from_slice(row);
-        self.rows += 1;
-    }
-
-    /// Remove row `index` by moving the last row into its slot (O(dim)).
-    ///
-    /// # Panics
-    /// Panics if `index` is out of bounds.
-    pub fn swap_remove(&mut self, index: usize) {
-        assert!(index < self.rows, "row index {index} out of bounds");
-        let last = self.rows - 1;
-        if index != last {
-            let (head, tail) = self.data.split_at_mut(last * self.dim);
-            head[index * self.dim..(index + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
-        }
-        self.data.truncate(last * self.dim);
-        self.rows = last;
-    }
 }
 
 /// Indices of the `p` smallest scores, in increasing order under the strict
@@ -193,9 +121,13 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         E: Embedding<O> + 'static,
     {
         assert!(!database.is_empty(), "cannot index an empty database");
-        let vectors = FlatVectors::from_rows(embedding.embed_all(database, distance));
+        let vectors = FlatVectors::from_rows_with_dim(
+            embedding.dim(),
+            embedding.embed_all(database, distance),
+        );
         Self {
             kind: FilterKind::GlobalL1 {
+                filter: WeightedL1::uniform(embedding.dim()),
                 embedding: Box::new(embedding),
             },
             vectors,
@@ -212,7 +144,8 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     ) -> Self {
         assert!(!database.is_empty(), "cannot index an empty database");
         let embedding = model.embedding();
-        let vectors = FlatVectors::from_rows(embedding.embed_all(database, distance));
+        let vectors =
+            FlatVectors::from_rows_with_dim(model.dim(), embedding.embed_all(database, distance));
         Self {
             kind: FilterKind::QuerySensitive { model },
             vectors,
@@ -237,6 +170,7 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         );
         Self {
             kind: FilterKind::GlobalL1 {
+                filter: WeightedL1::uniform(embedding.dim()),
                 embedding: Box::new(embedding),
             },
             vectors: FlatVectors::from_rows(vectors),
@@ -263,7 +197,7 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     /// Dimensionality of the indexed vectors.
     pub fn dim(&self) -> usize {
         match &self.kind {
-            FilterKind::GlobalL1 { embedding } => embedding.dim(),
+            FilterKind::GlobalL1 { embedding, .. } => embedding.dim(),
             FilterKind::QuerySensitive { model } => model.dim(),
         }
     }
@@ -281,7 +215,7 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     /// Exact distance computations needed to embed one query.
     pub fn embedding_cost(&self) -> usize {
         match &self.kind {
-            FilterKind::GlobalL1 { embedding } => embedding.embedding_cost(),
+            FilterKind::GlobalL1 { embedding, .. } => embedding.embedding_cost(),
             FilterKind::QuerySensitive { model } => model.embedding_cost(),
         }
     }
@@ -293,24 +227,21 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
 
     /// The filter score of every database vector against `query`, plus the
     /// embedding-step cost. This is the O(n · dim) linear scan at the heart
-    /// of the filter step; it walks the flat storage row by row.
+    /// of the filter step — one pass of the blocked weighted-L1 batch kernel
+    /// over the contiguous flat storage (bit-identical to scoring row by
+    /// row, see `qse_distance::vector::weighted_l1_flat`).
     fn filter_scores(&self, query: &O, distance: &dyn DistanceMeasure<O>) -> (Vec<f64>, usize) {
-        let scores = match &self.kind {
-            FilterKind::GlobalL1 { embedding } => {
+        let mut scores = vec![0.0; self.vectors.len()];
+        match &self.kind {
+            FilterKind::GlobalL1 { embedding, filter } => {
                 let q = embedding.embed(query, distance);
-                self.vectors
-                    .iter_rows()
-                    .map(|row| q.iter().zip(row).map(|(a, b)| (a - b).abs()).sum())
-                    .collect()
+                filter.eval_flat(&q, &self.vectors, &mut scores);
             }
             FilterKind::QuerySensitive { model } => {
                 let eq = model.embed_query(query, distance);
-                self.vectors
-                    .iter_rows()
-                    .map(|row| eq.distance_to(row))
-                    .collect()
+                eq.score_flat(&self.vectors, &mut scores);
             }
-        };
+        }
         (scores, self.embedding_cost())
     }
 
@@ -479,7 +410,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share one dimensionality")]
+    #[should_panic(expected = "must have dimensionality")]
     fn flat_vectors_reject_ragged_rows() {
         let _ = FlatVectors::from_rows(vec![vec![1.0, 2.0], vec![3.0]]);
     }

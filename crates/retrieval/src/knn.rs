@@ -9,7 +9,8 @@
 //! top-k step uses `select_nth_unstable_by` (O(n) + O(k log k)) instead of a
 //! full sort, with NaN-safe `(distance, index)` ordering.
 
-use qse_distance::DistanceMeasure;
+use crate::filter_refine::top_p_by_score;
+use qse_distance::{DistanceMeasure, FlatVectors, WeightedL1};
 use rayon::prelude::*;
 
 /// The result of an exact k-NN query.
@@ -52,6 +53,43 @@ where
     KnnResult {
         neighbors: scored.iter().map(|(i, _)| *i).collect(),
         distances: scored.iter().map(|(_, d)| *d).collect(),
+    }
+}
+
+/// Exact k nearest neighbors of an embedded `query` within a flat row-major
+/// vector store under a (weighted) L1 distance, computed with the blocked
+/// batch kernel [`WeightedL1::eval_flat`] — one allocation-free pass over
+/// the contiguous buffer — followed by the same O(n) `(score, index)`
+/// selection as [`knn`].
+///
+/// This is the brute-force path for databases that *are* vectors (or whose
+/// exact distance is the embedded one): `WeightedL1::uniform(dim)` gives
+/// plain L1, per-query weights give the query-sensitive `D_out`. The
+/// reported neighbors are identical to calling `distance.eval` row by row
+/// (the kernel is bit-identical to the scalar path).
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the store size, or on dimensionality
+/// mismatch between `distance`, `query` and `vectors`.
+pub fn knn_flat(
+    distance: &WeightedL1,
+    query: &[f64],
+    vectors: &FlatVectors,
+    k: usize,
+) -> KnnResult {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        k <= vectors.len(),
+        "k = {k} exceeds the database size {}",
+        vectors.len()
+    );
+    let mut scores = vec![0.0; vectors.len()];
+    distance.eval_flat(query, vectors, &mut scores);
+    let neighbors = top_p_by_score(&scores, k);
+    let distances = neighbors.iter().map(|&i| scores[i]).collect();
+    KnnResult {
+        neighbors,
+        distances,
     }
 }
 
@@ -133,5 +171,33 @@ mod tests {
     #[should_panic(expected = "exceeds the database size")]
     fn rejects_oversized_k() {
         let _ = knn(&0.0, &[1.0, 2.0], &abs(), 3);
+    }
+
+    #[test]
+    fn knn_flat_matches_generic_knn_under_l1() {
+        use qse_distance::{FlatVectors, LpDistance, WeightedL1};
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64 * 1.3, i as f64 * 0.11])
+            .collect();
+        let query = vec![2.5, 1.9, 1.0];
+        let truth = knn(&query, &rows, &LpDistance::l1(), 6);
+        let flat = FlatVectors::from_rows(rows);
+        let result = super::knn_flat(&WeightedL1::uniform(3), &query, &flat, 6);
+        assert_eq!(result.neighbors, truth.neighbors);
+        for (a, b) in result.distances.iter().zip(&truth.distances) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_flat_respects_weights_and_tie_breaks_by_index() {
+        use qse_distance::{FlatVectors, WeightedL1};
+        // Two rows at equal weighted distance from the query -> lower index
+        // first; a third row is pushed away by the weights.
+        let flat = FlatVectors::from_rows(vec![vec![1.0, 0.0], vec![0.0, 0.5], vec![0.0, 10.0]]);
+        let d = WeightedL1::new(vec![1.0, 2.0]);
+        let result = super::knn_flat(&d, &[0.0, 0.0], &flat, 3);
+        assert_eq!(result.neighbors, vec![0, 1, 2]);
+        assert_eq!(result.distances, vec![1.0, 1.0, 20.0]);
     }
 }

@@ -32,4 +32,4 @@ pub mod knn;
 
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};
 pub use filter_refine::{FilterRefineIndex, FlatVectors, RetrievalOutcome};
-pub use knn::{ground_truth, KnnResult};
+pub use knn::{ground_truth, knn_flat, KnnResult};

@@ -70,12 +70,12 @@ pub mod prelude {
     };
     pub use qse_dataset::{Dataset, DigitGenerator, TimeSeriesGenerator};
     pub use qse_distance::{
-        ConstrainedDtw, CountingDistance, DistanceMatrix, DistanceMeasure, LpDistance, PointSet,
-        ShapeContextDistance, TimeSeries, WeightedL1,
+        ConstrainedDtw, CountingDistance, DistanceMatrix, DistanceMeasure, FlatVectors, LpDistance,
+        PointSet, ShapeContextDistance, TimeSeries, WeightedL1,
     };
     pub use qse_embedding::{CompositeEmbedding, Embedding, FastMap, FastMapConfig, OneDEmbedding};
     pub use qse_retrieval::{
-        experiments, ground_truth, CostReport, FilterRefineIndex, MethodEvaluation,
+        experiments, ground_truth, knn_flat, CostReport, FilterRefineIndex, MethodEvaluation,
         RetrievalOutcome,
     };
 }

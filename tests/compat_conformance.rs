@@ -1,0 +1,273 @@
+//! Conformance suite for the compat shims under `crates/compat/` — the
+//! contracts the rest of the workspace builds on, exercised at thread
+//! counts {1, 2, 8} via `RAYON_NUM_THREADS`:
+//!
+//! * `rayon`: `par_map` order preservation and panic propagation (original
+//!   payload, pool survives), `par_chunks_mut` chunk disjointness and
+//!   coverage, `join` both-sides execution, nested-call progress on the
+//!   persistent pool.
+//! * `rand`: bit-determinism of `StdRng` streams, `gen_range` bounds and
+//!   `shuffle` permutations from a fixed seed — independent of the ambient
+//!   thread count.
+//!
+//! Thread count 1 pins the inline (pool-bypassing) paths; 2 and 8 pin the
+//! persistent pool, including oversubscription of the single-core CI host.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The thread counts every contract is checked at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Serializes every thread-count override: the variable is process-global
+/// and the tests in this binary run concurrently.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+#[test]
+fn par_map_preserves_input_order() {
+    let input: Vec<usize> = (0..1013).collect();
+    let expect: Vec<String> = input.iter().map(|i| format!("item-{i}")).collect();
+    for threads in THREAD_COUNTS {
+        let got: Vec<String> = with_thread_count(threads, || {
+            input.par_iter().map(|i| format!("item-{i}")).collect()
+        });
+        assert_eq!(got, expect, "order broke at {threads} threads");
+    }
+}
+
+#[test]
+fn par_map_collect_is_identical_across_thread_counts() {
+    let input: Vec<i64> = (0..500).map(|i| i * 7 - 250).collect();
+    let reference: Vec<i64> =
+        with_thread_count(1, || input.par_iter().map(|x| x * x - 3).collect());
+    for threads in THREAD_COUNTS {
+        let got: Vec<i64> =
+            with_thread_count(threads, || input.par_iter().map(|x| x * x - 3).collect());
+        assert_eq!(got, reference, "result diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn par_map_propagates_panics_with_their_original_payload() {
+    for threads in THREAD_COUNTS {
+        // The panicking index lands in the first chunk (caller-inline) for
+        // position 0 and in a worker chunk for the tail position.
+        for bad in [0usize, 399] {
+            let result = with_thread_count(threads, || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _: Vec<usize> = (0..400)
+                        .into_par_iter()
+                        .map(|i| {
+                            if i == bad {
+                                panic!("conformance-boom");
+                            }
+                            i
+                        })
+                        .collect();
+                }))
+            });
+            let payload = result.expect_err("panic must propagate to the caller");
+            let message = payload.downcast_ref::<&str>().copied().unwrap_or_else(|| {
+                payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .unwrap()
+            });
+            assert_eq!(
+                message, "conformance-boom",
+                "payload mangled at {threads} threads (bad index {bad})"
+            );
+        }
+        // The pool must survive the panic and keep producing correct results.
+        let after: Vec<usize> = with_thread_count(threads, || {
+            (0..100).into_par_iter().map(|i| i + 1).collect()
+        });
+        assert_eq!(after, (1..=100).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn par_chunks_mut_visits_disjoint_chunks_exactly_once() {
+    for threads in THREAD_COUNTS {
+        for (len, size) in [(103usize, 10usize), (64, 16), (7, 100), (100, 1)] {
+            let mut data = vec![0usize; len];
+            let visits = AtomicUsize::new(0);
+            with_thread_count(threads, || {
+                data.par_chunks_mut(size)
+                    .enumerate()
+                    .for_each(|(i, chunk)| {
+                        visits.fetch_add(1, Ordering::SeqCst);
+                        for x in chunk.iter_mut() {
+                            // Disjointness makes this a data-race-free write; the
+                            // +1 afterwards detects double visits.
+                            *x += i + 1;
+                        }
+                    });
+            });
+            assert_eq!(
+                visits.load(Ordering::SeqCst),
+                len.div_ceil(size),
+                "chunk count at {threads} threads (len {len}, size {size})"
+            );
+            for (j, x) in data.iter().enumerate() {
+                assert_eq!(
+                    *x,
+                    j / size + 1,
+                    "element {j} at {threads} threads (len {len}, size {size})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn join_executes_both_sides_and_returns_both_results() {
+    for threads in THREAD_COUNTS {
+        let left = AtomicUsize::new(0);
+        let right = AtomicUsize::new(0);
+        let (a, b) = with_thread_count(threads, || {
+            rayon::join(
+                || {
+                    left.fetch_add(1, Ordering::SeqCst);
+                    21 * 2
+                },
+                || {
+                    right.fetch_add(1, Ordering::SeqCst);
+                    "both"
+                },
+            )
+        });
+        assert_eq!((a, b), (42, "both"), "results at {threads} threads");
+        assert_eq!(left.load(Ordering::SeqCst), 1, "left side ran once");
+        assert_eq!(right.load(Ordering::SeqCst), 1, "right side ran once");
+    }
+}
+
+#[test]
+fn join_propagates_panics_from_either_side() {
+    for threads in THREAD_COUNTS {
+        let b_ran = AtomicUsize::new(0);
+        let result = with_thread_count(threads, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                rayon::join(
+                    || panic!("left-boom"),
+                    || b_ran.fetch_add(1, Ordering::SeqCst),
+                )
+            }))
+        });
+        assert!(result.is_err(), "left panic lost at {threads} threads");
+        if threads > 1 {
+            // On the pool the right side was already submitted, so it runs
+            // to completion even though the left side panicked. (At one
+            // thread `join` is sequential — like real rayon's fallback — and
+            // the panic happens before the right side starts.)
+            assert_eq!(
+                b_ran.load(Ordering::SeqCst),
+                1,
+                "right side must still run to completion at {threads} threads"
+            );
+        }
+        let result = with_thread_count(threads, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                rayon::join(|| 1, || -> usize { panic!("right-boom") })
+            }))
+        });
+        assert!(result.is_err(), "right panic lost at {threads} threads");
+    }
+}
+
+#[test]
+fn nested_parallel_calls_make_progress_on_the_pool() {
+    for threads in THREAD_COUNTS {
+        let got: Vec<usize> = with_thread_count(threads, || {
+            (0..6)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<usize> = (0..32).into_par_iter().map(|j| i * 32 + j).collect();
+                    inner.into_iter().sum()
+                })
+                .collect()
+        });
+        let expect: Vec<usize> = (0..6).map(|i| (0..32).map(|j| i * 32 + j).sum()).collect();
+        assert_eq!(got, expect, "nested calls at {threads} threads");
+    }
+}
+
+#[test]
+fn current_num_threads_respects_the_environment() {
+    for threads in THREAD_COUNTS {
+        let seen = with_thread_count(threads, rayon::current_num_threads);
+        assert_eq!(seen, threads);
+    }
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert!(rayon::current_num_threads() >= 1);
+}
+
+#[test]
+fn seeded_rng_streams_are_bit_deterministic() {
+    for threads in THREAD_COUNTS {
+        with_thread_count(threads, || {
+            let mut a = StdRng::seed_from_u64(0xDEC0DE);
+            let mut b = StdRng::seed_from_u64(0xDEC0DE);
+            let sa: Vec<u64> = (0..256).map(|_| a.gen_range(0..u64::MAX)).collect();
+            let sb: Vec<u64> = (0..256).map(|_| b.gen_range(0..u64::MAX)).collect();
+            assert_eq!(sa, sb, "same seed must give the same stream");
+            let mut c = StdRng::seed_from_u64(0xDEC0DF);
+            let sc: Vec<u64> = (0..256).map(|_| c.gen_range(0..u64::MAX)).collect();
+            assert_ne!(sa, sc, "different seeds must diverge");
+        });
+    }
+}
+
+#[test]
+fn seeded_rng_distributions_stay_in_bounds_and_reproduce() {
+    for threads in THREAD_COUNTS {
+        with_thread_count(threads, || {
+            let mut rng = StdRng::seed_from_u64(31337);
+            let floats: Vec<f64> = (0..512).map(|_| rng.gen_range(-2.5..7.5)).collect();
+            assert!(floats.iter().all(|x| (-2.5..7.5).contains(x)));
+            let ints: Vec<i32> = (0..512).map(|_| rng.gen_range(-3..4)).collect();
+            assert!(ints.iter().all(|x| (-3..4).contains(x)));
+            // The draws must reproduce bit-for-bit from the same seed.
+            let mut again = StdRng::seed_from_u64(31337);
+            let floats2: Vec<f64> = (0..512).map(|_| again.gen_range(-2.5..7.5)).collect();
+            assert_eq!(
+                floats.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                floats2.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+        });
+    }
+}
+
+#[test]
+fn seeded_shuffle_produces_the_same_permutation() {
+    for threads in THREAD_COUNTS {
+        with_thread_count(threads, || {
+            let mut first: Vec<usize> = (0..100).collect();
+            first.shuffle(&mut StdRng::seed_from_u64(99));
+            let mut second: Vec<usize> = (0..100).collect();
+            second.shuffle(&mut StdRng::seed_from_u64(99));
+            assert_eq!(first, second, "shuffle must be seed-deterministic");
+            let mut sorted = first.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "it is a permutation");
+        });
+    }
+}

@@ -108,6 +108,33 @@ fn batched_retrieval_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn retrieve_batch_is_identical_across_repeated_calls_on_the_persistent_pool() {
+    // The rayon substrate now keeps one process-global worker pool alive
+    // between calls. Re-running the same batch — and interleaving different
+    // thread counts, which grows the pool but never tears it down — must
+    // keep returning bit-identical results: no state may leak from one
+    // batch into the next.
+    let db = clustered(140, 29);
+    let d = LpDistance::l2();
+    let model = train_model(1, &db);
+    let index = FilterRefineIndex::build_query_sensitive(model, &db, &d);
+    let queries = clustered(31, 37);
+    let reference: Vec<RetrievalOutcome> = queries
+        .iter()
+        .map(|q| index.retrieve(q, &db, &d, 4, 25))
+        .collect();
+    // Interleave thread counts so the pool is created, reused, grown and
+    // reused again within one process.
+    for (round, threads) in [2, 2, 8, 1, 8, 2].into_iter().enumerate() {
+        let batch = with_thread_count(threads, || index.retrieve_batch(&queries, &db, &d, 4, 25));
+        assert_eq!(
+            reference, batch,
+            "round {round} at {threads} threads diverged"
+        );
+    }
+}
+
+#[test]
 fn parallel_embed_all_matches_sequential_embedding() {
     use query_sensitive_embeddings::embedding::Embedding;
     let db = clustered(80, 23);

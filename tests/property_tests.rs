@@ -11,7 +11,10 @@
 //!   classifier induced by `F_out` + `D_out`) on randomly generated models,
 //! * embedding-prefix consistency,
 //! * filter-and-refine recall = 1 when `p = |database|`,
-//! * top-p selection ≡ full-sort prefix for every `p` (the filter hot path).
+//! * top-p selection ≡ full-sort prefix for every `p` (the filter hot path),
+//! * the blocked batch kernel `WeightedL1::eval_flat` ≡ row-by-row `eval`
+//!   **bit for bit** at random dimensionalities 1–67 (including widths that
+//!   are not multiples of the kernel's lane count).
 
 use query_sensitive_embeddings::core::model::{QseModel, TrainingHistory, WeakLearner};
 use query_sensitive_embeddings::core::Interval;
@@ -257,6 +260,74 @@ fn full_p_filter_refine_has_perfect_recall() {
         let out = index.retrieve(&query, &db, &abs, 3, db.len());
         let truth = ground_truth(std::slice::from_ref(&query), &db, &abs, 3, 1);
         assert_eq!(out.neighbors, truth[0].neighbors);
+    }
+}
+
+#[test]
+fn eval_flat_kernel_is_bit_identical_to_row_by_row_eval() {
+    // The filter scan's batch kernel reduces coordinates in lane-wide blocks
+    // with independent accumulators; `eval` shares the same canonical order,
+    // so for ANY dimensionality (1..=67 covers every lane remainder, far
+    // past the lane width) and any weights the outputs must agree bit for
+    // bit — equality under `total_cmp` ordering, not merely within epsilon.
+    let mut rng = StdRng::seed_from_u64(0xF1A7);
+    for case in 0..CASES {
+        let dim = rng.gen_range(1..68usize);
+        let rows = rng.gen_range(0..30usize);
+        let weights: Vec<f64> = (0..dim)
+            .map(|_| {
+                if rng.gen_bool(0.2) {
+                    0.0 // zero weights exercise the pseudo-metric corner
+                } else {
+                    rng.gen_range(0.0..10.0)
+                }
+            })
+            .collect();
+        let query: Vec<f64> = (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let row_data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect())
+            .collect();
+        let d = WeightedL1::new(weights);
+        let store = FlatVectors::from_rows_with_dim(dim, row_data);
+        let mut out = vec![f64::NAN; store.len()];
+        d.eval_flat(&query, &store, &mut out);
+        for (i, flat) in out.iter().enumerate() {
+            let scalar = d.eval(&query, store.row(i));
+            assert_eq!(
+                flat.to_bits(),
+                scalar.to_bits(),
+                "case {case}: dim {dim}, row {i}: {flat} != {scalar}"
+            );
+        }
+    }
+}
+
+#[test]
+fn filter_top_p_with_kernel_equals_full_sort_prefix_at_multiple_dims() {
+    // `filter_top_p` now scores through the blocked kernel; the selection
+    // must still return exactly the first p entries of the full ranking for
+    // every p, at embedding dimensionalities on both sides of the lane
+    // width (ties forced by drawing database values from a tiny set).
+    let mut rng = StdRng::seed_from_u64(0xF1B2);
+    let abs = abs_distance();
+    for case in 0..CASES {
+        let len = rng.gen_range(5..50usize);
+        let dim = rng.gen_range(1..9usize);
+        let db: Vec<f64> = if case % 2 == 0 {
+            (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect()
+        } else {
+            (0..len).map(|_| rng.gen_range(0..4) as f64).collect()
+        };
+        let coords: Vec<OneDEmbedding<f64>> = (0..dim)
+            .map(|i| OneDEmbedding::reference(Candidate::new(i % len, db[i % len])))
+            .collect();
+        let index = FilterRefineIndex::build_global(CompositeEmbedding::new(coords), &db, &abs);
+        let query = rng.gen_range(-100.0..100.0);
+        let (full, _) = index.filter_ranking(&query, &abs);
+        for p in 1..=len {
+            let (top, _) = index.filter_top_p(&query, &abs, p);
+            assert_eq!(top, full[..p], "case {case}, dim {dim}, p = {p}");
+        }
     }
 }
 
