@@ -5,6 +5,9 @@
 //!
 //! * `filter_kernel/*` — the blocked `WeightedL1::eval_flat` batch kernel
 //!   against the row-by-row scalar `eval` loop over the same flat store;
+//! * `batch_kernel/*` — the Q×N tiled `WeightedL1::eval_flat_batch` kernel
+//!   (256 queries per pass, database rows amortized across a tile of query
+//!   rows) against the per-query `eval_flat` loop it batches;
 //! * `fanout_substrate/*` — a 256-chunk `par_map` on the persistent worker
 //!   pool against the same fan-out on freshly spawned `std::thread::scope`
 //!   threads (the substrate the pool replaced).
@@ -156,6 +159,60 @@ fn bench_filter_kernel(c: &mut Criterion) {
     }
 }
 
+/// Tiled batch kernel vs per-query scans: score a 256-query batch against
+/// every row of a flat store. `eval_flat_batch` streams the database once
+/// per [`qse_distance::vector::QUERY_TILE`]-query tile; the baseline is the
+/// per-query `eval_flat` loop that re-streams the whole store for every
+/// query (outputs are bit-identical — asserted by the workspace property
+/// tests — so this measures pure tiling speedup).
+fn bench_batch_kernel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    // dim 8 matches the filter_kernel group; dim 32 is a realistic trained
+    // embedding width, where the 10k-row store outgrows the L2 cache and
+    // the tile's row-load amortization pays off.
+    for &dim in &[8usize, 32] {
+        let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let d = WeightedL1::new(weights);
+        let queries = FlatVectors::from_rows_with_dim(
+            dim,
+            (0..BATCH)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect(),
+        );
+        for &db_size in &[1_000usize, 10_000] {
+            let rows: Vec<Vec<f64>> = (0..db_size)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let store = FlatVectors::from_rows_with_dim(dim, rows);
+            let mut out = vec![0.0; BATCH * store.len()];
+            let mut group = c.benchmark_group("batch_kernel");
+            group.bench_with_input(
+                BenchmarkId::new(format!("eval_flat_batch/{BATCH}q/dim{dim}"), db_size),
+                &db_size,
+                |b, _| {
+                    b.iter(|| {
+                        d.eval_flat_batch(black_box(&queries), black_box(&store), &mut out);
+                        black_box(out[out.len() - 1])
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("per_query_eval_flat/{BATCH}q/dim{dim}"), db_size),
+                &db_size,
+                |b, _| {
+                    b.iter(|| {
+                        for (q, slot) in out.chunks_mut(db_size).enumerate() {
+                            d.eval_flat(black_box(queries.row(q)), black_box(&store), slot);
+                        }
+                        black_box(out[out.len() - 1])
+                    })
+                },
+            );
+            group.finish();
+        }
+    }
+}
+
 /// Persistent pool vs per-call scoped spawning: fan 256 small work items out
 /// across `RAYON_NUM_THREADS` workers. The `scoped_spawn` baseline is
 /// exactly what the rayon shim did before the persistent pool: partition
@@ -206,6 +263,6 @@ fn bench_fanout_substrate(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_query_throughput, bench_filter_kernel, bench_fanout_substrate
+    targets = bench_query_throughput, bench_filter_kernel, bench_batch_kernel, bench_fanout_substrate
 );
 criterion_main!(benches);

@@ -8,6 +8,12 @@
 //! no HTML reports) but produces honest, comparable numbers and keeps the
 //! `criterion_group!` / `criterion_main!` bench targets runnable with
 //! `cargo bench`.
+//!
+//! Like real criterion, passing `--test` to a bench binary (i.e.
+//! `cargo bench -- --test`) switches to **smoke-test mode**: every benchmark
+//! routine executes exactly once, untimed, and reports `ok` instead of a
+//! measurement. CI runs the bench suite this way so the benchmark code
+//! cannot bit-rot without ever paying for real measurements.
 
 #![warn(missing_docs)]
 
@@ -16,10 +22,17 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// `true` when the bench binary was invoked with `--test` (smoke-test mode:
+/// run every routine once, untimed).
+fn test_mode_from_args() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 /// Benchmark driver configuration and sink.
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Option<Duration>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -27,6 +40,7 @@ impl Default for Criterion {
         Self {
             sample_size: 10,
             measurement_time: None,
+            test_mode: test_mode_from_args(),
         }
     }
 }
@@ -59,7 +73,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.test_mode);
         f(&mut bencher);
         bencher.report(id);
         self
@@ -71,6 +85,7 @@ impl Criterion {
             name: name.into(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -81,6 +96,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Option<Duration>,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -101,7 +117,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.test_mode);
         f(&mut bencher);
         bencher.report(&format!("{}/{}", self.name, id));
         self
@@ -113,7 +129,7 @@ impl BenchmarkGroup<'_> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.test_mode);
         f(&mut bencher, input);
         bencher.report(&format!("{}/{}", self.name, id.0));
         self
@@ -142,25 +158,32 @@ impl BenchmarkId {
 pub struct Bencher {
     sample_size: usize,
     measurement_time: Option<Duration>,
+    test_mode: bool,
     samples: Vec<Duration>,
 }
 
 impl Bencher {
-    fn new(sample_size: usize, measurement_time: Option<Duration>) -> Self {
+    fn new(sample_size: usize, measurement_time: Option<Duration>, test_mode: bool) -> Self {
         Self {
             sample_size,
             measurement_time,
+            test_mode,
             samples: Vec::new(),
         }
     }
 
     /// Run the routine once for warm-up, then `sample_size` timed times
-    /// (stopping early if the configured measurement time is exhausted).
+    /// (stopping early if the configured measurement time is exhausted). In
+    /// smoke-test mode (`--test`) the single warm-up execution is all that
+    /// runs.
     pub fn iter<O, F>(&mut self, mut routine: F)
     where
         F: FnMut() -> O,
     {
         black_box(routine());
+        if self.test_mode {
+            return;
+        }
         let budget = self.measurement_time.unwrap_or(Duration::from_secs(3600));
         let started = Instant::now();
         for done in 0..self.sample_size {
@@ -174,6 +197,10 @@ impl Bencher {
     }
 
     fn report(&self, id: &str) {
+        if self.test_mode {
+            println!("{id:<55} ok (smoke test, 1 iteration)");
+            return;
+        }
         if self.samples.is_empty() {
             println!("{id:<55} (no samples)");
             return;
@@ -264,6 +291,15 @@ mod tests {
         });
         group.finish();
         assert_eq!(hits, 7 * 3);
+    }
+
+    #[test]
+    fn smoke_test_mode_runs_the_routine_exactly_once_untimed() {
+        let mut bencher = Bencher::new(5, None, true);
+        let mut count = 0u32;
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 1, "smoke mode must run exactly one iteration");
+        assert!(bencher.samples.is_empty(), "smoke mode records no samples");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod training_data;
 pub mod triples;
 pub mod weak;
 
-pub use model::{EmbeddedQuery, QseModel, WeakLearner};
+pub use model::{EmbeddedQuery, EmbeddedQueryBatch, QseModel, WeakLearner};
 pub use trainer::{BoostMapTrainer, MethodVariant, QuerySensitivity, TrainerConfig};
 pub use training_data::TrainingData;
 pub use triples::{TrainingTriple, TripleSampler, TripleSamplingStrategy};

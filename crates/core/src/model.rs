@@ -16,7 +16,7 @@
 
 use crate::json::{JsonCodec, JsonError, JsonValue};
 use crate::weak::Interval;
-use qse_distance::DistanceMeasure;
+use qse_distance::{DistanceMeasure, FlatVectors};
 use qse_embedding::one_d::Candidate;
 use qse_embedding::{CompositeEmbedding, Embedding, OneDEmbedding};
 
@@ -69,6 +69,94 @@ impl EmbeddedQuery {
     /// `out.len() != vectors.len()`.
     pub fn score_flat(&self, vectors: &qse_distance::FlatVectors, out: &mut [f64]) {
         qse_distance::vector::weighted_l1_flat(&self.weights, &self.coordinates, vectors, out)
+    }
+}
+
+/// A whole batch of queries embedded by a [`QseModel`]: coordinates under
+/// `F_out` and the per-query weights `A_i(q)` of the query-sensitive
+/// distance, both in flat row-major storage (row `q` belongs to query `q`)
+/// so the batched filter step can run the Q×N tiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedQueryBatch {
+    /// `F_out(q)` for every query, one row per query.
+    pub coordinates: FlatVectors,
+    /// `A_i(q)` for every query, aligned row-for-row with `coordinates`.
+    pub weights: FlatVectors,
+}
+
+impl EmbeddedQueryBatch {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.coordinates.len()
+    }
+
+    /// `true` if the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.coordinates.is_empty()
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.coordinates.dim()
+    }
+
+    /// The single-query view of query `q` (copies the two rows).
+    ///
+    /// # Panics
+    /// Panics if `q` is out of bounds.
+    pub fn query(&self, q: usize) -> EmbeddedQuery {
+        EmbeddedQuery {
+            coordinates: self.coordinates.row(q).to_vec(),
+            weights: self.weights.row(q).to_vec(),
+        }
+    }
+
+    /// One *sequential* tile of [`Self::score_flat_batch`]: score only
+    /// queries `start..end` on the calling thread, writing the row-major
+    /// `(end − start) × vectors.len()` tile into `out`. The batched
+    /// retrieval pipelines hand each worker one tile-sized range this way,
+    /// so scores land in a small tile-local buffer consumed while still
+    /// cache-hot. Bit-identical to the corresponding rows of the full
+    /// batch.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch, an out-of-bounds query range, or
+    /// `out.len() != (end - start) * vectors.len()`.
+    pub fn score_flat_batch_range(
+        &self,
+        start: usize,
+        end: usize,
+        vectors: &FlatVectors,
+        out: &mut [f64],
+    ) {
+        qse_distance::vector::weighted_l1_flat_batch_per_query_range(
+            &self.weights,
+            &self.coordinates,
+            start,
+            end,
+            vectors,
+            out,
+        )
+    }
+
+    /// Score every query of the batch against every row of a flat vector
+    /// store: `out[q * vectors.len() + i] = D_out(F_out(q_q), row_i)`,
+    /// row-major Q×N. This is the batched query-sensitive filter step — the
+    /// Q×N tiled kernel with per-query weight rows
+    /// (`qse_distance::vector::weighted_l1_flat_batch_per_query`), whose
+    /// scores are bit-identical to calling [`EmbeddedQuery::score_flat`]
+    /// query by query at any thread count.
+    ///
+    /// # Panics
+    /// Panics if the store's dimensionality differs from the batch's or
+    /// `out.len() != self.len() * vectors.len()`.
+    pub fn score_flat_batch(&self, vectors: &FlatVectors, out: &mut [f64]) {
+        qse_distance::vector::weighted_l1_flat_batch_per_query(
+            &self.weights,
+            &self.coordinates,
+            vectors,
+            out,
+        )
     }
 }
 
@@ -193,6 +281,30 @@ impl<O: Clone + Send + Sync> QseModel<O> {
         let coordinates = self.embedding().embed(query, distance);
         let weights = self.query_weights(&coordinates);
         EmbeddedQuery {
+            coordinates,
+            weights,
+        }
+    }
+
+    /// Embed a whole query batch into flat row-major storage — coordinates
+    /// and per-query weights — ready for the Q×N tiled filter kernel.
+    ///
+    /// The embedding step (the exact-distance part, `queries.len() ×`
+    /// [`Self::embedding_cost`] computations in total) fans out across rayon
+    /// worker threads; the weight rows are then derived per query with
+    /// [`Self::query_weights`]. Row `q` of the result is bit-identical to
+    /// [`Self::embed_query`] on `queries[q]`, at any thread count.
+    pub fn embed_queries(
+        &self,
+        queries: &[O],
+        distance: &dyn DistanceMeasure<O>,
+    ) -> EmbeddedQueryBatch {
+        let coordinates = self.embedding().embed_queries(queries, distance);
+        let mut weights = FlatVectors::with_dim(self.dim());
+        for q in 0..coordinates.len() {
+            weights.push(&self.query_weights(coordinates.row(q)));
+        }
+        EmbeddedQueryBatch {
             coordinates,
             weights,
         }
@@ -501,6 +613,51 @@ mod tests {
         // D_out to the embedding of database object 2.0 → (2, 8).
         let dist = eq.distance_to(&[2.0, 8.0]);
         assert!((dist - 2.5 * 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embed_queries_matches_embed_query_row_for_row() {
+        let m = example_model();
+        let d = abs();
+        let queries = [1.0, 9.0, 5.0, -3.0, 12.5];
+        let batch = m.embed_queries(&queries, &d);
+        assert_eq!(batch.len(), queries.len());
+        assert_eq!(batch.dim(), m.dim());
+        for (q, query) in queries.iter().enumerate() {
+            let single = m.embed_query(query, &d);
+            assert_eq!(batch.query(q), single, "query {q}");
+        }
+    }
+
+    #[test]
+    fn score_flat_batch_matches_per_query_score_flat() {
+        let m = example_model();
+        let d = abs();
+        let queries = [0.5, 4.0, 9.5];
+        let store = FlatVectors::from_rows(vec![vec![2.0, 8.0], vec![7.0, 3.0], vec![0.0, 10.0]]);
+        let batch = m.embed_queries(&queries, &d);
+        let mut scores = vec![f64::NAN; queries.len() * store.len()];
+        batch.score_flat_batch(&store, &mut scores);
+        let mut single = vec![f64::NAN; store.len()];
+        for (q, query) in queries.iter().enumerate() {
+            m.embed_query(query, &d).score_flat(&store, &mut single);
+            for (i, score) in single.iter().enumerate() {
+                assert_eq!(
+                    scores[q * store.len() + i].to_bits(),
+                    score.to_bits(),
+                    "query {q}, row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embed_queries_on_empty_batch_keeps_the_model_dimensionality() {
+        let m = example_model();
+        let batch = m.embed_queries(&[], &abs());
+        assert!(batch.is_empty());
+        assert_eq!(batch.dim(), m.dim());
+        assert_eq!(batch.weights.dim(), m.dim());
     }
 
     #[test]

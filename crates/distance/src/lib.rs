@@ -16,8 +16,11 @@
 //!
 //! * [`vector`] — `Lp` norms, the plain and *weighted* `L1` distances used to
 //!   compare embedded vectors (Section 5.4), the flat row-major
-//!   [`FlatVectors`] store, and the blocked [`WeightedL1::eval_flat`] batch
-//!   kernel behind the filter step's hot scan.
+//!   [`FlatVectors`] store, the blocked [`WeightedL1::eval_flat`] batch
+//!   kernel behind the filter step's hot scan, and its Q×N tiled companion
+//!   [`WeightedL1::eval_flat_batch`] that scores a whole query batch per
+//!   pass over the database (tile layout and bit-identity guarantees are
+//!   documented in the [`vector`] module).
 //! * [`dtw`] — constrained (Sakoe–Chiba band) Dynamic Time Warping over
 //!   multi-dimensional sequences, the exact distance of the time-series
 //!   experiments (Section 9).

@@ -1,6 +1,7 @@
 //! Vector-space distances: `Lp` norms, the (query-sensitive) weighted `L1`
 //! distance, the flat row-major vector store, and the blocked weighted-L1
-//! batch kernel that scores a query against every stored row.
+//! batch kernels that score one query — or a whole query batch — against
+//! every stored row.
 //!
 //! The paper compares the embeddings of two objects with an `L1` distance
 //! (original BoostMap, FastMap) or with the *query-sensitive weighted* `L1`
@@ -13,16 +14,38 @@
 //!
 //! Every weighted-L1 evaluation in the workspace — [`WeightedL1::eval`] on a
 //! pair of slices, [`WeightedL1::eval_flat`] over a [`FlatVectors`] store,
-//! and `EmbeddedQuery::distance_to` in `qse-core` — reduces coordinates
+//! the Q×N tiled [`WeightedL1::eval_flat_batch`] kernel, and
+//! `EmbeddedQuery::distance_to` in `qse-core` — reduces coordinates
 //! through the same blocked routine ([`weighted_l1_row`]): [`LANES`]-wide
 //! blocks feeding [`LANES`] independent accumulators, combined pairwise,
 //! then the sequential remainder. Floating-point addition is not
-//! associative, so sharing one order is what makes the batch kernel
+//! associative, so sharing one order is what makes the batch kernels
 //! **bit-identical** to the row-by-row path (asserted by the workspace
 //! property tests), while the independent accumulators give the optimizer
 //! license to auto-vectorize the hot filter scan.
+//!
+//! ## The Q×N tile layout
+//!
+//! A batch of `Q` queries against `N` database rows is computed in
+//! two-level tiles: [`QUERY_TILE`] query rows × [`BLOCK_VALUES`]-value
+//! database blocks. The outer loop hands each query tile a pass over the
+//! database; within the tile, one L1-sized block of database rows is loaded
+//! once and scanned by every query of the tile before the next block streams
+//! in
+//! — so the block is served from L1 for all but the first query, and the
+//! database buffer as a whole streams through memory once per
+//! [`QUERY_TILE`] queries instead of once per query. The innermost loop
+//! over a `(query, block)` pair is the same contiguous
+//! `chunks_exact`/sequential-write scan as the single-query
+//! [`weighted_l1_flat`], so codegen quality is preserved. Scores land in a
+//! row-major `Q × N` output (`out[q * N + i]` is query `q` against row
+//! `i`), and query tiles write disjoint `out` ranges, which lets the
+//! kernel fan tiles out across the persistent worker pool without any
+//! thread-count-dependent reduction order — every score is produced by one
+//! [`weighted_l1_row`] call regardless of tiling or threading.
 
 use crate::traits::{DistanceMeasure, MetricProperties};
+use rayon::prelude::*;
 
 /// Dense `f64` vector type used throughout the workspace for embedded
 /// objects.
@@ -217,6 +240,350 @@ pub fn weighted_l1_flat(weights: &[f64], query: &[f64], vectors: &FlatVectors, o
     }
 }
 
+/// Number of query rows per tile of the Q×N batch kernels
+/// ([`weighted_l1_flat_batch`] and friends).
+///
+/// One tile holds `QUERY_TILE · dim` query coordinates plus (on the
+/// query-sensitive path) as many weight values — a few kilobytes at the
+/// embedding dimensionalities the paper uses — so the tile stays
+/// cache-resident while the database buffer streams through once per tile,
+/// amortizing every database row load across [`QUERY_TILE`] queries.
+pub const QUERY_TILE: usize = 16;
+
+/// Number of `f64` values per database block inside one query tile of the
+/// batch kernels (32 KiB — sized to the L1 data cache). A block of
+/// `BLOCK_VALUES / dim` rows is loaded once and rescanned by every query of
+/// the tile from L1 before the next block streams in, while keeping the
+/// innermost loop long enough that its setup cost (re-slicing the query and
+/// weight rows) stays amortized.
+pub const BLOCK_VALUES: usize = 4096;
+
+/// `Σ_i w1_i |a1_i − b_i|` and `Σ_i w2_i |a2_i − b_i|` in one pass over `b`.
+///
+/// The row-pair workhorse of the tiled batch kernel: two queries share every
+/// load of the database row `b` (halving the dominant memory traffic and
+/// doubling the independent work per iteration), while each sum keeps its
+/// **own** [`LANES`] accumulators combined exactly as in
+/// [`weighted_l1_row`] — so both results are bit-identical to two separate
+/// [`weighted_l1_row`] calls.
+#[inline]
+fn weighted_l1_row_pair(w1: &[f64], a1: &[f64], w2: &[f64], a2: &[f64], b: &[f64]) -> (f64, f64) {
+    let mut acc1 = [0.0f64; LANES];
+    let mut acc2 = [0.0f64; LANES];
+    let mut w1_blocks = w1.chunks_exact(LANES);
+    let mut a1_blocks = a1.chunks_exact(LANES);
+    let mut w2_blocks = w2.chunks_exact(LANES);
+    let mut a2_blocks = a2.chunks_exact(LANES);
+    let mut b_blocks = b.chunks_exact(LANES);
+    for ((((wa, xa), wb), xb), y) in (&mut w1_blocks)
+        .zip(&mut a1_blocks)
+        .zip(&mut w2_blocks)
+        .zip(&mut a2_blocks)
+        .zip(&mut b_blocks)
+    {
+        for lane in 0..LANES {
+            acc1[lane] += wa[lane] * (xa[lane] - y[lane]).abs();
+            acc2[lane] += wb[lane] * (xb[lane] - y[lane]).abs();
+        }
+    }
+    let mut tail1 = 0.0;
+    let mut tail2 = 0.0;
+    for ((((wa, xa), wb), xb), y) in w1_blocks
+        .remainder()
+        .iter()
+        .zip(a1_blocks.remainder())
+        .zip(w2_blocks.remainder())
+        .zip(a2_blocks.remainder())
+        .zip(b_blocks.remainder())
+    {
+        tail1 += wa * (xa - y).abs();
+        tail2 += wb * (xb - y).abs();
+    }
+    (
+        (acc1[0] + acc1[1]) + (acc1[2] + acc1[3]) + tail1,
+        (acc2[0] + acc2[1]) + (acc2[2] + acc2[3]) + tail2,
+    )
+}
+
+/// Score one tile of `qcount` query rows against every row of `vectors`.
+///
+/// `weights` holds either one shared weight row (`w_stride == 0`) or one row
+/// per query (`w_stride == dim`); `queries` holds `qcount` rows of `dim`
+/// coordinates; `out[q * n + i]` receives query `q` of the tile against row
+/// `i`. Two levels of reuse: each [`BLOCK_VALUES`]-value database block is
+/// rescanned by the whole tile while it is cache-hot, and within a block,
+/// *pairs* of queries walk it together through [`weighted_l1_row_pair`] so
+/// every row load is shared at the register level. Each score still reduces
+/// in the canonical [`weighted_l1_row`] order, so outputs are bit-identical
+/// to the per-query path.
+fn weighted_l1_score_tile(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &[f64],
+    qcount: usize,
+    dim: usize,
+    vectors: &FlatVectors,
+    out: &mut [f64],
+) {
+    let n = vectors.len();
+    debug_assert!(dim > 0, "dim-0 stores are handled by the caller");
+    debug_assert_eq!(queries.len(), qcount * dim);
+    debug_assert_eq!(out.len(), qcount * n);
+    let rows_per_block = (BLOCK_VALUES / dim).max(1);
+    let mut block_start = 0usize;
+    for block in vectors.as_slice().chunks(rows_per_block * dim) {
+        let block_rows = block.len() / dim;
+        let mut q = 0;
+        // Query pairs share each row load (register-level reuse).
+        while q + 1 < qcount {
+            let w1 = &weights[q * w_stride..q * w_stride + dim];
+            let q1 = &queries[q * dim..(q + 1) * dim];
+            let w2 = &weights[(q + 1) * w_stride..(q + 1) * w_stride + dim];
+            let q2 = &queries[(q + 1) * dim..(q + 2) * dim];
+            let (out_head, out_tail) = out.split_at_mut((q + 1) * n);
+            let out1 = &mut out_head[q * n + block_start..q * n + block_start + block_rows];
+            let out2 = &mut out_tail[block_start..block_start + block_rows];
+            for ((row, slot1), slot2) in block
+                .chunks_exact(dim)
+                .zip(out1.iter_mut())
+                .zip(out2.iter_mut())
+            {
+                let (s1, s2) = weighted_l1_row_pair(w1, q1, w2, q2, row);
+                *slot1 = s1;
+                *slot2 = s2;
+            }
+            q += 2;
+        }
+        // Odd tail query: the plain single-query scan.
+        if q < qcount {
+            let w = &weights[q * w_stride..q * w_stride + dim];
+            let query = &queries[q * dim..(q + 1) * dim];
+            let out_start = q * n + block_start;
+            let out_block = &mut out[out_start..out_start + block_rows];
+            for (row, slot) in block.chunks_exact(dim).zip(out_block.iter_mut()) {
+                *slot = weighted_l1_row(w, query, row);
+            }
+        }
+        block_start += block_rows;
+    }
+}
+
+/// Score queries `start..end` sequentially against every row of `vectors`
+/// (degenerate shapes — empty range, empty store, dim 0 — included),
+/// writing a row-major `(end − start) × n` tile into `out`. The common
+/// slicing/edge-case routine behind both the parallel full-batch driver and
+/// the public `*_range` single-tile entry points.
+fn weighted_l1_score_query_range(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatVectors,
+    out: &mut [f64],
+) {
+    let n = vectors.len();
+    let dim = vectors.dim();
+    let qcount = end - start;
+    debug_assert_eq!(out.len(), qcount * n);
+    if qcount == 0 || n == 0 {
+        // Nothing to score: `out` is empty by the length contract.
+        return;
+    }
+    if dim == 0 {
+        // Zero-dimensional rows: every distance is the empty sum.
+        out.fill(0.0);
+        return;
+    }
+    let q_rows = &queries.as_slice()[start * dim..end * dim];
+    let w_rows = if w_stride == 0 {
+        weights
+    } else {
+        &weights[start * w_stride..end * w_stride]
+    };
+    weighted_l1_score_tile(w_rows, w_stride, q_rows, qcount, dim, vectors, out);
+}
+
+/// Shared driver of the Q×N batch kernels: partition the queries into
+/// [`QUERY_TILE`]-row tiles and score each tile with
+/// [`weighted_l1_score_tile`], fanning tiles out across the persistent
+/// worker pool (each tile writes a disjoint contiguous range of `out`, so
+/// the result is independent of the thread count).
+fn weighted_l1_batch_tiled(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &FlatVectors,
+    vectors: &FlatVectors,
+    out: &mut [f64],
+) {
+    let n = vectors.len();
+    debug_assert_eq!(out.len(), queries.len() * n);
+    if queries.is_empty() || n == 0 || vectors.dim() == 0 {
+        return weighted_l1_score_query_range(
+            weights,
+            w_stride,
+            queries,
+            0,
+            queries.len(),
+            vectors,
+            out,
+        );
+    }
+    out.par_chunks_mut(QUERY_TILE * n)
+        .enumerate()
+        .for_each(|(tile, tile_out)| {
+            let q0 = tile * QUERY_TILE;
+            let qcount = tile_out.len() / n;
+            weighted_l1_score_query_range(
+                weights,
+                w_stride,
+                queries,
+                q0,
+                q0 + qcount,
+                vectors,
+                tile_out,
+            );
+        });
+}
+
+/// The Q×N batch kernel with one *shared* weight vector: score every row of
+/// `queries` against every row of `vectors`, writing the row-major tile
+/// `out[q * vectors.len() + i] = Σ_j weights[j] · |queries_q[j] − row_i[j]|`.
+///
+/// Queries are processed in [`QUERY_TILE`]-row tiles (see the module docs
+/// for the layout) that run in parallel on the persistent worker pool; each
+/// score is produced by the canonical [`weighted_l1_row`] reduction, so
+/// every output is **bit-identical** to the per-query
+/// [`weighted_l1_flat`] scan — and therefore to the scalar path — at any
+/// thread count.
+///
+/// # Panics
+/// Panics if `weights` or `queries` do not match the store's
+/// dimensionality, or `out.len() != queries.len() * vectors.len()`.
+pub fn weighted_l1_flat_batch(
+    weights: &[f64],
+    queries: &FlatVectors,
+    vectors: &FlatVectors,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        out.len(),
+        queries.len() * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    weighted_l1_batch_tiled(weights, 0, queries, vectors, out);
+}
+
+/// The Q×N batch kernel with *per-query* weight rows: like
+/// [`weighted_l1_flat_batch`], but query `q` is scored under
+/// `weights.row(q)` instead of one shared weight vector. This is the batched
+/// form of the paper's query-sensitive `D_out`, whose weights `A_i(q)`
+/// depend on the query; `EmbeddedQueryBatch::score_flat_batch` in `qse-core`
+/// is its caller.
+///
+/// # Panics
+/// Panics if the weight store does not hold exactly one row per query, if
+/// any dimensionality disagrees with `vectors`, or if
+/// `out.len() != queries.len() * vectors.len()`.
+pub fn weighted_l1_flat_batch_per_query(
+    weights: &FlatVectors,
+    queries: &FlatVectors,
+    vectors: &FlatVectors,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.dim(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        weights.len(),
+        queries.len(),
+        "one weight row per query required"
+    );
+    assert_eq!(
+        out.len(),
+        queries.len() * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    weighted_l1_batch_tiled(weights.as_slice(), dim, queries, vectors, out);
+}
+
+/// One *sequential* tile of [`weighted_l1_flat_batch`]: score only queries
+/// `start..end` of `queries` (shared weights), writing the row-major
+/// `(end − start) × vectors.len()` tile into `out` on the calling thread.
+///
+/// This is the entry point for callers that orchestrate their own tile
+/// fan-out — the batched retrieval pipelines hand each worker one
+/// [`QUERY_TILE`]-sized range so the scores land in a small tile-local
+/// buffer that is consumed while still cache-hot, without re-entering the
+/// parallel driver or copying query rows. Outputs are bit-identical to the
+/// corresponding rows of the full batch kernel.
+///
+/// # Panics
+/// Panics on dimensionality mismatch, an out-of-bounds query range, or
+/// `out.len() != (end - start) * vectors.len()`.
+pub fn weighted_l1_flat_batch_range(
+    weights: &[f64],
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatVectors,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert!(
+        start <= end && end <= queries.len(),
+        "query range {start}..{end} out of bounds for {} queries",
+        queries.len()
+    );
+    assert_eq!(
+        out.len(),
+        (end - start) * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    weighted_l1_score_query_range(weights, 0, queries, start, end, vectors, out);
+}
+
+/// One *sequential* tile of [`weighted_l1_flat_batch_per_query`]: like
+/// [`weighted_l1_flat_batch_range`] but query `q` is scored under
+/// `weights.row(q)` (the batched query-sensitive `D_out`).
+///
+/// # Panics
+/// As [`weighted_l1_flat_batch_range`], plus if the weight store does not
+/// hold exactly one row per query.
+pub fn weighted_l1_flat_batch_per_query_range(
+    weights: &FlatVectors,
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatVectors,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.dim(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        weights.len(),
+        queries.len(),
+        "one weight row per query required"
+    );
+    assert!(
+        start <= end && end <= queries.len(),
+        "query range {start}..{end} out of bounds for {} queries",
+        queries.len()
+    );
+    assert_eq!(
+        out.len(),
+        (end - start) * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    weighted_l1_score_query_range(weights.as_slice(), dim, queries, start, end, vectors, out);
+}
+
 /// The `Lp` distance between two equal-length vectors.
 ///
 /// `p = 1` is the measure the paper uses in the filter step; `p = 2` is the
@@ -378,6 +745,44 @@ impl WeightedL1 {
     /// or if `out.len() != vectors.len()`.
     pub fn eval_flat(&self, query: &[f64], vectors: &FlatVectors, out: &mut [f64]) {
         weighted_l1_flat(&self.weights, query, vectors, out)
+    }
+
+    /// Score a whole query batch against every row of `vectors` in
+    /// [`QUERY_TILE`]-row tiles: `out[q * vectors.len() + i] =
+    /// Σ_j w_j |queries_q_j − row_i_j|`, row-major Q×N.
+    ///
+    /// This is the batched filter step's hot kernel. A tile of query rows
+    /// stays cache-resident while the database buffer streams through once
+    /// per tile (instead of once per query), and tiles run in parallel on
+    /// the persistent worker pool. Each `out[q * n + i]` is **bit-identical**
+    /// to `self.eval(queries.row(q), vectors.row(i))` — and to what
+    /// [`Self::eval_flat`] writes for query `q` — at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `queries` or the store do not match the weight
+    /// dimensionality, or if `out.len() != queries.len() * vectors.len()`.
+    pub fn eval_flat_batch(&self, queries: &FlatVectors, vectors: &FlatVectors, out: &mut [f64]) {
+        weighted_l1_flat_batch(&self.weights, queries, vectors, out)
+    }
+
+    /// One *sequential* tile of [`Self::eval_flat_batch`]: score only
+    /// queries `start..end` on the calling thread, writing the row-major
+    /// `(end − start) × vectors.len()` tile into `out`. For callers that
+    /// orchestrate their own tile fan-out (the batched retrieval
+    /// pipelines); bit-identical to the corresponding rows of the full
+    /// batch.
+    ///
+    /// # Panics
+    /// As [`weighted_l1_flat_batch_range`].
+    pub fn eval_flat_batch_range(
+        &self,
+        queries: &FlatVectors,
+        start: usize,
+        end: usize,
+        vectors: &FlatVectors,
+        out: &mut [f64],
+    ) {
+        weighted_l1_flat_batch_range(&self.weights, queries, start, end, vectors, out)
     }
 }
 
@@ -608,5 +1013,182 @@ mod tests {
         let fv = FlatVectors::from_rows(vec![vec![0.0, 0.0]]);
         let mut out = vec![0.0; 2];
         d.eval_flat(&[0.0, 0.0], &fv, &mut out);
+    }
+
+    /// Deterministic pseudo-random store for the batch-kernel tests.
+    fn synthetic_store(dim: usize, rows: usize, phase: f64) -> FlatVectors {
+        FlatVectors::from_rows_with_dim(
+            dim,
+            (0..rows)
+                .map(|r| {
+                    (0..dim)
+                        .map(|i| ((r * dim + i) as f64 + phase).sin() * 11.0)
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn eval_flat_batch_matches_per_query_eval_flat_bitwise() {
+        // Batch sizes straddling the tile width, dims straddling the lane
+        // width — every score must equal the per-query kernel bit for bit.
+        for dim in [1, 3, 4, 5, 8, 67] {
+            for qcount in [1, 2, 15, 16, 17, 33] {
+                let weights: Vec<f64> = (0..dim).map(|i| 0.1 + (i % 7) as f64 * 0.43).collect();
+                let d = WeightedL1::new(weights);
+                let queries = synthetic_store(dim, qcount, 0.25);
+                let store = synthetic_store(dim, 21, 7.5);
+                let mut batch = vec![f64::NAN; qcount * store.len()];
+                d.eval_flat_batch(&queries, &store, &mut batch);
+                let mut single = vec![f64::NAN; store.len()];
+                for q in 0..qcount {
+                    d.eval_flat(queries.row(q), &store, &mut single);
+                    for (i, score) in single.iter().enumerate() {
+                        assert_eq!(
+                            batch[q * store.len() + i].to_bits(),
+                            score.to_bits(),
+                            "dim {dim}, batch {qcount}, query {q}, row {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_weights_batch_matches_per_query_flat_scans_bitwise() {
+        // The query-sensitive form: every query carries its own weight row.
+        for dim in [1, 4, 9] {
+            let qcount = 19;
+            let queries = synthetic_store(dim, qcount, 1.0);
+            let weights = FlatVectors::from_rows_with_dim(
+                dim,
+                (0..qcount)
+                    .map(|q| (0..dim).map(|i| ((q + i) % 5) as f64 * 0.77).collect())
+                    .collect(),
+            );
+            let store = synthetic_store(dim, 30, 3.0);
+            let mut batch = vec![f64::NAN; qcount * store.len()];
+            weighted_l1_flat_batch_per_query(&weights, &queries, &store, &mut batch);
+            let mut single = vec![f64::NAN; store.len()];
+            for q in 0..qcount {
+                weighted_l1_flat(weights.row(q), queries.row(q), &store, &mut single);
+                for (i, score) in single.iter().enumerate() {
+                    assert_eq!(
+                        batch[q * store.len() + i].to_bits(),
+                        score.to_bits(),
+                        "dim {dim}, query {q}, row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_kernels_match_the_corresponding_rows_of_the_full_batch() {
+        // The sequential single-tile entry points must reproduce their rows
+        // of the full batch bit for bit, for both weight layouts.
+        let dim = 5;
+        let qcount = 2 * QUERY_TILE + 3;
+        let queries = synthetic_store(dim, qcount, 0.5);
+        let store = synthetic_store(dim, 41, 9.0);
+        let shared: Vec<f64> = (0..dim).map(|i| 0.2 + i as f64 * 0.3).collect();
+        let per_query = synthetic_store(dim, qcount, 4.25);
+        let mut full_shared = vec![f64::NAN; qcount * store.len()];
+        weighted_l1_flat_batch(&shared, &queries, &store, &mut full_shared);
+        let mut full_pq = vec![f64::NAN; qcount * store.len()];
+        weighted_l1_flat_batch_per_query(&per_query, &queries, &store, &mut full_pq);
+        for (start, end) in [(0, 0), (0, 3), (7, QUERY_TILE + 5), (qcount - 1, qcount)] {
+            let mut tile = vec![f64::NAN; (end - start) * store.len()];
+            weighted_l1_flat_batch_range(&shared, &queries, start, end, &store, &mut tile);
+            assert_eq!(
+                tile.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                full_shared[start * store.len()..end * store.len()]
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                "shared weights, range {start}..{end}"
+            );
+            let mut tile = vec![f64::NAN; (end - start) * store.len()];
+            weighted_l1_flat_batch_per_query_range(
+                &per_query, &queries, start, end, &store, &mut tile,
+            );
+            assert_eq!(
+                tile.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                full_pq[start * store.len()..end * store.len()]
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                "per-query weights, range {start}..{end}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_kernel_rejects_out_of_bounds_ranges() {
+        let queries = FlatVectors::from_rows(vec![vec![0.0]]);
+        let store = FlatVectors::from_rows(vec![vec![1.0]]);
+        let mut out = vec![0.0; 2];
+        weighted_l1_flat_batch_range(&[1.0], &queries, 0, 2, &store, &mut out);
+    }
+
+    #[test]
+    fn eval_flat_batch_on_empty_query_batch_writes_nothing() {
+        let d = WeightedL1::uniform(3);
+        let queries = FlatVectors::with_dim(3);
+        let store = FlatVectors::from_rows(vec![vec![1.0, 2.0, 3.0]]);
+        let mut out: Vec<f64> = Vec::new();
+        d.eval_flat_batch(&queries, &store, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn eval_flat_batch_on_empty_store_writes_nothing() {
+        let d = WeightedL1::uniform(2);
+        let queries = FlatVectors::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let store = FlatVectors::with_dim(2);
+        let mut out: Vec<f64> = Vec::new();
+        d.eval_flat_batch(&queries, &store, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn eval_flat_batch_handles_zero_dimensional_query_buffers() {
+        // dim = 0 on both sides: every score is the empty sum, including for
+        // batches wider than one tile.
+        let d = WeightedL1::new(Vec::new());
+        let mut queries = FlatVectors::with_dim(0);
+        let mut store = FlatVectors::with_dim(0);
+        for _ in 0..QUERY_TILE + 3 {
+            queries.push(&[]);
+        }
+        for _ in 0..5 {
+            store.push(&[]);
+        }
+        let mut out = vec![f64::NAN; queries.len() * store.len()];
+        d.eval_flat_batch(&queries, &store, &mut out);
+        assert!(out.iter().all(|s| *s == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per (query, row) pair")]
+    fn eval_flat_batch_rejects_wrong_output_length() {
+        let d = WeightedL1::uniform(2);
+        let queries = FlatVectors::from_rows(vec![vec![0.0, 0.0]]);
+        let store = FlatVectors::from_rows(vec![vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let mut out = vec![0.0; 3];
+        d.eval_flat_batch(&queries, &store, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight row per query")]
+    fn per_query_batch_rejects_mismatched_weight_rows() {
+        let queries = FlatVectors::from_rows(vec![vec![0.0], vec![1.0]]);
+        let weights = FlatVectors::from_rows(vec![vec![1.0]]);
+        let store = FlatVectors::from_rows(vec![vec![2.0]]);
+        let mut out = vec![0.0; 2];
+        weighted_l1_flat_batch_per_query(&weights, &queries, &store, &mut out);
     }
 }

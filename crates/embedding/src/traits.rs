@@ -1,6 +1,6 @@
 //! The [`Embedding`] trait.
 
-use qse_distance::DistanceMeasure;
+use qse_distance::{DistanceMeasure, FlatVectors};
 use rayon::prelude::*;
 
 /// A function `F : X → R^d` mapping objects into a real vector space.
@@ -34,6 +34,21 @@ pub trait Embedding<O>: Send + Sync {
             .par_iter()
             .map(|o| self.embed(o, distance))
             .collect()
+    }
+
+    /// Embed a whole query batch into one flat row-major [`FlatVectors`]
+    /// buffer (row `q` is `F(queries[q])`), ready for the Q×N tiled filter
+    /// kernel `qse_distance::WeightedL1::eval_flat_batch`.
+    ///
+    /// Embedding fans out across rayon worker threads via
+    /// [`Self::embed_all`]; each row is bit-identical to [`Self::embed`] on
+    /// that query, and the buffer carries [`Self::dim`] explicitly so empty
+    /// batches still produce a store of the right width.
+    fn embed_queries(&self, queries: &[O], distance: &dyn DistanceMeasure<O>) -> FlatVectors
+    where
+        O: Sync,
+    {
+        FlatVectors::from_rows_with_dim(self.dim(), self.embed_all(queries, distance))
     }
 }
 

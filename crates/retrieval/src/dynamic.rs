@@ -9,7 +9,7 @@
 //! [`DynamicIndex`] implements exactly that protocol on top of a trained
 //! [`QseModel`].
 
-use crate::filter_refine::{top_p_by_score, FlatVectors};
+use crate::filter_refine::{tiled_query_pipeline, top_p_by_score, FlatVectors};
 use crate::knn::knn;
 use qse_core::{QseModel, TripleSampler};
 use qse_distance::{DistanceMatrix, DistanceMeasure};
@@ -107,9 +107,62 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         let mut scores = vec![0.0; self.vectors.len()];
         eq.score_flat(&self.vectors, &mut scores);
         let order = top_p_by_score(&scores, p);
+        self.refine(query, distance, k, &order)
+    }
+
+    /// The refine step shared by [`Self::retrieve`] and
+    /// [`Self::retrieve_batch`]: exact k-NN over the filter candidates,
+    /// mapped back to index-space ids. One routine on both paths keeps the
+    /// batched pipeline *provably* identical to the sequential one.
+    fn refine(
+        &self,
+        query: &O,
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        order: &[usize],
+    ) -> Vec<usize> {
         let candidates: Vec<O> = order.iter().map(|&i| self.objects[i].clone()).collect();
         let refined = knn(query, &candidates, distance, k);
         refined.neighbors.into_iter().map(|i| order[i]).collect()
+    }
+
+    /// Batched filter-and-refine retrieval through the Q×N tiled pipeline:
+    /// batch-embed every query (coordinates + per-query weights in flat
+    /// storage), then cut the batch into
+    /// [`QUERY_TILE`](qse_distance::vector::QUERY_TILE)-query tiles that run
+    /// in parallel on the persistent worker pool — each tile scores its
+    /// queries with one tiled pass over the flat store and immediately runs
+    /// top-p selection and the exact refine step on its still-hot score
+    /// rows.
+    ///
+    /// Results are in query order and identical to calling
+    /// [`Self::retrieve`] per query, at any thread count — including after
+    /// online [`Self::insert`]s and [`Self::remove`]s, which the flat store
+    /// absorbs by push/swap-remove. An empty query batch returns an empty
+    /// vector.
+    ///
+    /// # Panics
+    /// As [`Self::retrieve`] (when the batch is non-empty).
+    pub fn retrieve_batch(
+        &self,
+        queries: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Vec<Vec<usize>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        assert!(!self.objects.is_empty(), "cannot query an empty index");
+        assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
+        let batch = self.model.embed_queries(queries, distance);
+        tiled_query_pipeline(
+            queries.len(),
+            self.vectors.len(),
+            p,
+            |q0, q1, scores| batch.score_flat_batch_range(q0, q1, &self.vectors, scores),
+            |q, _row, order| self.refine(&queries[q], distance, k, order),
+        )
     }
 
     /// The drift check of Section 7.1: sample `triple_count` triples from the
@@ -278,6 +331,53 @@ mod tests {
             shifted.triple_error,
             baseline.triple_error
         );
+    }
+
+    #[test]
+    fn retrieve_batch_matches_sequential_retrieval_including_after_edits() {
+        let (mut index, _) = trained_index(10);
+        let d = euclid();
+        let queries: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![i as f64 * 2.5, (i % 3) as f64])
+            .collect();
+        let check = |index: &DynamicIndex<Vec<f64>>, label: &str| {
+            let sequential: Vec<Vec<usize>> = queries
+                .iter()
+                .map(|q| index.retrieve(q, &d, 2, 8))
+                .collect();
+            assert_eq!(
+                index.retrieve_batch(&queries, &d, 2, 8),
+                sequential,
+                "{label}"
+            );
+        };
+        check(&index, "freshly built");
+        for i in 0..4 {
+            index.insert(vec![0.5 + i as f64 * 0.01, 0.2], &d);
+        }
+        check(&index, "after inserts");
+        index.remove(0);
+        index.remove(index.len() - 1);
+        index.remove(7);
+        check(&index, "after removes");
+    }
+
+    #[test]
+    fn retrieve_batch_on_empty_query_batch_returns_empty() {
+        let (index, _) = trained_index(11);
+        let d = euclid();
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(index.retrieve_batch(&empty, &d, 1, 5).is_empty());
+        // Zero sequential calls panic on nothing, even with invalid k/p.
+        assert!(index.retrieve_batch(&empty, &d, 9, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k/p")]
+    fn retrieve_batch_rejects_invalid_parameters() {
+        let (index, _) = trained_index(12);
+        let d = euclid();
+        let _ = index.retrieve_batch(&[vec![0.0, 0.0]], &d, 5, 2);
     }
 
     #[test]

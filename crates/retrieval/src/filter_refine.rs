@@ -35,8 +35,15 @@
 //! * [`FilterRefineIndex::retrieve`] keeps the best `p` candidates with
 //!   `select_nth_unstable_by` — an O(n) selection — and only sorts those
 //!   `p`, instead of sorting the whole database (O(n log n));
-//! * [`FilterRefineIndex::retrieve_batch`] fans a query batch out across
-//!   the persistent rayon worker pool.
+//! * [`FilterRefineIndex::retrieve_batch`] runs the batched pipeline:
+//!   batch-embed every query into flat storage (`embed_queries`), score the
+//!   whole batch with the Q×N *tiled* filter kernel
+//!   ([`WeightedL1::eval_flat_batch`](qse_distance::WeightedL1::eval_flat_batch)
+//!   / `EmbeddedQueryBatch::score_flat_batch`) — a tile of query rows stays
+//!   cache-resident while the database streams once per tile, and tiles fan
+//!   out across the persistent rayon worker pool — then select top-p and
+//!   refine per query in parallel. Every outcome is identical to calling
+//!   [`FilterRefineIndex::retrieve`] query by query.
 //!
 //! Selection uses the strict total order `(score, index)` (NaN-safe via
 //! `f64::total_cmp`), so its result is **identical** to taking the first `p`
@@ -71,9 +78,70 @@ enum FilterKind<O> {
 /// Shared by the static index, the dynamic index and the evaluation harness
 /// so every filter path is *provably* the same selection.
 pub(crate) fn top_p_by_score(scores: &[f64], p: usize) -> Vec<usize> {
+    let mut order = Vec::new();
+    top_p_by_score_into(scores, p, &mut order);
+    order
+}
+
+/// The shared per-tile driver of every batched retrieval pipeline
+/// ([`FilterRefineIndex::retrieve_batch`], `DynamicIndex::retrieve_batch`,
+/// `knn_flat_batch`): cut `count` queries into
+/// [`QUERY_TILE`](qse_distance::vector::QUERY_TILE)-row tiles fanned out
+/// across the persistent worker pool; for each tile, `score_tile(q0, q1,
+/// scores)` fills a tile-local `(q1 − q0) · n` score buffer (row-major, one
+/// row per query of the tile), then for every query `q` of the tile the
+/// driver selects the best `p` indices — [`top_p_by_score_into`] with one
+/// index buffer reused across the tile — and hands `finish` the query
+/// index, its score row and the selection. Results come back in query
+/// order.
+///
+/// Keeping the tiling, buffer reuse and selection in one routine is what
+/// makes the three batch paths *provably* the same pipeline — and no
+/// `count × n` score matrix is ever materialized: peak memory per worker is
+/// one tile's scores.
+pub(crate) fn tiled_query_pipeline<T, S, F>(
+    count: usize,
+    n: usize,
+    p: usize,
+    score_tile: S,
+    finish: F,
+) -> Vec<T>
+where
+    T: Send,
+    S: Fn(usize, usize, &mut [f64]) + Sync,
+    F: Fn(usize, &[f64], &[usize]) -> T + Sync,
+{
+    use qse_distance::vector::QUERY_TILE;
+    let tiles = count.div_ceil(QUERY_TILE);
+    let per_tile: Vec<Vec<T>> = (0..tiles)
+        .into_par_iter()
+        .map(|tile| {
+            let q0 = tile * QUERY_TILE;
+            let q1 = (q0 + QUERY_TILE).min(count);
+            let mut scores = vec![0.0; (q1 - q0) * n];
+            score_tile(q0, q1, &mut scores);
+            // One index buffer serves every query of the tile.
+            let mut order = Vec::new();
+            (q0..q1)
+                .map(|q| {
+                    let row = &scores[(q - q0) * n..(q - q0 + 1) * n];
+                    top_p_by_score_into(row, p, &mut order);
+                    finish(q, row, &order)
+                })
+                .collect()
+        })
+        .collect();
+    per_tile.into_iter().flatten().collect()
+}
+
+/// [`top_p_by_score`] writing into a caller-owned index buffer, so the
+/// batched pipelines can reuse one allocation across every query of a tile
+/// (`order` is cleared and refilled; its capacity is what's recycled).
+pub(crate) fn top_p_by_score_into(scores: &[f64], p: usize, order: &mut Vec<usize>) {
     let by_score_then_index =
         |a: &usize, b: &usize| scores[*a].total_cmp(&scores[*b]).then(a.cmp(b));
-    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.clear();
+    order.extend(0..scores.len());
     if p >= 1 && p < order.len() {
         // O(n): after this, positions 0..p hold the p smallest under the
         // strict total order (score, index).
@@ -81,7 +149,6 @@ pub(crate) fn top_p_by_score(scores: &[f64], p: usize) -> Vec<usize> {
         order.truncate(p);
     }
     order.sort_unstable_by(by_score_then_index);
-    order
 }
 
 /// A database indexed for filter-and-refine retrieval under one embedding.
@@ -313,10 +380,28 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
             "database does not match the indexed vectors"
         );
         let (candidates, embedding_cost) = self.filter_top_p(query, distance, p);
-        // Refine: exact distances to the p best filter candidates.
+        self.refine(query, database, distance, k, &candidates, embedding_cost)
+    }
+
+    /// The refine step shared by [`Self::retrieve`] and
+    /// [`Self::retrieve_batch`]: measure the exact distance from `query` to
+    /// every filter candidate, keep the best `k` under the strict total
+    /// order `(distance, index)`. Using one routine on both paths is what
+    /// makes the batched pipeline *provably* identical to the sequential
+    /// one.
+    fn refine(
+        &self,
+        query: &O,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        candidates: &[usize],
+        embedding_cost: usize,
+    ) -> RetrievalOutcome {
+        let refine_cost = candidates.len();
         let mut refined: Vec<(usize, f64)> = candidates
-            .into_iter()
-            .map(|i| (i, distance.distance(query, &database[i])))
+            .iter()
+            .map(|&i| (i, distance.distance(query, &database[i])))
             .collect();
         refined.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         refined.truncate(k);
@@ -324,17 +409,33 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
             neighbors: refined.iter().map(|(i, _)| *i).collect(),
             distances: refined.iter().map(|(_, d)| *d).collect(),
             embedding_cost,
-            refine_cost: p,
+            refine_cost,
         }
     }
 
-    /// Retrieve a whole batch of queries, fanned out across rayon worker
-    /// threads. Results are returned in query order and are identical to
-    /// calling [`Self::retrieve`] per query; the worker count follows
-    /// `RAYON_NUM_THREADS`.
+    /// Retrieve a whole batch of queries through the tiled batch pipeline:
+    ///
+    /// 1. **Batch embedding** — every query is embedded into one flat
+    ///    row-major buffer (`embed_queries`), fanned out across the
+    ///    persistent rayon worker pool.
+    /// 2. **Per-tile filter + top-p + refine** — the batch is cut into
+    ///    [`QUERY_TILE`](qse_distance::vector::QUERY_TILE)-query tiles that
+    ///    run in parallel on the pool. Each tile scores its queries with the
+    ///    Q×N tiled batch kernel (the tile's query rows stay cache-resident
+    ///    while the database streams once per tile instead of once per
+    ///    query), then runs the O(n) top-p selection and the exact-distance
+    ///    refine step per query — on the tile's still-hot score rows, so no
+    ///    `Q × N` score matrix is ever materialized in cold memory.
+    ///
+    /// Results are returned in query order and are identical to calling
+    /// [`Self::retrieve`] per query — bit for bit, at any thread count
+    /// (every filter score comes from the same canonical reduction, and the
+    /// selection/refine code is shared). An empty query batch returns an
+    /// empty vector; `k`/`p` are validated up front exactly like
+    /// [`Self::retrieve`] otherwise.
     ///
     /// # Panics
-    /// As [`Self::retrieve`].
+    /// As [`Self::retrieve`] (when the batch is non-empty).
     pub fn retrieve_batch(
         &self,
         queries: &[O],
@@ -343,10 +444,51 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         k: usize,
         p: usize,
     ) -> Vec<RetrievalOutcome> {
-        queries
-            .par_iter()
-            .map(|query| self.retrieve(query, database, distance, k, p))
-            .collect()
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        assert!(k >= 1, "k must be at least 1");
+        assert!(p >= k, "p = {p} must be at least k = {k}");
+        assert!(
+            p <= database.len(),
+            "p = {p} exceeds the database size {}",
+            database.len()
+        );
+        assert_eq!(
+            database.len(),
+            self.vectors.len(),
+            "database does not match the indexed vectors"
+        );
+        // The embedded batch carries everything a tile needs to score
+        // itself (the filter reference travels with the Global coordinates),
+        // so the per-tile closure never re-inspects `self.kind`.
+        enum EmbeddedBatch<'a> {
+            Global(&'a WeightedL1, FlatVectors),
+            QuerySensitive(qse_core::EmbeddedQueryBatch),
+        }
+        let embedded = match &self.kind {
+            FilterKind::GlobalL1 { embedding, filter } => {
+                EmbeddedBatch::Global(filter, embedding.embed_queries(queries, distance))
+            }
+            FilterKind::QuerySensitive { model } => {
+                EmbeddedBatch::QuerySensitive(model.embed_queries(queries, distance))
+            }
+        };
+        let embedding_cost = self.embedding_cost();
+        tiled_query_pipeline(
+            queries.len(),
+            self.vectors.len(),
+            p,
+            |q0, q1, scores| match &embedded {
+                EmbeddedBatch::Global(filter, coords) => {
+                    filter.eval_flat_batch_range(coords, q0, q1, &self.vectors, scores);
+                }
+                EmbeddedBatch::QuerySensitive(batch) => {
+                    batch.score_flat_batch_range(q0, q1, &self.vectors, scores);
+                }
+            },
+            |q, _row, order| self.refine(&queries[q], database, distance, k, order, embedding_cost),
+        )
     }
 }
 
@@ -527,6 +669,95 @@ mod tests {
         assert_eq!(batch.len(), queries.len());
         for (q, out) in queries.iter().zip(&batch) {
             assert_eq!(*out, index.retrieve(q, &db, &d, 3, 12));
+        }
+    }
+
+    #[test]
+    fn retrieve_batch_on_empty_query_batch_returns_empty() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(6);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 2,
+            },
+            &mut rng,
+        );
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(index.retrieve_batch(&empty, &db, &d, 3, 12).is_empty());
+        // Zero sequential calls panic on nothing, so neither does the batch —
+        // even with out-of-range k/p.
+        assert!(index
+            .retrieve_batch(&empty, &db, &d, 5, db.len() + 10)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the database size")]
+    fn retrieve_batch_rejects_p_exceeding_database() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(7);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 2,
+            },
+            &mut rng,
+        );
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let _ = index.retrieve_batch(&[vec![0.0, 0.0]], &db, &d, 3, db.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least k")]
+    fn retrieve_batch_rejects_k_exceeding_p() {
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(8);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 2,
+            },
+            &mut rng,
+        );
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let _ = index.retrieve_batch(&[vec![0.0, 0.0]], &db, &d, 7, 3);
+    }
+
+    #[test]
+    fn retrieve_batch_with_full_p_is_exact_for_every_query() {
+        // p = |database| forces perfect recall on the batched path too.
+        let db = grid_database();
+        let d = euclid();
+        let mut rng = StdRng::seed_from_u64(9);
+        let fm = FastMap::train(
+            &db,
+            &d,
+            FastMapConfig {
+                dimensions: 2,
+                pivot_iterations: 3,
+            },
+            &mut rng,
+        );
+        let index = FilterRefineIndex::build_global(fm, &db, &d);
+        let queries: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![i as f64 + 0.3, 9.0 - i as f64])
+            .collect();
+        for (q, out) in queries
+            .iter()
+            .zip(index.retrieve_batch(&queries, &db, &d, 4, db.len()))
+        {
+            assert_eq!(out.neighbors, knn(q, &db, &d, 4).neighbors);
         }
     }
 

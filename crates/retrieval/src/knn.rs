@@ -93,6 +93,51 @@ pub fn knn_flat(
     }
 }
 
+/// Exact k nearest neighbors of every row of an embedded query batch within
+/// a flat vector store, under a (weighted) L1 distance.
+///
+/// The batched counterpart of [`knn_flat`], running the same tiled pipeline
+/// as the retrieval indexes (`filter_refine::tiled_query_pipeline`): the
+/// batch is cut into query tiles fanned out across the persistent worker
+/// pool, each tile scored in one pass of the tiled batch kernel
+/// [`WeightedL1::eval_flat_batch`] (the tile's query rows stay
+/// cache-resident while the store streams once per tile; no batch-sized
+/// score matrix is ever materialized), followed by the O(n)
+/// `(score, index)` selection per query on the tile's still-hot rows.
+/// Results are in query order and identical to calling [`knn_flat`] per
+/// query, at any thread count. An empty query batch returns an empty
+/// vector.
+///
+/// # Panics
+/// As [`knn_flat`] (when the batch is non-empty), plus on dimensionality
+/// mismatch between `queries` and `vectors`.
+pub fn knn_flat_batch(
+    distance: &WeightedL1,
+    queries: &FlatVectors,
+    vectors: &FlatVectors,
+    k: usize,
+) -> Vec<KnnResult> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        k <= vectors.len(),
+        "k = {k} exceeds the database size {}",
+        vectors.len()
+    );
+    crate::filter_refine::tiled_query_pipeline(
+        queries.len(),
+        vectors.len(),
+        k,
+        |q0, q1, scores| distance.eval_flat_batch_range(queries, q0, q1, vectors, scores),
+        |_q, row, order| KnnResult {
+            neighbors: order.to_vec(),
+            distances: order.iter().map(|&i| row[i]).collect(),
+        },
+    )
+}
+
 /// Exact `kmax` nearest neighbors for every query, computed across rayon
 /// worker threads (`threads <= 1` forces the sequential path; larger values
 /// enable the parallel path, whose width follows `RAYON_NUM_THREADS`).
@@ -187,6 +232,69 @@ mod tests {
         for (a, b) in result.distances.iter().zip(&truth.distances) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn knn_flat_batch_matches_per_query_knn_flat() {
+        use qse_distance::{FlatVectors, WeightedL1};
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 9) as f64 * 0.7, (i % 4) as f64, i as f64 * 0.05])
+            .collect();
+        let store = FlatVectors::from_rows(rows);
+        // More queries than one kernel tile, to cross the tile boundary.
+        let queries = FlatVectors::from_rows(
+            (0..21)
+                .map(|q| vec![q as f64 * 0.31, (q % 5) as f64, 1.0])
+                .collect(),
+        );
+        let d = WeightedL1::new(vec![1.0, 0.5, 2.0]);
+        let batch = super::knn_flat_batch(&d, &queries, &store, 6);
+        assert_eq!(batch.len(), queries.len());
+        for (q, result) in batch.iter().enumerate() {
+            assert_eq!(
+                *result,
+                super::knn_flat(&d, queries.row(q), &store, 6),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_flat_batch_on_empty_query_batch_returns_empty() {
+        use qse_distance::{FlatVectors, WeightedL1};
+        let store = FlatVectors::from_rows(vec![vec![1.0], vec![2.0]]);
+        let queries = FlatVectors::with_dim(1);
+        assert!(super::knn_flat_batch(&WeightedL1::uniform(1), &queries, &store, 1).is_empty());
+        // Zero sequential calls panic on nothing, even with oversized k.
+        assert!(super::knn_flat_batch(&WeightedL1::uniform(1), &queries, &store, 9).is_empty());
+    }
+
+    #[test]
+    fn knn_flat_batch_handles_zero_dimensional_queries() {
+        use qse_distance::{FlatVectors, WeightedL1};
+        // dim = 0: every distance is the empty sum, ties break by index.
+        let mut store = FlatVectors::with_dim(0);
+        let mut queries = FlatVectors::with_dim(0);
+        for _ in 0..4 {
+            store.push(&[]);
+        }
+        for _ in 0..3 {
+            queries.push(&[]);
+        }
+        let batch = super::knn_flat_batch(&WeightedL1::new(Vec::new()), &queries, &store, 2);
+        for result in &batch {
+            assert_eq!(result.neighbors, vec![0, 1]);
+            assert_eq!(result.distances, vec![0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the database size")]
+    fn knn_flat_batch_rejects_oversized_k() {
+        use qse_distance::{FlatVectors, WeightedL1};
+        let store = FlatVectors::from_rows(vec![vec![1.0]]);
+        let queries = FlatVectors::from_rows(vec![vec![0.0]]);
+        let _ = super::knn_flat_batch(&WeightedL1::uniform(1), &queries, &store, 2);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod filter_refine;
 pub mod knn;
 
+pub use dynamic::DynamicIndex;
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};
 pub use filter_refine::{FilterRefineIndex, FlatVectors, RetrievalOutcome};
-pub use knn::{ground_truth, knn_flat, KnnResult};
+pub use knn::{ground_truth, knn_flat, knn_flat_batch, KnnResult};

@@ -65,8 +65,9 @@ pub use qse_retrieval as retrieval;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use qse_core::{
-        BoostMapTrainer, MethodVariant, QseModel, QuerySensitivity, TrainerConfig, TrainingData,
-        TrainingTriple, TripleSampler, TripleSamplingStrategy,
+        BoostMapTrainer, EmbeddedQuery, EmbeddedQueryBatch, MethodVariant, QseModel,
+        QuerySensitivity, TrainerConfig, TrainingData, TrainingTriple, TripleSampler,
+        TripleSamplingStrategy,
     };
     pub use qse_dataset::{Dataset, DigitGenerator, TimeSeriesGenerator};
     pub use qse_distance::{
@@ -75,7 +76,7 @@ pub mod prelude {
     };
     pub use qse_embedding::{CompositeEmbedding, Embedding, FastMap, FastMapConfig, OneDEmbedding};
     pub use qse_retrieval::{
-        experiments, ground_truth, knn_flat, CostReport, FilterRefineIndex, MethodEvaluation,
-        RetrievalOutcome,
+        experiments, ground_truth, knn_flat, knn_flat_batch, CostReport, DynamicIndex,
+        FilterRefineIndex, MethodEvaluation, RetrievalOutcome,
     };
 }

@@ -1,0 +1,41 @@
+//! Helpers shared by the workspace-level integration test binaries
+//! (`mod common;` in each). Not itself a test target — the directory form
+//! keeps Cargo from compiling it as one.
+
+/// Serializes every thread-count override: `RAYON_NUM_THREADS` is
+/// process-global and the tests in one binary run concurrently, so every
+/// mutation goes through one lock.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` with `RAYON_NUM_THREADS` set to `value` (or unset for `None`),
+/// then restore the ambient value (the CI matrix pins the variable for the
+/// whole test binary; erasing it would un-pin every later test in the
+/// process).
+fn with_thread_count_var<T>(value: Option<String>, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let ambient = std::env::var("RAYON_NUM_THREADS").ok();
+    match value {
+        Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let out = f();
+    match ambient {
+        Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    out
+}
+
+/// Run `f` with `RAYON_NUM_THREADS` pinned to `threads`.
+pub fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    with_thread_count_var(Some(threads.to_string()), f)
+}
+
+/// Run `f` with `RAYON_NUM_THREADS` unset (the fallback path of
+/// `rayon::current_num_threads`).
+#[allow(dead_code)] // used by a subset of the test binaries
+pub fn with_thread_count_unset<T>(f: impl FnOnce() -> T) -> T {
+    with_thread_count_var(None, f)
+}

@@ -23,19 +23,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// The thread counts every contract is checked at.
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
-/// Serializes every thread-count override: the variable is process-global
-/// and the tests in this binary run concurrently.
-static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
-    let _guard = ENV_LOCK
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
-    let out = f();
-    std::env::remove_var("RAYON_NUM_THREADS");
-    out
-}
+mod common;
+use common::with_thread_count;
 
 #[test]
 fn par_map_preserves_input_order() {
@@ -213,11 +202,9 @@ fn current_num_threads_respects_the_environment() {
         let seen = with_thread_count(threads, rayon::current_num_threads);
         assert_eq!(seen, threads);
     }
-    let _guard = ENV_LOCK
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    std::env::remove_var("RAYON_NUM_THREADS");
-    assert!(rayon::current_num_threads() >= 1);
+    // With the variable unset, the fallback is the machine's parallelism.
+    let fallback = common::with_thread_count_unset(rayon::current_num_threads);
+    assert!(fallback >= 1);
 }
 
 #[test]

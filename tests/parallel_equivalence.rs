@@ -1,6 +1,10 @@
 //! Guarantees of the parallel query engine: every parallel code path must
 //! produce results **bit-identical** to its sequential counterpart, at any
-//! thread count.
+//! thread count — training, distance matrices, ground truth, batch
+//! embedding (`embed_queries` for every embedding family and for the
+//! query-sensitive model), and the Q×N tiled batch retrieval pipelines
+//! (`FilterRefineIndex::retrieve_batch`, `DynamicIndex::retrieve_batch`
+//! including after online edits, and `knn_flat_batch`).
 //!
 //! The rayon substrate re-reads `RAYON_NUM_THREADS` on every parallel call,
 //! so these tests flip the variable at run time. They set it explicitly
@@ -12,19 +16,8 @@ use query_sensitive_embeddings::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Serializes every thread-count override: the variable is process-global
-/// and the tests in this binary run concurrently.
-static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
-    let _guard = ENV_LOCK
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
-    let out = f();
-    std::env::remove_var("RAYON_NUM_THREADS");
-    out
-}
+mod common;
+use common::with_thread_count;
 
 fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -148,5 +141,147 @@ fn parallel_embed_all_matches_sequential_embedding() {
             sequential, parallel,
             "embed_all diverged at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn dynamic_index_batch_matches_sequential_including_after_edits() {
+    // The tiled batch pipeline over a *mutable* index: identity must hold on
+    // the freshly built index and survive online inserts and swap-removes,
+    // at any thread count.
+    let db = clustered(130, 41);
+    let d = LpDistance::l2();
+    let model = train_model(1, &db);
+    let mut index = DynamicIndex::new(model, db, &d);
+    let queries = clustered(27, 43);
+    let check = |index: &DynamicIndex<Vec<f64>>, label: &str| {
+        let sequential: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| index.retrieve(q, &d, 3, 15))
+            .collect();
+        for threads in [1, 2, 8] {
+            let batch = with_thread_count(threads, || index.retrieve_batch(&queries, &d, 3, 15));
+            assert_eq!(
+                sequential, batch,
+                "{label}: batch diverged at {threads} threads"
+            );
+        }
+    };
+    check(&index, "freshly built");
+    for (i, q) in clustered(9, 47).into_iter().enumerate() {
+        index.insert(q, &d);
+        if i % 3 == 2 {
+            index.remove(i * 5);
+        }
+    }
+    check(&index, "after inserts and removes");
+}
+
+#[test]
+fn knn_flat_batch_matches_sequential_knn_flat_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(53);
+    let dim = 6;
+    let store = FlatVectors::from_rows(
+        (0..400)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect())
+            .collect(),
+    );
+    let queries = FlatVectors::from_rows(
+        (0..37)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect())
+            .collect(),
+    );
+    let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..3.0)).collect();
+    let d = WeightedL1::new(weights);
+    let sequential: Vec<_> = (0..queries.len())
+        .map(|q| knn_flat(&d, queries.row(q), &store, 7))
+        .collect();
+    for threads in [1, 2, 8] {
+        let batch = with_thread_count(threads, || knn_flat_batch(&d, &queries, &store, 7));
+        assert_eq!(
+            sequential, batch,
+            "knn_flat_batch diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn embed_queries_matches_per_query_embed_for_every_embedding_family() {
+    use query_sensitive_embeddings::embedding::{
+        Embedding, FastMap, FastMapConfig, LipschitzEmbedding,
+    };
+    let db = clustered(90, 59);
+    let d = LpDistance::l2();
+    let queries = clustered(21, 61);
+
+    // FastMap (pivot embeddings), Lipschitz (reference-set embeddings) and
+    // the composite embedding of a trained query-sensitive model must all
+    // batch-embed bit-identically to their per-query `embed`, at any thread
+    // count.
+    let mut rng = StdRng::seed_from_u64(67);
+    let fastmap = FastMap::train(
+        &db,
+        &d,
+        FastMapConfig {
+            dimensions: 4,
+            pivot_iterations: 3,
+        },
+        &mut rng,
+    );
+    let lipschitz = LipschitzEmbedding::new(vec![
+        vec![db[0].clone()],
+        vec![db[1].clone(), db[2].clone()],
+        vec![db[3].clone(), db[4].clone(), db[5].clone()],
+    ]);
+    let composite = train_model(1, &db).embedding();
+
+    fn check<E: Embedding<Vec<f64>>>(
+        name: &str,
+        embedding: &E,
+        queries: &[Vec<f64>],
+        d: &LpDistance,
+    ) {
+        let sequential: Vec<Vec<f64>> = queries.iter().map(|q| embedding.embed(q, d)).collect();
+        for threads in [1, 2, 8] {
+            let batch = with_thread_count(threads, || embedding.embed_queries(queries, d));
+            assert_eq!(batch.len(), queries.len(), "{name} at {threads} threads");
+            assert_eq!(batch.dim(), embedding.dim(), "{name} at {threads} threads");
+            for (q, row) in sequential.iter().enumerate() {
+                assert_eq!(
+                    batch.row(q),
+                    row.as_slice(),
+                    "{name}: query {q} diverged at {threads} threads"
+                );
+            }
+        }
+        // The empty batch keeps the embedding's dimensionality.
+        let empty = embedding.embed_queries(&[], d);
+        assert!(empty.is_empty());
+        assert_eq!(empty.dim(), embedding.dim(), "{name}: empty-batch dim");
+    }
+    check("fastmap", &fastmap, &queries, &d);
+    check("lipschitz", &lipschitz, &queries, &d);
+    check("composite", &composite, &queries, &d);
+}
+
+#[test]
+fn model_embed_queries_matches_per_query_embed_query() {
+    // The query-sensitive batch (coordinates + per-query weights) must agree
+    // with `embed_query` row for row, at any thread count.
+    let db = clustered(110, 71);
+    let d = LpDistance::l2();
+    let model = train_model(1, &db);
+    let queries = clustered(19, 73);
+    let sequential: Vec<EmbeddedQuery> = queries.iter().map(|q| model.embed_query(q, &d)).collect();
+    for threads in [1, 2, 8] {
+        let batch = with_thread_count(threads, || model.embed_queries(&queries, &d));
+        assert_eq!(batch.len(), queries.len());
+        for (q, single) in sequential.iter().enumerate() {
+            assert_eq!(
+                batch.query(q),
+                *single,
+                "query {q} diverged at {threads} threads"
+            );
+        }
     }
 }

@@ -14,7 +14,11 @@
 //! * top-p selection ≡ full-sort prefix for every `p` (the filter hot path),
 //! * the blocked batch kernel `WeightedL1::eval_flat` ≡ row-by-row `eval`
 //!   **bit for bit** at random dimensionalities 1–67 (including widths that
-//!   are not multiples of the kernel's lane count).
+//!   are not multiples of the kernel's lane count),
+//! * the Q×N tiled kernel `WeightedL1::eval_flat_batch` ≡ per-query
+//!   `eval_flat` **bit for bit** across every dimensionality 1–67, batch
+//!   sizes straddling the tile width, empty/tiny/large stores, and worker
+//!   counts 1/2/8 (the tiling and the fan-out must both be invisible).
 
 use query_sensitive_embeddings::core::model::{QseModel, TrainingHistory, WeakLearner};
 use query_sensitive_embeddings::core::Interval;
@@ -33,6 +37,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const CASES: usize = 64;
+
+mod common;
+use common::with_thread_count;
 
 fn abs_distance() -> FnDistance<impl Fn(&f64, &f64) -> f64 + Send + Sync> {
     FnDistance::new("abs", MetricProperties::Metric, |a: &f64, b: &f64| {
@@ -299,6 +306,88 @@ fn eval_flat_kernel_is_bit_identical_to_row_by_row_eval() {
                 "case {case}: dim {dim}, row {i}: {flat} != {scalar}"
             );
         }
+    }
+}
+
+/// One batch-kernel identity check: `eval_flat_batch` over `qcount` queries
+/// and `rows` database rows at dimensionality `dim` must reproduce the
+/// per-query `eval_flat` scan bit for bit.
+fn assert_batch_kernel_identity(rng: &mut StdRng, dim: usize, qcount: usize, rows: usize) {
+    let weights: Vec<f64> = (0..dim)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                0.0
+            } else {
+                rng.gen_range(0.0..10.0)
+            }
+        })
+        .collect();
+    let d = WeightedL1::new(weights);
+    let queries = FlatVectors::from_rows_with_dim(
+        dim,
+        (0..qcount)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect())
+            .collect(),
+    );
+    let store = FlatVectors::from_rows_with_dim(
+        dim,
+        (0..rows)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect())
+            .collect(),
+    );
+    let mut batch = vec![f64::NAN; qcount * rows];
+    d.eval_flat_batch(&queries, &store, &mut batch);
+    let mut single = vec![f64::NAN; rows];
+    for q in 0..qcount {
+        d.eval_flat(queries.row(q), &store, &mut single);
+        for (i, score) in single.iter().enumerate() {
+            assert_eq!(
+                batch[q * rows + i].to_bits(),
+                score.to_bits(),
+                "dim {dim}, batch {qcount}, db {rows}, query {q}, row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eval_flat_batch_is_bit_identical_to_per_query_eval_flat() {
+    // The tiled Q×N kernel must be invisible: for every dimensionality 1–67
+    // (covering every lane remainder), batch sizes {0, 1, 2, 7, 64, 257}
+    // (empty, sub-tile, tile-straddling, many-tile), database sizes
+    // {0, 1, 1000} and worker counts {1, 2, 8}, each batch row equals the
+    // per-query kernel — and therefore the scalar path — bit for bit.
+    //
+    // The full cross product would be needlessly slow in debug builds, so
+    // every dimensionality is crossed with the small/empty shapes, while the
+    // large batch/database corners run at dimensionalities around the lane
+    // and tile boundaries.
+    for threads in [1usize, 2, 8] {
+        with_thread_count(threads, || {
+            let mut rng = StdRng::seed_from_u64(0xBA7C_4000 + threads as u64);
+            for dim in 1..=67 {
+                for (qcount, rows) in [(0, 0), (0, 1000), (1, 0), (2, 1), (7, 1), (7, 111)] {
+                    assert_batch_kernel_identity(&mut rng, dim, qcount, rows);
+                }
+            }
+            // Large batch/database corners, at dimensionalities around the
+            // lane and tile boundaries (the cross product with all 67 dims
+            // would be needlessly slow in debug builds without adding
+            // coverage).
+            for (dim, qcount, rows) in [
+                (1, 64, 0),
+                (4, 64, 1),
+                (5, 64, 1000),
+                (67, 64, 1000),
+                (4, 257, 0),
+                (17, 257, 1),
+                (1, 257, 1000),
+                (8, 257, 1000),
+                (67, 257, 35),
+            ] {
+                assert_batch_kernel_identity(&mut rng, dim, qcount, rows);
+            }
+        });
     }
 }
 
