@@ -10,7 +10,12 @@
 //!   rows) against the per-query `eval_flat` loop it batches;
 //! * `fanout_substrate/*` — a 256-chunk `par_map` on the persistent worker
 //!   pool against the same fan-out on freshly spawned `std::thread::scope`
-//!   threads (the substrate the pool replaced).
+//!   threads (the substrate the pool replaced);
+//! * `store_backend/*` — the Q×N tiled batch kernel over every filter-store
+//!   precision (`f64` / `f32` / `u8`-quantized flat stores) at dims 8 and
+//!   32, database sizes 1k and 10k: the memory-bandwidth axis of the filter
+//!   scan (outputs differ only by the backends' documented rounding, pinned
+//!   by the workspace store-backend tests).
 //!
 //! These benchmarks exercise the filter-and-refine hot path end to end —
 //! embed the query, O(n) top-p selection over the flat vector store, refine
@@ -22,12 +27,23 @@
 //! RAYON_NUM_THREADS=1 cargo bench --bench bench_query_throughput
 //! ```
 //!
-//! and compare the `batch*` lines to see the scaling with cores.
+//! and compare the `batch*` lines to see the scaling with cores — or set
+//! `QSE_BENCH_THREAD_SWEEP` to measure the whole scaling curve in **one**
+//! invocation: the batched `query_throughput` benchmarks then repeat per
+//! thread count (ids gain a `/t{n}` suffix), flipping the substrate's
+//! `RAYON_NUM_THREADS` between groups (the persistent pool re-reads it on
+//! every parallel call). `QSE_BENCH_THREAD_SWEEP=1,2,4,8` (or any comma
+//! list) picks the counts; any other non-empty value means the default
+//! `1,2,4,8`:
+//!
+//! ```text
+//! QSE_BENCH_THREAD_SWEEP=1 cargo bench --bench bench_query_throughput query_throughput
+//! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData, TripleSampler};
 use qse_distance::traits::{FnDistance, MetricProperties};
-use qse_distance::{FlatVectors, WeightedL1};
+use qse_distance::{FilterElem, FlatStore, FlatVectors, WeightedL1};
 use qse_retrieval::FilterRefineIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,8 +112,45 @@ fn fastmap_index(db: &[Vec<f64>]) -> FilterRefineIndex<Vec<f64>> {
     FilterRefineIndex::build_global(fm, db, &d)
 }
 
+/// Thread counts for the one-invocation scaling sweep, or `None` when the
+/// sweep is disabled: parse `QSE_BENCH_THREAD_SWEEP` as a comma list of
+/// positive integers (a single count like `16` is honoured as-is); a bare
+/// `1` — the documented "just enable it" sentinel — or any non-numeric
+/// value means the default `1,2,4,8`.
+fn thread_sweep_counts() -> Option<Vec<usize>> {
+    let raw = std::env::var("QSE_BENCH_THREAD_SWEEP").ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .filter_map(|t| t.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .collect();
+    Some(if parsed.is_empty() || parsed == [1] {
+        vec![1, 2, 4, 8]
+    } else {
+        parsed
+    })
+}
+
+/// Run `body` with the rayon substrate pinned to `threads` workers,
+/// restoring the ambient `RAYON_NUM_THREADS` afterwards (the persistent
+/// pool re-reads the variable on every parallel call, which is what makes
+/// an in-process sweep possible at all).
+fn with_threads(threads: usize, body: impl FnOnce()) {
+    let previous = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    body();
+    match previous {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}
+
 fn bench_query_throughput(c: &mut Criterion) {
     let d = euclid();
+    let sweep = thread_sweep_counts();
     for &db_size in &[1_000usize, 10_000] {
         let db = clustered(db_size, 1);
         let batch = queries(BATCH, 2);
@@ -109,11 +162,46 @@ fn bench_query_throughput(c: &mut Criterion) {
                 &db_size,
                 |b, _| b.iter(|| black_box(index.retrieve(black_box(&single), &db, &d, K, P))),
             );
-            group.bench_with_input(
-                BenchmarkId::new(format!("batch{BATCH}_queries"), db_size),
-                &db_size,
-                |b, _| b.iter(|| black_box(index.retrieve_batch(black_box(&batch), &db, &d, K, P))),
-            );
+            match &sweep {
+                None => {
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("batch{BATCH}_queries"), db_size),
+                        &db_size,
+                        |b, _| {
+                            b.iter(|| {
+                                black_box(index.retrieve_batch(black_box(&batch), &db, &d, K, P))
+                            })
+                        },
+                    );
+                }
+                Some(counts) => {
+                    // One invocation, whole scaling curve: repeat the batched
+                    // benchmark per worker count (the fan-out substrate
+                    // re-reads RAYON_NUM_THREADS on every call).
+                    for &threads in counts {
+                        with_threads(threads, || {
+                            group.bench_with_input(
+                                BenchmarkId::new(
+                                    format!("batch{BATCH}_queries/t{threads}"),
+                                    db_size,
+                                ),
+                                &db_size,
+                                |b, _| {
+                                    b.iter(|| {
+                                        black_box(index.retrieve_batch(
+                                            black_box(&batch),
+                                            &db,
+                                            &d,
+                                            K,
+                                            P,
+                                        ))
+                                    })
+                                },
+                            );
+                        });
+                    }
+                }
+            }
             group.finish();
         }
     }
@@ -213,6 +301,82 @@ fn bench_batch_kernel(c: &mut Criterion) {
     }
 }
 
+/// One `store_backend` cell: the tiled batch kernel over a `FlatStore<E>`
+/// built from the same full-precision rows as every other backend, so the
+/// only variable is the bytes the scan streams per coordinate.
+fn bench_store_backend_cell<E: FilterElem>(
+    c: &mut Criterion,
+    d: &WeightedL1,
+    queries: &FlatVectors,
+    rows: &[Vec<f64>],
+    dim: usize,
+    db_size: usize,
+) {
+    let store = FlatStore::<E>::from_rows_with_dim(dim, rows.to_vec());
+    let mut out = vec![0.0; queries.len() * store.len()];
+    let mut group = c.benchmark_group("store_backend");
+    group.bench_with_input(
+        BenchmarkId::new(
+            format!("eval_flat_batch/{}/{BATCH}q/dim{dim}", E::NAME),
+            db_size,
+        ),
+        &db_size,
+        |b, _| {
+            b.iter(|| {
+                d.eval_flat_batch(black_box(queries), black_box(&store), &mut out);
+                black_box(out[out.len() - 1])
+            })
+        },
+    );
+    // The single-query scan streams the whole store once per query (no
+    // cross-query amortization), so it is the most bandwidth-sensitive
+    // entry point — the one a compact backend helps first.
+    let mut single_out = vec![0.0; store.len()];
+    group.bench_with_input(
+        BenchmarkId::new(format!("eval_flat/{}/dim{dim}", E::NAME), db_size),
+        &db_size,
+        |b, _| {
+            b.iter(|| {
+                d.eval_flat(
+                    black_box(queries.row(0)),
+                    black_box(&store),
+                    &mut single_out,
+                );
+                black_box(single_out[single_out.len() - 1])
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Filter-store precision axis: the same Q×N tiled scan over `f64`, `f32`
+/// and `u8`-quantized storage. At dim 8 a 10k-row `f64` store (640 KB)
+/// already fits in L2, which the ROADMAP flagged as the reason the tiling
+/// win did not show there — the compact backends shrink the resident set
+/// (320 KB / 80 KB) and the streamed traffic with it. At dim 32 the `f64`
+/// store (2.6 MB) outgrows L2 and the bandwidth effect is direct.
+fn bench_store_backends(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    for &dim in &[8usize, 32] {
+        let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let d = WeightedL1::new(weights);
+        let queries = FlatVectors::from_rows_with_dim(
+            dim,
+            (0..BATCH)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect(),
+        );
+        for &db_size in &[1_000usize, 10_000] {
+            let rows: Vec<Vec<f64>> = (0..db_size)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            bench_store_backend_cell::<f64>(c, &d, &queries, &rows, dim, db_size);
+            bench_store_backend_cell::<f32>(c, &d, &queries, &rows, dim, db_size);
+            bench_store_backend_cell::<u8>(c, &d, &queries, &rows, dim, db_size);
+        }
+    }
+}
+
 /// Persistent pool vs per-call scoped spawning: fan 256 small work items out
 /// across `RAYON_NUM_THREADS` workers. The `scoped_spawn` baseline is
 /// exactly what the rayon shim did before the persistent pool: partition
@@ -263,6 +427,6 @@ fn bench_fanout_substrate(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_query_throughput, bench_filter_kernel, bench_batch_kernel, bench_fanout_substrate
+    targets = bench_query_throughput, bench_filter_kernel, bench_batch_kernel, bench_store_backends, bench_fanout_substrate
 );
 criterion_main!(benches);

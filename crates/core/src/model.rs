@@ -16,7 +16,7 @@
 
 use crate::json::{JsonCodec, JsonError, JsonValue};
 use crate::weak::Interval;
-use qse_distance::{DistanceMeasure, FlatVectors};
+use qse_distance::{DistanceMeasure, FilterElem, FlatStore, FlatVectors};
 use qse_embedding::one_d::Candidate;
 use qse_embedding::{CompositeEmbedding, Embedding, OneDEmbedding};
 
@@ -61,13 +61,15 @@ impl EmbeddedQuery {
     /// Score this query against every row of a flat vector store in one
     /// pass: `out[i] = D_out(F_out(q), row_i)`. This is the query-sensitive
     /// filter step's hot kernel — no per-row allocation, blocked
-    /// auto-vectorizable reduction, bit-identical to calling
-    /// [`Self::distance_to`] row by row.
+    /// auto-vectorizable reduction, generic over the store's [`FilterElem`]
+    /// precision: on the exact (`f64`) backend it is bit-identical to
+    /// calling [`Self::distance_to`] row by row, on the compact backends it
+    /// scores the decoded rows.
     ///
     /// # Panics
     /// Panics if the store's dimensionality differs from the query's or
     /// `out.len() != vectors.len()`.
-    pub fn score_flat(&self, vectors: &qse_distance::FlatVectors, out: &mut [f64]) {
+    pub fn score_flat<E: FilterElem>(&self, vectors: &FlatStore<E>, out: &mut [f64]) {
         qse_distance::vector::weighted_l1_flat(&self.weights, &self.coordinates, vectors, out)
     }
 }
@@ -122,11 +124,11 @@ impl EmbeddedQueryBatch {
     /// # Panics
     /// Panics on dimensionality mismatch, an out-of-bounds query range, or
     /// `out.len() != (end - start) * vectors.len()`.
-    pub fn score_flat_batch_range(
+    pub fn score_flat_batch_range<E: FilterElem>(
         &self,
         start: usize,
         end: usize,
-        vectors: &FlatVectors,
+        vectors: &FlatStore<E>,
         out: &mut [f64],
     ) {
         qse_distance::vector::weighted_l1_flat_batch_per_query_range(
@@ -150,7 +152,7 @@ impl EmbeddedQueryBatch {
     /// # Panics
     /// Panics if the store's dimensionality differs from the batch's or
     /// `out.len() != self.len() * vectors.len()`.
-    pub fn score_flat_batch(&self, vectors: &FlatVectors, out: &mut [f64]) {
+    pub fn score_flat_batch<E: FilterElem>(&self, vectors: &FlatStore<E>, out: &mut [f64]) {
         qse_distance::vector::weighted_l1_flat_batch_per_query(
             &self.weights,
             &self.coordinates,

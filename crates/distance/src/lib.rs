@@ -20,7 +20,11 @@
 //!   kernel behind the filter step's hot scan, and its Q×N tiled companion
 //!   [`WeightedL1::eval_flat_batch`] that scores a whole query batch per
 //!   pass over the database (tile layout and bit-identity guarantees are
-//!   documented in the [`vector`] module).
+//!   documented in the [`vector`] module). The store is generic over its
+//!   element precision ([`FilterElem`]: exact `f64`, compact `f32`, or
+//!   `u8` scalar quantization — [`FlatVectors`] is the `f64` default), so
+//!   the filter scan can trade precision for memory bandwidth while the
+//!   refine step keeps final rankings exact.
 //! * [`dtw`] — constrained (Sakoe–Chiba band) Dynamic Time Warping over
 //!   multi-dimensional sequences, the exact distance of the time-series
 //!   experiments (Section 9).
@@ -64,4 +68,4 @@ pub use dtw::{ConstrainedDtw, TimeSeries};
 pub use matrix::DistanceMatrix;
 pub use shape_context::{PointSet, ShapeContextDistance};
 pub use traits::{DistanceMeasure, MetricProperties};
-pub use vector::{FlatVectors, LpDistance, WeightedL1};
+pub use vector::{FilterElem, FlatStore, FlatVectors, LpDistance, QuantParams, WeightedL1};

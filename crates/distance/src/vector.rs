@@ -3,6 +3,36 @@
 //! batch kernels that score one query — or a whole query batch — against
 //! every stored row.
 //!
+//! ## Pluggable filter-store precision
+//!
+//! The filter step of filter-and-refine retrieval only has to produce a
+//! *candidate set* — the refine step recomputes exact distances for every
+//! candidate — so the stored database vectors do not need full `f64`
+//! precision. [`FlatStore<E>`] is generic over a storage element
+//! [`FilterElem`] with three backends:
+//!
+//! * **`f64`** (the default; [`FlatVectors`] is an alias for
+//!   `FlatStore<f64>`) — exact, bit-identical to the historical store;
+//! * **`f32`** — half the memory traffic, ~2⁻²⁴ relative rounding error per
+//!   coordinate;
+//! * **`u8`** — scalar quantization on a per-coordinate affine grid
+//!   ([`QuantParams`]): construction fits, for every coordinate `j`, the
+//!   range `[min_j, max_j]` of the input rows and stores each value as the
+//!   nearest of 256 levels `min_j + scale_j · v` with
+//!   `scale_j = (max_j − min_j) / 255` (`scale_j = 0` collapses constant
+//!   coordinates to their exact value). Encoding clamps to the fitted
+//!   range, so rows pushed later never wrap; the decode error of an
+//!   in-range value is at most `scale_j / 2`, which bounds the filter-score
+//!   error by `Σ_j w_j · scale_j / 2` (asserted by the workspace tests).
+//!
+//! Queries and weights always stay `f64`; only the database side of the
+//! scan is compressed. The kernels decode one cache-sized block of rows at
+//! a time into a scratch buffer and then run the **same** canonical `f64`
+//! reduction over it, so the `f64` backend (whose "decode" is a zero-copy
+//! borrow of the stored block) remains bit-identical to the historical
+//! kernels, while the lossy backends amortize decoding across every query
+//! of a tile and halve (or quarter) the memory traffic the scan streams.
+//!
 //! The paper compares the embeddings of two objects with an `L1` distance
 //! (original BoostMap, FastMap) or with the *query-sensitive weighted* `L1`
 //! distance `D_out` of Eq. 11, where per-coordinate weights depend on the
@@ -92,28 +122,221 @@ pub fn weighted_l1_row(weights: &[f64], a: &[f64], b: &[f64]) -> f64 {
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
+/// A storage element of the flat filter store: how one `f64` coordinate is
+/// kept in memory between indexing time and the filter scan.
+///
+/// The three provided backends are `f64` (exact — the default everywhere),
+/// `f32` (rounded to single precision) and `u8` (scalar-quantized on a
+/// per-coordinate affine grid, see [`QuantParams`] and the module docs).
+/// Implementations come in encode/decode pairs around per-store
+/// [`FilterElem::Params`] fitted at construction; the kernels decode one
+/// cache-sized block at a time into `f64` scratch and reduce it with the
+/// canonical [`weighted_l1_row`] order, so a backend only controls *what is
+/// stored*, never *how scores are summed*.
+pub trait FilterElem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Per-store decode parameters: the quantization grid for `u8`,
+    /// zero-sized for the exact backends.
+    type Params: Clone + Send + Sync + PartialEq + std::fmt::Debug;
+
+    /// Human-readable backend name (`"f64"`, `"f32"`, `"u8"`), used in
+    /// benchmark ids and reports.
+    const NAME: &'static str;
+
+    /// Bytes one stored coordinate occupies (the memory-traffic lever of
+    /// the filter scan).
+    const BYTES: usize = std::mem::size_of::<Self>();
+
+    /// Parameters for a store built empty (no rows to fit against).
+    fn default_params(dim: usize) -> Self::Params;
+
+    /// Fit parameters from full-precision rows (falls back to
+    /// [`Self::default_params`] when `rows` is empty). A no-op for the
+    /// exact backends.
+    fn fit(dim: usize, rows: &[Vec<f64>]) -> Self::Params;
+
+    /// Encode one value of coordinate `coord` under `params`.
+    fn encode(value: f64, coord: usize, params: &Self::Params) -> Self;
+
+    /// Decode a row-aligned block of stored values back to `f64` for the
+    /// kernels. `raw.len()` is always a multiple of `dim`. Backends that
+    /// need to materialize the block write into `scratch` and return it;
+    /// `f64` returns `raw` itself (zero-copy), which is what keeps the
+    /// default backend bit-identical to the historical kernels.
+    fn decode_block<'a>(
+        raw: &'a [Self],
+        dim: usize,
+        params: &Self::Params,
+        scratch: &'a mut Vec<f64>,
+    ) -> &'a [f64];
+}
+
+impl FilterElem for f64 {
+    type Params = ();
+    const NAME: &'static str = "f64";
+
+    fn default_params(_dim: usize) -> Self::Params {}
+    fn fit(_dim: usize, _rows: &[Vec<f64>]) -> Self::Params {}
+    fn encode(value: f64, _coord: usize, _params: &Self::Params) -> Self {
+        value
+    }
+    fn decode_block<'a>(
+        raw: &'a [Self],
+        _dim: usize,
+        _params: &Self::Params,
+        _scratch: &'a mut Vec<f64>,
+    ) -> &'a [f64] {
+        raw
+    }
+}
+
+impl FilterElem for f32 {
+    type Params = ();
+    const NAME: &'static str = "f32";
+
+    fn default_params(_dim: usize) -> Self::Params {}
+    fn fit(_dim: usize, _rows: &[Vec<f64>]) -> Self::Params {}
+    fn encode(value: f64, _coord: usize, _params: &Self::Params) -> Self {
+        value as f32
+    }
+    fn decode_block<'a>(
+        raw: &'a [Self],
+        _dim: usize,
+        _params: &Self::Params,
+        scratch: &'a mut Vec<f64>,
+    ) -> &'a [f64] {
+        scratch.clear();
+        scratch.extend(raw.iter().map(|&v| f64::from(v)));
+        scratch
+    }
+}
+
+/// The per-coordinate affine quantization grid of the `u8` filter-store
+/// backend: stored level `v` of coordinate `j` decodes to
+/// `min[j] + scale[j] · v`.
+///
+/// Fitted by [`FilterElem::fit`] from the rows the store is built over
+/// (`scale[j] = (max_j − min_j) / 255`, `0.0` for constant coordinates, in
+/// which case every level decodes to the exact `min[j]`). Encoding rounds
+/// to the nearest level and clamps to `0..=255`, so rows pushed after
+/// construction that fall outside the fitted range saturate instead of
+/// wrapping — lossy, but the refine step's exact distances make the final
+/// ranking correct regardless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantParams {
+    /// Per-coordinate lower edge of the grid.
+    pub min: Vec<f64>,
+    /// Per-coordinate grid step.
+    pub scale: Vec<f64>,
+}
+
+impl FilterElem for u8 {
+    type Params = QuantParams;
+    const NAME: &'static str = "u8";
+
+    fn default_params(dim: usize) -> Self::Params {
+        // Nothing to fit against: assume the unit range per coordinate. Any
+        // fixed grid is *correct* (refine recomputes exact distances); a
+        // data-fitted one is merely more selective, so prefer building from
+        // rows when possible.
+        QuantParams {
+            min: vec![0.0; dim],
+            scale: vec![1.0 / 255.0; dim],
+        }
+    }
+
+    fn fit(dim: usize, rows: &[Vec<f64>]) -> Self::Params {
+        if rows.is_empty() {
+            return Self::default_params(dim);
+        }
+        let mut min = vec![f64::INFINITY; dim];
+        let mut max = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            for (j, &v) in row.iter().enumerate() {
+                min[j] = min[j].min(v);
+                max[j] = max[j].max(v);
+            }
+        }
+        let scale = min
+            .iter()
+            .zip(&max)
+            .map(|(lo, hi)| if hi > lo { (hi - lo) / 255.0 } else { 0.0 })
+            .collect();
+        QuantParams { min, scale }
+    }
+
+    fn encode(value: f64, coord: usize, params: &Self::Params) -> Self {
+        let scale = params.scale[coord];
+        if scale == 0.0 {
+            return 0;
+        }
+        // Round to the nearest level, saturating at the grid edges (NaN
+        // fails both clamp bounds and lands on 0).
+        ((value - params.min[coord]) / scale)
+            .round()
+            .clamp(0.0, 255.0) as u8
+    }
+
+    fn decode_block<'a>(
+        raw: &'a [Self],
+        dim: usize,
+        params: &Self::Params,
+        scratch: &'a mut Vec<f64>,
+    ) -> &'a [f64] {
+        // Every value is overwritten below, so only (re)size when the block
+        // shape changes (once per scan, plus once for the tail block) —
+        // `resize`'s zero-fill must not run per block.
+        if scratch.len() != raw.len() {
+            scratch.resize(raw.len(), 0.0);
+        }
+        // Lock-step iterators (no index arithmetic, no bounds checks) so
+        // the dequantization fma vectorizes alongside the widening load.
+        for (dst, src) in scratch.chunks_exact_mut(dim).zip(raw.chunks_exact(dim)) {
+            for (((out, &v), &lo), &s) in
+                dst.iter_mut().zip(src).zip(&params.min).zip(&params.scale)
+            {
+                *out = lo + s * f64::from(v);
+            }
+        }
+        scratch
+    }
+}
+
 /// Embedded database vectors in flat row-major storage: row `i` occupies
 /// `data[i * dim .. (i + 1) * dim]`. Keeping all rows in one allocation
 /// makes the filter scan cache-friendly and prefetchable, and lets the
 /// [`WeightedL1::eval_flat`] kernel walk the buffer without touching one
 /// heap allocation per row.
+///
+/// The storage element `E` selects the filter-store precision (see
+/// [`FilterElem`] and the module docs); [`FlatVectors`] — `FlatStore<f64>`
+/// — is the exact default every API accepts unchanged. Construction and
+/// [`FlatStore::push`] always take full-precision `f64` rows and encode
+/// them under the store's fitted [`FilterElem::Params`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct FlatVectors {
-    data: Vec<f64>,
+pub struct FlatStore<E: FilterElem = f64> {
+    data: Vec<E>,
     dim: usize,
     rows: usize,
+    params: E::Params,
 }
 
-impl FlatVectors {
+/// The exact (`f64`) flat vector store — the historical name, kept as the
+/// default alias so existing call sites and type signatures stay unchanged.
+pub type FlatVectors = FlatStore<f64>;
+
+impl<E: FilterElem> FlatStore<E> {
     /// An empty store whose rows will have `dim` coordinates. Unlike
     /// [`Self::from_rows`] on an empty vector (which must infer `dim = 0`),
     /// this keeps the dimensionality explicit so later [`Self::push`] calls
-    /// are checked against the intended width.
+    /// are checked against the intended width. Lossy backends get their
+    /// [`FilterElem::default_params`] grid (there are no rows to fit
+    /// against); prefer [`Self::from_rows_with_dim`] when data is at hand.
     pub fn with_dim(dim: usize) -> Self {
         Self {
             data: Vec::new(),
             dim,
             rows: 0,
+            params: E::default_params(dim),
         }
     }
 
@@ -130,6 +353,8 @@ impl FlatVectors {
 
     /// Flatten per-object vectors into row-major storage with an explicit
     /// dimensionality (the right constructor when `rows` may be empty).
+    /// Lossy backends fit their encode parameters (e.g. the `u8`
+    /// quantization grid) over these rows before encoding them.
     ///
     /// # Panics
     /// Panics if any row's length differs from `dim`.
@@ -138,15 +363,19 @@ impl FlatVectors {
             rows.iter().all(|r| r.len() == dim),
             "all embedded vectors must have dimensionality {dim}"
         );
+        let params = E::fit(dim, &rows);
         let count = rows.len();
         let mut data = Vec::with_capacity(count * dim);
-        for row in rows {
-            data.extend_from_slice(&row);
+        for row in &rows {
+            for (j, &v) in row.iter().enumerate() {
+                data.push(E::encode(v, j, &params));
+            }
         }
         Self {
             data,
             dim,
             rows: count,
+            params,
         }
     }
 
@@ -165,31 +394,51 @@ impl FlatVectors {
         self.dim
     }
 
-    /// The whole row-major buffer (`len() * dim()` values).
-    pub fn as_slice(&self) -> &[f64] {
+    /// The whole row-major buffer (`len() * dim()` stored elements).
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
-    /// Row `i` as a slice.
-    pub fn row(&self, i: usize) -> &[f64] {
+    /// The store's decode parameters (the quantization grid for `u8`,
+    /// zero-sized for the exact backends).
+    pub fn params(&self) -> &E::Params {
+        &self.params
+    }
+
+    /// Row `i` as a slice of stored elements.
+    pub fn row(&self, i: usize) -> &[E] {
         let row = &self.data[i * self.dim..(i + 1) * self.dim];
         debug_assert_eq!(row.len(), self.dim);
         row
     }
 
+    /// Row `i` decoded back to full precision — exactly the values the
+    /// filter kernels score against (lossy for the compressed backends, the
+    /// stored row itself for `f64`).
+    pub fn decode_row(&self, i: usize) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        E::decode_block(self.row(i), self.dim.max(1), &self.params, &mut scratch).to_vec()
+    }
+
     /// Iterator over all rows in index order (always exactly [`Self::len`]
     /// items, even in the degenerate zero-dimensional case).
-    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[E]> {
         (0..self.rows).map(|i| self.row(i))
     }
 
-    /// Append one row.
+    /// Append one full-precision row, encoding it under the store's fitted
+    /// parameters (lossy backends saturate values outside the fitted
+    /// range).
     ///
     /// # Panics
     /// Panics if the row has the wrong dimensionality.
     pub fn push(&mut self, row: &[f64]) {
         assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
-        self.data.extend_from_slice(row);
+        self.data.extend(
+            row.iter()
+                .enumerate()
+                .map(|(j, &v)| E::encode(v, j, &self.params)),
+        );
         self.rows += 1;
         debug_assert_eq!(self.data.len(), self.rows * self.dim);
     }
@@ -216,15 +465,22 @@ impl FlatVectors {
 ///
 /// This is the raw entry point used by `EmbeddedQuery` (whose per-query
 /// weights live outside a [`WeightedL1`] value); prefer
-/// [`WeightedL1::eval_flat`] when you have a distance object. Rows are read
-/// straight out of the contiguous buffer (`chunks_exact`, no per-row `Vec`),
-/// each reduced by [`weighted_l1_row`], so every output is **bit-identical**
-/// to evaluating that row on its own.
+/// [`WeightedL1::eval_flat`] when you have a distance object. The store is
+/// walked one [`BLOCK_VALUES`]-value block of rows at a time, decoded to
+/// `f64` per the store's [`FilterElem`] backend (a zero-copy borrow for
+/// `f64`), and each row reduced by [`weighted_l1_row`] — so for the exact
+/// backend every output is **bit-identical** to evaluating that row on its
+/// own, and for the lossy backends it equals scoring the decoded row.
 ///
 /// # Panics
 /// Panics if `weights`/`query` do not match the store's dimensionality or
 /// `out` does not have exactly one slot per row.
-pub fn weighted_l1_flat(weights: &[f64], query: &[f64], vectors: &FlatVectors, out: &mut [f64]) {
+pub fn weighted_l1_flat<E: FilterElem>(
+    weights: &[f64],
+    query: &[f64],
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
     let dim = vectors.dim();
     assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
     assert_eq!(query.len(), dim, "query/store dimensionality mismatch");
@@ -234,9 +490,18 @@ pub fn weighted_l1_flat(weights: &[f64], query: &[f64], vectors: &FlatVectors, o
         out.fill(0.0);
         return;
     }
-    for (row, slot) in vectors.as_slice().chunks_exact(dim).zip(out.iter_mut()) {
-        debug_assert_eq!(row.len(), dim);
-        *slot = weighted_l1_row(weights, query, row);
+    let rows_per_block = (BLOCK_VALUES / dim).max(1);
+    let mut scratch = Vec::new();
+    for (raw, out_block) in vectors
+        .as_slice()
+        .chunks(rows_per_block * dim)
+        .zip(out.chunks_mut(rows_per_block))
+    {
+        let block = E::decode_block(raw, dim, vectors.params(), &mut scratch);
+        for (row, slot) in block.chunks_exact(dim).zip(out_block.iter_mut()) {
+            debug_assert_eq!(row.len(), dim);
+            *slot = weighted_l1_row(weights, query, row);
+        }
     }
 }
 
@@ -313,16 +578,18 @@ fn weighted_l1_row_pair(w1: &[f64], a1: &[f64], w2: &[f64], a2: &[f64], b: &[f64
 /// `i`. Two levels of reuse: each [`BLOCK_VALUES`]-value database block is
 /// rescanned by the whole tile while it is cache-hot, and within a block,
 /// *pairs* of queries walk it together through [`weighted_l1_row_pair`] so
-/// every row load is shared at the register level. Each score still reduces
-/// in the canonical [`weighted_l1_row`] order, so outputs are bit-identical
-/// to the per-query path.
-fn weighted_l1_score_tile(
+/// every row load is shared at the register level. Each block is decoded to
+/// `f64` **once per tile** (a zero-copy borrow for the exact backend), so
+/// lossy backends amortize decoding across every query of the tile; each
+/// score still reduces in the canonical [`weighted_l1_row`] order, so
+/// outputs are bit-identical to the per-query path over the same store.
+fn weighted_l1_score_tile<E: FilterElem>(
     weights: &[f64],
     w_stride: usize,
     queries: &[f64],
     qcount: usize,
     dim: usize,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     out: &mut [f64],
 ) {
     let n = vectors.len();
@@ -331,7 +598,9 @@ fn weighted_l1_score_tile(
     debug_assert_eq!(out.len(), qcount * n);
     let rows_per_block = (BLOCK_VALUES / dim).max(1);
     let mut block_start = 0usize;
-    for block in vectors.as_slice().chunks(rows_per_block * dim) {
+    let mut scratch = Vec::new();
+    for raw in vectors.as_slice().chunks(rows_per_block * dim) {
+        let block = E::decode_block(raw, dim, vectors.params(), &mut scratch);
         let block_rows = block.len() / dim;
         let mut q = 0;
         // Query pairs share each row load (register-level reuse).
@@ -373,13 +642,13 @@ fn weighted_l1_score_tile(
 /// writing a row-major `(end − start) × n` tile into `out`. The common
 /// slicing/edge-case routine behind both the parallel full-batch driver and
 /// the public `*_range` single-tile entry points.
-fn weighted_l1_score_query_range(
+fn weighted_l1_score_query_range<E: FilterElem>(
     weights: &[f64],
     w_stride: usize,
     queries: &FlatVectors,
     start: usize,
     end: usize,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     out: &mut [f64],
 ) {
     let n = vectors.len();
@@ -409,11 +678,11 @@ fn weighted_l1_score_query_range(
 /// [`weighted_l1_score_tile`], fanning tiles out across the persistent
 /// worker pool (each tile writes a disjoint contiguous range of `out`, so
 /// the result is independent of the thread count).
-fn weighted_l1_batch_tiled(
+fn weighted_l1_batch_tiled<E: FilterElem>(
     weights: &[f64],
     w_stride: usize,
     queries: &FlatVectors,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     out: &mut [f64],
 ) {
     let n = vectors.len();
@@ -460,10 +729,10 @@ fn weighted_l1_batch_tiled(
 /// # Panics
 /// Panics if `weights` or `queries` do not match the store's
 /// dimensionality, or `out.len() != queries.len() * vectors.len()`.
-pub fn weighted_l1_flat_batch(
+pub fn weighted_l1_flat_batch<E: FilterElem>(
     weights: &[f64],
     queries: &FlatVectors,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     out: &mut [f64],
 ) {
     let dim = vectors.dim();
@@ -488,10 +757,10 @@ pub fn weighted_l1_flat_batch(
 /// Panics if the weight store does not hold exactly one row per query, if
 /// any dimensionality disagrees with `vectors`, or if
 /// `out.len() != queries.len() * vectors.len()`.
-pub fn weighted_l1_flat_batch_per_query(
+pub fn weighted_l1_flat_batch_per_query<E: FilterElem>(
     weights: &FlatVectors,
     queries: &FlatVectors,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     out: &mut [f64],
 ) {
     let dim = vectors.dim();
@@ -524,12 +793,12 @@ pub fn weighted_l1_flat_batch_per_query(
 /// # Panics
 /// Panics on dimensionality mismatch, an out-of-bounds query range, or
 /// `out.len() != (end - start) * vectors.len()`.
-pub fn weighted_l1_flat_batch_range(
+pub fn weighted_l1_flat_batch_range<E: FilterElem>(
     weights: &[f64],
     queries: &FlatVectors,
     start: usize,
     end: usize,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     out: &mut [f64],
 ) {
     let dim = vectors.dim();
@@ -555,12 +824,12 @@ pub fn weighted_l1_flat_batch_range(
 /// # Panics
 /// As [`weighted_l1_flat_batch_range`], plus if the weight store does not
 /// hold exactly one row per query.
-pub fn weighted_l1_flat_batch_per_query_range(
+pub fn weighted_l1_flat_batch_per_query_range<E: FilterElem>(
     weights: &FlatVectors,
     queries: &FlatVectors,
     start: usize,
     end: usize,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     out: &mut [f64],
 ) {
     let dim = vectors.dim();
@@ -734,16 +1003,19 @@ impl WeightedL1 {
     /// Score `query` against every row of `vectors` in one pass over the
     /// contiguous buffer: `out[i] = Σ_j w_j |query_j − row_i_j|`.
     ///
-    /// This is the filter step's hot kernel. It allocates nothing, walks the
-    /// flat storage row by row, and reduces coordinates in [`LANES`]-wide
-    /// blocks with independent accumulators (see [`weighted_l1_row`]), so
-    /// each `out[i]` is **bit-identical** to `self.eval(query, vectors.row(i))`
-    /// while the scan auto-vectorizes.
+    /// This is the filter step's hot kernel, generic over the store's
+    /// [`FilterElem`] precision. It walks the flat storage block by block
+    /// (decoding lossy backends to `f64` scratch, borrowing `f64` storage
+    /// zero-copy) and reduces coordinates in [`LANES`]-wide blocks with
+    /// independent accumulators (see [`weighted_l1_row`]), so for the exact
+    /// backend each `out[i]` is **bit-identical** to
+    /// `self.eval(query, vectors.row(i))` while the scan auto-vectorizes,
+    /// and for lossy backends it equals scoring the decoded row.
     ///
     /// # Panics
     /// Panics if `query` or the store do not match the weight dimensionality,
     /// or if `out.len() != vectors.len()`.
-    pub fn eval_flat(&self, query: &[f64], vectors: &FlatVectors, out: &mut [f64]) {
+    pub fn eval_flat<E: FilterElem>(&self, query: &[f64], vectors: &FlatStore<E>, out: &mut [f64]) {
         weighted_l1_flat(&self.weights, query, vectors, out)
     }
 
@@ -761,7 +1033,12 @@ impl WeightedL1 {
     /// # Panics
     /// Panics if `queries` or the store do not match the weight
     /// dimensionality, or if `out.len() != queries.len() * vectors.len()`.
-    pub fn eval_flat_batch(&self, queries: &FlatVectors, vectors: &FlatVectors, out: &mut [f64]) {
+    pub fn eval_flat_batch<E: FilterElem>(
+        &self,
+        queries: &FlatVectors,
+        vectors: &FlatStore<E>,
+        out: &mut [f64],
+    ) {
         weighted_l1_flat_batch(&self.weights, queries, vectors, out)
     }
 
@@ -774,12 +1051,12 @@ impl WeightedL1 {
     ///
     /// # Panics
     /// As [`weighted_l1_flat_batch_range`].
-    pub fn eval_flat_batch_range(
+    pub fn eval_flat_batch_range<E: FilterElem>(
         &self,
         queries: &FlatVectors,
         start: usize,
         end: usize,
-        vectors: &FlatVectors,
+        vectors: &FlatStore<E>,
         out: &mut [f64],
     ) {
         weighted_l1_flat_batch_range(&self.weights, queries, start, end, vectors, out)
@@ -1180,6 +1457,139 @@ mod tests {
         let store = FlatVectors::from_rows(vec![vec![1.0, 1.0], vec![2.0, 2.0]]);
         let mut out = vec![0.0; 3];
         d.eval_flat_batch(&queries, &store, &mut out);
+    }
+
+    #[test]
+    fn u8_quantization_decodes_within_half_a_grid_step() {
+        let dim = 5;
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|r| {
+                (0..dim)
+                    .map(|j| ((r * dim + j) as f64).sin() * 13.0)
+                    .collect()
+            })
+            .collect();
+        let store = FlatStore::<u8>::from_rows_with_dim(dim, rows.clone());
+        let params = store.params().clone();
+        for (i, row) in rows.iter().enumerate() {
+            let decoded = store.decode_row(i);
+            for (j, (&v, &d)) in row.iter().zip(&decoded).enumerate() {
+                let tol = params.scale[j] / 2.0 + 1e-12;
+                assert!(
+                    (v - d).abs() <= tol,
+                    "row {i}, coord {j}: |{v} - {d}| > {tol}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u8_constant_coordinates_decode_exactly() {
+        // A constant coordinate has scale 0: every level decodes to min.
+        let rows = vec![vec![3.5, 1.0], vec![3.5, 2.0], vec![3.5, 0.0]];
+        let store = FlatStore::<u8>::from_rows_with_dim(2, rows);
+        assert_eq!(store.params().scale[0], 0.0);
+        for i in 0..store.len() {
+            assert_eq!(store.decode_row(i)[0], 3.5);
+        }
+    }
+
+    #[test]
+    fn u8_push_saturates_outside_the_fitted_range() {
+        let mut store = FlatStore::<u8>::from_rows_with_dim(1, vec![vec![0.0], vec![10.0]]);
+        store.push(&[-100.0]);
+        store.push(&[100.0]);
+        assert_eq!(store.decode_row(2)[0], 0.0);
+        assert_eq!(store.decode_row(3)[0], 10.0);
+    }
+
+    /// Lossy-backend kernels must equal "decode the row, then run the
+    /// canonical reduction" bit for bit, for both the single-query scan and
+    /// the tiled batch kernel.
+    fn assert_backend_kernels_match_decoded_rows<E: FilterElem>() {
+        for dim in [1, 3, 4, 5, 8, 67] {
+            let weights: Vec<f64> = (0..dim).map(|i| 0.2 + (i % 5) as f64 * 0.37).collect();
+            let d = WeightedL1::new(weights.clone());
+            let rows: Vec<Vec<f64>> = (0..QUERY_TILE + 9)
+                .map(|r| {
+                    (0..dim)
+                        .map(|i| ((r * dim + i) as f64).cos() * 9.0)
+                        .collect()
+                })
+                .collect();
+            let store = FlatStore::<E>::from_rows_with_dim(dim, rows);
+            let queries = synthetic_store(dim, 2 * QUERY_TILE + 3, 0.75);
+            let mut batch = vec![f64::NAN; queries.len() * store.len()];
+            d.eval_flat_batch(&queries, &store, &mut batch);
+            let mut single = vec![f64::NAN; store.len()];
+            for q in 0..queries.len() {
+                d.eval_flat(queries.row(q), &store, &mut single);
+                for (i, score) in single.iter().enumerate() {
+                    let reference =
+                        weighted_l1_row(&d.weights, queries.row(q), &store.decode_row(i));
+                    assert_eq!(
+                        score.to_bits(),
+                        reference.to_bits(),
+                        "{} eval_flat: dim {dim}, query {q}, row {i}",
+                        E::NAME
+                    );
+                    assert_eq!(
+                        batch[q * store.len() + i].to_bits(),
+                        reference.to_bits(),
+                        "{} eval_flat_batch: dim {dim}, query {q}, row {i}",
+                        E::NAME
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernels_score_exactly_the_decoded_rows() {
+        assert_backend_kernels_match_decoded_rows::<f32>();
+    }
+
+    #[test]
+    fn u8_kernels_score_exactly_the_decoded_rows() {
+        assert_backend_kernels_match_decoded_rows::<u8>();
+    }
+
+    #[test]
+    fn lossy_backends_handle_empty_and_zero_dimensional_stores() {
+        fn check<E: FilterElem>() {
+            // Empty store with explicit dim.
+            let store = FlatStore::<E>::with_dim(3);
+            let mut out: Vec<f64> = Vec::new();
+            WeightedL1::uniform(3).eval_flat(&[1.0, 2.0, 3.0], &store, &mut out);
+            assert!(out.is_empty(), "{}", E::NAME);
+            // dim-0 rows: every distance is the empty sum.
+            let mut store = FlatStore::<E>::with_dim(0);
+            store.push(&[]);
+            store.push(&[]);
+            let mut out = vec![f64::NAN; 2];
+            WeightedL1::new(Vec::new()).eval_flat(&[], &store, &mut out);
+            assert_eq!(out, vec![0.0, 0.0], "{}", E::NAME);
+            assert!(store.decode_row(1).is_empty(), "{}", E::NAME);
+            // push after the empty constructor keeps the dimensionality.
+            let mut store = FlatStore::<E>::with_dim(2);
+            store.push(&[0.25, 0.5]);
+            store.push(&[1.0, 0.0]);
+            store.swap_remove(0);
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.dim(), 2);
+        }
+        check::<f32>();
+        check::<u8>();
+    }
+
+    #[test]
+    fn backend_names_and_sizes_are_reported() {
+        assert_eq!(<f64 as FilterElem>::NAME, "f64");
+        assert_eq!(<f32 as FilterElem>::NAME, "f32");
+        assert_eq!(<u8 as FilterElem>::NAME, "u8");
+        assert_eq!(<f64 as FilterElem>::BYTES, 8);
+        assert_eq!(<f32 as FilterElem>::BYTES, 4);
+        assert_eq!(<u8 as FilterElem>::BYTES, 1);
     }
 
     #[test]

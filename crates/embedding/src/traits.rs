@@ -1,6 +1,6 @@
 //! The [`Embedding`] trait.
 
-use qse_distance::{DistanceMeasure, FlatVectors};
+use qse_distance::{DistanceMeasure, FilterElem, FlatStore, FlatVectors};
 use rayon::prelude::*;
 
 /// A function `F : X → R^d` mapping objects into a real vector space.
@@ -49,6 +49,29 @@ pub trait Embedding<O>: Send + Sync {
         O: Sync,
     {
         FlatVectors::from_rows_with_dim(self.dim(), self.embed_all(queries, distance))
+    }
+
+    /// Embed a whole *database* into a flat store of the chosen filter
+    /// precision `E` — the indexing-time counterpart of
+    /// [`Self::embed_queries`] (queries always stay `f64`; only the stored
+    /// database side is compressed).
+    ///
+    /// Embedding fans out across rayon worker threads via
+    /// [`Self::embed_all`]; the full-precision rows are then encoded under
+    /// parameters fitted over the whole collection (the `u8` backend fits
+    /// its per-coordinate quantization grid here). The buffer carries
+    /// [`Self::dim`] explicitly so empty collections still produce a store
+    /// of the right width.
+    fn embed_store<E: FilterElem>(
+        &self,
+        objects: &[O],
+        distance: &dyn DistanceMeasure<O>,
+    ) -> FlatStore<E>
+    where
+        Self: Sized,
+        O: Sync,
+    {
+        FlatStore::from_rows_with_dim(self.dim(), self.embed_all(objects, distance))
     }
 }
 

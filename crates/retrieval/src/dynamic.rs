@@ -9,7 +9,7 @@
 //! [`DynamicIndex`] implements exactly that protocol on top of a trained
 //! [`QseModel`].
 
-use crate::filter_refine::{tiled_query_pipeline, top_p_by_score, FlatVectors};
+use crate::filter_refine::{tiled_query_pipeline, top_p_by_score, FilterElem, FlatStore};
 use crate::knn::knn;
 use qse_core::{QseModel, TripleSampler};
 use qse_distance::{DistanceMatrix, DistanceMeasure};
@@ -17,11 +17,20 @@ use qse_embedding::{CompositeEmbedding, Embedding};
 use rand::Rng;
 
 /// A dynamically maintained, query-sensitive filter-and-refine index.
-pub struct DynamicIndex<O> {
+///
+/// Generic over the filter-store precision `E` ([`FilterElem`]; exact
+/// `f64` by default — see `crate::filter_refine`). With a lossy backend,
+/// online [`DynamicIndex::insert`]s encode under the grid fitted over the
+/// *initial* database (values outside it saturate), which is exactly the
+/// paper's dynamic-dataset assumption: online updates are sound while the
+/// distribution does not drift, and [`DynamicIndex::check_drift`] is the
+/// trigger for refitting by rebuilding.
+pub struct DynamicIndex<O, E: FilterElem = f64> {
     model: QseModel<O>,
     embedding: CompositeEmbedding<O>,
     objects: Vec<O>,
-    vectors: FlatVectors,
+    vectors: FlatStore<E>,
+    p_scale: f64,
 }
 
 /// The result of an embedding-drift check.
@@ -35,19 +44,55 @@ pub struct DriftReport {
 }
 
 impl<O: Clone + Send + Sync> DynamicIndex<O> {
-    /// Build the index from a trained model and an initial database.
+    /// Build the index from a trained model and an initial database, with
+    /// the exact `f64` filter store.
     pub fn new(model: QseModel<O>, database: Vec<O>, distance: &dyn DistanceMeasure<O>) -> Self {
+        Self::with_store(model, database, distance)
+    }
+}
+
+impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
+    /// Build the index with an explicit filter-store precision `E` — e.g.
+    /// `DynamicIndex::<_, u8>::with_store(...)`. Lossy backends fit their
+    /// encode parameters over the initial database (a database that starts
+    /// empty gets the backend's default grid; prefer seeding with
+    /// representative data when quantizing).
+    pub fn with_store(
+        model: QseModel<O>,
+        database: Vec<O>,
+        distance: &dyn DistanceMeasure<O>,
+    ) -> Self {
         let embedding = model.embedding();
         // The explicit dimensionality matters when `database` is empty: the
-        // store must still accept `model.dim()`-wide rows from `insert`.
-        let vectors =
-            FlatVectors::from_rows_with_dim(model.dim(), embedding.embed_all(&database, distance));
+        // store must still accept `model.dim()`-wide rows from `insert`
+        // (embed_store carries the embedding's dim through).
+        let vectors = embedding.embed_store(&database, distance);
         Self {
             model,
             embedding,
             objects: database,
             vectors,
+            p_scale: 1.0,
         }
+    }
+
+    /// Set the filter oversampling factor: the retrieve paths keep
+    /// `⌈p · p_scale⌉` filter candidates (capped at the current database
+    /// size) while still validating against the caller's `p`. Useful with
+    /// quantized stores; `1.0` (the default) leaves every path untouched.
+    ///
+    /// # Panics
+    /// Panics if `p_scale` is not finite or is below `1.0`.
+    pub fn with_p_scale(mut self, p_scale: f64) -> Self {
+        crate::filter_refine::validate_p_scale(p_scale);
+        self.p_scale = p_scale;
+        self
+    }
+
+    /// The shared `filter_refine::effective_p` under this index's
+    /// oversampling factor, against the *current* database size.
+    fn effective_p(&self, p: usize) -> usize {
+        crate::filter_refine::effective_p(p, self.p_scale, self.objects.len())
     }
 
     /// Number of objects currently indexed.
@@ -106,7 +151,7 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         // by index) — exactly the static index's hot path.
         let mut scores = vec![0.0; self.vectors.len()];
         eq.score_flat(&self.vectors, &mut scores);
-        let order = top_p_by_score(&scores, p);
+        let order = top_p_by_score(&scores, self.effective_p(p));
         self.refine(query, distance, k, &order)
     }
 
@@ -138,8 +183,11 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
     /// Results are in query order and identical to calling
     /// [`Self::retrieve`] per query, at any thread count — including after
     /// online [`Self::insert`]s and [`Self::remove`]s, which the flat store
-    /// absorbs by push/swap-remove. An empty query batch returns an empty
-    /// vector.
+    /// absorbs by push/swap-remove. Queries repeated within one pipeline
+    /// tile reuse the first occurrence's result through the duplicate-query
+    /// memo (see `filter_refine::tiled_query_pipeline`), skipping their
+    /// redundant exact-distance refine step. An empty query batch returns
+    /// an empty vector.
     ///
     /// # Panics
     /// As [`Self::retrieve`] (when the batch is non-empty).
@@ -149,7 +197,10 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         distance: &dyn DistanceMeasure<O>,
         k: usize,
         p: usize,
-    ) -> Vec<Vec<usize>> {
+    ) -> Vec<Vec<usize>>
+    where
+        O: PartialEq,
+    {
         if queries.is_empty() {
             return Vec::new();
         }
@@ -159,7 +210,8 @@ impl<O: Clone + Send + Sync> DynamicIndex<O> {
         tiled_query_pipeline(
             queries.len(),
             self.vectors.len(),
-            p,
+            self.effective_p(p),
+            |a, b| queries[a] == queries[b],
             |q0, q1, scores| batch.score_flat_batch_range(q0, q1, &self.vectors, scores),
             |q, _row, order| self.refine(&queries[q], distance, k, order),
         )

@@ -49,13 +49,30 @@
 //! `f64::total_cmp`), so its result is **identical** to taking the first `p`
 //! entries of the fully sorted ranking — asserted for every `(k, p)` by the
 //! workspace tests.
+//!
+//! ## Filter-store precision
+//!
+//! Because the refine step recomputes **exact** distances for every
+//! candidate, the filter store only has to be good enough to put the true
+//! neighbors among the `p` survivors — it does not need `f64` precision.
+//! [`FilterRefineIndex`] is therefore generic over the store's
+//! [`FilterElem`] backend (`f64` exact default, `f32`, or `u8` scalar
+//! quantization; see `qse_distance::vector`): the historical constructors
+//! keep building exact `f64` indexes bit-identical to before, while
+//! [`FilterRefineIndex::build_global_with_store`] /
+//! [`FilterRefineIndex::build_query_sensitive_with_store`] select a compact
+//! backend that halves (f32) or eighth-sizes (u8) the memory the filter
+//! scan streams. For quantized stores, the optional
+//! [`FilterRefineIndex::with_p_scale`] oversampling knob widens the filter
+//! candidate set (`p → ⌈p · p_scale⌉`, capped at the database size) to
+//! absorb quantization error before the exact refine step reorders it.
 
 use qse_core::QseModel;
 use qse_distance::{DistanceMeasure, WeightedL1};
 use qse_embedding::Embedding;
 use rayon::prelude::*;
 
-pub use qse_distance::FlatVectors;
+pub use qse_distance::{FilterElem, FlatStore, FlatVectors};
 
 /// How the filter step scores database vectors against the query.
 enum FilterKind<O> {
@@ -95,20 +112,40 @@ pub(crate) fn top_p_by_score(scores: &[f64], p: usize) -> Vec<usize> {
 /// index, its score row and the selection. Results come back in query
 /// order.
 ///
-/// Keeping the tiling, buffer reuse and selection in one routine is what
-/// makes the three batch paths *provably* the same pipeline — and no
+/// ## The per-tile duplicate-query memo
+///
+/// Production batches (and the clustered workloads the paper evaluates)
+/// routinely repeat popular queries. Exact distances cannot be shared
+/// *across distinct queries* — `d(q, x)` depends on the query argument — so
+/// the only sound reuse is between **equal** queries, and that is what the
+/// memo exploits: before selecting/refining query `q`, the driver asks
+/// `same_query(r, q)` for every earlier query `r` of the same tile, and on
+/// a match clones `r`'s finished result instead of re-running top-p
+/// selection and (crucially) the exact-distance refine step. `same_query`
+/// must be an equivalence compatible with the whole per-query pipeline —
+/// i.e. `same_query(r, q)` implies the sequential path would produce
+/// identical results for `r` and `q` — which the callers guarantee by
+/// comparing the original query *objects* (`O: PartialEq`, assuming the
+/// exact distance is a deterministic function of its arguments' values) or
+/// the raw embedded rows. Reuse never crosses a tile boundary, so the memo
+/// cannot change tile fan-out behaviour or peak memory.
+///
+/// Keeping the tiling, buffer reuse, selection and memo in one routine is
+/// what makes the three batch paths *provably* the same pipeline — and no
 /// `count × n` score matrix is ever materialized: peak memory per worker is
 /// one tile's scores.
-pub(crate) fn tiled_query_pipeline<T, S, F>(
+pub(crate) fn tiled_query_pipeline<T, S, Q, F>(
     count: usize,
     n: usize,
     p: usize,
+    same_query: Q,
     score_tile: S,
     finish: F,
 ) -> Vec<T>
 where
-    T: Send,
+    T: Clone + Send,
     S: Fn(usize, usize, &mut [f64]) + Sync,
+    Q: Fn(usize, usize) -> bool + Sync,
     F: Fn(usize, &[f64], &[usize]) -> T + Sync,
 {
     use qse_distance::vector::QUERY_TILE;
@@ -122,16 +159,42 @@ where
             score_tile(q0, q1, &mut scores);
             // One index buffer serves every query of the tile.
             let mut order = Vec::new();
-            (q0..q1)
-                .map(|q| {
-                    let row = &scores[(q - q0) * n..(q - q0 + 1) * n];
-                    top_p_by_score_into(row, p, &mut order);
-                    finish(q, row, &order)
-                })
-                .collect()
+            let mut results: Vec<T> = Vec::with_capacity(q1 - q0);
+            for q in q0..q1 {
+                if let Some(r) = (q0..q).find(|&r| same_query(r, q)) {
+                    // Duplicate of an earlier query of this tile: reuse its
+                    // finished result (identical by construction), skipping
+                    // selection and the exact-distance refine step.
+                    results.push(results[r - q0].clone());
+                    continue;
+                }
+                let row = &scores[(q - q0) * n..(q - q0 + 1) * n];
+                top_p_by_score_into(row, p, &mut order);
+                results.push(finish(q, row, &order));
+            }
+            results
         })
         .collect();
     per_tile.into_iter().flatten().collect()
+}
+
+/// Validate an oversampling factor for `with_p_scale` (shared by the
+/// static and dynamic indexes so the contract cannot drift).
+///
+/// # Panics
+/// Panics if `p_scale` is not finite or is below `1.0`.
+pub(crate) fn validate_p_scale(p_scale: f64) {
+    assert!(
+        p_scale.is_finite() && p_scale >= 1.0,
+        "p_scale must be finite and at least 1.0, got {p_scale}"
+    );
+}
+
+/// `⌈p · p_scale⌉` capped at the database size `n`: the number of filter
+/// candidates the retrieve paths actually keep. With the default
+/// `p_scale = 1.0`, `⌈p · 1.0⌉ = p` exactly, so behaviour is untouched.
+pub(crate) fn effective_p(p: usize, p_scale: f64, n: usize) -> usize {
+    (((p as f64) * p_scale).ceil() as usize).min(n)
 }
 
 /// [`top_p_by_score`] writing into a caller-owned index buffer, so the
@@ -152,9 +215,18 @@ pub(crate) fn top_p_by_score_into(scores: &[f64], p: usize, order: &mut Vec<usiz
 }
 
 /// A database indexed for filter-and-refine retrieval under one embedding.
-pub struct FilterRefineIndex<O> {
+///
+/// Generic over the filter-store precision `E` ([`FilterElem`]; `f64` by
+/// default — the historical exact store). The refine step always recomputes
+/// exact distances, so a compact backend trades filter selectivity (not
+/// final correctness) for memory bandwidth; see the module docs.
+pub struct FilterRefineIndex<O, E: FilterElem = f64> {
     kind: FilterKind<O>,
-    vectors: FlatVectors,
+    vectors: FlatStore<E>,
+    /// Oversampling factor applied to `p` in the retrieve paths (≥ 1.0;
+    /// exactly 1.0 by default, where `⌈p · 1.0⌉ = p` leaves behaviour
+    /// untouched).
+    p_scale: f64,
 }
 
 /// The outcome of one filter-and-refine retrieval.
@@ -180,43 +252,25 @@ impl RetrievalOutcome {
 
 impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     /// Index `database` under a global-L1 embedding (FastMap, Lipschitz,
-    /// query-insensitive BoostMap, ...). The indexing cost is
-    /// `|database| · embedding_cost` exact distances, paid offline (the
-    /// embedding pass runs in parallel).
+    /// query-insensitive BoostMap, ...) with the exact `f64` filter store.
+    /// The indexing cost is `|database| · embedding_cost` exact distances,
+    /// paid offline (the embedding pass runs in parallel).
     pub fn build_global<E>(embedding: E, database: &[O], distance: &dyn DistanceMeasure<O>) -> Self
     where
         E: Embedding<O> + 'static,
     {
-        assert!(!database.is_empty(), "cannot index an empty database");
-        let vectors = FlatVectors::from_rows_with_dim(
-            embedding.dim(),
-            embedding.embed_all(database, distance),
-        );
-        Self {
-            kind: FilterKind::GlobalL1 {
-                filter: WeightedL1::uniform(embedding.dim()),
-                embedding: Box::new(embedding),
-            },
-            vectors,
-        }
+        Self::build_global_with_store(embedding, database, distance)
     }
 
     /// Index `database` under a trained (query-sensitive or insensitive)
-    /// [`QseModel`]. Database objects are embedded with `F_out`; at query
-    /// time the filter step uses `D_out`.
+    /// [`QseModel`] with the exact `f64` filter store. Database objects are
+    /// embedded with `F_out`; at query time the filter step uses `D_out`.
     pub fn build_query_sensitive(
         model: QseModel<O>,
         database: &[O],
         distance: &dyn DistanceMeasure<O>,
     ) -> Self {
-        assert!(!database.is_empty(), "cannot index an empty database");
-        let embedding = model.embedding();
-        let vectors =
-            FlatVectors::from_rows_with_dim(model.dim(), embedding.embed_all(database, distance));
-        Self {
-            kind: FilterKind::QuerySensitive { model },
-            vectors,
-        }
+        Self::build_query_sensitive_with_store(model, database, distance)
     }
 
     /// Index a database whose vectors under this embedding have already been
@@ -241,6 +295,7 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
                 embedding: Box::new(embedding),
             },
             vectors: FlatVectors::from_rows(vectors),
+            p_scale: 1.0,
         }
     }
 
@@ -258,7 +313,82 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         Self {
             kind: FilterKind::QuerySensitive { model },
             vectors: FlatVectors::from_rows(vectors),
+            p_scale: 1.0,
         }
+    }
+}
+
+impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
+    /// Index `database` under a global-L1 embedding with an explicit
+    /// filter-store precision `E` — e.g.
+    /// `FilterRefineIndex::<_, f32>::build_global_with_store(...)`. The
+    /// `f64` instantiation is what [`Self::build_global`] delegates to and
+    /// is bit-identical to the historical index; compact backends encode
+    /// the embedded database rows at indexing time (the `u8` grid is fitted
+    /// over the whole collection here).
+    pub fn build_global_with_store<Emb>(
+        embedding: Emb,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+    ) -> Self
+    where
+        Emb: Embedding<O> + 'static,
+    {
+        assert!(!database.is_empty(), "cannot index an empty database");
+        let vectors = embedding.embed_store(database, distance);
+        Self {
+            kind: FilterKind::GlobalL1 {
+                filter: WeightedL1::uniform(embedding.dim()),
+                embedding: Box::new(embedding),
+            },
+            vectors,
+            p_scale: 1.0,
+        }
+    }
+
+    /// Index `database` under a trained [`QseModel`] with an explicit
+    /// filter-store precision `E` (see
+    /// [`Self::build_global_with_store`]).
+    pub fn build_query_sensitive_with_store(
+        model: QseModel<O>,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+    ) -> Self {
+        assert!(!database.is_empty(), "cannot index an empty database");
+        let embedding = model.embedding();
+        let vectors = embedding.embed_store(database, distance);
+        Self {
+            kind: FilterKind::QuerySensitive { model },
+            vectors,
+            p_scale: 1.0,
+        }
+    }
+
+    /// Set the filter oversampling factor: the retrieve paths keep
+    /// `⌈p · p_scale⌉` filter candidates (capped at the database size)
+    /// while still *validating* against the caller's `p`; the outcome's
+    /// `refine_cost` reports the scaled candidate count actually refined.
+    /// Useful with quantized stores, whose coarser filter scores may rank a
+    /// true neighbor just past position `p`; the refine step's exact
+    /// distances then restore the final order. `1.0` (the default) leaves
+    /// every path untouched.
+    ///
+    /// # Panics
+    /// Panics if `p_scale` is not finite or is below `1.0`.
+    pub fn with_p_scale(mut self, p_scale: f64) -> Self {
+        validate_p_scale(p_scale);
+        self.p_scale = p_scale;
+        self
+    }
+
+    /// The current filter oversampling factor (see [`Self::with_p_scale`]).
+    pub fn p_scale(&self) -> f64 {
+        self.p_scale
+    }
+
+    /// The shared [`effective_p`] under this index's oversampling factor.
+    fn effective_p(&self, p: usize) -> usize {
+        effective_p(p, self.p_scale, self.vectors.len())
     }
 
     /// Dimensionality of the indexed vectors.
@@ -287,8 +417,9 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         }
     }
 
-    /// The embedded database vectors (flat row-major storage).
-    pub fn vectors(&self) -> &FlatVectors {
+    /// The embedded database vectors (flat row-major storage in the
+    /// index's filter precision).
+    pub fn vectors(&self) -> &FlatStore<E> {
         &self.vectors
     }
 
@@ -355,7 +486,9 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     }
 
     /// Full filter-and-refine retrieval of the `k` (approximate) nearest
-    /// neighbors of `query`, keeping `p` candidates after the filter step.
+    /// neighbors of `query`, keeping `p` candidates after the filter step
+    /// (`⌈p · p_scale⌉` under an oversampling factor, see
+    /// [`Self::with_p_scale`]).
     ///
     /// # Panics
     /// Panics if `k` is zero, `p < k`, or `p` exceeds the database size.
@@ -379,7 +512,7 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
             self.vectors.len(),
             "database does not match the indexed vectors"
         );
-        let (candidates, embedding_cost) = self.filter_top_p(query, distance, p);
+        let (candidates, embedding_cost) = self.filter_top_p(query, distance, self.effective_p(p));
         self.refine(query, database, distance, k, &candidates, embedding_cost)
     }
 
@@ -430,9 +563,14 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
     /// Results are returned in query order and are identical to calling
     /// [`Self::retrieve`] per query — bit for bit, at any thread count
     /// (every filter score comes from the same canonical reduction, and the
-    /// selection/refine code is shared). An empty query batch returns an
-    /// empty vector; `k`/`p` are validated up front exactly like
-    /// [`Self::retrieve`] otherwise.
+    /// selection/refine code is shared). Queries that repeat within one
+    /// [`QUERY_TILE`](qse_distance::vector::QUERY_TILE)-query tile reuse
+    /// the first occurrence's finished result through the pipeline's
+    /// duplicate-query memo (see [`tiled_query_pipeline`]), skipping their
+    /// redundant exact-distance refine step — which assumes `distance` is a
+    /// deterministic function of its arguments' values under `O`'s
+    /// `PartialEq`. An empty query batch returns an empty vector; `k`/`p`
+    /// are validated up front exactly like [`Self::retrieve`] otherwise.
     ///
     /// # Panics
     /// As [`Self::retrieve`] (when the batch is non-empty).
@@ -443,7 +581,10 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         distance: &dyn DistanceMeasure<O>,
         k: usize,
         p: usize,
-    ) -> Vec<RetrievalOutcome> {
+    ) -> Vec<RetrievalOutcome>
+    where
+        O: PartialEq,
+    {
         if queries.is_empty() {
             return Vec::new();
         }
@@ -478,7 +619,8 @@ impl<O: Clone + Send + Sync> FilterRefineIndex<O> {
         tiled_query_pipeline(
             queries.len(),
             self.vectors.len(),
-            p,
+            self.effective_p(p),
+            |a, b| queries[a] == queries[b],
             |q0, q1, scores| match &embedded {
                 EmbeddedBatch::Global(filter, coords) => {
                     filter.eval_flat_batch_range(coords, q0, q1, &self.vectors, scores);

@@ -10,7 +10,7 @@
 //! full sort, with NaN-safe `(distance, index)` ordering.
 
 use crate::filter_refine::top_p_by_score;
-use qse_distance::{DistanceMeasure, FlatVectors, WeightedL1};
+use qse_distance::{DistanceMeasure, FilterElem, FlatStore, FlatVectors, WeightedL1};
 use rayon::prelude::*;
 
 /// The result of an exact k-NN query.
@@ -64,17 +64,21 @@ where
 ///
 /// This is the brute-force path for databases that *are* vectors (or whose
 /// exact distance is the embedded one): `WeightedL1::uniform(dim)` gives
-/// plain L1, per-query weights give the query-sensitive `D_out`. The
-/// reported neighbors are identical to calling `distance.eval` row by row
-/// (the kernel is bit-identical to the scalar path).
+/// plain L1, per-query weights give the query-sensitive `D_out`. On the
+/// default `f64` store the reported neighbors are identical to calling
+/// `distance.eval` row by row (the kernel is bit-identical to the scalar
+/// path); on a compact [`FilterElem`] backend both the ranking and the
+/// reported distances are computed over the *decoded* rows, i.e. the
+/// search is exact in the quantized space (appropriate only when a cheap
+/// approximate ranking is acceptable or the caller refines afterwards).
 ///
 /// # Panics
 /// Panics if `k` is zero or exceeds the store size, or on dimensionality
 /// mismatch between `distance`, `query` and `vectors`.
-pub fn knn_flat(
+pub fn knn_flat<E: FilterElem>(
     distance: &WeightedL1,
     query: &[f64],
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     k: usize,
 ) -> KnnResult {
     assert!(k >= 1, "k must be at least 1");
@@ -105,16 +109,18 @@ pub fn knn_flat(
 /// score matrix is ever materialized), followed by the O(n)
 /// `(score, index)` selection per query on the tile's still-hot rows.
 /// Results are in query order and identical to calling [`knn_flat`] per
-/// query, at any thread count. An empty query batch returns an empty
-/// vector.
+/// query, at any thread count; query rows repeated within one tile reuse
+/// the first occurrence's result through the pipeline's duplicate-query
+/// memo (sound here because the result is a pure function of the row
+/// values). An empty query batch returns an empty vector.
 ///
 /// # Panics
 /// As [`knn_flat`] (when the batch is non-empty), plus on dimensionality
 /// mismatch between `queries` and `vectors`.
-pub fn knn_flat_batch(
+pub fn knn_flat_batch<E: FilterElem>(
     distance: &WeightedL1,
     queries: &FlatVectors,
-    vectors: &FlatVectors,
+    vectors: &FlatStore<E>,
     k: usize,
 ) -> Vec<KnnResult> {
     if queries.is_empty() {
@@ -130,6 +136,7 @@ pub fn knn_flat_batch(
         queries.len(),
         vectors.len(),
         k,
+        |a, b| queries.row(a) == queries.row(b),
         |q0, q1, scores| distance.eval_flat_batch_range(queries, q0, q1, vectors, scores),
         |_q, row, order| KnnResult {
             neighbors: order.to_vec(),

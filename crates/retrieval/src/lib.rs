@@ -32,5 +32,5 @@ pub mod knn;
 
 pub use dynamic::DynamicIndex;
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};
-pub use filter_refine::{FilterRefineIndex, FlatVectors, RetrievalOutcome};
+pub use filter_refine::{FilterElem, FilterRefineIndex, FlatStore, FlatVectors, RetrievalOutcome};
 pub use knn::{ground_truth, knn_flat, knn_flat_batch, KnnResult};

@@ -1,0 +1,120 @@
+//! Filter-store precision end to end: index one clustered database under
+//! the exact `f64` store and the compact `f32` / `u8` backends, and show
+//! (a) how much retrieval quality the exact refine step preserves over a
+//! lossy filter (all or nearly all queries return the `f64` pipeline's
+//! neighbors, even for uniform off-cluster queries), (b) the 2× / 8×
+//! smaller store footprint, and (c) how `with_p_scale` widens a quantized
+//! filter's net when `p` is tight.
+//!
+//! ```sh
+//! cargo run --release --example store_precision
+//! ```
+
+use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let database: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| {
+            let c = rng.gen_range(0..9);
+            vec![
+                (c % 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+                (c / 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect();
+    let queries: Vec<Vec<f64>> = (0..100)
+        .map(|_| vec![rng.gen_range(-1.0..29.0), rng.gen_range(-1.0..29.0)])
+        .collect();
+    let distance = LpDistance::l2();
+
+    // Train one query-sensitive model; every index below shares it.
+    let pools: Vec<Vec<f64>> = database.iter().take(80).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &distance, 8);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 800, &mut rng);
+    let model = BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng);
+    let dim = model.dim();
+    println!(
+        "model: {} rounds, {} coordinates, query-sensitive = {}",
+        model.rounds(),
+        dim,
+        model.is_query_sensitive()
+    );
+
+    let (k, p) = (5, 50);
+    let exact = FilterRefineIndex::build_query_sensitive(model.clone(), &database, &distance);
+    let compact = FilterRefineIndex::<_, f32>::build_query_sensitive_with_store(
+        model.clone(),
+        &database,
+        &distance,
+    );
+    let quantized = FilterRefineIndex::<_, u8>::build_query_sensitive_with_store(
+        model.clone(),
+        &database,
+        &distance,
+    );
+
+    let baseline = exact.retrieve_batch(&queries, &database, &distance, k, p);
+    for (name, batch) in [
+        (
+            "f32",
+            compact.retrieve_batch(&queries, &database, &distance, k, p),
+        ),
+        (
+            "u8",
+            quantized.retrieve_batch(&queries, &database, &distance, k, p),
+        ),
+    ] {
+        let agreeing = batch
+            .iter()
+            .zip(&baseline)
+            .filter(|(a, b)| a.neighbors == b.neighbors)
+            .count();
+        let bytes = |b: usize| database.len() * dim * b;
+        println!(
+            "{name:>4} store: {agreeing}/{} queries return the f64 pipeline's neighbors, \
+             store footprint {} -> {} bytes",
+            queries.len(),
+            bytes(8),
+            bytes(match name {
+                "f32" => 4,
+                _ => 1,
+            }),
+        );
+    }
+
+    // With a tight p, oversample the quantized filter instead of paying for
+    // a wider exact one: refine still reorders exactly.
+    let tight_p = k;
+    let oversampled =
+        FilterRefineIndex::<_, u8>::build_query_sensitive_with_store(model, &database, &distance)
+            .with_p_scale(4.0);
+    let plain_hits = queries
+        .iter()
+        .zip(&baseline)
+        .filter(|(q, base)| {
+            quantized
+                .retrieve(q, &database, &distance, k, tight_p)
+                .neighbors
+                == base.neighbors
+        })
+        .count();
+    let oversampled_hits = queries
+        .iter()
+        .zip(&baseline)
+        .filter(|(q, base)| {
+            oversampled
+                .retrieve(q, &database, &distance, k, tight_p)
+                .neighbors
+                == base.neighbors
+        })
+        .count();
+    println!(
+        "u8 at p = k = {tight_p}: {plain_hits}/{} queries match f64 without oversampling, \
+         {oversampled_hits}/{} with p_scale = 4",
+        queries.len(),
+        queries.len()
+    );
+}

@@ -71,8 +71,9 @@ pub mod prelude {
     };
     pub use qse_dataset::{Dataset, DigitGenerator, TimeSeriesGenerator};
     pub use qse_distance::{
-        ConstrainedDtw, CountingDistance, DistanceMatrix, DistanceMeasure, FlatVectors, LpDistance,
-        PointSet, ShapeContextDistance, TimeSeries, WeightedL1,
+        ConstrainedDtw, CountingDistance, DistanceMatrix, DistanceMeasure, FilterElem, FlatStore,
+        FlatVectors, LpDistance, PointSet, QuantParams, ShapeContextDistance, TimeSeries,
+        WeightedL1,
     };
     pub use qse_embedding::{CompositeEmbedding, Embedding, FastMap, FastMapConfig, OneDEmbedding};
     pub use qse_retrieval::{

@@ -285,3 +285,61 @@ fn model_embed_queries_matches_per_query_embed_query() {
         }
     }
 }
+
+#[test]
+fn duplicate_queries_in_a_tile_share_refine_work_without_changing_results() {
+    // The per-tile duplicate-query memo: a query equal to an earlier query
+    // of the same tile must reuse that query's finished result — identical
+    // outcomes at any thread count, with the duplicate's exact-distance
+    // refine step genuinely skipped (pinned by distance accounting).
+    let db = clustered(150, 91);
+    let d = LpDistance::l2();
+    let model = train_model(1, &db);
+    let index = FilterRefineIndex::build_query_sensitive(model.clone(), &db, &d);
+    let (k, p) = (3, 20);
+    // 12 queries — one pipeline tile — three of them duplicates.
+    let mut queries = clustered(9, 93);
+    queries.push(queries[0].clone());
+    queries.push(queries[4].clone());
+    queries.push(queries[0].clone());
+    let uniques = 9;
+    let sequential: Vec<RetrievalOutcome> = queries
+        .iter()
+        .map(|q| index.retrieve(q, &db, &d, k, p))
+        .collect();
+    for threads in [1, 2, 8] {
+        let batch = with_thread_count(threads, || index.retrieve_batch(&queries, &db, &d, k, p));
+        assert_eq!(batch, sequential, "memo diverged at {threads} threads");
+    }
+    // Accounting: the batch embeds every query (the memo sits behind the
+    // embedding step) but refines only the unique ones...
+    let counting = CountingDistance::new(LpDistance::l2());
+    let _ = index.retrieve_batch(&queries, &db, &counting, k, p);
+    assert_eq!(
+        counting.count() as usize,
+        queries.len() * index.embedding_cost() + uniques * p
+    );
+    // ...whereas the sequential loop pays the full budget per duplicate.
+    let counting = CountingDistance::new(LpDistance::l2());
+    for q in &queries {
+        let _ = index.retrieve(q, &db, &counting, k, p);
+    }
+    assert_eq!(
+        counting.count() as usize,
+        queries.len() * (index.embedding_cost() + p)
+    );
+
+    // The dynamic index shares the same pipeline and memo.
+    let dynamic = DynamicIndex::new(model, db.clone(), &d);
+    let sequential: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| dynamic.retrieve(q, &d, k, p))
+        .collect();
+    for threads in [1, 2, 8] {
+        let batch = with_thread_count(threads, || dynamic.retrieve_batch(&queries, &d, k, p));
+        assert_eq!(
+            batch, sequential,
+            "dynamic memo diverged at {threads} threads"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Guarantees of the pluggable filter-store precision backends.
+//!
+//! The refactor's contract has three parts, each pinned here:
+//!
+//! 1. **The `f64` backend is the old index** — the generic `_with_store`
+//!    constructors instantiated at `f64` produce results bit-identical to
+//!    the historical builders (whose own identity to the scalar path is
+//!    pinned by `tests/property_tests.rs`).
+//! 2. **Lossy backends are correctness-guarded by refine** — with the
+//!    filter step running over `f32` or `u8` storage, the exact-distance
+//!    refine step must still return exactly the `f64` pipeline's neighbors
+//!    (recall@k = 1.0) on the standard clustered workloads, for both the
+//!    query-sensitive and the global-L1 index, sequentially and batched.
+//! 3. **Quantization error is bounded** — raw `u8` filter scores stay
+//!    within `Σ_j w_j · scale_j / 2` of the exact scores (the grid's
+//!    half-step bound), and `f32` scores within single-precision rounding.
+//!
+//! Plus the edge suite every backend must mirror (dim-0 stores, empty
+//! stores, insert-after-empty) and the `p_scale` oversampling knob.
+
+use query_sensitive_embeddings::prelude::*;
+use query_sensitive_embeddings::retrieval::knn::knn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0..9);
+            vec![
+                (c % 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+                (c / 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+fn train_model(db: &[Vec<f64>]) -> QseModel<Vec<f64>> {
+    let d = LpDistance::l2();
+    let pools: Vec<Vec<f64>> = db.iter().take(60).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &d, 6);
+    let mut rng = StdRng::seed_from_u64(1717);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 600, &mut rng);
+    BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+}
+
+fn fastmap(db: &[Vec<f64>]) -> FastMap<Vec<f64>> {
+    let d = LpDistance::l2();
+    let mut rng = StdRng::seed_from_u64(2727);
+    let sample: Vec<Vec<f64>> = db.iter().take(60).cloned().collect();
+    FastMap::train(
+        &sample,
+        &d,
+        FastMapConfig {
+            dimensions: 6,
+            pivot_iterations: 3,
+        },
+        &mut rng,
+    )
+}
+
+#[test]
+fn f64_with_store_builders_match_the_historical_builders_bitwise() {
+    let db = clustered(300, 11);
+    let d = LpDistance::l2();
+    let queries = clustered(24, 13);
+    let (k, p) = (4, 30);
+
+    let model = train_model(&db);
+    let old = FilterRefineIndex::build_query_sensitive(model.clone(), &db, &d);
+    let new = FilterRefineIndex::<_, f64>::build_query_sensitive_with_store(model, &db, &d);
+    assert_eq!(old.vectors(), new.vectors(), "stores must be identical");
+    for q in &queries {
+        assert_eq!(
+            old.retrieve(q, &db, &d, k, p),
+            new.retrieve(q, &db, &d, k, p)
+        );
+    }
+
+    let old = FilterRefineIndex::build_global(fastmap(&db), &db, &d);
+    let new = FilterRefineIndex::<_, f64>::build_global_with_store(fastmap(&db), &db, &d);
+    assert_eq!(old.vectors(), new.vectors(), "stores must be identical");
+    assert_eq!(
+        old.retrieve_batch(&queries, &db, &d, k, p),
+        new.retrieve_batch(&queries, &db, &d, k, p)
+    );
+}
+
+/// Retrieval through a lossy store must report exactly the `f64` pipeline's
+/// neighbors once refine has recomputed exact distances: recall@k = 1.0 on
+/// the clustered workloads, per query, sequentially and batched.
+fn assert_lossy_backend_recall_is_perfect<E: FilterElem>() {
+    let db = clustered(400, 21);
+    let d = LpDistance::l2();
+    let queries = clustered(40, 23); // crosses the 16-query tile boundary
+    let (k, p) = (5, 50);
+
+    // Query-sensitive index.
+    let model = train_model(&db);
+    let exact = FilterRefineIndex::build_query_sensitive(model.clone(), &db, &d);
+    let lossy = FilterRefineIndex::<_, E>::build_query_sensitive_with_store(model, &db, &d);
+    let exact_batch = exact.retrieve_batch(&queries, &db, &d, k, p);
+    let lossy_batch = lossy.retrieve_batch(&queries, &db, &d, k, p);
+    for (q, query) in queries.iter().enumerate() {
+        assert_eq!(
+            lossy_batch[q].neighbors,
+            exact_batch[q].neighbors,
+            "{} seqs: recall@{k} < 1.0 for query {q}",
+            E::NAME
+        );
+        assert_eq!(
+            lossy.retrieve(query, &db, &d, k, p),
+            lossy_batch[q],
+            "{} seqs: batch/sequential divergence for query {q}",
+            E::NAME
+        );
+    }
+
+    // Global-L1 (FastMap) index.
+    let exact = FilterRefineIndex::build_global(fastmap(&db), &db, &d);
+    let lossy = FilterRefineIndex::<_, E>::build_global_with_store(fastmap(&db), &db, &d);
+    let exact_batch = exact.retrieve_batch(&queries, &db, &d, k, p);
+    let lossy_batch = lossy.retrieve_batch(&queries, &db, &d, k, p);
+    for q in 0..queries.len() {
+        assert_eq!(
+            lossy_batch[q].neighbors,
+            exact_batch[q].neighbors,
+            "{} fastmap: recall@{k} < 1.0 for query {q}",
+            E::NAME
+        );
+    }
+}
+
+#[test]
+fn f32_pipeline_recall_matches_f64_exactly() {
+    assert_lossy_backend_recall_is_perfect::<f32>();
+}
+
+#[test]
+fn u8_pipeline_recall_matches_f64_exactly() {
+    assert_lossy_backend_recall_is_perfect::<u8>();
+}
+
+#[test]
+fn u8_raw_filter_scores_respect_the_half_grid_step_bound() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for dim in [3, 8, 32] {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-15.0..15.0)).collect())
+            .collect();
+        let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let query: Vec<f64> = (0..dim).map(|_| rng.gen_range(-15.0..15.0)).collect();
+        let d = WeightedL1::new(weights.clone());
+        let exact = FlatVectors::from_rows_with_dim(dim, rows.clone());
+        let quant = FlatStore::<u8>::from_rows_with_dim(dim, rows);
+        let bound: f64 = weights
+            .iter()
+            .zip(&quant.params().scale)
+            .map(|(w, s)| w * s / 2.0)
+            .sum::<f64>()
+            * (1.0 + 1e-9)
+            + 1e-9;
+        let mut s_exact = vec![0.0; exact.len()];
+        let mut s_quant = vec![0.0; quant.len()];
+        d.eval_flat(&query, &exact, &mut s_exact);
+        d.eval_flat(&query, &quant, &mut s_quant);
+        for (i, (a, b)) in s_exact.iter().zip(&s_quant).enumerate() {
+            assert!(
+                (a - b).abs() <= bound,
+                "dim {dim}, row {i}: |{a} - {b}| > {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_raw_filter_scores_stay_within_single_precision_rounding() {
+    let mut rng = StdRng::seed_from_u64(37);
+    let dim = 16;
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect())
+        .collect();
+    let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.1..2.0)).collect();
+    let query: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+    let d = WeightedL1::new(weights.clone());
+    let exact = FlatVectors::from_rows_with_dim(dim, rows.clone());
+    let single = FlatStore::<f32>::from_rows_with_dim(dim, rows.clone());
+    let mut s_exact = vec![0.0; exact.len()];
+    let mut s_single = vec![0.0; single.len()];
+    d.eval_flat(&query, &exact, &mut s_exact);
+    d.eval_flat(&query, &single, &mut s_single);
+    for (i, (a, b)) in s_exact.iter().zip(&s_single).enumerate() {
+        // Per-coordinate f32 rounding is at most |v| · 2⁻²⁴; doubling the
+        // exponent covers the summation's own rounding comfortably.
+        let bound: f64 = weights
+            .iter()
+            .zip(&rows[i])
+            .map(|(w, b)| w * b.abs())
+            .sum::<f64>()
+            * 2f64.powi(-23)
+            + 1e-9;
+        assert!((a - b).abs() <= bound, "row {i}: |{a} - {b}| > {bound}");
+    }
+}
+
+/// The dim-0 / empty-store / insert-after-empty edge suite, per backend —
+/// mirrors the `f64` regressions in `qse-distance` and `qse-retrieval`.
+fn assert_backend_edge_cases<E: FilterElem>() {
+    let d = LpDistance::l2();
+    // Dynamic index over an initially empty database: the store must carry
+    // the model's dimensionality (and the backend's default grid) so online
+    // inserts work immediately.
+    let model = train_model(&clustered(120, 41));
+    let mut index = DynamicIndex::<_, E>::with_store(model, Vec::new(), &d);
+    assert!(index.is_empty(), "{}", E::NAME);
+    let a = index.insert(vec![0.1, 0.0], &d);
+    let b = index.insert(vec![14.2, 14.1], &d);
+    assert_eq!((a, b), (0, 1), "{}", E::NAME);
+    let hit = index.retrieve(&vec![0.0, 0.0], &d, 1, 2);
+    assert_eq!(hit.len(), 1, "{}", E::NAME);
+    index.remove(0);
+    assert_eq!(index.len(), 1, "{}", E::NAME);
+
+    // knn over a dim-0 store: every distance is the empty sum, ties break
+    // by index — including through the batched tiled pipeline.
+    let mut store = FlatStore::<E>::with_dim(0);
+    let mut queries = FlatVectors::with_dim(0);
+    for _ in 0..4 {
+        store.push(&[]);
+    }
+    for _ in 0..3 {
+        queries.push(&[]);
+    }
+    for result in knn_flat_batch(&WeightedL1::new(Vec::new()), &queries, &store, 2) {
+        assert_eq!(result.neighbors, vec![0, 1], "{}", E::NAME);
+        assert_eq!(result.distances, vec![0.0, 0.0], "{}", E::NAME);
+    }
+    // Empty query batches write nothing, even with out-of-range k.
+    let empty = FlatVectors::with_dim(0);
+    assert!(
+        knn_flat_batch(&WeightedL1::new(Vec::new()), &empty, &store, 9).is_empty(),
+        "{}",
+        E::NAME
+    );
+}
+
+#[test]
+fn f32_edge_cases_match_the_f64_suite() {
+    assert_backend_edge_cases::<f32>();
+}
+
+#[test]
+fn u8_edge_cases_match_the_f64_suite() {
+    assert_backend_edge_cases::<u8>();
+}
+
+#[test]
+fn p_scale_widens_the_filter_candidate_set() {
+    let db = clustered(300, 51);
+    let d = LpDistance::l2();
+    let model = train_model(&db);
+    let queries = clustered(10, 53);
+    let (k, p) = (3, 20);
+
+    // p_scale = 1.0 (explicitly or by default) changes nothing.
+    let base = FilterRefineIndex::build_query_sensitive(model.clone(), &db, &d);
+    let unit = FilterRefineIndex::build_query_sensitive(model.clone(), &db, &d).with_p_scale(1.0);
+    assert_eq!(base.p_scale(), 1.0);
+    for q in &queries {
+        assert_eq!(
+            base.retrieve(q, &db, &d, k, p),
+            unit.retrieve(q, &db, &d, k, p)
+        );
+    }
+
+    // An oversampled quantized index refines ⌈p · p_scale⌉ candidates (the
+    // reported refine cost), capped at the database size, and the batched
+    // path agrees with the sequential one.
+    let quant =
+        FilterRefineIndex::<_, u8>::build_query_sensitive_with_store(model.clone(), &db, &d)
+            .with_p_scale(2.5);
+    let outcome = quant.retrieve(&queries[0], &db, &d, k, p);
+    assert_eq!(outcome.refine_cost, 50);
+    let batch = quant.retrieve_batch(&queries, &db, &d, k, p);
+    for (q, query) in queries.iter().enumerate() {
+        assert_eq!(batch[q], quant.retrieve(query, &db, &d, k, p));
+    }
+    let capped =
+        FilterRefineIndex::<_, u8>::build_query_sensitive_with_store(model.clone(), &db, &d)
+            .with_p_scale(1e6);
+    assert_eq!(
+        capped.retrieve(&queries[0], &db, &d, k, p).refine_cost,
+        db.len()
+    );
+
+    // Oversampling can only grow the candidate set, so the refined top-k is
+    // at least as close to the truth: with p_scale covering the whole
+    // database the result equals exact brute force.
+    let truth = knn(&queries[0], &db, &d, k);
+    assert_eq!(
+        capped.retrieve(&queries[0], &db, &d, k, p).neighbors,
+        truth.neighbors
+    );
+
+    // The dynamic index carries the same knob.
+    let dynamic = DynamicIndex::new(model, db.clone(), &d).with_p_scale(2.0);
+    let hits = dynamic.retrieve(&queries[0], &d, k, p);
+    assert_eq!(hits.len(), k);
+}
+
+#[test]
+#[should_panic(expected = "at least 1.0")]
+fn p_scale_rejects_shrinking_factors() {
+    let db = clustered(120, 61);
+    let d = LpDistance::l2();
+    let _ = FilterRefineIndex::build_query_sensitive(train_model(&db), &db, &d).with_p_scale(0.5);
+}
