@@ -15,7 +15,11 @@
 //!   precision (`f64` / `f32` / `u8`-quantized flat stores) at dims 8 and
 //!   32, database sizes 1k and 10k: the memory-bandwidth axis of the filter
 //!   scan (outputs differ only by the backends' documented rounding, pinned
-//!   by the workspace store-backend tests).
+//!   by the workspace store-backend tests). The `u8int` cells scan the same
+//!   `u8` store through the in-domain integer SAD path the retrieval
+//!   pipelines dispatch to (`qse_distance::sad`) — no per-value
+//!   dequantization — next to the decode-path `u8` cells they replace on
+//!   the hot path.
 //!
 //! These benchmarks exercise the filter-and-refine hot path end to end —
 //! embed the query, O(n) top-p selection over the flat vector store, refine
@@ -301,9 +305,24 @@ fn bench_batch_kernel(c: &mut Criterion) {
     }
 }
 
-/// One `store_backend` cell: the tiled batch kernel over a `FlatStore<E>`
-/// built from the same full-precision rows as every other backend, so the
-/// only variable is the bytes the scan streams per coordinate.
+/// How one `store_backend` cell scans its store: the decode-path kernels
+/// (`eval_flat*` — exact decoded-row scores), or the backend-dispatched
+/// filter path (`eval_filter*` — the in-domain integer SAD kernel on
+/// `u8`, labelled `u8int` in the ids, which is what the retrieval
+/// pipelines actually run).
+#[derive(Clone, Copy)]
+enum ScanPath {
+    Decode,
+    Filter,
+}
+
+/// One `store_backend` cell: the tiled-batch and single-query kernels
+/// over a `FlatStore<E>` built from the same full-precision rows as every
+/// other backend, so the only variables are the bytes the scan streams
+/// per coordinate and the `ScanPath` arithmetic. Comparing `u8int`
+/// (filter path) to `u8` (decode path) isolates what skipping the
+/// per-value dequantization buys; comparing it to `f64` shows whether the
+/// compact store is the fastest one outright.
 fn bench_store_backend_cell<E: FilterElem>(
     c: &mut Criterion,
     d: &WeightedL1,
@@ -311,19 +330,33 @@ fn bench_store_backend_cell<E: FilterElem>(
     rows: &[Vec<f64>],
     dim: usize,
     db_size: usize,
+    path: ScanPath,
 ) {
+    // The filter path's id gets an `int` suffix (`u8int`): it is only
+    // benchmarked where it differs from the decode path.
+    let label = match path {
+        ScanPath::Decode => E::NAME.to_string(),
+        ScanPath::Filter => format!("{}int", E::NAME),
+    };
     let store = FlatStore::<E>::from_rows_with_dim(dim, rows.to_vec());
     let mut out = vec![0.0; queries.len() * store.len()];
     let mut group = c.benchmark_group("store_backend");
     group.bench_with_input(
         BenchmarkId::new(
-            format!("eval_flat_batch/{}/{BATCH}q/dim{dim}", E::NAME),
+            format!("eval_flat_batch/{label}/{BATCH}q/dim{dim}"),
             db_size,
         ),
         &db_size,
         |b, _| {
             b.iter(|| {
-                d.eval_flat_batch(black_box(queries), black_box(&store), &mut out);
+                match path {
+                    ScanPath::Decode => {
+                        d.eval_flat_batch(black_box(queries), black_box(&store), &mut out)
+                    }
+                    ScanPath::Filter => {
+                        d.eval_filter_batch(black_box(queries), black_box(&store), &mut out)
+                    }
+                }
                 black_box(out[out.len() - 1])
             })
         },
@@ -333,15 +366,15 @@ fn bench_store_backend_cell<E: FilterElem>(
     // entry point — the one a compact backend helps first.
     let mut single_out = vec![0.0; store.len()];
     group.bench_with_input(
-        BenchmarkId::new(format!("eval_flat/{}/dim{dim}", E::NAME), db_size),
+        BenchmarkId::new(format!("eval_flat/{label}/dim{dim}"), db_size),
         &db_size,
         |b, _| {
             b.iter(|| {
-                d.eval_flat(
-                    black_box(queries.row(0)),
-                    black_box(&store),
-                    &mut single_out,
-                );
+                let query = black_box(queries.row(0));
+                match path {
+                    ScanPath::Decode => d.eval_flat(query, black_box(&store), &mut single_out),
+                    ScanPath::Filter => d.eval_filter(query, black_box(&store), &mut single_out),
+                }
                 black_box(single_out[single_out.len() - 1])
             })
         },
@@ -370,9 +403,13 @@ fn bench_store_backends(c: &mut Criterion) {
             let rows: Vec<Vec<f64>> = (0..db_size)
                 .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
                 .collect();
-            bench_store_backend_cell::<f64>(c, &d, &queries, &rows, dim, db_size);
-            bench_store_backend_cell::<f32>(c, &d, &queries, &rows, dim, db_size);
-            bench_store_backend_cell::<u8>(c, &d, &queries, &rows, dim, db_size);
+            // The filter path only differs from the decode path on u8
+            // (it is bit-identical on the exact backends), so only the u8
+            // cell gets a second, `u8int`, run.
+            bench_store_backend_cell::<f64>(c, &d, &queries, &rows, dim, db_size, ScanPath::Decode);
+            bench_store_backend_cell::<f32>(c, &d, &queries, &rows, dim, db_size, ScanPath::Decode);
+            bench_store_backend_cell::<u8>(c, &d, &queries, &rows, dim, db_size, ScanPath::Decode);
+            bench_store_backend_cell::<u8>(c, &d, &queries, &rows, dim, db_size, ScanPath::Filter);
         }
     }
 }

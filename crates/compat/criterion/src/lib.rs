@@ -14,6 +14,13 @@
 //! routine executes exactly once, untimed, and reports `ok` instead of a
 //! measurement. CI runs the bench suite this way so the benchmark code
 //! cannot bit-rot without ever paying for real measurements.
+//!
+//! Also like real criterion, positional (non-flag) command-line arguments
+//! are benchmark **name filters**: `cargo bench --bench b some_group` runs
+//! only the benchmarks whose full id contains one of the given substrings
+//! (real criterion matches regexes; the shim keeps honest substring
+//! semantics). Setup code outside `bench_function` still runs — filtering
+//! skips the measured routines and their reports.
 
 #![warn(missing_docs)]
 
@@ -28,11 +35,23 @@ fn test_mode_from_args() -> bool {
     std::env::args().any(|arg| arg == "--test")
 }
 
+/// Benchmark-name filters from the command line: every positional
+/// (non-flag) argument is a substring filter against full benchmark ids.
+/// (Cargo forwards e.g. `cargo bench --bench b store_backend` to the bench
+/// binary as `store_backend --bench`, so flags must be skipped.)
+fn filters_from_args() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|arg| !arg.starts_with('-'))
+        .collect()
+}
+
 /// Benchmark driver configuration and sink.
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Option<Duration>,
     test_mode: bool,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
@@ -41,6 +60,7 @@ impl Default for Criterion {
             sample_size: 10,
             measurement_time: None,
             test_mode: test_mode_from_args(),
+            filters: filters_from_args(),
         }
     }
 }
@@ -68,11 +88,21 @@ impl Criterion {
         self
     }
 
-    /// Run one benchmark.
+    /// `true` if a benchmark with this full id should run under the
+    /// command-line name filters (no filters = run everything).
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Run one benchmark (skipped silently if the command-line name
+    /// filters exclude its id, like real criterion).
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.matches(id) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.test_mode);
         f(&mut bencher);
         bencher.report(id);
@@ -86,7 +116,7 @@ impl Criterion {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             test_mode: self.test_mode,
-            _criterion: self,
+            criterion: self,
         }
     }
 }
@@ -97,7 +127,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Option<Duration>,
     test_mode: bool,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -112,26 +142,36 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Run one benchmark within the group.
+    /// Run one benchmark within the group (skipped if the command-line
+    /// name filters exclude the full `group/id`).
     pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.test_mode);
         f(&mut bencher);
-        bencher.report(&format!("{}/{}", self.name, id));
+        bencher.report(&full_id);
         self
     }
 
-    /// Run one parameterized benchmark within the group.
+    /// Run one parameterized benchmark within the group (skipped if the
+    /// command-line name filters exclude the full `group/id`).
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
+        let full_id = format!("{}/{}", self.name, id.0);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
         let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.test_mode);
         f(&mut bencher, input);
-        bencher.report(&format!("{}/{}", self.name, id.0));
+        bencher.report(&full_id);
         self
     }
 
@@ -300,6 +340,30 @@ mod tests {
         bencher.iter(|| count += 1);
         assert_eq!(count, 1, "smoke mode must run exactly one iteration");
         assert!(bencher.samples.is_empty(), "smoke mode records no samples");
+    }
+
+    #[test]
+    fn name_filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filters = vec!["keep".into()];
+        let mut kept = 0u32;
+        let mut skipped = 0u32;
+        c.bench_function("keep_this", |b| b.iter(|| kept += 1));
+        c.bench_function("drop_this", |b| b.iter(|| skipped += 1));
+        let mut group = c.benchmark_group("keep_group");
+        let mut grouped = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1usize, |b, _| {
+            b.iter(|| grouped += 1)
+        });
+        group.finish();
+        let mut group = c.benchmark_group("other_group");
+        let mut other = 0u32;
+        group.bench_function("nope", |b| b.iter(|| other += 1));
+        group.finish();
+        assert_eq!(kept, 3, "matching top-level benchmark must run");
+        assert_eq!(skipped, 0, "non-matching benchmark must be skipped");
+        assert_eq!(grouped, 3, "group prefix participates in matching");
+        assert_eq!(other, 0, "non-matching group benchmark must be skipped");
     }
 
     #[test]

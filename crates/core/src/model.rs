@@ -72,6 +72,27 @@ impl EmbeddedQuery {
     pub fn score_flat<E: FilterElem>(&self, vectors: &FlatStore<E>, out: &mut [f64]) {
         qse_distance::vector::weighted_l1_flat(&self.weights, &self.coordinates, vectors, out)
     }
+
+    /// The **filter-path** counterpart of [`Self::score_flat`]: dispatched
+    /// through the store backend's `FilterElem::scan_filter`, so the exact
+    /// backends run the decode kernel bit-identically to
+    /// [`Self::score_flat`] while `u8` stores are scanned by the in-domain
+    /// integer SAD kernel (`qse_distance::sad`) — the query's coordinates
+    /// are quantized onto the store's grid and scores carry the documented
+    /// query-side quantization error, which the retrieval pipelines'
+    /// exact-distance refine step absorbs. This is what the
+    /// filter-and-refine indexes call in their filter step.
+    ///
+    /// # Panics
+    /// As [`Self::score_flat`].
+    pub fn score_filter<E: FilterElem>(&self, vectors: &FlatStore<E>, out: &mut [f64]) {
+        qse_distance::vector::weighted_l1_filter_flat(
+            &self.weights,
+            &self.coordinates,
+            vectors,
+            out,
+        )
+    }
 }
 
 /// A whole batch of queries embedded by a [`QseModel`]: coordinates under
@@ -154,6 +175,48 @@ impl EmbeddedQueryBatch {
     /// `out.len() != self.len() * vectors.len()`.
     pub fn score_flat_batch<E: FilterElem>(&self, vectors: &FlatStore<E>, out: &mut [f64]) {
         qse_distance::vector::weighted_l1_flat_batch_per_query(
+            &self.weights,
+            &self.coordinates,
+            vectors,
+            out,
+        )
+    }
+
+    /// The **filter-path** counterpart of
+    /// [`Self::score_flat_batch_range`]: one sequential tile dispatched
+    /// through the store backend's `FilterElem::scan_filter_range` —
+    /// bit-identical to [`Self::score_flat_batch_range`] on the exact
+    /// backends, the tiled integer SAD kernel on `u8` (see
+    /// [`EmbeddedQuery::score_filter`]). The batched retrieval pipelines
+    /// score their per-tile filter step through this.
+    ///
+    /// # Panics
+    /// As [`Self::score_flat_batch_range`].
+    pub fn score_filter_batch_range<E: FilterElem>(
+        &self,
+        start: usize,
+        end: usize,
+        vectors: &FlatStore<E>,
+        out: &mut [f64],
+    ) {
+        qse_distance::vector::weighted_l1_filter_batch_per_query_range(
+            &self.weights,
+            &self.coordinates,
+            start,
+            end,
+            vectors,
+            out,
+        )
+    }
+
+    /// The **filter-path** counterpart of [`Self::score_flat_batch`]
+    /// (whole batch, backend-dispatched tiled scan on the persistent
+    /// worker pool; see [`EmbeddedQuery::score_filter`]).
+    ///
+    /// # Panics
+    /// As [`Self::score_flat_batch`].
+    pub fn score_filter_batch<E: FilterElem>(&self, vectors: &FlatStore<E>, out: &mut [f64]) {
+        qse_distance::vector::weighted_l1_filter_batch_per_query(
             &self.weights,
             &self.coordinates,
             vectors,

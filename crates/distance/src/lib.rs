@@ -25,6 +25,15 @@
 //!   `u8` scalar quantization — [`FlatVectors`] is the `f64` default), so
 //!   the filter scan can trade precision for memory bandwidth while the
 //!   refine step keeps final rankings exact.
+//! * [`sad`] — the in-domain integer scoring path for the `u8` store:
+//!   quantize the query onto the store's grid, accumulate the weighted
+//!   sum of absolute `u8` differences in widened integer arithmetic, and
+//!   apply one per-query rescale — no per-value dequantization in the
+//!   scan, which is what finally makes the 8×-smaller store also the
+//!   *fastest* one on compute-bound hosts. The retrieval pipelines reach
+//!   it through the [`FilterElem`] filter-path dispatch
+//!   (`scan_filter` / `scan_filter_range`), which the exact backends
+//!   satisfy with the decode kernels bit-identically.
 //! * [`dtw`] — constrained (Sakoe–Chiba band) Dynamic Time Warping over
 //!   multi-dimensional sequences, the exact distance of the time-series
 //!   experiments (Section 9).
@@ -59,6 +68,7 @@ pub mod hungarian;
 pub mod kl;
 pub mod lb_keogh;
 pub mod matrix;
+pub mod sad;
 pub mod shape_context;
 pub mod traits;
 pub mod vector;
@@ -66,6 +76,7 @@ pub mod vector;
 pub use counting::CountingDistance;
 pub use dtw::{ConstrainedDtw, TimeSeries};
 pub use matrix::DistanceMatrix;
+pub use sad::{SadQuery, SadQueryBatch};
 pub use shape_context::{PointSet, ShapeContextDistance};
 pub use traits::{DistanceMeasure, MetricProperties};
 pub use vector::{FilterElem, FlatStore, FlatVectors, LpDistance, QuantParams, WeightedL1};

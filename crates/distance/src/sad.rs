@@ -1,0 +1,858 @@
+//! In-domain integer scoring for the `u8` quantized filter store: the
+//! weighted sum-of-absolute-differences (SAD) kernels.
+//!
+//! The decode-path kernels in [`crate::vector`] score a `u8` store by
+//! dequantizing each cache-sized block back to `f64` and running the
+//! canonical weighted-L1 reduction — correct, but the dequantization
+//! arithmetic (`lo + s · v` per stored value) makes the compact store
+//! *slower* than `f64` on compute-bound hosts. The kernels here never
+//! leave the integer domain:
+//!
+//! 1. **Quantize the query onto the store's grid** at scoring time
+//!    ([`SadQuery::new`]): coordinate `j` of the query becomes the level
+//!    `encode(q_j)` under the store's [`QuantParams`] — one extra,
+//!    *bounded* quantization error of at most `scale_j / 2` on the query
+//!    side (for in-grid coordinates).
+//! 2. **Fold the weights and the grid step into integer weight levels**:
+//!    the per-coordinate combined weight `c_j = w_j · scale_j` (which is
+//!    what one *level* of difference is worth in score units) is rounded
+//!    onto [`SAD_WEIGHT_LEVELS`] integer levels,
+//!    `iw_j = round(c_j / rescale)` with one per-query
+//!    `rescale = max_j c_j / 65535`.
+//! 3. **Accumulate `Σ_j iw_j · |qcode_j − row_j|` in widened integer
+//!    arithmetic** over the raw `u8` rows ([`weighted_sad_row`]): `u8`
+//!    absolute differences and `u16` weight levels multiply-accumulate
+//!    through `u32` lanes (overflow-free per [`SAD_CHUNK`]-coordinate
+//!    chunk by construction), chunks fold into a `u64` total — no
+//!    per-value dequantization anywhere in the scan.
+//! 4. **One per-query rescale** maps the integer sum back to score
+//!    units: `score = offset + rescale · sum`. Integer addition is
+//!    associative, so — unlike the floating-point kernels, which need
+//!    one canonical summation order — the single-query, batched and
+//!    tiled SAD kernels are **bit-identical** to each other *by
+//!    construction*, at any thread count.
+//!
+//! ## Exactness of the `offset`
+//!
+//! Two query-side effects are folded into a per-query constant rather
+//! than approximated:
+//!
+//! * **Constant coordinates** (`scale_j = 0`): every stored level decodes
+//!   to exactly `min_j`, so the coordinate contributes the same
+//!   `w_j · |q_j − min_j|` to every row.
+//! * **Out-of-grid query coordinates**: stored values decode inside
+//!   `[min_j, min_j + 255 · scale_j]`, so a query coordinate outside that
+//!   range is at `|q_j − b| = dist(q_j, grid_j) + |clamp(q_j) − b|` from
+//!   *every* stored value — clamping shifts all scores by the same
+//!   constant, which the offset restores. Rankings are therefore immune
+//!   to query clamping; only the *in-grid rounding* of the query (and of
+//!   the weights) is approximate.
+//!
+//! ## Error bound
+//!
+//! Relative to the decode-path score over the same store (i.e. the
+//! weighted L1 against the decoded rows), a SAD score differs by at most
+//! [`SadQuery::score_error_bound`]: `Σ_j c_j / 2` (query rounding, over
+//! coordinates with `scale_j > 0`) plus `255 · rescale / 2` per such
+//! coordinate (weight rounding — about `2⁻¹⁷ · max_j c_j` per
+//! coordinate, negligible next to the grid terms). Relative to the
+//! **exact** `f64` store, add the store-side half-step bound
+//! `Σ_j w_j · scale_j / 2` — together the *widened two-sided* bound
+//! `Σ_j w_j · scale_j` (+ the weight-rounding term) that the workspace
+//! store-backend tests pin, and that motivates the `u8` backend's
+//! doubled default filter oversampling
+//! ([`FilterElem::DEFAULT_P_SCALE`](crate::FilterElem::DEFAULT_P_SCALE)).
+//!
+//! Non-finite query coordinates degrade gracefully: a NaN query
+//! coordinate poisons the offset (every score becomes NaN, as on the
+//! decode path) unless its coordinate has `scale_j > 0`, in which case it
+//! encodes to level 0 exactly like [`FilterElem::encode`] for stored
+//! rows.
+
+use crate::vector::{FilterElem, FlatStore, FlatVectors, QuantParams, QUERY_TILE};
+use rayon::prelude::*;
+
+/// Number of integer weight levels the combined per-coordinate weights
+/// `w_j · scale_j` are rounded onto (the largest one maps to exactly this
+/// level). `u16::MAX` keeps the weight-rounding error around `2⁻¹⁷` of
+/// the largest combined weight per level of difference, while the widest
+/// per-coordinate product, `65535 · 255 < 2²⁴`, lets [`SAD_CHUNK`]
+/// coordinates accumulate in plain `u32` lanes — the narrow arithmetic
+/// the auto-vectorizer actually turns into packed integer multiplies.
+pub const SAD_WEIGHT_LEVELS: u32 = u16::MAX as u32;
+
+/// Coordinates per `u32` accumulation chunk of [`weighted_sad_row`]:
+/// `SAD_CHUNK · 65535 · 255 < 2³²`, so a chunk's weighted SAD cannot
+/// overflow its `u32` lanes; chunks fold into a `u64` total. Embedding
+/// dimensionalities in this workspace are far below one chunk, so the
+/// fold is almost always a single widening move.
+pub const SAD_CHUNK: usize = 128;
+
+/// Number of `u8` values per database block of the tiled SAD kernels
+/// (32 KiB — the same byte footprint as the decode-path kernels'
+/// [`crate::vector::BLOCK_VALUES`] `f64` blocks, sized to the L1 data
+/// cache). A block is rescanned by every query of a tile while hot.
+pub const SAD_BLOCK_VALUES: usize = 32 * 1024;
+
+/// One `u32` chunk of the weighted SAD: up to [`SAD_CHUNK`] coordinates
+/// accumulating `iw_j · |a_j − b_j|` in eight independent `u32` lanes
+/// (`u16` weight levels × `u8` differences — narrow enough for the
+/// auto-vectorizer to use packed integer multiply-adds).
+#[inline]
+fn weighted_sad_chunk(iweights: &[u16], codes: &[u8], row: &[u8]) -> u32 {
+    debug_assert!(iweights.len() <= SAD_CHUNK, "chunk exceeds u32 capacity");
+    const LANES: usize = 8;
+    let mut acc = [0u32; LANES];
+    let mut w_blocks = iweights.chunks_exact(LANES);
+    let mut a_blocks = codes.chunks_exact(LANES);
+    let mut b_blocks = row.chunks_exact(LANES);
+    for ((w, a), b) in (&mut w_blocks).zip(&mut a_blocks).zip(&mut b_blocks) {
+        for lane in 0..LANES {
+            acc[lane] += u32::from(w[lane]) * u32::from(a[lane].abs_diff(b[lane]));
+        }
+    }
+    let mut tail = 0u32;
+    for ((w, a), b) in w_blocks
+        .remainder()
+        .iter()
+        .zip(a_blocks.remainder())
+        .zip(b_blocks.remainder())
+    {
+        tail += u32::from(*w) * u32::from(a.abs_diff(*b));
+    }
+    acc.iter().sum::<u32>() + tail
+}
+
+/// `Σ_j iweights_j · |codes_j − row_j|` in widened integer arithmetic:
+/// `u8` absolute differences and `u16` weight levels multiply-accumulate
+/// through `u32` lanes in [`SAD_CHUNK`]-coordinate chunks (no overflow by
+/// construction, see [`SAD_CHUNK`]), and the chunks fold into a `u64`
+/// total. Integer addition is associative, so any regrouping of this sum
+/// is bit-identical — the SAD kernels need no canonical summation order.
+///
+/// The slices must share one length; full checking is left to the callers
+/// (debug builds assert).
+#[inline]
+pub fn weighted_sad_row(iweights: &[u16], codes: &[u8], row: &[u8]) -> u64 {
+    debug_assert_eq!(iweights.len(), codes.len(), "weight/code length mismatch");
+    debug_assert_eq!(iweights.len(), row.len(), "weight/row length mismatch");
+    if iweights.len() <= SAD_CHUNK {
+        return u64::from(weighted_sad_chunk(iweights, codes, row));
+    }
+    let mut total = 0u64;
+    for ((w, a), b) in iweights
+        .chunks(SAD_CHUNK)
+        .zip(codes.chunks(SAD_CHUNK))
+        .zip(row.chunks(SAD_CHUNK))
+    {
+        total += u64::from(weighted_sad_chunk(w, a, b));
+    }
+    total
+}
+
+/// One query prepared for integer-domain SAD scanning of a `u8` store:
+/// the query's grid levels, the integer weight levels, and the per-query
+/// rescale/offset that map integer sums back to score units (see the
+/// module docs for the construction).
+///
+/// A `SadQuery` is bound to the [`QuantParams`] it was built with; scoring
+/// it against a store fitted on a different grid is a logic error (only
+/// the dimensionality is checked).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SadQuery {
+    codes: Vec<u8>,
+    iweights: Vec<u16>,
+    rescale: f64,
+    offset: f64,
+    error_bound: f64,
+}
+
+impl SadQuery {
+    /// Quantize `query` onto the grid of `params` and fold `weights` into
+    /// integer weight levels (one pass, O(dim)).
+    ///
+    /// # Panics
+    /// Panics if `weights`, `query` and the grid disagree in
+    /// dimensionality, or if any weight is negative or non-finite — the
+    /// same contract as [`crate::vector::WeightedL1::new`] (a negative
+    /// combined weight would silently saturate to integer level 0,
+    /// breaking [`Self::score_error_bound`]'s guarantee).
+    pub fn new(weights: &[f64], query: &[f64], params: &QuantParams) -> Self {
+        let dim = params.min.len();
+        assert_eq!(weights.len(), dim, "weight/grid dimensionality mismatch");
+        assert_eq!(query.len(), dim, "query/grid dimensionality mismatch");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weighted SAD requires finite non-negative weights"
+        );
+        let mut codes = vec![0u8; dim];
+        let mut combined = vec![0.0f64; dim];
+        let mut offset = 0.0f64;
+        let mut max_c = 0.0f64;
+        for j in 0..dim {
+            let s = params.scale[j];
+            let lo = params.min[j];
+            if s == 0.0 {
+                // Constant coordinate: every stored level decodes to
+                // exactly `lo`, so the contribution is the same for every
+                // row — fold it into the offset, leave the level at 0.
+                offset += weights[j] * (query[j] - lo).abs();
+                continue;
+            }
+            let hi = lo + 255.0 * s;
+            // Out-of-grid query coordinates are a constant score shift
+            // (every stored value decodes inside [lo, hi]); fold the shift
+            // into the offset so clamping below is exact, not lossy.
+            if query[j] < lo {
+                offset += weights[j] * (lo - query[j]);
+            } else if query[j] > hi {
+                offset += weights[j] * (query[j] - hi);
+            }
+            codes[j] = u8::encode(query[j], j, params);
+            combined[j] = weights[j] * s;
+            max_c = max_c.max(combined[j]);
+        }
+        let (rescale, iweights) = if max_c > 0.0 {
+            let unit = max_c / f64::from(SAD_WEIGHT_LEVELS);
+            let iweights = combined.iter().map(|c| (c / unit).round() as u16).collect();
+            (unit, iweights)
+        } else {
+            // All weights zero (or all coordinates constant): the integer
+            // sum is identically zero and the offset is the whole score.
+            (0.0, vec![0u16; dim])
+        };
+        // Query-side error vs the decode-path score: half a grid step per
+        // in-grid coordinate (c_j / 2) plus the weight rounding
+        // (≤ rescale / 2 per level of difference, ≤ 255 levels).
+        let error_bound = combined
+            .iter()
+            .filter(|c| **c > 0.0)
+            .map(|c| c / 2.0 + 255.0 * rescale / 2.0)
+            .sum();
+        Self {
+            codes,
+            iweights,
+            rescale,
+            offset,
+            error_bound,
+        }
+    }
+
+    /// Embedding dimensionality the query was prepared for.
+    pub fn dim(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The query's levels on the store grid.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The integer weight levels `round(w_j · scale_j / rescale)`.
+    pub fn iweights(&self) -> &[u16] {
+        &self.iweights
+    }
+
+    /// The per-query rescale factor mapping integer sums to score units.
+    pub fn rescale(&self) -> f64 {
+        self.rescale
+    }
+
+    /// The per-query constant score term (constant coordinates +
+    /// out-of-grid clamp shift — both exact, see the module docs).
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Upper bound on `|SAD score − decode-path score|` over the store
+    /// this query was prepared for (query rounding + weight rounding; the
+    /// offset terms are exact). Add the store-side half-step bound
+    /// `Σ_j w_j · scale_j / 2` to bound the distance to the *exact* `f64`
+    /// filter score — the widened two-sided bound of the module docs.
+    pub fn score_error_bound(&self) -> f64 {
+        self.error_bound
+    }
+
+    /// Score one raw `u8` row: `offset + rescale · weighted_sad_row`.
+    #[inline]
+    fn score_row(&self, row: &[u8]) -> f64 {
+        // The u64 → f64 conversion is exact for sums below 2⁵³ — with
+        // per-coordinate products under 2²⁴, that covers any store whose
+        // dimensionality fits in memory.
+        self.offset + self.rescale * weighted_sad_row(&self.iweights, &self.codes, row) as f64
+    }
+
+    /// Score this query against every row of `vectors` in one integer
+    /// pass: `out[i] = offset + rescale · Σ_j iw_j · |codes_j − row_i_j|`.
+    ///
+    /// # Panics
+    /// Panics if the store's dimensionality differs from the query's or
+    /// `out.len() != vectors.len()`.
+    pub fn score(&self, vectors: &FlatStore<u8>, out: &mut [f64]) {
+        let dim = vectors.dim();
+        assert_eq!(self.dim(), dim, "query/store dimensionality mismatch");
+        assert_eq!(out.len(), vectors.len(), "one output slot per row required");
+        if dim == 0 {
+            // Zero-dimensional rows: every distance is the empty sum.
+            out.fill(0.0);
+            return;
+        }
+        for (row, slot) in vectors.as_slice().chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = self.score_row(row);
+        }
+    }
+}
+
+/// A batch of queries prepared for integer-domain SAD scanning — one
+/// [`SadQuery`] per row of the source batch, scored in
+/// [`QUERY_TILE`]-query tiles over [`SAD_BLOCK_VALUES`]-value database
+/// blocks so a hot block serves the whole tile before the next one
+/// streams in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SadQueryBatch {
+    queries: Vec<SadQuery>,
+    dim: usize,
+}
+
+impl SadQueryBatch {
+    /// Prepare every row of `queries` under one *shared* weight vector.
+    ///
+    /// # Panics
+    /// Panics if `weights`, `queries` and the grid disagree in
+    /// dimensionality.
+    pub fn new_shared(weights: &[f64], queries: &FlatVectors, params: &QuantParams) -> Self {
+        Self::from_range(weights, 0, queries, 0, queries.len(), params)
+    }
+
+    /// Prepare every row of `queries` under *per-query* weight rows (the
+    /// batched query-sensitive `D_out`).
+    ///
+    /// # Panics
+    /// Panics if the weight store does not hold exactly one row per query
+    /// or any dimensionality disagrees with the grid.
+    pub fn new_per_query(
+        weights: &FlatVectors,
+        queries: &FlatVectors,
+        params: &QuantParams,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            queries.len(),
+            "one weight row per query required"
+        );
+        Self::from_range(
+            weights.as_slice(),
+            weights.dim(),
+            queries,
+            0,
+            queries.len(),
+            params,
+        )
+    }
+
+    /// Prepare only queries `start..end` (`w_stride == 0` shares one
+    /// weight row, `w_stride == dim` selects per-query rows) — the
+    /// building block the batched retrieval pipelines use to prepare one
+    /// tile at a time.
+    pub(crate) fn from_range(
+        weights: &[f64],
+        w_stride: usize,
+        queries: &FlatVectors,
+        start: usize,
+        end: usize,
+        params: &QuantParams,
+    ) -> Self {
+        let dim = queries.dim();
+        assert!(
+            start <= end && end <= queries.len(),
+            "query range {start}..{end} out of bounds for {} queries",
+            queries.len()
+        );
+        let prepared = (start..end)
+            .map(|q| {
+                let w = &weights[q * w_stride..q * w_stride + dim];
+                SadQuery::new(w, queries.row(q), params)
+            })
+            .collect();
+        Self {
+            queries: prepared,
+            dim,
+        }
+    }
+
+    /// Number of prepared queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` if the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The prepared form of query `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of bounds.
+    pub fn query(&self, q: usize) -> &SadQuery {
+        &self.queries[q]
+    }
+
+    /// Score queries `start..end` *sequentially* against every row of
+    /// `vectors` on the calling thread, writing a row-major
+    /// `(end − start) × vectors.len()` tile into `out`. Bit-identical to
+    /// scoring each query with [`SadQuery::score`] (integer sums need no
+    /// canonical order).
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch, an out-of-bounds range, or a
+    /// wrong output length.
+    pub fn score_range(&self, start: usize, end: usize, vectors: &FlatStore<u8>, out: &mut [f64]) {
+        let n = vectors.len();
+        let dim = vectors.dim();
+        assert_eq!(self.dim, dim, "query/store dimensionality mismatch");
+        assert!(
+            start <= end && end <= self.len(),
+            "query range {start}..{end} out of bounds for {} queries",
+            self.len()
+        );
+        assert_eq!(
+            out.len(),
+            (end - start) * n,
+            "one output slot per (query, row) pair required"
+        );
+        if start == end || n == 0 {
+            return;
+        }
+        if dim == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let rows_per_block = (SAD_BLOCK_VALUES / dim).max(1);
+        let mut block_start = 0usize;
+        for raw in vectors.as_slice().chunks(rows_per_block * dim) {
+            let block_rows = raw.len() / dim;
+            for (qi, query) in self.queries[start..end].iter().enumerate() {
+                let out_start = qi * n + block_start;
+                let out_block = &mut out[out_start..out_start + block_rows];
+                for (row, slot) in raw.chunks_exact(dim).zip(out_block.iter_mut()) {
+                    *slot = query.score_row(row);
+                }
+            }
+            block_start += block_rows;
+        }
+    }
+
+    /// Score the whole batch against every row of `vectors`, row-major
+    /// Q×N, fanning [`QUERY_TILE`]-query tiles out across the persistent
+    /// worker pool (disjoint output ranges; bit-identical to
+    /// [`Self::score_range`] at any thread count).
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch or a wrong output length.
+    pub fn score(&self, vectors: &FlatStore<u8>, out: &mut [f64]) {
+        let n = vectors.len();
+        assert_eq!(
+            out.len(),
+            self.len() * n,
+            "one output slot per (query, row) pair required"
+        );
+        if self.is_empty() || n == 0 || vectors.dim() == 0 {
+            return self.score_range(0, self.len(), vectors, out);
+        }
+        out.par_chunks_mut(QUERY_TILE * n)
+            .enumerate()
+            .for_each(|(tile, tile_out)| {
+                let q0 = tile * QUERY_TILE;
+                let qcount = tile_out.len() / n;
+                self.score_range(q0, q0 + qcount, vectors, tile_out);
+            });
+    }
+}
+
+/// The single-query integer SAD kernel: prepare `query` under `weights`
+/// on the store's grid and score every row in one integer pass — the
+/// in-domain counterpart of
+/// [`weighted_l1_flat`](crate::vector::weighted_l1_flat) for `u8`
+/// stores. Preparation is O(dim); the scan is O(n · dim) integer ops.
+///
+/// # Panics
+/// Panics if `weights`/`query` do not match the store's dimensionality or
+/// `out` does not have exactly one slot per row.
+pub fn weighted_sad_flat(weights: &[f64], query: &[f64], vectors: &FlatStore<u8>, out: &mut [f64]) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(query.len(), dim, "query/store dimensionality mismatch");
+    assert_eq!(out.len(), vectors.len(), "one output slot per row required");
+    SadQuery::new(weights, query, vectors.params()).score(vectors, out);
+}
+
+/// The Q×N tiled integer SAD kernel with one *shared* weight vector — the
+/// in-domain counterpart of
+/// [`weighted_l1_flat_batch`](crate::vector::weighted_l1_flat_batch) for
+/// `u8` stores. Tiles fan out across the persistent worker pool;
+/// bit-identical to per-query [`weighted_sad_flat`] at any thread count.
+///
+/// # Panics
+/// Panics on dimensionality mismatch or a wrong output length.
+pub fn weighted_sad_flat_batch(
+    weights: &[f64],
+    queries: &FlatVectors,
+    vectors: &FlatStore<u8>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        out.len(),
+        queries.len() * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    SadQueryBatch::new_shared(weights, queries, vectors.params()).score(vectors, out);
+}
+
+/// The Q×N tiled integer SAD kernel with *per-query* weight rows (the
+/// batched query-sensitive `D_out`) — the in-domain counterpart of
+/// [`weighted_l1_flat_batch_per_query`](crate::vector::weighted_l1_flat_batch_per_query)
+/// for `u8` stores.
+///
+/// # Panics
+/// Panics if the weight store does not hold exactly one row per query, on
+/// dimensionality mismatch, or on a wrong output length.
+pub fn weighted_sad_flat_batch_per_query(
+    weights: &FlatVectors,
+    queries: &FlatVectors,
+    vectors: &FlatStore<u8>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.dim(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        out.len(),
+        queries.len() * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    SadQueryBatch::new_per_query(weights, queries, vectors.params()).score(vectors, out);
+}
+
+/// One *sequential* tile of [`weighted_sad_flat_batch`]: prepare and
+/// score only queries `start..end` on the calling thread — the entry
+/// point for callers that orchestrate their own tile fan-out (the
+/// batched retrieval pipelines). Bit-identical to the corresponding rows
+/// of the full batch kernel.
+///
+/// # Panics
+/// Panics on dimensionality mismatch, an out-of-bounds query range, or a
+/// wrong output length.
+pub fn weighted_sad_flat_batch_range(
+    weights: &[f64],
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatStore<u8>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        out.len(),
+        (end - start) * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    let tile = SadQueryBatch::from_range(weights, 0, queries, start, end, vectors.params());
+    tile.score_range(0, tile.len(), vectors, out);
+}
+
+/// One *sequential* tile of [`weighted_sad_flat_batch_per_query`]: like
+/// [`weighted_sad_flat_batch_range`] but query `q` is prepared under
+/// `weights.row(q)`.
+///
+/// # Panics
+/// As [`weighted_sad_flat_batch_range`], plus if the weight store does
+/// not hold exactly one row per query.
+pub fn weighted_sad_flat_batch_per_query_range(
+    weights: &FlatVectors,
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatStore<u8>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.dim(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        weights.len(),
+        queries.len(),
+        "one weight row per query required"
+    );
+    assert_eq!(
+        out.len(),
+        (end - start) * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    let tile = SadQueryBatch::from_range(
+        weights.as_slice(),
+        dim,
+        queries,
+        start,
+        end,
+        vectors.params(),
+    );
+    tile.score_range(0, tile.len(), vectors, out);
+}
+
+/// The internal range hook behind
+/// [`FilterElem::scan_filter_range`](crate::FilterElem::scan_filter_range)
+/// for `u8`: `w_stride` selects the shared (0) or per-query (`dim`)
+/// weight layout, exactly like the decode-path driver.
+pub(crate) fn sad_scan_range(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatStore<u8>,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), (end - start) * vectors.len());
+    if queries.dim() != vectors.dim() {
+        // Degenerate empty-range calls tolerate a dim mismatch like the
+        // decode path (nothing is scored); real mismatches are caught by
+        // the public entry points' asserts.
+        debug_assert_eq!(start, end, "query/store dimensionality mismatch");
+        return;
+    }
+    let tile = SadQueryBatch::from_range(weights, w_stride, queries, start, end, vectors.params());
+    tile.score_range(0, tile.len(), vectors, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{weighted_l1_flat, weighted_l1_row};
+
+    fn synthetic_rows(dim: usize, rows: usize, phase: f64) -> Vec<Vec<f64>> {
+        (0..rows)
+            .map(|r| {
+                (0..dim)
+                    .map(|i| ((r * dim + i) as f64 + phase).sin() * 11.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// SAD scores must stay within the documented query-side bound of the
+    /// decode-path scores over the same store, and within the widened
+    /// two-sided bound of the exact scores.
+    #[test]
+    fn sad_scores_respect_both_error_bounds() {
+        for dim in [1, 3, 4, 5, 8, 32, 67] {
+            let weights: Vec<f64> = (0..dim).map(|i| 0.2 + (i % 5) as f64 * 0.37).collect();
+            let rows = synthetic_rows(dim, 60, 0.0);
+            let store = FlatStore::<u8>::from_rows_with_dim(dim, rows.clone());
+            let exact = FlatVectors::from_rows_with_dim(dim, rows);
+            let query: Vec<f64> = (0..dim).map(|i| (i as f64 * 1.7).cos() * 10.0).collect();
+            let sad = SadQuery::new(&weights, &query, store.params());
+            let mut s_sad = vec![f64::NAN; store.len()];
+            sad.score(&store, &mut s_sad);
+            let mut s_decode = vec![f64::NAN; store.len()];
+            weighted_l1_flat(&weights, &query, &store, &mut s_decode);
+            let mut s_exact = vec![f64::NAN; exact.len()];
+            weighted_l1_flat(&weights, &query, &exact, &mut s_exact);
+            let query_bound = sad.score_error_bound() * (1.0 + 1e-9) + 1e-9;
+            let store_bound: f64 = weights
+                .iter()
+                .zip(&store.params().scale)
+                .map(|(w, s)| w * s / 2.0)
+                .sum();
+            let two_sided = query_bound + store_bound * (1.0 + 1e-9);
+            for i in 0..store.len() {
+                assert!(
+                    (s_sad[i] - s_decode[i]).abs() <= query_bound,
+                    "dim {dim}, row {i}: |{} - {}| > {query_bound}",
+                    s_sad[i],
+                    s_decode[i]
+                );
+                assert!(
+                    (s_sad[i] - s_exact[i]).abs() <= two_sided,
+                    "dim {dim}, row {i}: |{} - {}| > {two_sided}",
+                    s_sad[i],
+                    s_exact[i]
+                );
+            }
+        }
+    }
+
+    /// Constant coordinates and out-of-grid query coordinates shift the
+    /// SAD score by an exact constant: with the whole query on such
+    /// coordinates, SAD scores equal decode-path scores exactly (up to
+    /// the in-grid rounding of the remaining coordinates).
+    #[test]
+    fn offset_terms_are_exact_for_constant_and_out_of_grid_coordinates() {
+        // Coordinate 0 is constant, coordinate 1 spans [0, 10].
+        let rows = vec![vec![3.5, 0.0], vec![3.5, 10.0], vec![3.5, 5.0]];
+        let store = FlatStore::<u8>::from_rows_with_dim(2, rows);
+        let weights = [2.0, 1.0];
+        // The query sits outside the grid on coordinate 1 and away from
+        // the constant on coordinate 0; both effects are exact constants,
+        // and 25.0 is representable on the extended grid walk so there is
+        // no in-grid rounding either.
+        let query = [7.5, 25.0];
+        let sad = SadQuery::new(&weights, &query, store.params());
+        let mut out = vec![f64::NAN; store.len()];
+        sad.score(&store, &mut out);
+        for (i, got) in out.iter().enumerate() {
+            let want = weighted_l1_row(&weights, &query, &store.decode_row(i));
+            assert!((got - want).abs() < 1e-9, "row {i}: {got} vs exact {want}");
+        }
+    }
+
+    /// The batched/tiled SAD kernels must equal the single-query kernel
+    /// bit for bit (integer sums are associative, so this is exact).
+    #[test]
+    fn sad_batch_kernels_match_single_query_bitwise() {
+        for dim in [1, 4, 7, 32] {
+            for qcount in [1, 2, QUERY_TILE, QUERY_TILE + 5, 3 * QUERY_TILE + 1] {
+                let store = FlatStore::<u8>::from_rows_with_dim(dim, synthetic_rows(dim, 37, 3.0));
+                let queries =
+                    FlatVectors::from_rows_with_dim(dim, synthetic_rows(dim, qcount, 0.5));
+                let shared: Vec<f64> = (0..dim).map(|i| 0.1 + (i % 7) as f64 * 0.43).collect();
+                let wrows = FlatVectors::from_rows_with_dim(
+                    dim,
+                    (0..qcount)
+                        .map(|q| (0..dim).map(|i| ((q + i) % 5) as f64 * 0.77).collect())
+                        .collect(),
+                );
+                let mut batch = vec![f64::NAN; qcount * store.len()];
+                weighted_sad_flat_batch(&shared, &queries, &store, &mut batch);
+                let mut batch_pq = vec![f64::NAN; qcount * store.len()];
+                weighted_sad_flat_batch_per_query(&wrows, &queries, &store, &mut batch_pq);
+                let mut single = vec![f64::NAN; store.len()];
+                for q in 0..qcount {
+                    weighted_sad_flat(&shared, queries.row(q), &store, &mut single);
+                    for i in 0..store.len() {
+                        assert_eq!(
+                            batch[q * store.len() + i].to_bits(),
+                            single[i].to_bits(),
+                            "shared: dim {dim}, batch {qcount}, query {q}, row {i}"
+                        );
+                    }
+                    weighted_sad_flat(wrows.row(q), queries.row(q), &store, &mut single);
+                    for i in 0..store.len() {
+                        assert_eq!(
+                            batch_pq[q * store.len() + i].to_bits(),
+                            single[i].to_bits(),
+                            "per-query: dim {dim}, batch {qcount}, query {q}, row {i}"
+                        );
+                    }
+                }
+                // The sequential range kernels reproduce their batch rows.
+                let (start, end) = (qcount / 3, qcount);
+                let mut tile = vec![f64::NAN; (end - start) * store.len()];
+                weighted_sad_flat_batch_range(&shared, &queries, start, end, &store, &mut tile);
+                assert_eq!(
+                    tile.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                    batch[start * store.len()..end * store.len()]
+                        .iter()
+                        .map(|s| s.to_bits())
+                        .collect::<Vec<_>>(),
+                    "range shared: dim {dim}, {start}..{end}"
+                );
+                let mut tile = vec![f64::NAN; (end - start) * store.len()];
+                weighted_sad_flat_batch_per_query_range(
+                    &wrows, &queries, start, end, &store, &mut tile,
+                );
+                assert_eq!(
+                    tile.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                    batch_pq[start * store.len()..end * store.len()]
+                        .iter()
+                        .map(|s| s.to_bits())
+                        .collect::<Vec<_>>(),
+                    "range per-query: dim {dim}, {start}..{end}"
+                );
+            }
+        }
+    }
+
+    /// The `u8` filter dispatch hooks route to the SAD kernels, and the
+    /// exact backends' hooks stay bit-identical to the decode kernels.
+    #[test]
+    fn scan_filter_hooks_dispatch_per_backend() {
+        let dim = 5;
+        let rows = synthetic_rows(dim, 23, 7.0);
+        let weights: Vec<f64> = (0..dim).map(|i| 0.3 + i as f64 * 0.21).collect();
+        let query: Vec<f64> = (0..dim).map(|i| (i as f64).cos() * 8.0).collect();
+
+        let store = FlatStore::<u8>::from_rows_with_dim(dim, rows.clone());
+        let mut via_hook = vec![f64::NAN; store.len()];
+        u8::scan_filter(&weights, &query, &store, &mut via_hook);
+        let mut via_sad = vec![f64::NAN; store.len()];
+        weighted_sad_flat(&weights, &query, &store, &mut via_sad);
+        assert_eq!(via_hook, via_sad, "u8 hook must run the SAD kernel");
+
+        let exact = FlatVectors::from_rows_with_dim(dim, rows);
+        let mut via_hook = vec![f64::NAN; exact.len()];
+        f64::scan_filter(&weights, &query, &exact, &mut via_hook);
+        let mut via_l1 = vec![f64::NAN; exact.len()];
+        weighted_l1_flat(&weights, &query, &exact, &mut via_l1);
+        assert_eq!(
+            via_hook.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            via_l1.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "f64 hook must stay the decode path bitwise"
+        );
+    }
+
+    #[test]
+    fn sad_handles_degenerate_shapes() {
+        // Zero-dimensional rows: every score is the empty sum.
+        let mut store = FlatStore::<u8>::with_dim(0);
+        store.push(&[]);
+        store.push(&[]);
+        let sad = SadQuery::new(&[], &[], store.params());
+        let mut out = vec![f64::NAN; 2];
+        sad.score(&store, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+        // Empty store: nothing is written.
+        let empty = FlatStore::<u8>::with_dim(3);
+        let sad = SadQuery::new(&[1.0; 3], &[0.5; 3], empty.params());
+        let mut out: Vec<f64> = Vec::new();
+        sad.score(&empty, &mut out);
+        assert!(out.is_empty());
+        // All-zero weights: the offset (zero) is the whole score.
+        let store = FlatStore::<u8>::from_rows_with_dim(1, vec![vec![0.0], vec![9.0]]);
+        let sad = SadQuery::new(&[0.0], &[4.0], store.params());
+        assert_eq!(sad.rescale(), 0.0);
+        let mut out = vec![f64::NAN; 2];
+        sad.score(&store, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+        // Empty batches score nothing, even through the parallel driver.
+        let batch = SadQueryBatch::new_shared(&[1.0], &FlatVectors::with_dim(1), store.params());
+        assert!(batch.is_empty());
+        let mut out: Vec<f64> = Vec::new();
+        batch.score(&store, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sad_batch_rejects_out_of_bounds_ranges() {
+        let store = FlatStore::<u8>::from_rows_with_dim(1, vec![vec![1.0]]);
+        let queries = FlatVectors::from_rows(vec![vec![0.0]]);
+        let mut out = vec![0.0; 2];
+        weighted_sad_flat_batch_range(&[1.0], &queries, 0, 2, &store, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight row per query")]
+    fn sad_per_query_batch_rejects_mismatched_weight_rows() {
+        let store = FlatStore::<u8>::from_rows_with_dim(1, vec![vec![1.0]]);
+        let queries = FlatVectors::from_rows(vec![vec![0.0], vec![1.0]]);
+        let weights = FlatVectors::from_rows(vec![vec![1.0]]);
+        let mut out = vec![0.0; 2];
+        weighted_sad_flat_batch_per_query(&weights, &queries, &store, &mut out);
+    }
+}

@@ -146,6 +146,50 @@ pub trait FilterElem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static
     /// the filter scan).
     const BYTES: usize = std::mem::size_of::<Self>();
 
+    /// Default filter oversampling factor the retrieve paths adopt for
+    /// this backend (the `with_p_scale` knob's starting value): `1.0` for
+    /// the backends whose filter scores carry no (f64) or negligible
+    /// (f32) quantization error, `2.0` for `u8` — whose in-domain filter
+    /// path quantizes *both* sides of the scan, widening the score-error
+    /// bound from the store-only `Σ_j w_j · scale_j / 2` to the two-sided
+    /// `Σ_j w_j · scale_j` (see [`crate::sad`]), so keeping twice the
+    /// candidates preserves the filter's effective selectivity.
+    const DEFAULT_P_SCALE: f64 = 1.0;
+
+    /// Score `query` under `weights` against every row of `vectors`
+    /// through the backend's preferred **filter path**. Unlike
+    /// [`weighted_l1_flat`] — which pins "score the decoded rows" exactly
+    /// — this entry point may score *in the storage domain*: the default
+    /// is the decode-path kernel (bit-identical to [`weighted_l1_flat`]),
+    /// and `u8` overrides it with the integer weighted-SAD kernel of
+    /// [`crate::sad`], whose scores differ from the decode path by the
+    /// documented query-side quantization bound. The filter-and-refine
+    /// retrieval pipelines call this; refine's exact distances absorb the
+    /// difference.
+    ///
+    /// # Panics
+    /// As [`weighted_l1_flat`] (dimensionality / output-length mismatch).
+    fn scan_filter(weights: &[f64], query: &[f64], vectors: &FlatStore<Self>, out: &mut [f64]) {
+        weighted_l1_flat(weights, query, vectors, out);
+    }
+
+    /// One *sequential* tile of the backend's filter path: score queries
+    /// `start..end` (`w_stride == 0` shares one weight row, `w_stride ==
+    /// dim` selects per-query rows) into a row-major `(end − start) × n`
+    /// tile — the hook the batched retrieval pipelines hand each worker.
+    /// Default: the decode-path range kernel; `u8`: the integer SAD tile.
+    fn scan_filter_range(
+        weights: &[f64],
+        w_stride: usize,
+        queries: &FlatVectors,
+        start: usize,
+        end: usize,
+        vectors: &FlatStore<Self>,
+        out: &mut [f64],
+    ) {
+        weighted_l1_score_query_range(weights, w_stride, queries, start, end, vectors, out);
+    }
+
     /// Parameters for a store built empty (no rows to fit against).
     fn default_params(dim: usize) -> Self::Params;
 
@@ -232,6 +276,26 @@ pub struct QuantParams {
 impl FilterElem for u8 {
     type Params = QuantParams;
     const NAME: &'static str = "u8";
+    /// The in-domain filter path quantizes the query side too, doubling
+    /// the score-error bound (see [`crate::sad`]) — so retrieve paths
+    /// default to keeping twice the filter candidates.
+    const DEFAULT_P_SCALE: f64 = 2.0;
+
+    fn scan_filter(weights: &[f64], query: &[f64], vectors: &FlatStore<Self>, out: &mut [f64]) {
+        crate::sad::weighted_sad_flat(weights, query, vectors, out);
+    }
+
+    fn scan_filter_range(
+        weights: &[f64],
+        w_stride: usize,
+        queries: &FlatVectors,
+        start: usize,
+        end: usize,
+        vectors: &FlatStore<Self>,
+        out: &mut [f64],
+    ) {
+        crate::sad::sad_scan_range(weights, w_stride, queries, start, end, vectors, out);
+    }
 
     fn default_params(dim: usize) -> Self::Params {
         // Nothing to fit against: assume the unit range per coordinate. Any
@@ -853,6 +917,179 @@ pub fn weighted_l1_flat_batch_per_query_range<E: FilterElem>(
     weighted_l1_score_query_range(weights.as_slice(), dim, queries, start, end, vectors, out);
 }
 
+/// The single-query **filter-path** scan: like [`weighted_l1_flat`] but
+/// dispatched through [`FilterElem::scan_filter`], so each backend runs its
+/// fastest sound kernel — the decode path for `f64`/`f32` (bit-identical to
+/// [`weighted_l1_flat`]) and the in-domain integer SAD kernel of
+/// [`crate::sad`] for `u8` (scores within the documented query-side
+/// quantization bound of the decode path). This is the entry point the
+/// filter-and-refine retrieval pipelines use.
+///
+/// # Panics
+/// As [`weighted_l1_flat`].
+pub fn weighted_l1_filter_flat<E: FilterElem>(
+    weights: &[f64],
+    query: &[f64],
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(query.len(), dim, "query/store dimensionality mismatch");
+    assert_eq!(out.len(), vectors.len(), "one output slot per row required");
+    E::scan_filter(weights, query, vectors, out);
+}
+
+/// Shared driver of the Q×N **filter-path** batch kernels: the same tile
+/// fan-out as [`weighted_l1_batch_tiled`], with each tile scored through
+/// [`FilterElem::scan_filter_range`] so the backend picks its kernel.
+fn weighted_l1_filter_batch_tiled<E: FilterElem>(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &FlatVectors,
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    let n = vectors.len();
+    debug_assert_eq!(out.len(), queries.len() * n);
+    if queries.is_empty() || n == 0 || vectors.dim() == 0 {
+        return E::scan_filter_range(weights, w_stride, queries, 0, queries.len(), vectors, out);
+    }
+    out.par_chunks_mut(QUERY_TILE * n)
+        .enumerate()
+        .for_each(|(tile, tile_out)| {
+            let q0 = tile * QUERY_TILE;
+            let qcount = tile_out.len() / n;
+            E::scan_filter_range(
+                weights,
+                w_stride,
+                queries,
+                q0,
+                q0 + qcount,
+                vectors,
+                tile_out,
+            );
+        });
+}
+
+/// The Q×N **filter-path** batch kernel with one shared weight vector:
+/// like [`weighted_l1_flat_batch`] but dispatched per backend (see
+/// [`weighted_l1_filter_flat`]); bit-identical to it on the exact
+/// backends, the tiled integer SAD kernel on `u8`.
+///
+/// # Panics
+/// As [`weighted_l1_flat_batch`].
+pub fn weighted_l1_filter_batch<E: FilterElem>(
+    weights: &[f64],
+    queries: &FlatVectors,
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        out.len(),
+        queries.len() * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    weighted_l1_filter_batch_tiled(weights, 0, queries, vectors, out);
+}
+
+/// The Q×N **filter-path** batch kernel with per-query weight rows: like
+/// [`weighted_l1_flat_batch_per_query`] but dispatched per backend (see
+/// [`weighted_l1_filter_flat`]).
+///
+/// # Panics
+/// As [`weighted_l1_flat_batch_per_query`].
+pub fn weighted_l1_filter_batch_per_query<E: FilterElem>(
+    weights: &FlatVectors,
+    queries: &FlatVectors,
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.dim(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        weights.len(),
+        queries.len(),
+        "one weight row per query required"
+    );
+    assert_eq!(
+        out.len(),
+        queries.len() * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    weighted_l1_filter_batch_tiled(weights.as_slice(), dim, queries, vectors, out);
+}
+
+/// One *sequential* tile of [`weighted_l1_filter_batch`] (shared
+/// weights), dispatched through [`FilterElem::scan_filter_range`] — the
+/// filter-path counterpart of [`weighted_l1_flat_batch_range`] for
+/// callers that orchestrate their own tile fan-out.
+///
+/// # Panics
+/// As [`weighted_l1_flat_batch_range`].
+pub fn weighted_l1_filter_batch_range<E: FilterElem>(
+    weights: &[f64],
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.len(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert!(
+        start <= end && end <= queries.len(),
+        "query range {start}..{end} out of bounds for {} queries",
+        queries.len()
+    );
+    assert_eq!(
+        out.len(),
+        (end - start) * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    E::scan_filter_range(weights, 0, queries, start, end, vectors, out);
+}
+
+/// One *sequential* tile of [`weighted_l1_filter_batch_per_query`]
+/// (per-query weight rows), dispatched through
+/// [`FilterElem::scan_filter_range`].
+///
+/// # Panics
+/// As [`weighted_l1_flat_batch_per_query_range`].
+pub fn weighted_l1_filter_batch_per_query_range<E: FilterElem>(
+    weights: &FlatVectors,
+    queries: &FlatVectors,
+    start: usize,
+    end: usize,
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
+    assert_eq!(weights.dim(), dim, "weight/store dimensionality mismatch");
+    assert_eq!(queries.dim(), dim, "query/store dimensionality mismatch");
+    assert_eq!(
+        weights.len(),
+        queries.len(),
+        "one weight row per query required"
+    );
+    assert!(
+        start <= end && end <= queries.len(),
+        "query range {start}..{end} out of bounds for {} queries",
+        queries.len()
+    );
+    assert_eq!(
+        out.len(),
+        (end - start) * vectors.len(),
+        "one output slot per (query, row) pair required"
+    );
+    E::scan_filter_range(weights.as_slice(), dim, queries, start, end, vectors, out);
+}
+
 /// The `Lp` distance between two equal-length vectors.
 ///
 /// `p = 1` is the measure the paper uses in the filter step; `p = 2` is the
@@ -1060,6 +1297,54 @@ impl WeightedL1 {
         out: &mut [f64],
     ) {
         weighted_l1_flat_batch_range(&self.weights, queries, start, end, vectors, out)
+    }
+
+    /// The **filter-path** counterpart of [`Self::eval_flat`]: dispatched
+    /// through [`FilterElem::scan_filter`], so exact backends run the
+    /// decode kernel bit-identically while `u8` runs the in-domain
+    /// integer SAD kernel of [`crate::sad`] (scores within the documented
+    /// query-side quantization bound). The retrieval pipelines score
+    /// their filter step through this.
+    ///
+    /// # Panics
+    /// As [`Self::eval_flat`].
+    pub fn eval_filter<E: FilterElem>(
+        &self,
+        query: &[f64],
+        vectors: &FlatStore<E>,
+        out: &mut [f64],
+    ) {
+        weighted_l1_filter_flat(&self.weights, query, vectors, out)
+    }
+
+    /// The **filter-path** counterpart of [`Self::eval_flat_batch`]
+    /// (backend-dispatched tiled scan, see [`Self::eval_filter`]).
+    ///
+    /// # Panics
+    /// As [`Self::eval_flat_batch`].
+    pub fn eval_filter_batch<E: FilterElem>(
+        &self,
+        queries: &FlatVectors,
+        vectors: &FlatStore<E>,
+        out: &mut [f64],
+    ) {
+        weighted_l1_filter_batch(&self.weights, queries, vectors, out)
+    }
+
+    /// The **filter-path** counterpart of [`Self::eval_flat_batch_range`]
+    /// (backend-dispatched sequential tile, see [`Self::eval_filter`]).
+    ///
+    /// # Panics
+    /// As [`Self::eval_flat_batch_range`].
+    pub fn eval_filter_batch_range<E: FilterElem>(
+        &self,
+        queries: &FlatVectors,
+        start: usize,
+        end: usize,
+        vectors: &FlatStore<E>,
+        out: &mut [f64],
+    ) {
+        weighted_l1_filter_batch_range(&self.weights, queries, start, end, vectors, out)
     }
 }
 

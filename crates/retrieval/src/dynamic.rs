@@ -23,8 +23,14 @@ use rand::Rng;
 /// online [`DynamicIndex::insert`]s encode under the grid fitted over the
 /// *initial* database (values outside it saturate), which is exactly the
 /// paper's dynamic-dataset assumption: online updates are sound while the
-/// distribution does not drift, and [`DynamicIndex::check_drift`] is the
-/// trigger for refitting by rebuilding.
+/// distribution does not drift. When [`DynamicIndex::check_drift`] *does*
+/// flag drift, the index recovers **in place**: [`DynamicIndex::retrain`]
+/// swaps in a freshly trained model and re-embeds, and
+/// [`DynamicIndex::refit_store`] re-fits the quantization grid over the
+/// *current* database and re-encodes every row — no manual rebuild, no
+/// index identity change. Filter scans dispatch through the backend's
+/// `FilterElem::scan_filter` hook (decode path for the exact backends,
+/// the in-domain integer SAD kernel for `u8`; see `qse_distance::sad`).
 pub struct DynamicIndex<O, E: FilterElem = f64> {
     model: QseModel<O>,
     embedding: CompositeEmbedding<O>,
@@ -72,14 +78,17 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
             embedding,
             objects: database,
             vectors,
-            p_scale: 1.0,
+            p_scale: E::DEFAULT_P_SCALE,
         }
     }
 
     /// Set the filter oversampling factor: the retrieve paths keep
     /// `⌈p · p_scale⌉` filter candidates (capped at the current database
     /// size) while still validating against the caller's `p`. Useful with
-    /// quantized stores; `1.0` (the default) leaves every path untouched.
+    /// quantized stores; the starting value is the backend's
+    /// [`FilterElem::DEFAULT_P_SCALE`] (`1.0` for `f64`/`f32`, `2.0` for
+    /// `u8` — see `crate::filter_refine`), and `1.0` leaves every path
+    /// untouched.
     ///
     /// # Panics
     /// Panics if `p_scale` is not finite or is below `1.0`.
@@ -87,6 +96,11 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         crate::filter_refine::validate_p_scale(p_scale);
         self.p_scale = p_scale;
         self
+    }
+
+    /// The current filter oversampling factor (see [`Self::with_p_scale`]).
+    pub fn p_scale(&self) -> f64 {
+        self.p_scale
     }
 
     /// The shared `filter_refine::effective_p` under this index's
@@ -110,6 +124,13 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         &self.model
     }
 
+    /// The embedded database vectors (flat row-major storage in the
+    /// index's filter precision, encoded under the currently fitted
+    /// parameters — see [`Self::refit_store`]).
+    pub fn vectors(&self) -> &FlatStore<E> {
+        &self.vectors
+    }
+
     /// Insert an object online. Costs [`QseModel::embedding_cost`] exact
     /// distance computations (at most `2d`, as stated in Section 7.1).
     /// Returns the index assigned to the object.
@@ -131,6 +152,47 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         self.objects.swap_remove(index)
     }
 
+    /// Re-fit the filter store over the **current** database: re-embed
+    /// every object under the index's model and rebuild the store —
+    /// which, for a lossy backend, refits the encode parameters (the `u8`
+    /// quantization grid) to the data actually indexed *now* and
+    /// re-encodes every row under them.
+    ///
+    /// This is the recovery half of the drift protocol for quantized
+    /// stores: online [`Self::insert`]s encode under the grid fitted at
+    /// construction and **saturate** outside it, so after sustained
+    /// distribution drift the filter can no longer separate the drifted
+    /// region (many objects collapse onto the grid edge). One
+    /// `refit_store` restores full filter resolution without touching the
+    /// model or the index identity. Costs `len() ·`
+    /// [`QseModel::embedding_cost`] exact distance computations; object
+    /// indices are unchanged.
+    ///
+    /// On the exact backends this recomputes the same store (no fit
+    /// parameters to move) and is a no-op in effect.
+    pub fn refit_store(&mut self, distance: &dyn DistanceMeasure<O>) {
+        self.vectors = self.embedding.embed_store(&self.objects, distance);
+    }
+
+    /// Swap in a newly trained model and rebuild the index state under it:
+    /// re-embed the **current** database with the new model's `F_out` and
+    /// refit the filter store (including, for lossy backends, the
+    /// quantization grid — see [`Self::refit_store`]).
+    ///
+    /// This completes the drift protocol of Section 7.1 **in place**:
+    /// [`Self::check_drift`] flags that the embedding no longer models the
+    /// current distribution, the caller trains a replacement model on
+    /// fresh data (training needs a trainer, a triple sampler and exact
+    /// distances, so it stays outside the index), and `retrain` installs
+    /// it — objects, indices and the `p_scale` knob all survive. Costs
+    /// `len() ·` [`QseModel::embedding_cost`] exact distance computations
+    /// (under the *new* model's cost).
+    pub fn retrain(&mut self, model: QseModel<O>, distance: &dyn DistanceMeasure<O>) {
+        self.embedding = model.embedding();
+        self.model = model;
+        self.refit_store(distance);
+    }
+
     /// Filter-and-refine retrieval of the `k` approximate nearest neighbors,
     /// keeping `p` filter candidates.
     ///
@@ -146,11 +208,13 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         assert!(!self.objects.is_empty(), "cannot query an empty index");
         assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
         let eq = self.model.embed_query(query, distance);
-        // Filter step: one pass of the blocked weighted-L1 kernel over the
-        // flat storage + O(n) selection of the best p (NaN-safe, ties broken
-        // by index) — exactly the static index's hot path.
+        // Filter step: one backend-dispatched pass over the flat storage
+        // (the blocked weighted-L1 kernel for the exact backends, the
+        // integer SAD kernel for u8) + O(n) selection of the best p
+        // (NaN-safe, ties broken by index) — exactly the static index's
+        // hot path.
         let mut scores = vec![0.0; self.vectors.len()];
-        eq.score_flat(&self.vectors, &mut scores);
+        eq.score_filter(&self.vectors, &mut scores);
         let order = top_p_by_score(&scores, self.effective_p(p));
         self.refine(query, distance, k, &order)
     }
@@ -212,7 +276,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
             self.vectors.len(),
             self.effective_p(p),
             |a, b| queries[a] == queries[b],
-            |q0, q1, scores| batch.score_flat_batch_range(q0, q1, &self.vectors, scores),
+            |q0, q1, scores| batch.score_filter_batch_range(q0, q1, &self.vectors, scores),
             |q, _row, order| self.refine(&queries[q], distance, k, order),
         )
     }

@@ -62,10 +62,23 @@
 //! [`FilterRefineIndex::build_global_with_store`] /
 //! [`FilterRefineIndex::build_query_sensitive_with_store`] select a compact
 //! backend that halves (f32) or eighth-sizes (u8) the memory the filter
-//! scan streams. For quantized stores, the optional
+//! scan streams. For quantized stores, the
 //! [`FilterRefineIndex::with_p_scale`] oversampling knob widens the filter
 //! candidate set (`p → ⌈p · p_scale⌉`, capped at the database size) to
 //! absorb quantization error before the exact refine step reorders it.
+//!
+//! The filter scan itself is dispatched through the backend's
+//! `FilterElem::scan_filter` hook: the exact backends run the decode-path
+//! kernels bit-identically to the historical scan, while `u8` stores are
+//! scanned **in the integer domain** (`qse_distance::sad`) — the query is
+//! quantized onto the store's grid at scoring time and the weighted
+//! sum-of-absolute-differences accumulates in widened integer arithmetic
+//! over the raw bytes, with one per-query rescale back to score units. The
+//! second (query-side) quantization error this adds is bounded and
+//! rank-safe enough for a filter whose survivors are exactly re-ranked;
+//! to compensate for the widened two-sided error bound, `u8` indexes
+//! default to `FilterElem::DEFAULT_P_SCALE = 2.0` (override with
+//! [`FilterRefineIndex::with_p_scale`]).
 
 use qse_core::QseModel;
 use qse_distance::{DistanceMeasure, WeightedL1};
@@ -342,7 +355,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
                 embedding: Box::new(embedding),
             },
             vectors,
-            p_scale: 1.0,
+            p_scale: E::DEFAULT_P_SCALE,
         }
     }
 
@@ -360,7 +373,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
         Self {
             kind: FilterKind::QuerySensitive { model },
             vectors,
-            p_scale: 1.0,
+            p_scale: E::DEFAULT_P_SCALE,
         }
     }
 
@@ -370,8 +383,11 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
     /// `refine_cost` reports the scaled candidate count actually refined.
     /// Useful with quantized stores, whose coarser filter scores may rank a
     /// true neighbor just past position `p`; the refine step's exact
-    /// distances then restore the final order. `1.0` (the default) leaves
-    /// every path untouched.
+    /// distances then restore the final order. The starting value is the
+    /// backend's [`FilterElem::DEFAULT_P_SCALE`] — `1.0` for `f64`/`f32`
+    /// (where `⌈p · 1.0⌉ = p` leaves every path untouched) and `2.0` for
+    /// `u8`, whose in-domain filter path carries the widened two-sided
+    /// quantization error bound.
     ///
     /// # Panics
     /// Panics if `p_scale` is not finite or is below `1.0`.
@@ -433,11 +449,11 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
         match &self.kind {
             FilterKind::GlobalL1 { embedding, filter } => {
                 let q = embedding.embed(query, distance);
-                filter.eval_flat(&q, &self.vectors, &mut scores);
+                filter.eval_filter(&q, &self.vectors, &mut scores);
             }
             FilterKind::QuerySensitive { model } => {
                 let eq = model.embed_query(query, distance);
-                eq.score_flat(&self.vectors, &mut scores);
+                eq.score_filter(&self.vectors, &mut scores);
             }
         }
         (scores, self.embedding_cost())
@@ -623,10 +639,10 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
             |a, b| queries[a] == queries[b],
             |q0, q1, scores| match &embedded {
                 EmbeddedBatch::Global(filter, coords) => {
-                    filter.eval_flat_batch_range(coords, q0, q1, &self.vectors, scores);
+                    filter.eval_filter_batch_range(coords, q0, q1, &self.vectors, scores);
                 }
                 EmbeddedBatch::QuerySensitive(batch) => {
-                    batch.score_flat_batch_range(q0, q1, &self.vectors, scores);
+                    batch.score_filter_batch_range(q0, q1, &self.vectors, scores);
                 }
             },
             |q, _row, order| self.refine(&queries[q], database, distance, k, order, embedding_cost),

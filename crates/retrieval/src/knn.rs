@@ -64,13 +64,17 @@ where
 ///
 /// This is the brute-force path for databases that *are* vectors (or whose
 /// exact distance is the embedded one): `WeightedL1::uniform(dim)` gives
-/// plain L1, per-query weights give the query-sensitive `D_out`. On the
+/// plain L1, per-query weights give the query-sensitive `D_out`. The scan
+/// dispatches through the backend's `FilterElem::scan_filter` hook: on the
 /// default `f64` store the reported neighbors are identical to calling
 /// `distance.eval` row by row (the kernel is bit-identical to the scalar
-/// path); on a compact [`FilterElem`] backend both the ranking and the
-/// reported distances are computed over the *decoded* rows, i.e. the
-/// search is exact in the quantized space (appropriate only when a cheap
-/// approximate ranking is acceptable or the caller refines afterwards).
+/// path); on `f32` the ranking and distances are computed over the decoded
+/// rows; on `u8` the scan runs the in-domain integer SAD kernel
+/// (`qse_distance::sad`) — the query is quantized onto the store's grid,
+/// so both ranking and reported distances additionally carry the
+/// documented bounded query-side quantization error (appropriate only
+/// when a cheap approximate ranking is acceptable or the caller refines
+/// afterwards).
 ///
 /// # Panics
 /// Panics if `k` is zero or exceeds the store size, or on dimensionality
@@ -88,7 +92,7 @@ pub fn knn_flat<E: FilterElem>(
         vectors.len()
     );
     let mut scores = vec![0.0; vectors.len()];
-    distance.eval_flat(query, vectors, &mut scores);
+    distance.eval_filter(query, vectors, &mut scores);
     let neighbors = top_p_by_score(&scores, k);
     let distances = neighbors.iter().map(|&i| scores[i]).collect();
     KnnResult {
@@ -137,7 +141,7 @@ pub fn knn_flat_batch<E: FilterElem>(
         vectors.len(),
         k,
         |a, b| queries.row(a) == queries.row(b),
-        |q0, q1, scores| distance.eval_flat_batch_range(queries, q0, q1, vectors, scores),
+        |q0, q1, scores| distance.eval_filter_batch_range(queries, q0, q1, vectors, scores),
         |_q, row, order| KnnResult {
             neighbors: order.to_vec(),
             distances: order.iter().map(|&i| row[i]).collect(),

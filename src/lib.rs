@@ -72,8 +72,8 @@ pub mod prelude {
     pub use qse_dataset::{Dataset, DigitGenerator, TimeSeriesGenerator};
     pub use qse_distance::{
         ConstrainedDtw, CountingDistance, DistanceMatrix, DistanceMeasure, FilterElem, FlatStore,
-        FlatVectors, LpDistance, PointSet, QuantParams, ShapeContextDistance, TimeSeries,
-        WeightedL1,
+        FlatVectors, LpDistance, PointSet, QuantParams, SadQuery, SadQueryBatch,
+        ShapeContextDistance, TimeSeries, WeightedL1,
     };
     pub use qse_embedding::{CompositeEmbedding, Embedding, FastMap, FastMapConfig, OneDEmbedding};
     pub use qse_retrieval::{

@@ -11,12 +11,20 @@
 //!    refine step must still return exactly the `f64` pipeline's neighbors
 //!    (recall@k = 1.0) on the standard clustered workloads, for both the
 //!    query-sensitive and the global-L1 index, sequentially and batched.
-//! 3. **Quantization error is bounded** — raw `u8` filter scores stay
-//!    within `Σ_j w_j · scale_j / 2` of the exact scores (the grid's
-//!    half-step bound), and `f32` scores within single-precision rounding.
+//! 3. **Quantization error is bounded** — raw `u8` decode-path filter
+//!    scores stay within `Σ_j w_j · scale_j / 2` of the exact scores (the
+//!    grid's half-step bound), the in-domain integer SAD scores the
+//!    retrieval pipelines actually use stay within the **widened
+//!    two-sided** bound `Σ_j w_j · scale_j` (store + query rounding; see
+//!    `qse_distance::sad`), and `f32` scores within single-precision
+//!    rounding.
 //!
 //! Plus the edge suite every backend must mirror (dim-0 stores, empty
-//! stores, insert-after-empty) and the `p_scale` oversampling knob.
+//! stores, insert-after-empty), the `p_scale` oversampling knob with its
+//! per-backend default (`2.0` for `u8` under the widened bound) and its
+//! `⌈p·s⌉ > n` cap, and the PR 5 drift-recovery policy: `u8` inserts far
+//! outside the fitted grid saturate (pinned as a real failure mode) and
+//! `DynamicIndex::refit_store` / `retrain` recover in place.
 
 use query_sensitive_embeddings::prelude::*;
 use query_sensitive_embeddings::retrieval::knn::knn;
@@ -315,4 +323,241 @@ fn p_scale_rejects_shrinking_factors() {
     let db = clustered(120, 61);
     let d = LpDistance::l2();
     let _ = FilterRefineIndex::build_query_sensitive(train_model(&db), &db, &d).with_p_scale(0.5);
+}
+
+/// A hand-built, query-*insensitive* model over 2-D vectors: `dim`
+/// reference coordinates with full-interval unit-alpha learners, so the
+/// filter distance is the plain L1 between reference-distance embeddings
+/// for every query — deterministic behavior even for queries far outside
+/// the training region (no splitter can zero the weights there).
+fn reference_model(references: &[Vec<f64>]) -> QseModel<Vec<f64>> {
+    use query_sensitive_embeddings::core::model::TrainingHistory;
+    use query_sensitive_embeddings::core::{Interval, WeakLearner};
+    use query_sensitive_embeddings::embedding::one_d::Candidate;
+    let coordinates: Vec<OneDEmbedding<Vec<f64>>> = references
+        .iter()
+        .enumerate()
+        .map(|(i, r)| OneDEmbedding::reference(Candidate::new(i, r.clone())))
+        .collect();
+    let learners = (0..references.len())
+        .map(|coordinate| WeakLearner {
+            coordinate,
+            interval: Interval::full(),
+            alpha: 1.0,
+        })
+        .collect();
+    QseModel::new(coordinates, learners, TrainingHistory::default())
+}
+
+/// The widened (store + query) quantization bound through the pipeline's
+/// actual entry points: integer-path `u8` filter scores must stay within
+/// `Σ_j w_j · scale_j` (+ the negligible weight-rounding term) of the
+/// exact `f64` filter scores — twice the store-only half-step bound,
+/// because the in-domain path quantizes the query side too.
+#[test]
+fn u8_integer_filter_scores_respect_the_widened_two_sided_bound() {
+    use query_sensitive_embeddings::distance::SadQuery;
+    let mut rng = StdRng::seed_from_u64(67);
+    for dim in [3, 8, 32] {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-15.0..15.0)).collect())
+            .collect();
+        let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let query: Vec<f64> = (0..dim).map(|_| rng.gen_range(-15.0..15.0)).collect();
+        let d = WeightedL1::new(weights.clone());
+        let exact = FlatVectors::from_rows_with_dim(dim, rows.clone());
+        let quant = FlatStore::<u8>::from_rows_with_dim(dim, rows);
+        let store_bound: f64 = weights
+            .iter()
+            .zip(&quant.params().scale)
+            .map(|(w, s)| w * s / 2.0)
+            .sum();
+        let query_bound = SadQuery::new(&weights, &query, quant.params()).score_error_bound();
+        let bound = (store_bound + query_bound) * (1.0 + 1e-9) + 1e-9;
+        let mut s_exact = vec![0.0; exact.len()];
+        let mut s_int = vec![0.0; quant.len()];
+        d.eval_flat(&query, &exact, &mut s_exact);
+        d.eval_filter(&query, &quant, &mut s_int);
+        for (i, (a, b)) in s_exact.iter().zip(&s_int).enumerate() {
+            assert!(
+                (a - b).abs() <= bound,
+                "dim {dim}, row {i}: |{a} - {b}| > {bound}"
+            );
+        }
+        // The query-sensitive entry point runs the same integer path: an
+        // EmbeddedQuery with these weights produces identical scores.
+        let eq = EmbeddedQuery {
+            coordinates: query.clone(),
+            weights: weights.clone(),
+        };
+        let mut s_eq = vec![0.0; quant.len()];
+        eq.score_filter(&quant, &mut s_eq);
+        assert_eq!(s_eq, s_int, "dim {dim}");
+    }
+}
+
+/// The backend-suggested oversampling default: `u8` indexes start at
+/// `p_scale = 2.0` (the widened two-sided error bound needs a wider
+/// filter net), the exact backends at `1.0`, and `with_p_scale` still
+/// overrides both ways.
+#[test]
+fn u8_indexes_default_to_the_widened_oversampling_factor() {
+    let db = clustered(150, 71);
+    let d = LpDistance::l2();
+    let model = train_model(&db);
+    let f64_index = FilterRefineIndex::build_query_sensitive(model.clone(), &db, &d);
+    assert_eq!(f64_index.p_scale(), 1.0);
+    let f32_index =
+        FilterRefineIndex::<_, f32>::build_query_sensitive_with_store(model.clone(), &db, &d);
+    assert_eq!(f32_index.p_scale(), 1.0);
+    let u8_index =
+        FilterRefineIndex::<_, u8>::build_query_sensitive_with_store(model.clone(), &db, &d);
+    assert_eq!(u8_index.p_scale(), 2.0);
+    assert_eq!(u8_index.with_p_scale(1.0).p_scale(), 1.0);
+    // The refine cost reports the doubled candidate count by default.
+    let u8_index =
+        FilterRefineIndex::<_, u8>::build_query_sensitive_with_store(model.clone(), &db, &d);
+    let outcome = u8_index.retrieve(&db[0], &db, &d, 3, 20);
+    assert_eq!(outcome.refine_cost, 40);
+    // The dynamic index inherits the same backend default.
+    let dynamic = DynamicIndex::<_, u8>::with_store(model.clone(), db.clone(), &d);
+    assert_eq!(dynamic.p_scale(), 2.0);
+    assert_eq!(DynamicIndex::new(model, db, &d).p_scale(), 1.0);
+}
+
+/// `⌈p · p_scale⌉ > n` must cap at the database size on every retrieve
+/// path — static, dynamic, sequential and batched — and a capped filter
+/// degenerates to exact brute force (refine sees everything).
+#[test]
+fn p_scale_products_beyond_the_database_size_are_capped() {
+    let db = clustered(60, 73);
+    let d = LpDistance::l2();
+    let model = train_model(&db);
+    let queries = clustered(5, 79);
+    let (k, p) = (2, 40);
+
+    // Static u8 index: ⌈40 · 2.0⌉ = 80 > 60 caps at 60 ⇒ exact results.
+    let quant =
+        FilterRefineIndex::<_, u8>::build_query_sensitive_with_store(model.clone(), &db, &d);
+    for q in &queries {
+        let outcome = quant.retrieve(q, &db, &d, k, p);
+        assert_eq!(outcome.refine_cost, db.len());
+        assert_eq!(outcome.neighbors, knn(q, &db, &d, k).neighbors);
+    }
+    for (q, outcome) in queries
+        .iter()
+        .zip(quant.retrieve_batch(&queries, &db, &d, k, p))
+    {
+        assert_eq!(outcome.refine_cost, db.len());
+        assert_eq!(outcome.neighbors, knn(q, &db, &d, k).neighbors);
+    }
+
+    // Dynamic u8 index: the cap tracks the *current* size across edits.
+    let mut dynamic = DynamicIndex::<_, u8>::with_store(model, db.clone(), &d).with_p_scale(1e6);
+    let expected: Vec<usize> = knn(&queries[0], &db, &d, k).neighbors;
+    assert_eq!(dynamic.retrieve(&queries[0], &d, k, p), expected);
+    dynamic.remove(db.len() - 1);
+    let hits = dynamic.retrieve(&queries[0], &d, k, k);
+    assert_eq!(hits.len(), k);
+    assert_eq!(
+        dynamic.retrieve_batch(&queries, &d, k, k),
+        queries
+            .iter()
+            .map(|q| dynamic.retrieve(q, &d, k, k))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Online inserts far outside the fitted `u8` grid saturate to the grid
+/// edge — the filter cannot separate them — and one
+/// `DynamicIndex::refit_store` refits the grid over the current database
+/// and restores full filter resolution, without rebuilding the index.
+#[test]
+fn u8_insert_saturation_recovers_after_refit() {
+    let d = LpDistance::l2();
+    // Initial database near the origin; grid fitted over it.
+    let initial: Vec<Vec<f64>> = (0..40)
+        .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+        .collect();
+    let model = reference_model(&[vec![0.0, 0.0], vec![10.0, 0.0]]);
+    let mut index = DynamicIndex::<_, u8>::with_store(model, initial.clone(), &d);
+    let n0 = index.len();
+
+    // Drift: a stream of inserts far outside the fitted grid. Their
+    // embedded rows saturate, so their stored codes are all identical.
+    let far: Vec<Vec<f64>> = (0..12)
+        .map(|i| vec![200.0 + 5.0 * i as f64, 200.0])
+        .collect();
+    let far_ids: Vec<usize> = far.iter().map(|o| index.insert(o.clone(), &d)).collect();
+    let first_far = *far_ids.first().unwrap();
+    let last_far = *far_ids.last().unwrap();
+    assert_eq!(
+        index.vectors().decode_row(first_far),
+        index.vectors().decode_row(last_far),
+        "saturated inserts must collapse onto the grid edge"
+    );
+
+    // A query equal to the *last* far insert: every saturated row ties in
+    // the filter, ties break by index, and with a tight p the true
+    // nearest neighbor (the duplicate itself) never reaches the refine
+    // step — retrieval returns a wrong, far-away object.
+    let query = far.last().unwrap().clone();
+    let before = index.retrieve(&query, &d, 1, 1);
+    assert_ne!(
+        before[0], last_far,
+        "saturated filter should misrank the drifted region"
+    );
+    assert!(before[0] >= n0, "ties still land inside the drifted region");
+
+    // One in-place refit: the grid now spans the drifted data, codes
+    // separate, and the duplicate is found with the same tight p.
+    index.refit_store(&d);
+    let refit_decoded = index.vectors().decode_row(last_far);
+    assert_ne!(
+        index.vectors().decode_row(first_far),
+        refit_decoded,
+        "refit grid must separate the drifted rows"
+    );
+    let after = index.retrieve(&query, &d, 1, 1);
+    assert_eq!(after[0], last_far, "refit must restore the true neighbor");
+}
+
+/// `DynamicIndex::retrain` swaps the model in place (here with a
+/// different output dimensionality), re-embeds the current database and
+/// refits the grid: the index must behave exactly like one freshly built
+/// from the new model over the same objects.
+#[test]
+fn retrain_matches_a_freshly_built_index_and_changes_dim() {
+    let d = LpDistance::l2();
+    let objects: Vec<Vec<f64>> = (0..50)
+        .map(|i| vec![(i % 10) as f64 * 1.5, (i / 10) as f64 * 2.0])
+        .collect();
+    let old_model = reference_model(&[vec![0.0, 0.0], vec![15.0, 0.0]]);
+    let new_model = reference_model(&[vec![0.0, 10.0], vec![15.0, 10.0], vec![7.0, 0.0]]);
+
+    let mut retrained = DynamicIndex::<_, u8>::with_store(old_model, objects.clone(), &d);
+    // Mutate online first, so the retrain covers a live index.
+    let extra = retrained.insert(vec![3.3, 4.4], &d);
+    retrained.retrain(new_model.clone(), &d);
+    assert_eq!(retrained.model().dim(), 3);
+
+    let mut fresh = DynamicIndex::<_, u8>::with_store(new_model, objects, &d);
+    let fresh_extra = fresh.insert(vec![3.3, 4.4], &d);
+    assert_eq!(extra, fresh_extra);
+    assert_eq!(
+        retrained.vectors().params(),
+        fresh.vectors().params(),
+        "retrain must refit the grid exactly as a fresh build does"
+    );
+    let queries: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64, 8.0 - i as f64]).collect();
+    for q in &queries {
+        assert_eq!(
+            retrained.retrieve(q, &d, 3, 10),
+            fresh.retrieve(q, &d, 3, 10)
+        );
+    }
+    assert_eq!(
+        retrained.retrieve_batch(&queries, &d, 3, 10),
+        fresh.retrieve_batch(&queries, &d, 3, 10)
+    );
 }
