@@ -20,6 +20,18 @@
 //!   pipelines dispatch to (`qse_distance::sad`) — no per-value
 //!   dequantization — next to the decode-path `u8` cells they replace on
 //!   the hot path.
+//! * `routed/*` — the cluster-routed candidate-generation layer
+//!   (`qse_retrieval::routed`) head-to-head against the unrouted full-scan
+//!   pipeline it wraps, on deterministic mixture-of-Gaussians workloads
+//!   (dim 64, 10k and 100k rows, 32 well-separated components): one
+//!   `fullscan` cell and one `np{n}of{C}` cell per probe width, single
+//!   query and 256-query batch, both sides on the `u8` store. The two
+//!   database sizes bracket the routing **crossover**: at 10k rows the
+//!   per-query routing overhead (centroid ranking + per-cell dispatch)
+//!   still eats much of the saved scan work, at 100k rows the sublinear
+//!   scan dominates. Setup prints the measured recall@10-vs-n_probe curve
+//!   to stderr so the routed bench log records the recall each latency
+//!   was bought at.
 //!
 //! These benchmarks exercise the filter-and-refine hot path end to end —
 //! embed the query, O(n) top-p selection over the flat vector store, refine
@@ -414,6 +426,90 @@ fn bench_store_backends(c: &mut Criterion) {
     }
 }
 
+/// Routed vs full scan, head to head in one session (same build, same
+/// machine, same workload — wall-clock comparisons across sessions drift):
+/// the `u8` global-L1 pipeline over clustered dim-64 Gaussian collections,
+/// unrouted and routed at a sweep of probe widths. The 10k/100k size pair
+/// brackets the crossover row count; the recall each routed latency buys
+/// is measured during setup and printed to stderr (it lands in the CI
+/// bench artifact next to the timings).
+fn bench_routed(c: &mut Criterion) {
+    use qse_dataset::{GaussianMixture, GaussianMixtureConfig};
+    use qse_embedding::{FastMap, FastMapConfig};
+    use qse_retrieval::{recall_vs_n_probe, RoutedConfig, RoutedIndex};
+    const CELLS: usize = 64;
+    let d = euclid();
+    for &db_size in &[10_000usize, 100_000] {
+        let mix = GaussianMixture::generate(GaussianMixtureConfig {
+            rows: db_size,
+            dim: 64,
+            clusters: 32,
+            center_box: 10.0,
+            spread: 0.5,
+            seed: 0xB0B ^ db_size as u64,
+        });
+        let batch = mix.queries(BATCH, 99);
+        let db = mix.points;
+        let single = batch[0].clone();
+        let fm = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sample: Vec<Vec<f64>> = db.iter().take(100).cloned().collect();
+            FastMap::train(
+                &sample,
+                &d,
+                FastMapConfig {
+                    dimensions: 16,
+                    pivot_iterations: 3,
+                },
+                &mut rng,
+            )
+        };
+        let flat = FilterRefineIndex::<_, u8>::build_global_with_store(fm(171), &db, &d);
+        let mut routed = RoutedIndex::<_, u8>::build_global_with_store(
+            fm(171),
+            &db,
+            &d,
+            RoutedConfig {
+                cells: CELLS,
+                n_probe: 8,
+                ..RoutedConfig::default()
+            },
+        );
+        // The recall context for the latency numbers below, into the
+        // bench log (32 queries keep the setup cost negligible).
+        let curve = recall_vs_n_probe(&mut routed, &batch[..32], &db, &d, K, P, &[4, 8, 16]);
+        eprintln!("routed/recall@{K}/n={db_size}: {curve:?}");
+
+        let mut group = c.benchmark_group("routed");
+        group.bench_with_input(
+            BenchmarkId::new("single/fullscan/u8", db_size),
+            &db_size,
+            |b, _| b.iter(|| black_box(flat.retrieve(black_box(&single), &db, &d, K, P))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch{BATCH}/fullscan/u8"), db_size),
+            &db_size,
+            |b, _| b.iter(|| black_box(flat.retrieve_batch(black_box(&batch), &db, &d, K, P))),
+        );
+        for &n_probe in &[4usize, 8, 16] {
+            routed.set_n_probe(n_probe);
+            group.bench_with_input(
+                BenchmarkId::new(format!("single/np{n_probe}of{CELLS}/u8"), db_size),
+                &db_size,
+                |b, _| b.iter(|| black_box(routed.retrieve(black_box(&single), &db, &d, K, P))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch{BATCH}/np{n_probe}of{CELLS}/u8"), db_size),
+                &db_size,
+                |b, _| {
+                    b.iter(|| black_box(routed.retrieve_batch(black_box(&batch), &db, &d, K, P)))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 /// Persistent pool vs per-call scoped spawning: fan 256 small work items out
 /// across `RAYON_NUM_THREADS` workers. The `scoped_spawn` baseline is
 /// exactly what the rayon shim did before the persistent pool: partition
@@ -464,6 +560,6 @@ fn bench_fanout_substrate(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_query_throughput, bench_filter_kernel, bench_batch_kernel, bench_store_backends, bench_fanout_substrate
+    targets = bench_query_throughput, bench_filter_kernel, bench_batch_kernel, bench_store_backends, bench_routed, bench_fanout_substrate
 );
 criterion_main!(benches);

@@ -19,6 +19,10 @@
 //!   of random compression and decompression in time"*.
 //! * [`toy2d`] — the unit-square toy configuration of Figure 1 (20 database
 //!   points, 3 of them reference objects, 10 queries).
+//! * [`gaussian`] — deterministic mixture-of-Gaussians collections with
+//!   exact generative ground truth (component labels and centers): the
+//!   clustered high-dimensional stress workload the cluster-routed
+//!   retrieval layer is measured against.
 //! * [`dataset`] — the [`dataset::Dataset`] container splitting objects into
 //!   database / queries, and samplers for the training subsets `Xtr` and `C`
 //!   used by the BoostMap-style training algorithms (Section 7).
@@ -30,10 +34,12 @@
 
 pub mod dataset;
 pub mod digits;
+pub mod gaussian;
 pub mod timeseries;
 pub mod toy2d;
 
 pub use dataset::{Dataset, TrainingPools};
 pub use digits::{DigitGenerator, DigitGeneratorConfig};
+pub use gaussian::{GaussianMixture, GaussianMixtureConfig};
 pub use timeseries::{TimeSeriesGenerator, TimeSeriesGeneratorConfig};
 pub use toy2d::{toy_configuration, ToyConfiguration};

@@ -443,6 +443,41 @@ impl<E: FilterElem> FlatStore<E> {
         }
     }
 
+    /// Flatten per-object vectors into row-major storage, encoding them
+    /// under **caller-provided** parameters instead of fitting fresh ones
+    /// over `rows`. This is how a partitioned index keeps every shard of
+    /// one collection on a *single* shared grid: fit the parameters once
+    /// over the whole collection ([`FilterElem::fit`]), then build each
+    /// shard's store with them — every row encodes to exactly the bytes it
+    /// would have in one monolithic [`Self::from_rows_with_dim`] store, so
+    /// per-shard filter scores are bit-identical to the full scan's.
+    /// (Per-shard fits would move the `u8` grid and change scores.)
+    ///
+    /// For the exact backends `Params` is zero-sized and this is
+    /// equivalent to [`Self::from_rows_with_dim`].
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dim`.
+    pub fn from_rows_with_params(dim: usize, rows: Vec<Vec<f64>>, params: E::Params) -> Self {
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "all embedded vectors must have dimensionality {dim}"
+        );
+        let count = rows.len();
+        let mut data = Vec::with_capacity(count * dim);
+        for row in &rows {
+            for (j, &v) in row.iter().enumerate() {
+                data.push(E::encode(v, j, &params));
+            }
+        }
+        Self {
+            data,
+            dim,
+            rows: count,
+            params,
+        }
+    }
+
     /// Number of rows (database objects).
     pub fn len(&self) -> usize {
         self.rows

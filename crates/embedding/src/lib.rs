@@ -27,12 +27,14 @@
 
 pub mod composite;
 pub mod fastmap;
+pub mod kmeans;
 pub mod lipschitz;
 pub mod one_d;
 pub mod traits;
 
 pub use composite::CompositeEmbedding;
 pub use fastmap::{FastMap, FastMapConfig};
+pub use kmeans::{KMeans, KMeansConfig};
 pub use lipschitz::{LipschitzEmbedding, SparseMapEmbedding};
 pub use one_d::OneDEmbedding;
 pub use traits::Embedding;

@@ -11,10 +11,12 @@
 
 use crate::filter_refine::{tiled_query_pipeline, top_p_by_score, FilterElem, FlatStore};
 use crate::knn::knn;
+use crate::routed::{top_ids_by_score, RoutedConfig};
 use qse_core::{QseModel, TripleSampler};
 use qse_distance::{DistanceMatrix, DistanceMeasure};
-use qse_embedding::{CompositeEmbedding, Embedding};
+use qse_embedding::{CompositeEmbedding, Embedding, KMeans, KMeansConfig};
 use rand::Rng;
+use rayon::prelude::*;
 
 /// A dynamically maintained, query-sensitive filter-and-refine index.
 ///
@@ -37,6 +39,29 @@ pub struct DynamicIndex<O, E: FilterElem = f64> {
     objects: Vec<O>,
     vectors: FlatStore<E>,
     p_scale: f64,
+    routing: Option<RoutingState<E>>,
+}
+
+/// The cluster-routing metadata of a [`DynamicIndex`] with routing
+/// enabled (see [`DynamicIndex::enable_routing`]): the fitted coarse
+/// quantizer plus per-cell stores mirroring the main store — every cell
+/// encodes under the **main store's** fitted parameters, so per-cell
+/// filter scores stay bit-identical to the full scan's.
+///
+/// Online edits keep this consistent incrementally: inserts land in the
+/// nearest cell, removes repair both the cell-local and the global
+/// swap-remove relabelings. [`DynamicIndex::refit_store`] /
+/// [`DynamicIndex::retrain`] re-run the seeded k-means from scratch —
+/// the natural compaction point after drift.
+struct RoutingState<E: FilterElem> {
+    router: KMeans,
+    cells: Vec<FlatStore<E>>,
+    /// `ids[c][j]` is the global id of row `j` of cell `c`.
+    ids: Vec<Vec<usize>>,
+    /// `locs[g]` is `(cell, row-within-cell)` of global id `g` — the
+    /// inverse of `ids`, kept exact through every edit.
+    locs: Vec<(usize, usize)>,
+    config: RoutedConfig,
 }
 
 /// The result of an embedding-drift check.
@@ -79,6 +104,113 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
             objects: database,
             vectors,
             p_scale: E::DEFAULT_P_SCALE,
+            routing: None,
+        }
+    }
+
+    /// Enable cluster routing (see `crate::routed`): fit the seeded
+    /// k-means of `config` over the current embedded database and build
+    /// the per-cell stores. Subsequent [`Self::retrieve`] /
+    /// [`Self::retrieve_batch`] calls scan only each query's nearest
+    /// `n_probe` cells; at `n_probe == cells` they stay bit-identical to
+    /// the unrouted full scan. Costs `len() ·`
+    /// [`QseModel::embedding_cost`] exact distances (one re-embedding
+    /// pass), and the cell stores mirror the main store's rows (the
+    /// memory price of routing; the main store remains the source of
+    /// truth for the unrouted paths and future refits).
+    ///
+    /// Online [`Self::insert`]s land in the nearest cell and
+    /// [`Self::remove`]s repair the metadata in place;
+    /// [`Self::refit_store`] and [`Self::retrain`] re-run the k-means
+    /// under the same config — the natural compaction point once
+    /// [`Self::check_drift`] flags drift.
+    ///
+    /// # Panics
+    /// Panics if the index is empty or `config` is degenerate
+    /// (`cells == 0`, `n_probe == 0`).
+    pub fn enable_routing(&mut self, config: RoutedConfig, distance: &dyn DistanceMeasure<O>) {
+        assert!(!self.objects.is_empty(), "cannot route an empty index");
+        assert!(config.cells >= 1, "cells must be at least 1");
+        assert!(config.n_probe >= 1, "n_probe must be at least 1");
+        self.routing = Some(Self::fit_routing(
+            &self.embedding,
+            &self.objects,
+            self.vectors.params().clone(),
+            config,
+            distance,
+        ));
+    }
+
+    /// Drop the routing layer; retrieval reverts to the full scan.
+    pub fn disable_routing(&mut self) {
+        self.routing = None;
+    }
+
+    /// `(cells, n_probe)` of the routing layer, if enabled.
+    pub fn routing(&self) -> Option<(usize, usize)> {
+        self.routing
+            .as_ref()
+            .map(|r| (r.cells.len(), r.config.n_probe.min(r.cells.len())))
+    }
+
+    /// Change how many cells each routed query visits.
+    ///
+    /// # Panics
+    /// Panics if routing is not enabled or `n_probe` is outside
+    /// `1..=cells`.
+    pub fn set_routing_n_probe(&mut self, n_probe: usize) {
+        let routing = self.routing.as_mut().expect("routing is not enabled");
+        assert!(
+            n_probe >= 1 && n_probe <= routing.cells.len(),
+            "n_probe = {n_probe} must be in 1..={}",
+            routing.cells.len()
+        );
+        routing.config.n_probe = n_probe;
+    }
+
+    /// Fit a fresh routing state over the current database: re-embed
+    /// (parallel), k-means with the stored seed, partition — with every
+    /// cell store encoding under `params` (the main store's grid, for
+    /// bit-compatibility with the full scan).
+    fn fit_routing(
+        embedding: &CompositeEmbedding<O>,
+        objects: &[O],
+        params: E::Params,
+        config: RoutedConfig,
+        distance: &dyn DistanceMeasure<O>,
+    ) -> RoutingState<E> {
+        let dim = embedding.dim();
+        let rows = embedding.embed_all(objects, distance);
+        let flat = crate::filter_refine::FlatVectors::from_rows_with_dim(dim, rows.clone());
+        let router = KMeans::fit(
+            &flat,
+            KMeansConfig {
+                cells: config.cells,
+                seed: config.seed,
+                max_iters: config.max_iters,
+            },
+        );
+        let assignment = router.assign_all(&flat);
+        let c = router.cells();
+        let mut cell_rows: Vec<Vec<Vec<f64>>> = vec![Vec::new(); c];
+        let mut ids: Vec<Vec<usize>> = vec![Vec::new(); c];
+        let mut locs = vec![(0usize, 0usize); objects.len()];
+        for (g, row) in rows.into_iter().enumerate() {
+            let cell = assignment[g];
+            locs[g] = (cell, ids[cell].len());
+            cell_rows[cell].push(row);
+            ids[cell].push(g);
+        }
+        let cells = cell_rows
+            .into_iter()
+            .map(|r| FlatStore::from_rows_with_params(dim, r, params.clone()))
+            .collect();
+        RoutingState {
+            router,
+            cells,
+            ids,
+            locs,
+            config,
         }
     }
 
@@ -138,7 +270,17 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         let vector = self.embedding.embed(&object, distance);
         self.objects.push(object);
         self.vectors.push(&vector);
-        self.objects.len() - 1
+        let gid = self.objects.len() - 1;
+        if let Some(r) = &mut self.routing {
+            // Routing stays consistent online: the new object lands in the
+            // cell of its nearest centroid (centroids are not moved — the
+            // coarse quantizer is only refreshed by refit_store/retrain).
+            let cell = r.router.assign(&vector);
+            r.locs.push((cell, r.ids[cell].len()));
+            r.cells[cell].push(&vector);
+            r.ids[cell].push(gid);
+        }
+        gid
     }
 
     /// Remove the object at `index` (swap-remove; the last object takes its
@@ -149,6 +291,22 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     pub fn remove(&mut self, index: usize) -> O {
         assert!(index < self.objects.len(), "index {index} out of bounds");
         self.vectors.swap_remove(index);
+        if let Some(r) = &mut self.routing {
+            // Two swap-removes to repair: the removed row's cell compacts
+            // (its last row moves into `pos`), and the *global* id space
+            // compacts (the last object takes id `index`).
+            let (cell, pos) = r.locs[index];
+            r.cells[cell].swap_remove(pos);
+            r.ids[cell].swap_remove(pos);
+            if pos < r.ids[cell].len() {
+                r.locs[r.ids[cell][pos]] = (cell, pos);
+            }
+            r.locs.swap_remove(index);
+            if index < r.locs.len() {
+                let (c2, p2) = r.locs[index];
+                r.ids[c2][p2] = index;
+            }
+        }
         self.objects.swap_remove(index)
     }
 
@@ -170,8 +328,25 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     ///
     /// On the exact backends this recomputes the same store (no fit
     /// parameters to move) and is a no-op in effect.
+    ///
+    /// With routing enabled this is also the routing **compaction point**:
+    /// the seeded k-means re-runs under the stored [`RoutedConfig`] over
+    /// the current database, so cells drifted out of shape by online edits
+    /// snap back to the data actually indexed now. (If every object has
+    /// been removed, routing is dropped — re-enable it after re-seeding.)
     pub fn refit_store(&mut self, distance: &dyn DistanceMeasure<O>) {
         self.vectors = self.embedding.embed_store(&self.objects, distance);
+        if let Some(r) = self.routing.take() {
+            if !self.objects.is_empty() {
+                self.routing = Some(Self::fit_routing(
+                    &self.embedding,
+                    &self.objects,
+                    self.vectors.params().clone(),
+                    r.config,
+                    distance,
+                ));
+            }
+        }
     }
 
     /// Swap in a newly trained model and rebuild the index state under it:
@@ -196,6 +371,12 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     /// Filter-and-refine retrieval of the `k` approximate nearest neighbors,
     /// keeping `p` filter candidates.
     ///
+    /// With routing enabled (see [`Self::enable_routing`]) the filter scan
+    /// covers only the `n_probe` cells whose centroids are nearest to the
+    /// query under its own query-sensitive filter distance; at
+    /// `n_probe == cells` the candidate set — and hence the result — is
+    /// bit-identical to the unrouted scan.
+    ///
     /// # Panics
     /// Panics if the index is empty or `p < k` or `p > len()`.
     pub fn retrieve(
@@ -208,6 +389,31 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         assert!(!self.objects.is_empty(), "cannot query an empty index");
         assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
         let eq = self.model.embed_query(query, distance);
+        if let Some(r) = &self.routing {
+            // Routed path: rank centroids by the query's filter distance,
+            // scan only the nearest n_probe cells (each a FlatStore in the
+            // index's precision, scored by the same backend-dispatched
+            // kernel), select under the global-id total order.
+            let c = r.cells.len();
+            let n_probe = r.config.n_probe.min(c);
+            let mut cell_scores = vec![0.0; c];
+            for (i, s) in cell_scores.iter_mut().enumerate() {
+                *s = eq.distance_to(r.router.centroids().row(i));
+            }
+            let visited = top_p_by_score(&cell_scores, n_probe);
+            let pool: usize = visited.iter().map(|&v| r.cells[v].len()).sum();
+            let mut scores = Vec::with_capacity(pool);
+            let mut gids = Vec::with_capacity(pool);
+            for &v in &visited {
+                let start = scores.len();
+                scores.resize(start + r.cells[v].len(), 0.0);
+                eq.score_filter(&r.cells[v], &mut scores[start..]);
+                gids.extend_from_slice(&r.ids[v]);
+            }
+            let keep = self.effective_p(p).min(pool);
+            let order = top_ids_by_score(&scores, &gids, keep);
+            return self.refine(query, distance, k, &order);
+        }
         // Filter step: one backend-dispatched pass over the flat storage
         // (the blocked weighted-L1 kernel for the exact backends, the
         // integer SAD kernel for u8) + O(n) selection of the best p
@@ -270,6 +476,17 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         }
         assert!(!self.objects.is_empty(), "cannot query an empty index");
         assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
+        if self.routing.is_some() {
+            // Routed path: per-query routed retrieval, parallel over the
+            // batch. Each query touches only its n_probe cells, so the
+            // dense Q×N tiling of the unrouted path (whose tiles want every
+            // query to scan the same rows) buys nothing here; the static
+            // `RoutedIndex` owns the grouped-by-cell batched kernel.
+            return queries
+                .par_iter()
+                .map(|q| self.retrieve(q, distance, k, p))
+                .collect();
+        }
         let batch = self.model.embed_queries(queries, distance);
         tiled_query_pipeline(
             queries.len(),
@@ -502,6 +719,160 @@ mod tests {
         let (mut index, _) = trained_index(8);
         let n = index.len();
         let _ = index.remove(n);
+    }
+
+    /// Exhaustively check the routing metadata invariants: `locs` is the
+    /// exact inverse of `ids`, every cell's store row mirrors the main
+    /// store's row for the same global id, and the partition covers the
+    /// database exactly once.
+    fn assert_routing_consistent(index: &DynamicIndex<Vec<f64>>) {
+        let r = index.routing.as_ref().expect("routing enabled");
+        assert_eq!(r.locs.len(), index.len());
+        assert_eq!(r.cells.len(), r.ids.len());
+        let total: usize = r.ids.iter().map(Vec::len).sum();
+        assert_eq!(total, index.len());
+        for (cell, store) in r.cells.iter().enumerate() {
+            assert_eq!(store.len(), r.ids[cell].len());
+        }
+        for (g, &(cell, pos)) in r.locs.iter().enumerate() {
+            assert_eq!(r.ids[cell][pos], g, "ids/locs out of sync at gid {g}");
+            assert_eq!(
+                r.cells[cell].row(pos),
+                index.vectors.row(g),
+                "cell row diverged from the main store at gid {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_full_probe_matches_full_scan_through_churn() {
+        let d = euclid();
+        let (mut routed, _) = trained_index(20);
+        let (mut plain, _) = trained_index(20);
+        routed.enable_routing(
+            RoutedConfig {
+                cells: 5,
+                n_probe: 5,
+                ..RoutedConfig::default()
+            },
+            &d,
+        );
+        assert_eq!(routed.routing(), Some((5, 5)));
+        let queries: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![i as f64 * 3.0, (i % 2) as f64])
+            .collect();
+        let check =
+            |routed: &DynamicIndex<Vec<f64>>, plain: &DynamicIndex<Vec<f64>>, label: &str| {
+                for q in &queries {
+                    assert_eq!(
+                        routed.retrieve(q, &d, 2, 8),
+                        plain.retrieve(q, &d, 2, 8),
+                        "{label}"
+                    );
+                }
+                assert_eq!(
+                    routed.retrieve_batch(&queries, &d, 2, 8),
+                    plain.retrieve_batch(&queries, &d, 2, 8),
+                    "{label} (batch)"
+                );
+            };
+        assert_routing_consistent(&routed);
+        check(&routed, &plain, "freshly routed");
+        // Churn: interleaved inserts and removes applied identically to both
+        // indexes; the routed metadata must track every swap-remove.
+        for i in 0..6 {
+            routed.insert(vec![1.0 + i as f64 * 0.4, 0.3], &d);
+            plain.insert(vec![1.0 + i as f64 * 0.4, 0.3], &d);
+        }
+        assert_routing_consistent(&routed);
+        for index in [0usize, 17, 40] {
+            assert_eq!(routed.remove(index), plain.remove(index));
+            assert_routing_consistent(&routed);
+        }
+        let last = routed.len() - 1;
+        assert_eq!(routed.remove(last), plain.remove(last));
+        assert_routing_consistent(&routed);
+        check(&routed, &plain, "after churn");
+    }
+
+    #[test]
+    fn routed_insert_lands_in_its_nearest_cell() {
+        // Two well-separated clusters, two cells: the coarse partition
+        // recovers the clusters, and a single probe suffices to find an
+        // inserted duplicate because it was routed to the query's own cell.
+        let d = euclid();
+        let (mut index, _) = trained_index(21);
+        index.enable_routing(
+            RoutedConfig {
+                cells: 2,
+                n_probe: 1,
+                ..RoutedConfig::default()
+            },
+            &d,
+        );
+        let query = vec![20.3, 5.0];
+        let inserted = index.insert(query.clone(), &d);
+        assert_routing_consistent(&index);
+        let hit = index.retrieve(&query, &d, 1, 5);
+        assert_eq!(hit[0], inserted, "duplicate must be found at n_probe = 1");
+        // The knob moves and reports correctly.
+        index.set_routing_n_probe(2);
+        assert_eq!(index.routing(), Some((2, 2)));
+        assert_eq!(index.retrieve(&query, &d, 1, 5)[0], inserted);
+        index.disable_routing();
+        assert_eq!(index.routing(), None);
+        assert_eq!(index.retrieve(&query, &d, 1, 5)[0], inserted);
+    }
+
+    #[test]
+    fn drift_then_refit_rebuilds_routing_consistently() {
+        // Regression for the drift protocol with routing enabled: after the
+        // database drifts far from the cells fitted at enable time,
+        // refit_store must re-run the seeded k-means over the *current*
+        // database and leave the metadata exactly consistent.
+        let d = euclid();
+        let (mut index, _) = trained_index(22);
+        index.enable_routing(
+            RoutedConfig {
+                cells: 4,
+                n_probe: 4,
+                ..RoutedConfig::default()
+            },
+            &d,
+        );
+        // Drift: replace most of the database with a far-away region.
+        for _ in 0..40 {
+            index.remove(0);
+            assert_routing_consistent(&index);
+        }
+        for i in 0..30 {
+            index.insert(vec![300.0 + (i % 6) as f64, 250.0 + (i % 4) as f64], &d);
+        }
+        assert_routing_consistent(&index);
+        index.refit_store(&d);
+        assert_eq!(index.routing(), Some((4, 4)), "refit keeps the config");
+        assert_routing_consistent(&index);
+        // Full-probe retrieval after the refit still matches an identically
+        // churned unrouted index.
+        let (mut plain, _) = trained_index(22);
+        for _ in 0..40 {
+            plain.remove(0);
+        }
+        for i in 0..30 {
+            plain.insert(vec![300.0 + (i % 6) as f64, 250.0 + (i % 4) as f64], &d);
+        }
+        plain.refit_store(&d);
+        for i in 0..6 {
+            let q = vec![299.0 + i as f64, 251.0];
+            assert_eq!(index.retrieve(&q, &d, 2, 10), plain.retrieve(&q, &d, 2, 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "routing is not enabled")]
+    fn set_routing_n_probe_requires_routing() {
+        let (mut index, _) = trained_index(23);
+        index.set_routing_n_probe(1);
     }
 
     #[test]

@@ -87,8 +87,10 @@ use rayon::prelude::*;
 
 pub use qse_distance::{FilterElem, FlatStore, FlatVectors};
 
-/// How the filter step scores database vectors against the query.
-enum FilterKind<O> {
+/// How the filter step scores database vectors against the query. Shared
+/// with the cluster-routed index (`crate::routed`), whose per-cell scans
+/// reuse the exact same two filter modes.
+pub(crate) enum FilterKind<O> {
     /// Plain (unweighted) L1 distance between embedded vectors, evaluated by
     /// the flat kernel with uniform weights (1.0 · |a − b| is exact, so this
     /// equals the unweighted scan bit for bit).
@@ -208,6 +210,36 @@ pub(crate) fn validate_p_scale(p_scale: f64) {
 /// `p_scale = 1.0`, `⌈p · 1.0⌉ = p` exactly, so behaviour is untouched.
 pub(crate) fn effective_p(p: usize, p_scale: f64, n: usize) -> usize {
     (((p as f64) * p_scale).ceil() as usize).min(n)
+}
+
+/// The refine step shared by every retrieval pipeline in this crate (the
+/// static index's sequential and batched paths and the routed index):
+/// measure the exact distance from `query` to every filter candidate,
+/// keep the best `k` under the strict total order `(distance, index)`.
+/// One routine everywhere is what makes the pipelines *provably*
+/// identical: a candidate **set** determines the outcome regardless of
+/// the order candidates arrive in.
+pub(crate) fn refine_candidates<O>(
+    query: &O,
+    database: &[O],
+    distance: &dyn DistanceMeasure<O>,
+    k: usize,
+    candidates: &[usize],
+    embedding_cost: usize,
+) -> RetrievalOutcome {
+    let refine_cost = candidates.len();
+    let mut refined: Vec<(usize, f64)> = candidates
+        .iter()
+        .map(|&i| (i, distance.distance(query, &database[i])))
+        .collect();
+    refined.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    refined.truncate(k);
+    RetrievalOutcome {
+        neighbors: refined.iter().map(|(i, _)| *i).collect(),
+        distances: refined.iter().map(|(_, d)| *d).collect(),
+        embedding_cost,
+        refine_cost,
+    }
 }
 
 /// [`top_p_by_score`] writing into a caller-owned index buffer, so the
@@ -547,19 +579,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
         candidates: &[usize],
         embedding_cost: usize,
     ) -> RetrievalOutcome {
-        let refine_cost = candidates.len();
-        let mut refined: Vec<(usize, f64)> = candidates
-            .iter()
-            .map(|&i| (i, distance.distance(query, &database[i])))
-            .collect();
-        refined.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        refined.truncate(k);
-        RetrievalOutcome {
-            neighbors: refined.iter().map(|(i, _)| *i).collect(),
-            distances: refined.iter().map(|(_, d)| *d).collect(),
-            embedding_cost,
-            refine_cost,
-        }
+        refine_candidates(query, database, distance, k, candidates, embedding_cost)
     }
 
     /// Retrieve a whole batch of queries through the tiled batch pipeline:

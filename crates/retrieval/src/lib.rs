@@ -16,6 +16,12 @@
 //!   retrieves all `k` of them; sweeping the embedding dimensionality `d` and
 //!   `p` yields, for each `(k, accuracy)` pair, the minimum number of exact
 //!   distance computations per query.
+//! * [`routed`] — the cluster-routed (IVF-style) sublinear layer over the
+//!   same filter-refine protocol: a seeded deterministic k-means partitions
+//!   the embedded database into cells (each owning its own flat filter
+//!   store), queries visit only the nearest `n_probe` cells, and the refine
+//!   step stays exact — full-probe retrieval is bit-identical to the
+//!   unrouted pipeline.
 //! * [`dynamic`] — online insertion / removal of database objects and the
 //!   embedding-drift monitor sketched in Section 7.1.
 //! * [`experiments`] — drivers that regenerate every figure and table of the
@@ -29,8 +35,10 @@ pub mod evaluate;
 pub mod experiments;
 pub mod filter_refine;
 pub mod knn;
+pub mod routed;
 
 pub use dynamic::DynamicIndex;
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};
 pub use filter_refine::{FilterElem, FilterRefineIndex, FlatStore, FlatVectors, RetrievalOutcome};
 pub use knn::{ground_truth, knn_flat, knn_flat_batch, KnnResult};
+pub use routed::{recall_vs_n_probe, RoutedConfig, RoutedIndex};

@@ -69,15 +69,20 @@ pub mod prelude {
         QuerySensitivity, TrainerConfig, TrainingData, TrainingTriple, TripleSampler,
         TripleSamplingStrategy,
     };
-    pub use qse_dataset::{Dataset, DigitGenerator, TimeSeriesGenerator};
+    pub use qse_dataset::{
+        Dataset, DigitGenerator, GaussianMixture, GaussianMixtureConfig, TimeSeriesGenerator,
+    };
     pub use qse_distance::{
         ConstrainedDtw, CountingDistance, DistanceMatrix, DistanceMeasure, FilterElem, FlatStore,
         FlatVectors, LpDistance, PointSet, QuantParams, SadQuery, SadQueryBatch,
         ShapeContextDistance, TimeSeries, WeightedL1,
     };
-    pub use qse_embedding::{CompositeEmbedding, Embedding, FastMap, FastMapConfig, OneDEmbedding};
+    pub use qse_embedding::{
+        CompositeEmbedding, Embedding, FastMap, FastMapConfig, KMeans, KMeansConfig, OneDEmbedding,
+    };
     pub use qse_retrieval::{
-        experiments, ground_truth, knn_flat, knn_flat_batch, CostReport, DynamicIndex,
-        FilterRefineIndex, MethodEvaluation, RetrievalOutcome,
+        experiments, ground_truth, knn_flat, knn_flat_batch, recall_vs_n_probe, CostReport,
+        DynamicIndex, FilterRefineIndex, MethodEvaluation, RetrievalOutcome, RoutedConfig,
+        RoutedIndex,
     };
 }

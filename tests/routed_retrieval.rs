@@ -1,0 +1,211 @@
+//! Guarantees of the cluster-routed retrieval layer (`qse_retrieval::routed`).
+//!
+//! Two contracts are pinned here, on the deterministic mixture-of-Gaussians
+//! workloads of `qse_dataset::gaussian`:
+//!
+//! 1. **Exactness at full probe** — `RoutedIndex` at `n_probe == cells()`
+//!    is **bit-identical** to the unrouted `FilterRefineIndex` (same
+//!    neighbors, same costs), on every filter-store backend (`f64`, `f32`,
+//!    `u8`), for both the global-L1 and the query-sensitive index,
+//!    sequentially and batched, at 1/2/8 threads. This is the property that
+//!    makes routing a pure *candidate-generation* optimization: nothing
+//!    about scoring, selection or refine changes, only which rows are
+//!    visited.
+//! 2. **The recall/latency knob is well behaved** — the
+//!    `recall_vs_n_probe` curve is monotone non-decreasing (visiting more
+//!    cells only adds candidates), reaches exactly `1.0` at
+//!    `n_probe == cells()`, and on a clustered workload with as many cells
+//!    as generative components, a small `n_probe` already recovers ≥ 0.95
+//!    of the full scan's neighbors.
+
+use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+mod common;
+use common::with_thread_count;
+
+/// The standard clustered workload: a dozen well-separated Gaussians in 16
+/// dimensions — small enough for the test suite, clustered enough that
+/// routing is meaningful.
+fn workload() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mix = GaussianMixture::generate(GaussianMixtureConfig {
+        rows: 1500,
+        dim: 16,
+        clusters: 12,
+        center_box: 10.0,
+        spread: 0.5,
+        seed: 0x60A7,
+    });
+    let queries = mix.queries(24, 0xBEEF);
+    (mix.points, queries)
+}
+
+fn fastmap(db: &[Vec<f64>], seed: u64) -> FastMap<Vec<f64>> {
+    let d = LpDistance::l2();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample: Vec<Vec<f64>> = db.iter().take(80).cloned().collect();
+    FastMap::train(
+        &sample,
+        &d,
+        FastMapConfig {
+            dimensions: 5,
+            pivot_iterations: 3,
+        },
+        &mut rng,
+    )
+}
+
+fn train_model(db: &[Vec<f64>]) -> QseModel<Vec<f64>> {
+    let d = LpDistance::l2();
+    let pools: Vec<Vec<f64>> = db.iter().take(60).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &d, 6);
+    let mut rng = StdRng::seed_from_u64(515);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 500, &mut rng);
+    BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+}
+
+/// Contract 1 for one backend: full-probe routed retrieval equals the
+/// unrouted pipeline bitwise, global and query-sensitive, sequential and
+/// batched, at every thread count in the CI matrix.
+fn assert_full_probe_is_bit_identical<E: FilterElem>() {
+    let (db, queries) = workload();
+    let d = LpDistance::l2();
+    let (k, p) = (5, 40);
+    let config = RoutedConfig {
+        cells: 10,
+        n_probe: 10,
+        ..RoutedConfig::default()
+    };
+
+    // Global-L1 (FastMap) index.
+    let flat = FilterRefineIndex::<_, E>::build_global_with_store(fastmap(&db, 31), &db, &d);
+    let routed = RoutedIndex::<_, E>::build_global_with_store(fastmap(&db, 31), &db, &d, config);
+    assert_eq!(routed.cells(), 10);
+    assert_eq!(routed.n_probe(), 10);
+    for threads in [1, 2, 8] {
+        with_thread_count(threads, || {
+            let expect = flat.retrieve_batch(&queries, &db, &d, k, p);
+            assert_eq!(
+                routed.retrieve_batch(&queries, &db, &d, k, p),
+                expect,
+                "{} global batch diverged at {threads} threads",
+                E::NAME
+            );
+            for (q, query) in queries.iter().enumerate() {
+                assert_eq!(
+                    routed.retrieve(query, &db, &d, k, p),
+                    expect[q],
+                    "{} global query {q} diverged at {threads} threads",
+                    E::NAME
+                );
+            }
+        });
+    }
+
+    // Query-sensitive index (per-query weights exercise the routing
+    // metric's query sensitivity too).
+    let model = train_model(&db);
+    let flat = FilterRefineIndex::<_, E>::build_query_sensitive_with_store(model.clone(), &db, &d);
+    let routed = RoutedIndex::<_, E>::build_query_sensitive_with_store(model, &db, &d, config);
+    for threads in [1, 2, 8] {
+        with_thread_count(threads, || {
+            let expect = flat.retrieve_batch(&queries, &db, &d, k, p);
+            assert_eq!(
+                routed.retrieve_batch(&queries, &db, &d, k, p),
+                expect,
+                "{} qs batch diverged at {threads} threads",
+                E::NAME
+            );
+            for (q, query) in queries.iter().enumerate() {
+                assert_eq!(
+                    routed.retrieve(query, &db, &d, k, p),
+                    expect[q],
+                    "{} qs query {q} diverged at {threads} threads",
+                    E::NAME
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn f64_full_probe_matches_the_unrouted_pipeline_bitwise() {
+    assert_full_probe_is_bit_identical::<f64>();
+}
+
+#[test]
+fn f32_full_probe_matches_the_unrouted_pipeline_bitwise() {
+    assert_full_probe_is_bit_identical::<f32>();
+}
+
+#[test]
+fn u8_full_probe_matches_the_unrouted_pipeline_bitwise() {
+    assert_full_probe_is_bit_identical::<u8>();
+}
+
+/// Contract 2: the recall@k-vs-n_probe curve on the clustered workload —
+/// monotone, 1.0 at full probe, and ≥ 0.95 well before full probe when
+/// cells track the generative clusters.
+#[test]
+fn recall_curve_is_monotone_and_saturates_on_the_gaussian_workload() {
+    let (db, queries) = workload();
+    let d = LpDistance::l2();
+    let mut routed = RoutedIndex::build_global(
+        fastmap(&db, 47),
+        &db,
+        &d,
+        RoutedConfig {
+            cells: 12,
+            n_probe: 2,
+            ..RoutedConfig::default()
+        },
+    );
+    let probes: Vec<usize> = (1..=routed.cells()).collect();
+    let curve = recall_vs_n_probe(&mut routed, &queries, &db, &d, 5, 40, &probes);
+    assert_eq!(curve.len(), probes.len());
+    for pair in curve.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "recall must be monotone non-decreasing: {curve:?}"
+        );
+    }
+    assert_eq!(
+        curve.last().unwrap().1,
+        1.0,
+        "full probe must recover the full scan exactly: {curve:?}"
+    );
+    let (probe_95, _) = curve
+        .iter()
+        .find(|(_, r)| *r >= 0.95)
+        .copied()
+        .unwrap_or_else(|| panic!("no probe reaches 0.95 recall: {curve:?}"));
+    assert!(
+        probe_95 < routed.cells(),
+        "0.95 recall must be reachable before the full probe: {curve:?}"
+    );
+    assert_eq!(routed.n_probe(), 2, "sweep must restore the original knob");
+}
+
+/// The same curve through a quantized (`u8`) routed index: the shared
+/// grid keeps the full-probe point exact there too.
+#[test]
+fn u8_recall_curve_saturates_at_full_probe() {
+    let (db, queries) = workload();
+    let d = LpDistance::l2();
+    let mut routed = RoutedIndex::<_, u8>::build_query_sensitive_with_store(
+        train_model(&db),
+        &db,
+        &d,
+        RoutedConfig {
+            cells: 8,
+            n_probe: 2,
+            ..RoutedConfig::default()
+        },
+    );
+    let curve = recall_vs_n_probe(&mut routed, &queries, &db, &d, 3, 30, &[1, 4, 8]);
+    for pair in curve.windows(2) {
+        assert!(pair[1].1 >= pair[0].1, "monotonicity: {curve:?}");
+    }
+    assert_eq!(curve.last().unwrap().1, 1.0, "{curve:?}");
+}
