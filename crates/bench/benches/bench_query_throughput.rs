@@ -32,6 +32,11 @@
 //!   scan dominates. Setup prints the measured recall@10-vs-n_probe curve
 //!   to stderr so the routed bench log records the recall each latency
 //!   was bought at.
+//! * `startup/*` — build-from-raw vs snapshot restore
+//!   (`qse_retrieval::snapshot`) for the routed `u8` index on the 100k-row
+//!   dim-64 Gaussian workload: the full pipeline (embed + grid fit +
+//!   k-means) against `from_snapshot_bytes` and file-level `load`, the
+//!   cold-start path a deployment actually runs.
 //!
 //! These benchmarks exercise the filter-and-refine hot path end to end —
 //! embed the query, O(n) top-p selection over the flat vector store, refine
@@ -510,6 +515,103 @@ fn bench_routed(c: &mut Criterion) {
     }
 }
 
+/// Startup axis: build-from-raw vs snapshot restore for the served index
+/// (`RoutedIndex<_, u8>` over the 100k-row dim-64 Gaussian workload of
+/// the `routed` group — the configuration the snapshot CI step pins).
+/// `build_from_raw` pays the full pipeline (embed 100k objects, fit the
+/// `u8` grid, k-means the embedded rows, split the cells);
+/// `load_from_bytes` deserializes a snapshot already in memory — the
+/// format-decode floor; `load_from_file` adds the filesystem read, i.e.
+/// the cold-start path a deployment actually runs. Restores are
+/// bit-identical to the build by construction (pinned by
+/// `tests/snapshot_roundtrip.rs` and the cross-process CI step), so this
+/// measures pure startup cost.
+fn bench_startup(c: &mut Criterion) {
+    use qse_dataset::{GaussianMixture, GaussianMixtureConfig};
+    use qse_retrieval::{RoutedConfig, RoutedIndex};
+    const DB_SIZE: usize = 100_000;
+    let d = euclid();
+    let mix = GaussianMixture::generate(GaussianMixtureConfig {
+        rows: DB_SIZE,
+        dim: 64,
+        clusters: 32,
+        center_box: 10.0,
+        spread: 0.5,
+        seed: 0xB0B ^ DB_SIZE as u64,
+    });
+    let db = mix.points;
+    let model = {
+        let mut rng = StdRng::seed_from_u64(71);
+        let pools: Vec<Vec<f64>> = db.iter().take(80).cloned().collect();
+        let data = TrainingData::precompute(pools.clone(), pools, &d, 8);
+        let triples = TripleSampler::selective(4).sample(&data.train_to_train, 800, &mut rng);
+        BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+    };
+    let config = RoutedConfig {
+        cells: 64,
+        n_probe: 8,
+        ..RoutedConfig::default()
+    };
+    let index =
+        RoutedIndex::<_, u8>::build_query_sensitive_with_store(model.clone(), &db, &d, config);
+    let bytes = index
+        .to_snapshot_bytes()
+        .expect("query-sensitive indexes always snapshot");
+    let path = std::env::temp_dir().join(format!("qse-bench-startup-{}", std::process::id()));
+    std::fs::write(&path, &bytes).expect("bench snapshot write");
+    eprintln!(
+        "startup/snapshot: {} rows, {} cells, {} bytes on disk",
+        index.len(),
+        index.cells(),
+        bytes.len()
+    );
+
+    let mut group = c.benchmark_group("startup");
+    // The raw build costs seconds; a reduced sample count keeps the cell
+    // affordable while the loads keep the group's default.
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("build_from_raw/u8/dim64", DB_SIZE),
+        &DB_SIZE,
+        |b, _| {
+            b.iter(|| {
+                black_box(RoutedIndex::<_, u8>::build_query_sensitive_with_store(
+                    black_box(model.clone()),
+                    black_box(&db),
+                    &d,
+                    config,
+                ))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("load_from_bytes/u8/dim64", DB_SIZE),
+        &DB_SIZE,
+        |b, _| {
+            b.iter(|| {
+                black_box(
+                    RoutedIndex::<Vec<f64>, u8>::from_snapshot_bytes(black_box(&bytes))
+                        .expect("bench snapshot bytes are valid"),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("load_from_file/u8/dim64", DB_SIZE),
+        &DB_SIZE,
+        |b, _| {
+            b.iter(|| {
+                black_box(
+                    RoutedIndex::<Vec<f64>, u8>::load(black_box(&path))
+                        .expect("bench snapshot file is valid"),
+                )
+            })
+        },
+    );
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Persistent pool vs per-call scoped spawning: fan 256 small work items out
 /// across `RAYON_NUM_THREADS` workers. The `scoped_spawn` baseline is
 /// exactly what the rayon shim did before the persistent pool: partition
@@ -560,6 +662,6 @@ fn bench_fanout_substrate(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_query_throughput, bench_filter_kernel, bench_batch_kernel, bench_store_backends, bench_routed, bench_fanout_substrate
+    targets = bench_query_throughput, bench_filter_kernel, bench_batch_kernel, bench_store_backends, bench_routed, bench_startup, bench_fanout_substrate
 );
 criterion_main!(benches);

@@ -190,6 +190,36 @@ pub trait FilterElem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static
         weighted_l1_score_query_range(weights, w_stride, queries, start, end, vectors, out);
     }
 
+    /// Stable one-byte identifier of this backend in the snapshot format
+    /// (`1` = `f64`, `2` = `f32`, `3` = `u8`): a loader compares it against
+    /// the tag baked into the snapshot header so bytes can never be decoded
+    /// under the wrong element type (see `qse_retrieval::snapshot`).
+    const SNAPSHOT_TAG: u8;
+
+    /// Append the little-endian byte image of `elems` to `out` — exactly
+    /// [`Self::BYTES`] bytes per element, in element order. Together with
+    /// [`Self::elems_from_bytes`] this round-trips every stored value bit
+    /// for bit (including non-finite floats), which is what makes a loaded
+    /// store score-identical to the saved one.
+    fn elems_to_bytes(elems: &[Self], out: &mut Vec<u8>);
+
+    /// Decode a buffer written by [`Self::elems_to_bytes`]. Returns `None`
+    /// when `bytes.len()` is not a multiple of [`Self::BYTES`] (a truncated
+    /// or corrupt section), so loaders can fail with a typed error instead
+    /// of panicking.
+    fn elems_from_bytes(bytes: &[u8]) -> Option<Vec<Self>>;
+
+    /// Append the byte image of `params` to `out`: empty for the exact
+    /// backends (whose `Params` is zero-sized), the affine grid of
+    /// [`QuantParams`] as little-endian `f64`s (`min` row then `scale`
+    /// row) for `u8`.
+    fn params_to_bytes(params: &Self::Params, out: &mut Vec<u8>);
+
+    /// Decode parameters for a `dim`-dimensional store from bytes written
+    /// by [`Self::params_to_bytes`]. Returns `None` when the byte length
+    /// does not match what the backend requires for `dim` coordinates.
+    fn params_from_bytes(dim: usize, bytes: &[u8]) -> Option<Self::Params>;
+
     /// Parameters for a store built empty (no rows to fit against).
     fn default_params(dim: usize) -> Self::Params;
 
@@ -217,6 +247,32 @@ pub trait FilterElem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static
 impl FilterElem for f64 {
     type Params = ();
     const NAME: &'static str = "f64";
+    const SNAPSHOT_TAG: u8 = 1;
+
+    fn elems_to_bytes(elems: &[Self], out: &mut Vec<u8>) {
+        out.reserve(elems.len() * Self::BYTES);
+        for v in elems {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn elems_from_bytes(bytes: &[u8]) -> Option<Vec<Self>> {
+        if !bytes.len().is_multiple_of(Self::BYTES) {
+            return None;
+        }
+        Some(
+            bytes
+                .chunks_exact(Self::BYTES)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("exact chunk")))
+                .collect(),
+        )
+    }
+
+    fn params_to_bytes(_params: &Self::Params, _out: &mut Vec<u8>) {}
+
+    fn params_from_bytes(_dim: usize, bytes: &[u8]) -> Option<Self::Params> {
+        bytes.is_empty().then_some(())
+    }
 
     fn default_params(_dim: usize) -> Self::Params {}
     fn fit(_dim: usize, _rows: &[Vec<f64>]) -> Self::Params {}
@@ -236,6 +292,32 @@ impl FilterElem for f64 {
 impl FilterElem for f32 {
     type Params = ();
     const NAME: &'static str = "f32";
+    const SNAPSHOT_TAG: u8 = 2;
+
+    fn elems_to_bytes(elems: &[Self], out: &mut Vec<u8>) {
+        out.reserve(elems.len() * Self::BYTES);
+        for v in elems {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn elems_from_bytes(bytes: &[u8]) -> Option<Vec<Self>> {
+        if !bytes.len().is_multiple_of(Self::BYTES) {
+            return None;
+        }
+        Some(
+            bytes
+                .chunks_exact(Self::BYTES)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("exact chunk")))
+                .collect(),
+        )
+    }
+
+    fn params_to_bytes(_params: &Self::Params, _out: &mut Vec<u8>) {}
+
+    fn params_from_bytes(_dim: usize, bytes: &[u8]) -> Option<Self::Params> {
+        bytes.is_empty().then_some(())
+    }
 
     fn default_params(_dim: usize) -> Self::Params {}
     fn fit(_dim: usize, _rows: &[Vec<f64>]) -> Self::Params {}
@@ -276,6 +358,7 @@ pub struct QuantParams {
 impl FilterElem for u8 {
     type Params = QuantParams;
     const NAME: &'static str = "u8";
+    const SNAPSHOT_TAG: u8 = 3;
     /// The in-domain filter path quantizes the query side too, doubling
     /// the score-error bound (see [`crate::sad`]) — so retrieve paths
     /// default to keeping twice the filter candidates.
@@ -295,6 +378,33 @@ impl FilterElem for u8 {
         out: &mut [f64],
     ) {
         crate::sad::sad_scan_range(weights, w_stride, queries, start, end, vectors, out);
+    }
+
+    fn elems_to_bytes(elems: &[Self], out: &mut Vec<u8>) {
+        out.extend_from_slice(elems);
+    }
+
+    fn elems_from_bytes(bytes: &[u8]) -> Option<Vec<Self>> {
+        Some(bytes.to_vec())
+    }
+
+    fn params_to_bytes(params: &Self::Params, out: &mut Vec<u8>) {
+        out.reserve((params.min.len() + params.scale.len()) * 8);
+        for v in params.min.iter().chain(&params.scale) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn params_from_bytes(dim: usize, bytes: &[u8]) -> Option<Self::Params> {
+        if bytes.len() != 2 * dim * 8 {
+            return None;
+        }
+        let mut vals = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("exact chunk")));
+        let min: Vec<f64> = vals.by_ref().take(dim).collect();
+        let scale: Vec<f64> = vals.collect();
+        Some(QuantParams { min, scale })
     }
 
     fn default_params(dim: usize) -> Self::Params {
@@ -476,6 +586,29 @@ impl<E: FilterElem> FlatStore<E> {
             rows: count,
             params,
         }
+    }
+
+    /// Reassemble a store from its serialized parts — the snapshot load
+    /// path. `data` must hold exactly `dim * rows` elements (row-major, as
+    /// produced by [`Self::as_slice`]); returns `None` otherwise so the
+    /// loader can fail with a typed error instead of panicking. The
+    /// elements are adopted verbatim — no re-encoding — which is what makes
+    /// a loaded store bit-identical to the saved one.
+    pub fn from_stored_parts(
+        dim: usize,
+        rows: usize,
+        params: E::Params,
+        data: Vec<E>,
+    ) -> Option<Self> {
+        if dim.checked_mul(rows)? != data.len() {
+            return None;
+        }
+        Some(Self {
+            data,
+            dim,
+            rows,
+            params,
+        })
     }
 
     /// Number of rows (database objects).
@@ -1920,5 +2053,98 @@ mod tests {
         let store = FlatVectors::from_rows(vec![vec![2.0]]);
         let mut out = vec![0.0; 2];
         weighted_l1_flat_batch_per_query(&weights, &queries, &store, &mut out);
+    }
+
+    #[test]
+    fn snapshot_tags_are_distinct() {
+        let tags = [
+            <f64 as FilterElem>::SNAPSHOT_TAG,
+            <f32 as FilterElem>::SNAPSHOT_TAG,
+            <u8 as FilterElem>::SNAPSHOT_TAG,
+        ];
+        let mut unique = tags.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn elem_bytes_round_trip_bitwise_including_non_finite() {
+        let f64s = [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::NAN];
+        let mut bytes = Vec::new();
+        f64::elems_to_bytes(&f64s, &mut bytes);
+        assert_eq!(bytes.len(), f64s.len() * 8);
+        let back = f64::elems_from_bytes(&bytes).unwrap();
+        for (a, b) in f64s.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let f32s = [0.0f32, -0.0, 2.25, f32::INFINITY, f32::NAN];
+        let mut bytes = Vec::new();
+        f32::elems_to_bytes(&f32s, &mut bytes);
+        assert_eq!(bytes.len(), f32s.len() * 4);
+        let back = f32::elems_from_bytes(&bytes).unwrap();
+        for (a, b) in f32s.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let u8s = [0u8, 1, 127, 255];
+        let mut bytes = Vec::new();
+        u8::elems_to_bytes(&u8s, &mut bytes);
+        assert_eq!(u8::elems_from_bytes(&bytes).unwrap(), u8s.to_vec());
+    }
+
+    #[test]
+    fn elem_bytes_reject_ragged_lengths() {
+        assert!(f64::elems_from_bytes(&[0u8; 9]).is_none());
+        assert!(f32::elems_from_bytes(&[0u8; 6]).is_none());
+        // u8 accepts any length (1 byte per element).
+        assert_eq!(u8::elems_from_bytes(&[7u8; 3]).unwrap(), vec![7u8; 3]);
+    }
+
+    #[test]
+    fn params_bytes_round_trip_and_validate() {
+        // Exact backends: zero-sized, empty image only.
+        let mut bytes = Vec::new();
+        f64::params_to_bytes(&(), &mut bytes);
+        assert!(bytes.is_empty());
+        assert!(<f64 as FilterElem>::params_from_bytes(4, &[]).is_some());
+        assert!(<f64 as FilterElem>::params_from_bytes(4, &[0u8]).is_none());
+        assert!(<f32 as FilterElem>::params_from_bytes(0, &[]).is_some());
+
+        // u8: the affine grid round-trips bit for bit.
+        let params = u8::fit(2, &[vec![-3.5, 0.25], vec![12.0, 0.25], vec![4.0, 0.25]]);
+        let mut bytes = Vec::new();
+        u8::params_to_bytes(&params, &mut bytes);
+        assert_eq!(bytes.len(), 2 * 2 * 8);
+        let back = <u8 as FilterElem>::params_from_bytes(2, &bytes).unwrap();
+        assert_eq!(back, params);
+        // Wrong dimensionality for the byte length: rejected.
+        assert!(<u8 as FilterElem>::params_from_bytes(3, &bytes).is_none());
+        assert!(<u8 as FilterElem>::params_from_bytes(2, &bytes[..24]).is_none());
+    }
+
+    #[test]
+    fn from_stored_parts_round_trips_and_validates() {
+        fn check<E: FilterElem>() {
+            let rows = vec![vec![0.5, -2.0, 7.25], vec![3.0, 0.0, -1.5]];
+            let store = FlatStore::<E>::from_rows_with_dim(3, rows);
+            let mut bytes = Vec::new();
+            E::elems_to_bytes(store.as_slice(), &mut bytes);
+            let data = E::elems_from_bytes(&bytes).unwrap();
+            let back =
+                FlatStore::<E>::from_stored_parts(3, 2, store.params().clone(), data).unwrap();
+            assert_eq!(back, store, "{}", E::NAME);
+            // Element count must equal dim * rows.
+            let data = E::elems_from_bytes(&bytes).unwrap();
+            assert!(
+                FlatStore::<E>::from_stored_parts(3, 3, store.params().clone(), data).is_none(),
+                "{}",
+                E::NAME
+            );
+        }
+        check::<f64>();
+        check::<f32>();
+        check::<u8>();
     }
 }

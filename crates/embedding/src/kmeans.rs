@@ -159,6 +159,22 @@ impl KMeans {
         Self { centroids }
     }
 
+    /// Reassemble a quantizer from previously fitted centroids — the
+    /// snapshot load path (`qse_retrieval::snapshot`). The rows are adopted
+    /// verbatim, so assignments are bit-identical to the quantizer the
+    /// centroids came from.
+    ///
+    /// # Panics
+    /// Panics if `centroids` is empty (a fitted quantizer always has at
+    /// least one cell).
+    pub fn from_centroids(centroids: FlatVectors) -> Self {
+        assert!(
+            !centroids.is_empty(),
+            "a quantizer needs at least one centroid"
+        );
+        Self { centroids }
+    }
+
     /// The fitted centroids (flat row-major, one row per cell).
     pub fn centroids(&self) -> &FlatVectors {
         &self.centroids
@@ -324,6 +340,28 @@ mod tests {
         for (i, &cell) in all.iter().enumerate() {
             assert_eq!(cell, km.assign(rows.row(i)), "row {i}");
         }
+    }
+
+    #[test]
+    fn from_centroids_reproduces_assignments() {
+        let rows = blob_rows(3, 20, 4);
+        let km = KMeans::fit(
+            &rows,
+            KMeansConfig {
+                cells: 3,
+                seed: 2,
+                max_iters: 10,
+            },
+        );
+        let rebuilt = KMeans::from_centroids(km.centroids().clone());
+        assert_eq!(rebuilt, km);
+        assert_eq!(rebuilt.assign_all(&rows), km.assign_all(&rows));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one centroid")]
+    fn from_centroids_rejects_an_empty_store() {
+        let _ = KMeans::from_centroids(FlatVectors::with_dim(2));
     }
 
     #[test]

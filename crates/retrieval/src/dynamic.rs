@@ -34,12 +34,12 @@ use rayon::prelude::*;
 /// `FilterElem::scan_filter` hook (decode path for the exact backends,
 /// the in-domain integer SAD kernel for `u8`; see `qse_distance::sad`).
 pub struct DynamicIndex<O, E: FilterElem = f64> {
-    model: QseModel<O>,
-    embedding: CompositeEmbedding<O>,
-    objects: Vec<O>,
-    vectors: FlatStore<E>,
-    p_scale: f64,
-    routing: Option<RoutingState<E>>,
+    pub(crate) model: QseModel<O>,
+    pub(crate) embedding: CompositeEmbedding<O>,
+    pub(crate) objects: Vec<O>,
+    pub(crate) vectors: FlatStore<E>,
+    pub(crate) p_scale: f64,
+    pub(crate) routing: Option<RoutingState<E>>,
 }
 
 /// The cluster-routing metadata of a [`DynamicIndex`] with routing
@@ -53,15 +53,15 @@ pub struct DynamicIndex<O, E: FilterElem = f64> {
 /// swap-remove relabelings. [`DynamicIndex::refit_store`] /
 /// [`DynamicIndex::retrain`] re-run the seeded k-means from scratch —
 /// the natural compaction point after drift.
-struct RoutingState<E: FilterElem> {
-    router: KMeans,
-    cells: Vec<FlatStore<E>>,
+pub(crate) struct RoutingState<E: FilterElem> {
+    pub(crate) router: KMeans,
+    pub(crate) cells: Vec<FlatStore<E>>,
     /// `ids[c][j]` is the global id of row `j` of cell `c`.
-    ids: Vec<Vec<usize>>,
+    pub(crate) ids: Vec<Vec<usize>>,
     /// `locs[g]` is `(cell, row-within-cell)` of global id `g` — the
     /// inverse of `ids`, kept exact through every edit.
-    locs: Vec<(usize, usize)>,
-    config: RoutedConfig,
+    pub(crate) locs: Vec<(usize, usize)>,
+    pub(crate) config: RoutedConfig,
 }
 
 /// The result of an embedding-drift check.

@@ -266,12 +266,12 @@ pub(crate) fn top_p_by_score_into(scores: &[f64], p: usize, order: &mut Vec<usiz
 /// exact distances, so a compact backend trades filter selectivity (not
 /// final correctness) for memory bandwidth; see the module docs.
 pub struct FilterRefineIndex<O, E: FilterElem = f64> {
-    kind: FilterKind<O>,
-    vectors: FlatStore<E>,
+    pub(crate) kind: FilterKind<O>,
+    pub(crate) vectors: FlatStore<E>,
     /// Oversampling factor applied to `p` in the retrieve paths (≥ 1.0;
     /// exactly 1.0 by default, where `⌈p · 1.0⌉ = p` leaves behaviour
     /// untouched).
-    p_scale: f64,
+    pub(crate) p_scale: f64,
 }
 
 /// The outcome of one filter-and-refine retrieval.

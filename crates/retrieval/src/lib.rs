@@ -24,6 +24,10 @@
 //!   unrouted pipeline.
 //! * [`dynamic`] — online insertion / removal of database objects and the
 //!   embedding-drift monitor sketched in Section 7.1.
+//! * [`snapshot`] — versioned binary snapshots of the complete retrieval
+//!   state (model, filter stores, routing metadata, tuning knobs), so a
+//!   served index starts by loading bytes instead of re-embedding and
+//!   re-clustering the database.
 //! * [`experiments`] — drivers that regenerate every figure and table of the
 //!   paper's evaluation on the synthetic workloads of `qse-dataset`.
 
@@ -36,9 +40,11 @@ pub mod experiments;
 pub mod filter_refine;
 pub mod knn;
 pub mod routed;
+pub mod snapshot;
 
 pub use dynamic::DynamicIndex;
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};
 pub use filter_refine::{FilterElem, FilterRefineIndex, FlatStore, FlatVectors, RetrievalOutcome};
 pub use knn::{ground_truth, knn_flat, knn_flat_batch, KnnResult};
 pub use routed::{recall_vs_n_probe, RoutedConfig, RoutedIndex};
+pub use snapshot::{snapshot_sections, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -92,16 +92,16 @@ impl Default for RoutedConfig {
 /// (see the module docs). Generic over the filter-store precision `E`
 /// exactly like [`FilterRefineIndex`](crate::FilterRefineIndex).
 pub struct RoutedIndex<O, E: FilterElem = f64> {
-    kind: FilterKind<O>,
-    router: KMeans,
+    pub(crate) kind: FilterKind<O>,
+    pub(crate) router: KMeans,
     /// One filter store per cell; `u8` cells share one grid fitted over
     /// the whole collection (bit-compatible with the monolithic store).
-    cells: Vec<FlatStore<E>>,
+    pub(crate) cells: Vec<FlatStore<E>>,
     /// `ids[c][j]` is the global database id of row `j` of cell `c`.
-    ids: Vec<Vec<usize>>,
-    n_probe: usize,
-    p_scale: f64,
-    len: usize,
+    pub(crate) ids: Vec<Vec<usize>>,
+    pub(crate) n_probe: usize,
+    pub(crate) p_scale: f64,
+    pub(crate) len: usize,
 }
 
 /// Global ids of the `p` smallest scores under the strict total order

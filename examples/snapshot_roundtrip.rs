@@ -1,0 +1,204 @@
+//! Cross-process snapshot round-trip: `save` builds a routed `u8` index
+//! over a 100k-row dim-64 Gaussian workload, writes the snapshot plus an
+//! `<file>.expected.json` of its retrieval results; `load` — run in a
+//! **fresh process** — loads the snapshot, replays the same queries and
+//! asserts the outcomes (neighbors, exact distances, `probe_cells`) are
+//! bit-identical to what the saving process recorded. This is the CI
+//! step behind the "snapshots survive process exit" guarantee:
+//!
+//! ```sh
+//! cargo run --release --example snapshot_roundtrip -- save /tmp/qse.snap
+//! cargo run --release --example snapshot_roundtrip -- load /tmp/qse.snap
+//! ```
+//!
+//! With no arguments both halves run in one process against a temp file.
+
+use query_sensitive_embeddings::core::json::{JsonCodec, JsonValue};
+use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const ROWS: usize = 100_000;
+const DIM: usize = 64;
+const QUERIES: usize = 32;
+const K: usize = 10;
+const P: usize = 100;
+
+/// The deterministic workload both processes regenerate independently —
+/// nothing about the data rides along with the snapshot.
+fn workload() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mix = GaussianMixture::generate(GaussianMixtureConfig {
+        rows: ROWS,
+        dim: DIM,
+        clusters: 32,
+        center_box: 10.0,
+        spread: 0.5,
+        seed: 0x5EED_CAFE,
+    });
+    let queries = mix.queries(QUERIES, 0xBEEF);
+    (mix.points, queries)
+}
+
+fn train_model(database: &[Vec<f64>], distance: &LpDistance) -> QseModel<Vec<f64>> {
+    let pool: Vec<Vec<f64>> = database.iter().take(80).cloned().collect();
+    let data = TrainingData::precompute(pool.clone(), pool, distance, 6);
+    let mut rng = StdRng::seed_from_u64(1717);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 600, &mut rng);
+    BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+}
+
+/// What the saving process pins for the loading process to replay.
+struct Expected {
+    probe_cells: Vec<Vec<usize>>,
+    neighbors: Vec<Vec<usize>>,
+    distances: Vec<Vec<f64>>,
+}
+
+impl Expected {
+    fn record(
+        index: &RoutedIndex<Vec<f64>, u8>,
+        queries: &[Vec<f64>],
+        database: &[Vec<f64>],
+        distance: &LpDistance,
+    ) -> Self {
+        let outcomes = index.retrieve_batch(queries, database, distance, K, P);
+        Self {
+            probe_cells: queries
+                .iter()
+                .map(|q| index.probe_cells(q, distance))
+                .collect(),
+            neighbors: outcomes.iter().map(|o| o.neighbors.clone()).collect(),
+            distances: outcomes.iter().map(|o| o.distances.clone()).collect(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("probe_cells".into(), self.probe_cells.to_json_value()),
+            ("neighbors".into(), self.neighbors.to_json_value()),
+            ("distances".into(), self.distances.to_json_value()),
+        ])
+        .dump()
+    }
+
+    fn from_json(text: &str) -> Self {
+        let value = JsonValue::parse(text).expect("expected-results JSON must parse");
+        let field = |name: &str| match &value {
+            JsonValue::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing field `{name}`")),
+            _ => panic!("expected-results JSON must be an object"),
+        };
+        Self {
+            probe_cells: Vec::from_json_value(field("probe_cells")).unwrap(),
+            neighbors: Vec::from_json_value(field("neighbors")).unwrap(),
+            distances: Vec::from_json_value(field("distances")).unwrap(),
+        }
+    }
+}
+
+fn expected_path(snapshot: &str) -> String {
+    format!("{snapshot}.expected.json")
+}
+
+fn save(path: &str) {
+    let (database, queries) = workload();
+    let distance = LpDistance::l2();
+    let model = train_model(&database, &distance);
+
+    let start = Instant::now();
+    let index = RoutedIndex::<_, u8>::build_query_sensitive_with_store(
+        model,
+        &database,
+        &distance,
+        RoutedConfig {
+            cells: 64,
+            n_probe: 8,
+            ..RoutedConfig::default()
+        },
+    );
+    println!(
+        "built routed u8 index over {ROWS} rows (dim {DIM}) in {:.2?}",
+        start.elapsed()
+    );
+
+    index.save(path).expect("snapshot save must succeed");
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("snapshot: {path} ({bytes} bytes)");
+
+    let expected = Expected::record(&index, &queries, &database, &distance);
+    std::fs::write(expected_path(path), expected.to_json())
+        .expect("expected-results write must succeed");
+    println!("expected results: {}", expected_path(path));
+}
+
+fn load(path: &str) {
+    let (database, queries) = workload();
+    let distance = LpDistance::l2();
+
+    let start = Instant::now();
+    let index = RoutedIndex::<Vec<f64>, u8>::load(path).unwrap_or_else(|e| {
+        eprintln!("failed to load snapshot {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "loaded routed u8 index ({} rows, {} cells, n_probe {}) in {:.2?}",
+        index.len(),
+        index.cells(),
+        index.n_probe(),
+        start.elapsed()
+    );
+    assert_eq!(index.len(), ROWS);
+
+    let text = std::fs::read_to_string(expected_path(path))
+        .expect("expected-results JSON must be readable");
+    let expected = Expected::from_json(&text);
+
+    let outcomes = index.retrieve_batch(&queries, &database, &distance, K, P);
+    for (q, (query, outcome)) in queries.iter().zip(&outcomes).enumerate() {
+        assert_eq!(
+            index.probe_cells(query, &distance),
+            expected.probe_cells[q],
+            "query {q}: routing diverged across processes"
+        );
+        assert_eq!(
+            outcome.neighbors, expected.neighbors[q],
+            "query {q}: neighbors diverged across processes"
+        );
+        // Bit-level equality, deliberately not approximate.
+        assert_eq!(
+            outcome.distances, expected.distances[q],
+            "query {q}: exact distances diverged across processes"
+        );
+        // Sequential retrieval agrees with the batch it was pinned from.
+        let solo = index.retrieve(query, &database, &distance, K, P);
+        assert_eq!(solo.neighbors, expected.neighbors[q], "query {q}");
+    }
+    println!(
+        "{} queries replayed bit-identically (top-{K}, probe_cells included) ✓",
+        queries.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "save" => save(path),
+        [cmd, path] if cmd == "load" => load(path),
+        [] => {
+            let path = std::env::temp_dir().join(format!("qse-snapshot-{}", std::process::id()));
+            let path = path.to_string_lossy().into_owned();
+            save(&path);
+            load(&path);
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(expected_path(&path));
+        }
+        _ => {
+            eprintln!("usage: snapshot_roundtrip [save <file> | load <file>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -81,8 +81,8 @@ pub mod prelude {
         CompositeEmbedding, Embedding, FastMap, FastMapConfig, KMeans, KMeansConfig, OneDEmbedding,
     };
     pub use qse_retrieval::{
-        experiments, ground_truth, knn_flat, knn_flat_batch, recall_vs_n_probe, CostReport,
-        DynamicIndex, FilterRefineIndex, MethodEvaluation, RetrievalOutcome, RoutedConfig,
-        RoutedIndex,
+        experiments, ground_truth, knn_flat, knn_flat_batch, recall_vs_n_probe, snapshot_sections,
+        CostReport, DynamicIndex, FilterRefineIndex, MethodEvaluation, RetrievalOutcome,
+        RoutedConfig, RoutedIndex, SnapshotError,
     };
 }

@@ -1,0 +1,404 @@
+//! Snapshot round-trip guarantees: `save` → `load` → retrieve must be
+//! **bit-identical** to the index that was saved, for every store backend
+//! (`f64` / `f32` / `u8`), every index kind (static [`FilterRefineIndex`],
+//! [`DynamicIndex`] with and without routing, [`RoutedIndex`]) and at
+//! every thread count in the CI matrix (1 / 2 / 8) — a snapshot written
+//! under one parallelism setting must replay exactly under another.
+//!
+//! Also pinned here: the knobs survive the trip (`p_scale`, `n_probe`,
+//! the `DEFAULT_P_SCALE`-seeded backend defaults, `probe_cells` routing
+//! decisions), a *churned* dynamic index (insert / remove / refit after
+//! build, then save) round-trips and keeps editing after the load, and
+//! the file-level `save` / `load` wrappers behave like the byte-level
+//! API.
+
+mod common;
+
+use common::with_thread_count;
+use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0..9);
+            vec![
+                (c % 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+                (c / 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+fn train_model(db: &[Vec<f64>]) -> QseModel<Vec<f64>> {
+    let d = LpDistance::l2();
+    let pools: Vec<Vec<f64>> = db.iter().take(60).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &d, 6);
+    let mut rng = StdRng::seed_from_u64(1717);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 600, &mut rng);
+    BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+}
+
+/// A scratch file path unique to the calling test (tests in one binary
+/// run concurrently) that is deleted on drop.
+struct ScratchFile(std::path::PathBuf);
+
+impl ScratchFile {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "qse-snapshot-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        Self(path)
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// The static index round-trip, generic over the store backend: bytes
+/// and file forms both reload to an index whose sequential and batched
+/// outcomes (neighbors, distances *and* cost accounting) are identical
+/// at 1, 2 and 8 threads.
+fn assert_static_roundtrip<E: FilterElem>() {
+    let db = clustered(300, 101);
+    let d = LpDistance::l2();
+    let queries = clustered(24, 103);
+    let (k, p) = (4, 30);
+
+    let model = train_model(&db);
+    let index = FilterRefineIndex::<_, E>::build_query_sensitive_with_store(model, &db, &d)
+        .with_p_scale(1.5);
+    let bytes = index.to_snapshot_bytes().unwrap();
+    let loaded = FilterRefineIndex::<Vec<f64>, E>::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(loaded.p_scale(), 1.5, "{}", E::NAME);
+    assert_eq!(loaded.len(), index.len(), "{}", E::NAME);
+
+    let file = ScratchFile::new(&format!("static-{}", E::NAME));
+    index.save(&file.0).unwrap();
+    let from_file = FilterRefineIndex::<Vec<f64>, E>::load(&file.0).unwrap();
+
+    for threads in [1, 2, 8] {
+        with_thread_count(threads, || {
+            let expected = index.retrieve_batch(&queries, &db, &d, k, p);
+            assert_eq!(
+                loaded.retrieve_batch(&queries, &db, &d, k, p),
+                expected,
+                "{} bytes, {threads} threads",
+                E::NAME
+            );
+            assert_eq!(
+                from_file.retrieve_batch(&queries, &db, &d, k, p),
+                expected,
+                "{} file, {threads} threads",
+                E::NAME
+            );
+            for (q, query) in queries.iter().enumerate() {
+                assert_eq!(
+                    loaded.retrieve(query, &db, &d, k, p),
+                    expected[q],
+                    "{} sequential, {threads} threads, query {q}",
+                    E::NAME
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn static_index_roundtrips_bitwise_f64() {
+    assert_static_roundtrip::<f64>();
+}
+
+#[test]
+fn static_index_roundtrips_bitwise_f32() {
+    assert_static_roundtrip::<f32>();
+}
+
+#[test]
+fn static_index_roundtrips_bitwise_u8() {
+    assert_static_roundtrip::<u8>();
+}
+
+/// The routed index round-trip: routing decisions (`probe_cells`), cell
+/// layout, `n_probe` and retrieval outcomes all replay exactly.
+fn assert_routed_roundtrip<E: FilterElem>() {
+    let db = clustered(400, 111);
+    let d = LpDistance::l2();
+    let queries = clustered(24, 113);
+    let (k, p) = (4, 30);
+
+    let model = train_model(&db);
+    let mut index = RoutedIndex::<_, E>::build_query_sensitive_with_store(
+        model,
+        &db,
+        &d,
+        RoutedConfig {
+            cells: 9,
+            n_probe: 3,
+            ..RoutedConfig::default()
+        },
+    );
+    index.set_n_probe(4);
+    let bytes = index.to_snapshot_bytes().unwrap();
+    let loaded = RoutedIndex::<Vec<f64>, E>::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(loaded.n_probe(), 4, "{}", E::NAME);
+    assert_eq!(loaded.p_scale(), index.p_scale(), "{}", E::NAME);
+    assert_eq!(loaded.len(), index.len(), "{}", E::NAME);
+    assert_eq!(loaded.cell_sizes(), index.cell_sizes(), "{}", E::NAME);
+
+    let file = ScratchFile::new(&format!("routed-{}", E::NAME));
+    index.save(&file.0).unwrap();
+    let from_file = RoutedIndex::<Vec<f64>, E>::load(&file.0).unwrap();
+
+    for threads in [1, 2, 8] {
+        with_thread_count(threads, || {
+            let expected = index.retrieve_batch(&queries, &db, &d, k, p);
+            assert_eq!(
+                loaded.retrieve_batch(&queries, &db, &d, k, p),
+                expected,
+                "{} bytes, {threads} threads",
+                E::NAME
+            );
+            assert_eq!(
+                from_file.retrieve_batch(&queries, &db, &d, k, p),
+                expected,
+                "{} file, {threads} threads",
+                E::NAME
+            );
+            for (q, query) in queries.iter().enumerate() {
+                assert_eq!(
+                    loaded.probe_cells(query, &d),
+                    index.probe_cells(query, &d),
+                    "{} probe_cells, {threads} threads, query {q}",
+                    E::NAME
+                );
+                assert_eq!(
+                    loaded.retrieve(query, &db, &d, k, p),
+                    expected[q],
+                    "{} sequential, {threads} threads, query {q}",
+                    E::NAME
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn routed_index_roundtrips_bitwise_f64() {
+    assert_routed_roundtrip::<f64>();
+}
+
+#[test]
+fn routed_index_roundtrips_bitwise_f32() {
+    assert_routed_roundtrip::<f32>();
+}
+
+#[test]
+fn routed_index_roundtrips_bitwise_u8() {
+    assert_routed_roundtrip::<u8>();
+}
+
+/// The dynamic index round-trip over a **churned** index: build, enable
+/// routing, insert, remove, refit the store, save — the loaded index
+/// must retrieve identically at every thread count *and* support further
+/// edits that stay in lockstep with the original.
+fn assert_dynamic_roundtrip<E: FilterElem>(route: bool) {
+    let db = clustered(300, 121);
+    let d = LpDistance::l2();
+    let queries = clustered(20, 123);
+    let (k, p) = (4, 25);
+
+    let model = train_model(&db);
+    let mut index = DynamicIndex::<_, E>::with_store(model, db, &d);
+    if route {
+        index.enable_routing(
+            RoutedConfig {
+                cells: 9,
+                n_probe: 3,
+                ..RoutedConfig::default()
+            },
+            &d,
+        );
+    }
+    // Churn before saving: drift in, shrink, refit the grid.
+    for object in clustered(40, 127) {
+        index.insert(object, &d);
+    }
+    for i in [5, 100, 250] {
+        index.remove(i);
+    }
+    index.refit_store(&d);
+
+    let bytes = index.to_snapshot_bytes().unwrap();
+    let mut loaded = DynamicIndex::<Vec<f64>, E>::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(loaded.len(), index.len(), "{}", E::NAME);
+    assert_eq!(loaded.p_scale(), index.p_scale(), "{}", E::NAME);
+    assert_eq!(loaded.routing(), index.routing(), "{}", E::NAME);
+    assert_eq!(
+        loaded.vectors().as_slice(),
+        index.vectors().as_slice(),
+        "{}: stored filter bytes must round-trip exactly",
+        E::NAME
+    );
+
+    let file = ScratchFile::new(&format!("dynamic-{route}-{}", E::NAME));
+    index.save(&file.0).unwrap();
+    let from_file = DynamicIndex::<Vec<f64>, E>::load(&file.0).unwrap();
+
+    for threads in [1, 2, 8] {
+        with_thread_count(threads, || {
+            let expected = index.retrieve_batch(&queries, &d, k, p);
+            assert_eq!(
+                loaded.retrieve_batch(&queries, &d, k, p),
+                expected,
+                "{} bytes, routed={route}, {threads} threads",
+                E::NAME
+            );
+            assert_eq!(
+                from_file.retrieve_batch(&queries, &d, k, p),
+                expected,
+                "{} file, routed={route}, {threads} threads",
+                E::NAME
+            );
+        });
+    }
+
+    // The loaded index stays editable, in lockstep with the original.
+    let mut index = index;
+    for object in clustered(10, 131) {
+        assert_eq!(
+            loaded.insert(object.clone(), &d),
+            index.insert(object, &d),
+            "{}",
+            E::NAME
+        );
+    }
+    index.remove(7);
+    loaded.remove(7);
+    assert_eq!(
+        loaded.retrieve_batch(&queries, &d, k, p),
+        index.retrieve_batch(&queries, &d, k, p),
+        "{}: post-load edits must stay in lockstep",
+        E::NAME
+    );
+}
+
+#[test]
+fn dynamic_index_roundtrips_bitwise_f64() {
+    assert_dynamic_roundtrip::<f64>(false);
+}
+
+#[test]
+fn dynamic_index_roundtrips_bitwise_f32() {
+    assert_dynamic_roundtrip::<f32>(false);
+}
+
+#[test]
+fn dynamic_index_roundtrips_bitwise_u8() {
+    assert_dynamic_roundtrip::<u8>(false);
+}
+
+#[test]
+fn routed_dynamic_index_roundtrips_bitwise_f64() {
+    assert_dynamic_roundtrip::<f64>(true);
+}
+
+#[test]
+fn routed_dynamic_index_roundtrips_bitwise_f32() {
+    assert_dynamic_roundtrip::<f32>(true);
+}
+
+#[test]
+fn routed_dynamic_index_roundtrips_bitwise_u8() {
+    assert_dynamic_roundtrip::<u8>(true);
+}
+
+/// Knob restoration pinned explicitly: a freshly built `u8` index (which
+/// seeds `p_scale` from `u8::DEFAULT_P_SCALE = 2.0`) and its loaded
+/// snapshot report the same knobs and produce identical `probe_cells`
+/// and top-k — nothing about the defaults is re-derived at load time.
+#[test]
+fn load_restores_default_seeded_knobs_exactly() {
+    let db = clustered(400, 141);
+    let d = LpDistance::l2();
+    let queries = clustered(16, 143);
+    let model = train_model(&db);
+
+    let fresh = RoutedIndex::<_, u8>::build_query_sensitive_with_store(
+        model,
+        &db,
+        &d,
+        RoutedConfig {
+            cells: 8,
+            n_probe: 3,
+            ..RoutedConfig::default()
+        },
+    );
+    assert_eq!(fresh.p_scale(), <u8 as FilterElem>::DEFAULT_P_SCALE);
+    let loaded =
+        RoutedIndex::<Vec<f64>, u8>::from_snapshot_bytes(&fresh.to_snapshot_bytes().unwrap())
+            .unwrap();
+    assert_eq!(loaded.p_scale(), <u8 as FilterElem>::DEFAULT_P_SCALE);
+    assert_eq!(loaded.n_probe(), fresh.n_probe());
+    for q in &queries {
+        assert_eq!(loaded.probe_cells(q, &d), fresh.probe_cells(q, &d));
+        assert_eq!(
+            loaded.retrieve(q, &db, &d, 5, 20),
+            fresh.retrieve(q, &db, &d, 5, 20)
+        );
+    }
+
+    // A non-default override survives the trip too (no re-seeding).
+    let fresh = fresh.with_p_scale(3.25);
+    let loaded =
+        RoutedIndex::<Vec<f64>, u8>::from_snapshot_bytes(&fresh.to_snapshot_bytes().unwrap())
+            .unwrap();
+    assert_eq!(loaded.p_scale(), 3.25);
+}
+
+/// A snapshot written under one thread count must replay identically
+/// when loaded under another — the bytes carry no parallelism residue.
+#[test]
+fn snapshots_are_thread_count_invariant() {
+    let db = clustered(300, 151);
+    let d = LpDistance::l2();
+    let queries = clustered(12, 153);
+    let model = train_model(&db);
+
+    let bytes_by_threads: Vec<Vec<u8>> = [1, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            with_thread_count(threads, || {
+                RoutedIndex::<_, u8>::build_query_sensitive_with_store(
+                    model.clone(),
+                    &db,
+                    &d,
+                    RoutedConfig {
+                        cells: 6,
+                        n_probe: 2,
+                        ..RoutedConfig::default()
+                    },
+                )
+                .to_snapshot_bytes()
+                .unwrap()
+            })
+        })
+        .collect();
+    assert_eq!(bytes_by_threads[0], bytes_by_threads[1]);
+    assert_eq!(bytes_by_threads[0], bytes_by_threads[2]);
+
+    let index = RoutedIndex::<Vec<f64>, u8>::from_snapshot_bytes(&bytes_by_threads[0]).unwrap();
+    let expected = with_thread_count(1, || index.retrieve_batch(&queries, &db, &d, 4, 20));
+    for threads in [2, 8] {
+        with_thread_count(threads, || {
+            assert_eq!(index.retrieve_batch(&queries, &db, &d, 4, 20), expected);
+        });
+    }
+}
