@@ -1,0 +1,228 @@
+//! Serving-path benchmark: measured p50/p99 latency and queries/second
+//! of the HTTP front end, swept over the admission batcher's
+//! latency-budget knob — the number that tells you what batch locality
+//! costs (per-request latency) and buys (throughput) on this machine.
+//!
+//! For each budget the bench starts a [`QseServer`] over a routed `u8`
+//! index (snapshot-loadable deployment shape), drives it with concurrent
+//! keep-alive TCP clients replaying a duplicate-scattered query mix, and
+//! prints one row:
+//!
+//! ```text
+//! serving/np6of32/budget500us  p50 1.92ms  p99 6.01ms  3610 req/s  mean batch 5.3  dedupe 31
+//! ```
+//!
+//! Run with `cargo bench -p qse-bench --bench bench_serving`; the
+//! `--test` flag (CI's bench smoke) shrinks the workload to a quick
+//! single pass. Not a criterion harness: latency percentiles under
+//! concurrent load need wall-clock histograms, not per-iteration means.
+
+use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData, TripleSampler};
+use qse_dataset::{GaussianMixture, GaussianMixtureConfig};
+use qse_distance::LpDistance;
+use qse_retrieval::{RoutedConfig, RoutedIndex};
+use qse_serve::{BatcherConfig, QseApi, QseServer, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const K: usize = 10;
+const P: usize = 100;
+
+struct Load {
+    rows: usize,
+    dim: usize,
+    clients: usize,
+    requests_per_client: usize,
+}
+
+fn train_model(database: &[Vec<f64>], distance: &LpDistance) -> qse_core::QseModel<Vec<f64>> {
+    let pool: Vec<Vec<f64>> = database.iter().take(80).cloned().collect();
+    let data = TrainingData::precompute(pool.clone(), pool, distance, 6);
+    let mut rng = StdRng::seed_from_u64(1717);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 600, &mut rng);
+    BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+}
+
+fn build_api(load: &Load) -> (QseApi, Vec<Vec<f64>>) {
+    let mix = GaussianMixture::generate(GaussianMixtureConfig {
+        rows: load.rows,
+        dim: load.dim,
+        clusters: 32,
+        center_box: 10.0,
+        spread: 0.5,
+        seed: 0x5EED_CAFE,
+    });
+    let queries = mix.queries(128, 0xBEEF);
+    let distance = LpDistance::l2();
+    let model = train_model(&mix.points, &distance);
+    let index = RoutedIndex::<_, u8>::build_query_sensitive_with_store(
+        model,
+        &mix.points,
+        &distance,
+        RoutedConfig {
+            cells: 32,
+            n_probe: 6,
+            ..RoutedConfig::default()
+        },
+    );
+    let api = QseApi::from_routed(index, mix.points, Box::new(LpDistance::l2()))
+        .expect("facade construction");
+    (api, queries)
+}
+
+fn post(stream: &mut TcpStream, body: &str) -> u16 {
+    stream
+        .write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("request write");
+    // Head, then Content-Length body bytes (keep-alive: the connection
+    // carries the next request).
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head).to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Content-Length");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("response body");
+    status
+}
+
+fn query_body(query: &[f64]) -> String {
+    let coords: Vec<String> = query.iter().map(|x| format!("{x:?}")).collect();
+    format!(r#"{{"query":[{}],"k":{K},"p":{P}}}"#, coords.join(","))
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+/// One bench cell: serve `api` with the given latency budget, drive the
+/// concurrent load, report the latency histogram and throughput.
+fn run_cell(load: &Load, api: QseApi, queries: &[Vec<f64>], budget: Duration, label: &str) {
+    // Pre-rendered bodies with duplicates scattered through the mix
+    // (every third request repeats an earlier query), so the dedupe
+    // column reflects a realistic repeated-query share.
+    let bodies: Vec<String> = (0..load.clients * load.requests_per_client)
+        .map(|i| {
+            let qi = if i % 3 == 2 { i / 2 } else { i } % queries.len();
+            query_body(&queries[qi])
+        })
+        .collect();
+
+    let mut server = QseServer::start(
+        api,
+        ServeConfig {
+            batcher: BatcherConfig {
+                latency_budget: budget,
+                max_batch: 64,
+                workers: 2,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr: SocketAddr = server.addr();
+
+    let wall = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(bodies.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies
+            .chunks(load.requests_per_client)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    let mut local = Vec::with_capacity(chunk.len());
+                    for body in chunk {
+                        let start = Instant::now();
+                        let status = post(&mut stream, body);
+                        local.push(start.elapsed());
+                        assert_eq!(status, 200);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    let wall = wall.elapsed();
+    latencies.sort();
+    let stats = server.batcher_stats();
+    println!(
+        "serving/{label}  p50 {:.2?}  p99 {:.2?}  {:.0} req/s  mean batch {:.1}  dedupe {}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        latencies.len() as f64 / wall.as_secs_f64(),
+        stats.queries as f64 / stats.batches.max(1) as f64,
+        stats.deduped
+    );
+    server.shutdown();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let load = if smoke {
+        Load {
+            rows: 2_000,
+            dim: 16,
+            clients: 4,
+            requests_per_client: 8,
+        }
+    } else {
+        Load {
+            rows: 50_000,
+            dim: 32,
+            clients: 8,
+            requests_per_client: 96,
+        }
+    };
+    let budgets: &[(Duration, &str)] = if smoke {
+        &[(Duration::from_micros(500), "budget500us")]
+    } else {
+        &[
+            (Duration::ZERO, "budget0"),
+            (Duration::from_micros(250), "budget250us"),
+            (Duration::from_micros(500), "budget500us"),
+            (Duration::from_millis(2), "budget2ms"),
+        ]
+    };
+
+    let setup = Instant::now();
+    println!(
+        "serving bench: routed u8 index, {} rows dim {}, {} clients × {} requests, k={K} p={P}",
+        load.rows, load.dim, load.clients, load.requests_per_client
+    );
+    for (budget, tag) in budgets {
+        // Each cell gets a fresh index build (the facade moves into the
+        // server); identical seeds make every cell serve identical state.
+        let (api, queries) = build_api(&load);
+        let label = format!("np6of32/{tag}");
+        run_cell(&load, api, &queries, *budget, &label);
+    }
+    eprintln!("total bench wall time {:.2?}", setup.elapsed());
+}

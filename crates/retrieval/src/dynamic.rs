@@ -9,9 +9,10 @@
 //! [`DynamicIndex`] implements exactly that protocol on top of a trained
 //! [`QseModel`].
 
+use crate::error::{check_query_params, QueryError};
 use crate::filter_refine::{tiled_query_pipeline, top_p_by_score, FilterElem, FlatStore};
 use crate::knn::knn;
-use crate::routed::{top_ids_by_score, RoutedConfig};
+use crate::routed::{probe_prefix, top_ids_by_score, RoutedConfig};
 use qse_core::{QseModel, TripleSampler};
 use qse_distance::{DistanceMatrix, DistanceMeasure};
 use qse_embedding::{CompositeEmbedding, Embedding, KMeans, KMeansConfig};
@@ -157,15 +158,27 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     ///
     /// # Panics
     /// Panics if routing is not enabled or `n_probe` is outside
-    /// `1..=cells`.
+    /// `1..=cells` (the fallible form is
+    /// [`Self::try_set_routing_n_probe`]).
     pub fn set_routing_n_probe(&mut self, n_probe: usize) {
-        let routing = self.routing.as_mut().expect("routing is not enabled");
-        assert!(
-            n_probe >= 1 && n_probe <= routing.cells.len(),
-            "n_probe = {n_probe} must be in 1..={}",
-            routing.cells.len()
-        );
+        self.try_set_routing_n_probe(n_probe)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Self::set_routing_n_probe`]:
+    /// [`QueryError::RoutingDisabled`] when routing is not enabled,
+    /// [`QueryError::BadNProbe`] when `n_probe` is outside `1..=cells` —
+    /// in both cases the knob is left untouched.
+    pub fn try_set_routing_n_probe(&mut self, n_probe: usize) -> Result<(), QueryError> {
+        let routing = self.routing.as_mut().ok_or(QueryError::RoutingDisabled)?;
+        if n_probe < 1 || n_probe > routing.cells.len() {
+            return Err(QueryError::BadNProbe {
+                n_probe,
+                cells: routing.cells.len(),
+            });
+        }
         routing.config.n_probe = n_probe;
+        Ok(())
     }
 
     /// Fit a fresh routing state over the current database: re-embed
@@ -223,11 +236,20 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     /// untouched.
     ///
     /// # Panics
-    /// Panics if `p_scale` is not finite or is below `1.0`.
-    pub fn with_p_scale(mut self, p_scale: f64) -> Self {
-        crate::filter_refine::validate_p_scale(p_scale);
+    /// Panics if `p_scale` is not finite or is below `1.0` (the fallible
+    /// form is [`Self::try_with_p_scale`]).
+    pub fn with_p_scale(self, p_scale: f64) -> Self {
+        self.try_with_p_scale(p_scale)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::with_p_scale`]: the index back with the factor
+    /// applied, or [`QueryError::BadPScale`] — for server config/reload
+    /// paths, where a bad knob must be an error, not a process death.
+    pub fn try_with_p_scale(mut self, p_scale: f64) -> Result<Self, QueryError> {
+        crate::error::check_p_scale(p_scale)?;
         self.p_scale = p_scale;
-        self
+        Ok(self)
     }
 
     /// The current filter oversampling factor (see [`Self::with_p_scale`]).
@@ -254,6 +276,15 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     /// The underlying model.
     pub fn model(&self) -> &QseModel<O> {
         &self.model
+    }
+
+    /// The objects currently indexed, in global-id order ([`Self::retrieve`]
+    /// returns indices into this slice). A dynamic index owns its
+    /// collection, so callers serving it (which must report exact
+    /// distances alongside neighbor ids) read the objects from here
+    /// instead of carrying a parallel copy.
+    pub fn objects(&self) -> &[O] {
+        &self.objects
     }
 
     /// The embedded database vectors (flat row-major storage in the
@@ -378,7 +409,8 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     /// bit-identical to the unrouted scan.
     ///
     /// # Panics
-    /// Panics if the index is empty or `p < k` or `p > len()`.
+    /// Panics if the index is empty or `p < k` or `p > len()` (the
+    /// fallible form is [`Self::try_retrieve`]).
     pub fn retrieve(
         &self,
         query: &O,
@@ -386,8 +418,27 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         k: usize,
         p: usize,
     ) -> Vec<usize> {
-        assert!(!self.objects.is_empty(), "cannot query an empty index");
-        assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
+        self.try_retrieve(query, distance, k, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::retrieve`]: the neighbor ids, or a typed
+    /// [`QueryError`] for any parameter the asserting form would panic
+    /// on — the entry point a serving layer calls so a malformed request
+    /// is an error response, never an unwinding thread.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyIndex`] when every object has been removed,
+    /// [`QueryError::BadK`] when `k` is zero, and [`QueryError::BadP`]
+    /// when `p` is outside `k..=len()`.
+    pub fn try_retrieve(
+        &self,
+        query: &O,
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<usize>, QueryError> {
+        self.validate(k, p)?;
         let eq = self.model.embed_query(query, distance);
         if let Some(r) = &self.routing {
             // Routed path: rank centroids by the query's filter distance,
@@ -400,7 +451,12 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
             for (i, s) in cell_scores.iter_mut().enumerate() {
                 *s = eq.distance_to(r.router.centroids().row(i));
             }
-            let visited = top_p_by_score(&cell_scores, n_probe);
+            // Rank all cells and extend past n_probe while the visited
+            // pool holds fewer than k rows: online removes can empty a
+            // cell, and a query routed only into emptied cells must not
+            // starve the refine step (see `routed::probe_prefix`).
+            let ranked = top_p_by_score(&cell_scores, c);
+            let visited = probe_prefix(&ranked, &r.cells, n_probe, k);
             let pool: usize = visited.iter().map(|&v| r.cells[v].len()).sum();
             let mut scores = Vec::with_capacity(pool);
             let mut gids = Vec::with_capacity(pool);
@@ -412,7 +468,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
             }
             let keep = self.effective_p(p).min(pool);
             let order = top_ids_by_score(&scores, &gids, keep);
-            return self.refine(query, distance, k, &order);
+            return Ok(self.refine(query, distance, k, &order));
         }
         // Filter step: one backend-dispatched pass over the flat storage
         // (the blocked weighted-L1 kernel for the exact backends, the
@@ -422,7 +478,16 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         let mut scores = vec![0.0; self.vectors.len()];
         eq.score_filter(&self.vectors, &mut scores);
         let order = top_p_by_score(&scores, self.effective_p(p));
-        self.refine(query, distance, k, &order)
+        Ok(self.refine(query, distance, k, &order))
+    }
+
+    /// The shared request validation of the retrieve paths: a non-empty
+    /// index, then `k`/`p` against the current database size.
+    fn validate(&self, k: usize, p: usize) -> Result<(), QueryError> {
+        if self.objects.is_empty() {
+            return Err(QueryError::EmptyIndex);
+        }
+        check_query_params(k, p, self.objects.len())
     }
 
     /// The refine step shared by [`Self::retrieve`] and
@@ -460,7 +525,8 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
     /// an empty vector.
     ///
     /// # Panics
-    /// As [`Self::retrieve`] (when the batch is non-empty).
+    /// As [`Self::retrieve`] (when the batch is non-empty; the fallible
+    /// form is [`Self::try_retrieve_batch`]).
     pub fn retrieve_batch(
         &self,
         queries: &[O],
@@ -474,28 +540,51 @@ impl<O: Clone + Send + Sync, E: FilterElem> DynamicIndex<O, E> {
         if queries.is_empty() {
             return Vec::new();
         }
-        assert!(!self.objects.is_empty(), "cannot query an empty index");
-        assert!(k >= 1 && p >= k && p <= self.objects.len(), "invalid k/p");
+        self.try_retrieve_batch(queries, distance, k, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::retrieve_batch`]: one neighbor list per query in
+    /// query order, or a typed [`QueryError`] — including
+    /// [`QueryError::EmptyBatch`] for a zero-query batch, which the
+    /// asserting form instead maps to an empty result vector.
+    ///
+    /// # Errors
+    /// As [`Self::try_retrieve`], plus [`QueryError::EmptyBatch`].
+    pub fn try_retrieve_batch(
+        &self,
+        queries: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<Vec<usize>>, QueryError>
+    where
+        O: PartialEq,
+    {
+        if queries.is_empty() {
+            return Err(QueryError::EmptyBatch);
+        }
+        self.validate(k, p)?;
         if self.routing.is_some() {
             // Routed path: per-query routed retrieval, parallel over the
             // batch. Each query touches only its n_probe cells, so the
             // dense Q×N tiling of the unrouted path (whose tiles want every
             // query to scan the same rows) buys nothing here; the static
             // `RoutedIndex` owns the grouped-by-cell batched kernel.
-            return queries
+            return Ok(queries
                 .par_iter()
                 .map(|q| self.retrieve(q, distance, k, p))
-                .collect();
+                .collect());
         }
         let batch = self.model.embed_queries(queries, distance);
-        tiled_query_pipeline(
+        Ok(tiled_query_pipeline(
             queries.len(),
             self.vectors.len(),
             self.effective_p(p),
             |a, b| queries[a] == queries[b],
             |q0, q1, scores| batch.score_filter_batch_range(q0, q1, &self.vectors, scores),
             |q, _row, order| self.refine(&queries[q], distance, k, order),
-        )
+        ))
     }
 
     /// The drift check of Section 7.1: sample `triple_count` triples from the
@@ -706,11 +795,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid k/p")]
+    #[should_panic(expected = "p = 2 must be at least k = 5")]
     fn retrieve_batch_rejects_invalid_parameters() {
         let (index, _) = trained_index(12);
         let d = euclid();
         let _ = index.retrieve_batch(&[vec![0.0, 0.0]], &d, 5, 2);
+    }
+
+    #[test]
+    fn try_api_returns_typed_errors_instead_of_panicking() {
+        let (mut index, _) = trained_index(13);
+        let d = euclid();
+        let q = vec![0.0, 0.0];
+        let n = index.len();
+        assert_eq!(
+            index.try_retrieve(&q, &d, 0, 5),
+            Err(QueryError::BadK { k: 0 })
+        );
+        assert_eq!(
+            index.try_retrieve(&q, &d, 5, 2),
+            Err(QueryError::BadP { k: 5, p: 2, max: n })
+        );
+        assert_eq!(
+            index.try_retrieve(&q, &d, 1, n + 1),
+            Err(QueryError::BadP {
+                k: 1,
+                p: n + 1,
+                max: n
+            })
+        );
+        assert_eq!(
+            index.try_retrieve_batch(&[], &d, 1, 5),
+            Err(QueryError::EmptyBatch)
+        );
+        assert_eq!(
+            index.try_set_routing_n_probe(1),
+            Err(QueryError::RoutingDisabled)
+        );
+        index.enable_routing(
+            RoutedConfig {
+                cells: 4,
+                n_probe: 2,
+                ..RoutedConfig::default()
+            },
+            &d,
+        );
+        assert_eq!(
+            index.try_set_routing_n_probe(9),
+            Err(QueryError::BadNProbe {
+                n_probe: 9,
+                cells: 4
+            })
+        );
+        assert_eq!(index.routing(), Some((4, 2)), "failed sets leave the knob");
+        assert!(index.try_set_routing_n_probe(4).is_ok());
+        // The happy path matches the asserting API exactly.
+        assert_eq!(
+            index.try_retrieve(&q, &d, 2, 8).unwrap(),
+            index.retrieve(&q, &d, 2, 8)
+        );
+        assert_eq!(
+            index
+                .try_retrieve_batch(std::slice::from_ref(&q), &d, 2, 8)
+                .unwrap(),
+            index.retrieve_batch(std::slice::from_ref(&q), &d, 2, 8)
+        );
+        // A churned-empty index reports EmptyIndex rather than panicking.
+        for _ in 0..index.len() {
+            index.remove(0);
+        }
+        assert_eq!(
+            index.try_retrieve(&q, &d, 1, 1),
+            Err(QueryError::EmptyIndex)
+        );
+        // p_scale setters reject bad factors with the typed error.
+        assert!(matches!(
+            index.try_with_p_scale(f64::NAN),
+            Err(QueryError::BadPScale { .. })
+        ));
     }
 
     #[test]

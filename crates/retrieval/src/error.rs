@@ -1,0 +1,221 @@
+//! Typed request-validation errors for the fallible retrieval API.
+//!
+//! Every retrieval entry point historically validated with `assert!` —
+//! fine inside an experiment harness, fatal inside a long-lived server
+//! absorbing untrusted requests. The `try_*` methods on the three index
+//! types ([`FilterRefineIndex`](crate::FilterRefineIndex),
+//! [`RoutedIndex`](crate::RoutedIndex),
+//! [`DynamicIndex`](crate::DynamicIndex)) return a [`QueryError`]
+//! instead, and the asserting methods are thin wrappers that panic with
+//! the error's `Display` message — the same messages the asserts always
+//! produced, so existing `should_panic` pins keep holding.
+
+use std::fmt;
+
+/// Why a retrieval request (or a knob update) was rejected.
+///
+/// The `Display` messages reproduce the historical assert messages
+/// verbatim; the typed form is what a serving layer returns to a client
+/// instead of unwinding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// A fallible batch entry point received zero queries. (The
+    /// asserting `retrieve_batch` methods instead return an empty result
+    /// vector, mirroring zero sequential calls; a server rejects the
+    /// request explicitly.)
+    EmptyBatch,
+    /// The index holds no objects (possible only for a churned
+    /// [`DynamicIndex`](crate::DynamicIndex); static indexes are never
+    /// empty).
+    EmptyIndex,
+    /// `k` is below 1.
+    BadK {
+        /// The rejected neighbor count.
+        k: usize,
+    },
+    /// `p` is outside `k..=max` (fewer filter candidates than neighbors,
+    /// or more than the database holds).
+    BadP {
+        /// The request's neighbor count.
+        k: usize,
+        /// The rejected candidate count.
+        p: usize,
+        /// The database size `p` may not exceed.
+        max: usize,
+    },
+    /// A query's dimensionality does not match the indexed vectors
+    /// (detected at the serving boundary, where objects are raw
+    /// vectors).
+    DimMismatch {
+        /// The indexed dimensionality.
+        expected: usize,
+        /// The query's dimensionality.
+        got: usize,
+    },
+    /// The `database` argument's length does not match the indexed
+    /// collection.
+    DatabaseMismatch {
+        /// The indexed collection's length.
+        expected: usize,
+        /// The argument's length.
+        got: usize,
+    },
+    /// An oversampling factor outside `1.0..` (or non-finite) was passed
+    /// to a `p_scale` setter.
+    BadPScale {
+        /// The rejected factor.
+        p_scale: f64,
+    },
+    /// An `n_probe` outside `1..=cells` was passed to a probe-width
+    /// setter.
+    BadNProbe {
+        /// The rejected probe width.
+        n_probe: usize,
+        /// The number of cells it must not exceed.
+        cells: usize,
+    },
+    /// A routing knob was touched on an index whose routing layer is not
+    /// enabled.
+    RoutingDisabled,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::EmptyBatch => write!(f, "the query batch is empty"),
+            Self::EmptyIndex => write!(f, "cannot query an empty index"),
+            Self::BadK { .. } => write!(f, "k must be at least 1"),
+            Self::BadP { k, p, max } => {
+                if p < k {
+                    write!(f, "p = {p} must be at least k = {k}")
+                } else {
+                    write!(f, "p = {p} exceeds the database size {max}")
+                }
+            }
+            Self::DimMismatch { expected, got } => {
+                write!(f, "query must have dimensionality {expected}, got {got}")
+            }
+            Self::DatabaseMismatch { expected, got } => write!(
+                f,
+                "database does not match the indexed vectors ({got} objects for {expected} rows)"
+            ),
+            Self::BadPScale { p_scale } => {
+                write!(f, "p_scale must be finite and at least 1.0, got {p_scale}")
+            }
+            Self::BadNProbe { n_probe, cells } => {
+                write!(f, "n_probe = {n_probe} must be in 1..={cells}")
+            }
+            Self::RoutingDisabled => write!(f, "routing is not enabled"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The shared `k`/`p` validation of every retrieval path: `k >= 1` and
+/// `k <= p <= len`.
+pub(crate) fn check_query_params(k: usize, p: usize, len: usize) -> Result<(), QueryError> {
+    if k < 1 {
+        return Err(QueryError::BadK { k });
+    }
+    if p < k || p > len {
+        return Err(QueryError::BadP { k, p, max: len });
+    }
+    Ok(())
+}
+
+/// The shared oversampling-factor validation of every `p_scale` setter:
+/// finite and at least `1.0`.
+pub(crate) fn check_p_scale(p_scale: f64) -> Result<(), QueryError> {
+    if p_scale.is_finite() && p_scale >= 1.0 {
+        Ok(())
+    } else {
+        Err(QueryError::BadPScale { p_scale })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_match_the_historical_asserts() {
+        assert_eq!(
+            QueryError::BadK { k: 0 }.to_string(),
+            "k must be at least 1"
+        );
+        assert_eq!(
+            QueryError::BadP { k: 5, p: 2, max: 9 }.to_string(),
+            "p = 2 must be at least k = 5"
+        );
+        assert_eq!(
+            QueryError::BadP {
+                k: 2,
+                p: 40,
+                max: 9
+            }
+            .to_string(),
+            "p = 40 exceeds the database size 9"
+        );
+        assert_eq!(
+            QueryError::BadPScale { p_scale: 0.5 }.to_string(),
+            "p_scale must be finite and at least 1.0, got 0.5"
+        );
+        assert_eq!(
+            QueryError::BadNProbe {
+                n_probe: 9,
+                cells: 4
+            }
+            .to_string(),
+            "n_probe = 9 must be in 1..=4"
+        );
+        assert_eq!(
+            QueryError::RoutingDisabled.to_string(),
+            "routing is not enabled"
+        );
+        assert_eq!(
+            QueryError::EmptyIndex.to_string(),
+            "cannot query an empty index"
+        );
+        assert_eq!(
+            QueryError::DimMismatch {
+                expected: 2,
+                got: 5
+            }
+            .to_string(),
+            "query must have dimensionality 2, got 5"
+        );
+    }
+
+    #[test]
+    fn check_query_params_covers_every_rejection() {
+        assert_eq!(check_query_params(0, 5, 10), Err(QueryError::BadK { k: 0 }));
+        assert_eq!(
+            check_query_params(3, 2, 10),
+            Err(QueryError::BadP {
+                k: 3,
+                p: 2,
+                max: 10
+            })
+        );
+        assert_eq!(
+            check_query_params(1, 11, 10),
+            Err(QueryError::BadP {
+                k: 1,
+                p: 11,
+                max: 10
+            })
+        );
+        assert_eq!(check_query_params(1, 10, 10), Ok(()));
+        assert_eq!(check_query_params(3, 3, 10), Ok(()));
+    }
+
+    #[test]
+    fn check_p_scale_rejects_non_finite_and_sub_unit() {
+        assert!(check_p_scale(1.0).is_ok());
+        assert!(check_p_scale(2.5).is_ok());
+        assert!(check_p_scale(0.99).is_err());
+        assert!(check_p_scale(f64::NAN).is_err());
+        assert!(check_p_scale(f64::INFINITY).is_err());
+    }
+}

@@ -80,6 +80,7 @@
 //! default to `FilterElem::DEFAULT_P_SCALE = 2.0` (override with
 //! [`FilterRefineIndex::with_p_scale`]).
 
+use crate::error::{check_query_params, QueryError};
 use qse_core::QseModel;
 use qse_distance::{DistanceMeasure, WeightedL1};
 use qse_embedding::Embedding;
@@ -191,18 +192,6 @@ where
         })
         .collect();
     per_tile.into_iter().flatten().collect()
-}
-
-/// Validate an oversampling factor for `with_p_scale` (shared by the
-/// static and dynamic indexes so the contract cannot drift).
-///
-/// # Panics
-/// Panics if `p_scale` is not finite or is below `1.0`.
-pub(crate) fn validate_p_scale(p_scale: f64) {
-    assert!(
-        p_scale.is_finite() && p_scale >= 1.0,
-        "p_scale must be finite and at least 1.0, got {p_scale}"
-    );
 }
 
 /// `⌈p · p_scale⌉` capped at the database size `n`: the number of filter
@@ -422,11 +411,21 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
     /// quantization error bound.
     ///
     /// # Panics
-    /// Panics if `p_scale` is not finite or is below `1.0`.
-    pub fn with_p_scale(mut self, p_scale: f64) -> Self {
-        validate_p_scale(p_scale);
+    /// Panics if `p_scale` is not finite or is below `1.0` (the fallible
+    /// form is [`Self::try_with_p_scale`]).
+    pub fn with_p_scale(self, p_scale: f64) -> Self {
+        self.try_with_p_scale(p_scale)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::with_p_scale`]: the index back unchanged-but-moved
+    /// with the factor applied, or [`QueryError::BadPScale`] — the form a
+    /// server's config/reload path uses, where a bad knob must be an
+    /// error, not a process death.
+    pub fn try_with_p_scale(mut self, p_scale: f64) -> Result<Self, QueryError> {
+        crate::error::check_p_scale(p_scale)?;
         self.p_scale = p_scale;
-        self
+        Ok(self)
     }
 
     /// The current filter oversampling factor (see [`Self::with_p_scale`]).
@@ -539,7 +538,8 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
     /// [`Self::with_p_scale`]).
     ///
     /// # Panics
-    /// Panics if `k` is zero, `p < k`, or `p` exceeds the database size.
+    /// Panics if `k` is zero, `p < k`, or `p` exceeds the database size
+    /// (the fallible form is [`Self::try_retrieve`]).
     pub fn retrieve(
         &self,
         query: &O,
@@ -548,20 +548,45 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
         k: usize,
         p: usize,
     ) -> RetrievalOutcome {
-        assert!(k >= 1, "k must be at least 1");
-        assert!(p >= k, "p = {p} must be at least k = {k}");
-        assert!(
-            p <= database.len(),
-            "p = {p} exceeds the database size {}",
-            database.len()
-        );
-        assert_eq!(
-            database.len(),
-            self.vectors.len(),
-            "database does not match the indexed vectors"
-        );
+        self.try_retrieve(query, database, distance, k, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::retrieve`]: the retrieval outcome, or a typed
+    /// [`QueryError`] for any parameter the asserting form would panic on
+    /// — the entry point a serving layer calls so a malformed request is
+    /// an error response, never an unwinding thread.
+    ///
+    /// # Errors
+    /// [`QueryError::BadK`] when `k` is zero, [`QueryError::BadP`] when
+    /// `p` is outside `k..=database.len()`, and
+    /// [`QueryError::DatabaseMismatch`] when `database` does not match
+    /// the indexed collection.
+    pub fn try_retrieve(
+        &self,
+        query: &O,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Result<RetrievalOutcome, QueryError> {
+        self.validate(database, k, p)?;
         let (candidates, embedding_cost) = self.filter_top_p(query, distance, self.effective_p(p));
-        self.refine(query, database, distance, k, &candidates, embedding_cost)
+        Ok(self.refine(query, database, distance, k, &candidates, embedding_cost))
+    }
+
+    /// The shared request validation of the retrieve paths: `k`/`p`
+    /// against the database size, then the database argument against the
+    /// indexed collection.
+    fn validate(&self, database: &[O], k: usize, p: usize) -> Result<(), QueryError> {
+        check_query_params(k, p, database.len())?;
+        if database.len() != self.vectors.len() {
+            return Err(QueryError::DatabaseMismatch {
+                expected: self.vectors.len(),
+                got: database.len(),
+            });
+        }
+        Ok(())
     }
 
     /// The refine step shared by [`Self::retrieve`] and
@@ -609,7 +634,8 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
     /// are validated up front exactly like [`Self::retrieve`] otherwise.
     ///
     /// # Panics
-    /// As [`Self::retrieve`] (when the batch is non-empty).
+    /// As [`Self::retrieve`] (when the batch is non-empty; the fallible
+    /// form is [`Self::try_retrieve_batch`]).
     pub fn retrieve_batch(
         &self,
         queries: &[O],
@@ -624,18 +650,34 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
         if queries.is_empty() {
             return Vec::new();
         }
-        assert!(k >= 1, "k must be at least 1");
-        assert!(p >= k, "p = {p} must be at least k = {k}");
-        assert!(
-            p <= database.len(),
-            "p = {p} exceeds the database size {}",
-            database.len()
-        );
-        assert_eq!(
-            database.len(),
-            self.vectors.len(),
-            "database does not match the indexed vectors"
-        );
+        self.try_retrieve_batch(queries, database, distance, k, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::retrieve_batch`]: one outcome per query in query
+    /// order, or a typed [`QueryError`] — including
+    /// [`QueryError::EmptyBatch`] for a zero-query batch, which the
+    /// asserting form instead maps to an empty result vector (a server
+    /// rejects the request explicitly; a library caller iterating
+    /// nothing gets nothing).
+    ///
+    /// # Errors
+    /// As [`Self::try_retrieve`], plus [`QueryError::EmptyBatch`].
+    pub fn try_retrieve_batch(
+        &self,
+        queries: &[O],
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<RetrievalOutcome>, QueryError>
+    where
+        O: PartialEq,
+    {
+        if queries.is_empty() {
+            return Err(QueryError::EmptyBatch);
+        }
+        self.validate(database, k, p)?;
         // The embedded batch carries everything a tile needs to score
         // itself (the filter reference travels with the Global coordinates),
         // so the per-tile closure never re-inspects `self.kind`.
@@ -652,7 +694,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
             }
         };
         let embedding_cost = self.embedding_cost();
-        tiled_query_pipeline(
+        Ok(tiled_query_pipeline(
             queries.len(),
             self.vectors.len(),
             self.effective_p(p),
@@ -666,7 +708,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
                 }
             },
             |q, _row, order| self.refine(&queries[q], database, distance, k, order, embedding_cost),
-        )
+        ))
     }
 }
 

@@ -24,6 +24,9 @@
 //!   unrouted pipeline.
 //! * [`dynamic`] — online insertion / removal of database objects and the
 //!   embedding-drift monitor sketched in Section 7.1.
+//! * [`error`] — the typed [`QueryError`] behind the fallible `try_*`
+//!   retrieval API: what a serving layer returns to a malformed request
+//!   instead of unwinding.
 //! * [`snapshot`] — versioned binary snapshots of the complete retrieval
 //!   state (model, filter stores, routing metadata, tuning knobs), so a
 //!   served index starts by loading bytes instead of re-embedding and
@@ -35,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dynamic;
+pub mod error;
 pub mod evaluate;
 pub mod experiments;
 pub mod filter_refine;
@@ -43,6 +47,7 @@ pub mod routed;
 pub mod snapshot;
 
 pub use dynamic::DynamicIndex;
+pub use error::QueryError;
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};
 pub use filter_refine::{FilterElem, FilterRefineIndex, FlatStore, FlatVectors, RetrievalOutcome};
 pub use knn::{ground_truth, knn_flat, knn_flat_batch, KnnResult};

@@ -49,8 +49,9 @@
 //! `tiled_query_pipeline`, there is no duplicate-query memo — grouping
 //! is by cell, not by tile.)
 
+use crate::error::{check_query_params, QueryError};
 use crate::filter_refine::{
-    effective_p, refine_candidates, top_p_by_score, validate_p_scale, FilterKind, RetrievalOutcome,
+    effective_p, refine_candidates, top_p_by_score, FilterKind, RetrievalOutcome,
 };
 use qse_core::QseModel;
 use qse_distance::vector::{
@@ -123,6 +124,34 @@ pub(crate) fn top_ids_by_score(scores: &[f64], gids: &[usize], p: usize) -> Vec<
     }
     order.sort_unstable_by(cmp);
     order.into_iter().map(|i| gids[i]).collect()
+}
+
+/// The probe set that seats at least `min_rows` candidate rows: the first
+/// `n_probe` entries of `ranked` (cells in increasing centroid filter
+/// distance, ties toward the lower cell id), extended in rank order while
+/// the visited cells hold fewer rows than `min_rows`.
+///
+/// `n_probe` alone cannot guarantee a usable candidate pool: k-means can
+/// leave a cell nearly empty, and a routed `DynamicIndex` can empty one
+/// outright by removing its last member — a query routed into such cells
+/// would otherwise reach the refine step with fewer than `k` candidates
+/// and panic there. The extension is deterministic (the same total order
+/// the router ranks by), a no-op whenever the `n_probe` nearest cells
+/// already hold `min_rows` rows, and bounded by the full cell list, whose
+/// pool is the entire database.
+pub(crate) fn probe_prefix<E: FilterElem>(
+    ranked: &[usize],
+    cells: &[FlatStore<E>],
+    n_probe: usize,
+    min_rows: usize,
+) -> Vec<usize> {
+    let mut pool = 0usize;
+    let mut take = 0usize;
+    while take < ranked.len() && (take < n_probe || pool < min_rows) {
+        pool += cells[ranked[take]].len();
+        take += 1;
+    }
+    ranked[..take].to_vec()
 }
 
 impl<O: Clone + Send + Sync> RoutedIndex<O> {
@@ -248,11 +277,20 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
     /// visited cells actually hold.
     ///
     /// # Panics
-    /// Panics if `p_scale` is not finite or is below `1.0`.
-    pub fn with_p_scale(mut self, p_scale: f64) -> Self {
-        validate_p_scale(p_scale);
+    /// Panics if `p_scale` is not finite or is below `1.0` (the fallible
+    /// form is [`Self::try_with_p_scale`]).
+    pub fn with_p_scale(self, p_scale: f64) -> Self {
+        self.try_with_p_scale(p_scale)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::with_p_scale`]: the index back with the factor
+    /// applied, or [`QueryError::BadPScale`] — for server config/reload
+    /// paths, where a bad knob must be an error, not a process death.
+    pub fn try_with_p_scale(mut self, p_scale: f64) -> Result<Self, QueryError> {
+        crate::error::check_p_scale(p_scale)?;
         self.p_scale = p_scale;
-        self
+        Ok(self)
     }
 
     /// The current filter oversampling factor.
@@ -274,14 +312,24 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
     /// degrades to the exact full scan).
     ///
     /// # Panics
-    /// Panics unless `1 <= n_probe <= cells()`.
+    /// Panics unless `1 <= n_probe <= cells()` (the fallible form is
+    /// [`Self::try_set_n_probe`]).
     pub fn set_n_probe(&mut self, n_probe: usize) {
-        assert!(
-            n_probe >= 1 && n_probe <= self.cells.len(),
-            "n_probe = {n_probe} must be in 1..={}",
-            self.cells.len()
-        );
+        self.try_set_n_probe(n_probe)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Self::set_n_probe`]: [`QueryError::BadNProbe`] when
+    /// `n_probe` is outside `1..=cells()`, leaving the knob untouched.
+    pub fn try_set_n_probe(&mut self, n_probe: usize) -> Result<(), QueryError> {
+        if n_probe < 1 || n_probe > self.cells.len() {
+            return Err(QueryError::BadNProbe {
+                n_probe,
+                cells: self.cells.len(),
+            });
+        }
         self.n_probe = n_probe;
+        Ok(())
     }
 
     /// Cells visited per query.
@@ -326,23 +374,26 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
         }
     }
 
-    /// The `n_probe` cells nearest to an embedded query under the
-    /// **filter** distance (weighted L1 against each centroid — the same
-    /// measure the cell scans use), in increasing distance, ties toward
-    /// the lower cell id.
-    fn route(&self, weights: &[f64], coords: &[f64]) -> Vec<usize> {
+    /// The cells nearest to an embedded query under the **filter**
+    /// distance (weighted L1 against each centroid — the same measure the
+    /// cell scans use), in increasing distance, ties toward the lower
+    /// cell id: the first [`Self::n_probe`] of the ranking, extended past
+    /// `n_probe` only while the visited cells hold fewer than `min_rows`
+    /// rows (see [`probe_prefix`]).
+    fn route(&self, weights: &[f64], coords: &[f64], min_rows: usize) -> Vec<usize> {
         let centroids = self.router.centroids();
         let scores: Vec<f64> = (0..centroids.len())
             .map(|c| weighted_l1_row(weights, coords, centroids.row(c)))
             .collect();
-        top_p_by_score(&scores, self.n_probe)
+        let ranked = top_p_by_score(&scores, scores.len());
+        probe_prefix(&ranked, &self.cells, self.n_probe, min_rows)
     }
 
     /// The cells `query` would visit at the current [`Self::n_probe`]
     /// (diagnostics / evaluation; spends one embedding).
     pub fn probe_cells(&self, query: &O, distance: &dyn DistanceMeasure<O>) -> Vec<usize> {
         let (weights, coords) = self.embed_query(query, distance);
-        self.route(&weights, &coords)
+        self.route(&weights, &coords, 0)
     }
 
     /// Embed one query into its filter form: the (per-query) weight
@@ -370,7 +421,8 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
     ///
     /// # Panics
     /// Panics if `k` is zero, `p < k`, or `p` exceeds the database size,
-    /// or if `database` does not match the indexed collection's length.
+    /// or if `database` does not match the indexed collection's length
+    /// (the fallible form is [`Self::try_retrieve`]).
     pub fn retrieve(
         &self,
         query: &O,
@@ -379,9 +431,30 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
         k: usize,
         p: usize,
     ) -> RetrievalOutcome {
-        self.validate(database, k, p);
+        self.try_retrieve(query, database, distance, k, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::retrieve`]: the retrieval outcome, or a typed
+    /// [`QueryError`] for any parameter the asserting form would panic
+    /// on — the entry point a serving layer calls so a malformed request
+    /// is an error response, never an unwinding thread.
+    ///
+    /// # Errors
+    /// [`QueryError::BadK`], [`QueryError::BadP`] and
+    /// [`QueryError::DatabaseMismatch`], exactly as
+    /// [`FilterRefineIndex::try_retrieve`](crate::FilterRefineIndex::try_retrieve).
+    pub fn try_retrieve(
+        &self,
+        query: &O,
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Result<RetrievalOutcome, QueryError> {
+        self.validate(database, k, p)?;
         let (weights, coords) = self.embed_query(query, distance);
-        let visited = self.route(&weights, &coords);
+        let visited = self.route(&weights, &coords, k);
         let pool: usize = visited.iter().map(|&c| self.cells[c].len()).sum();
         let mut scores = vec![0.0; pool];
         let mut gids = Vec::with_capacity(pool);
@@ -399,14 +472,14 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
         }
         let keep = effective_p(p, self.p_scale, self.len).min(pool);
         let candidates = top_ids_by_score(&scores, &gids, keep);
-        refine_candidates(
+        Ok(refine_candidates(
             query,
             database,
             distance,
             k,
             &candidates,
             self.embedding_cost(),
-        )
+        ))
     }
 
     /// Batched cluster-routed retrieval, grouped **by cell** so tiles
@@ -420,7 +493,8 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
     /// [`Self::retrieve`] per query, at any thread count.
     ///
     /// # Panics
-    /// As [`Self::retrieve`] (when the batch is non-empty).
+    /// As [`Self::retrieve`] (when the batch is non-empty; the fallible
+    /// form is [`Self::try_retrieve_batch`]).
     pub fn retrieve_batch(
         &self,
         queries: &[O],
@@ -432,7 +506,29 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
         if queries.is_empty() {
             return Vec::new();
         }
-        self.validate(database, k, p);
+        self.try_retrieve_batch(queries, database, distance, k, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::retrieve_batch`]: one outcome per query in query
+    /// order, or a typed [`QueryError`] — including
+    /// [`QueryError::EmptyBatch`] for a zero-query batch, which the
+    /// asserting form instead maps to an empty result vector.
+    ///
+    /// # Errors
+    /// As [`Self::try_retrieve`], plus [`QueryError::EmptyBatch`].
+    pub fn try_retrieve_batch(
+        &self,
+        queries: &[O],
+        database: &[O],
+        distance: &dyn DistanceMeasure<O>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<RetrievalOutcome>, QueryError> {
+        if queries.is_empty() {
+            return Err(QueryError::EmptyBatch);
+        }
+        self.validate(database, k, p)?;
         // Batch-embed: coordinates (and, query-sensitive, weight rows) in
         // flat storage, exactly like the flat pipeline.
         enum RoutedBatch<'a> {
@@ -459,7 +555,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
         // Route every query (independent per query, deterministic).
         let visited: Vec<Vec<usize>> = (0..queries.len())
             .into_par_iter()
-            .map(|q| self.route(weights_row(q), coords_row(q)))
+            .map(|q| self.route(weights_row(q), coords_row(q), k))
             .collect();
 
         // Group the batch by cell; remember each query's row within every
@@ -523,7 +619,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
         // Regroup per query: gather each query's score rows from its
         // visited cells, select, refine (parallel over queries).
         let embedding_cost = self.embedding_cost();
-        slots
+        Ok(slots
             .par_iter()
             .enumerate()
             .map(|(q, slots)| {
@@ -546,22 +642,18 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
                     embedding_cost,
                 )
             })
-            .collect()
+            .collect())
     }
 
-    fn validate(&self, database: &[O], k: usize, p: usize) {
-        assert!(k >= 1, "k must be at least 1");
-        assert!(p >= k, "p = {p} must be at least k = {k}");
-        assert!(
-            p <= database.len(),
-            "p = {p} exceeds the database size {}",
-            database.len()
-        );
-        assert_eq!(
-            database.len(),
-            self.len,
-            "database does not match the indexed collection"
-        );
+    fn validate(&self, database: &[O], k: usize, p: usize) -> Result<(), QueryError> {
+        check_query_params(k, p, database.len())?;
+        if database.len() != self.len {
+            return Err(QueryError::DatabaseMismatch {
+                expected: self.len,
+                got: database.len(),
+            });
+        }
+        Ok(())
     }
 }
 

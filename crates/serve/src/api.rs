@@ -1,0 +1,430 @@
+//! The transport-neutral serving facade.
+//!
+//! [`QseApi`] wraps any of the three retrieval index types — static
+//! [`FilterRefineIndex`], cluster-routed [`RoutedIndex`], online
+//! [`DynamicIndex`] — over any filter-store precision (`f64`/`f32`/`u8`)
+//! behind one monomorphic query surface: raw `Vec<f64>` objects in, typed
+//! results or [`QueryError`]s out, never a panic. A facade can be built
+//! from a live index or loaded straight from a snapshot file, sniffing
+//! the index kind and element type from the header bytes — the cold-start
+//! path a deployment actually runs.
+
+use std::path::Path;
+
+use qse_distance::{DistanceMeasure, FilterElem};
+use qse_retrieval::{DynamicIndex, FilterRefineIndex, QueryError, RoutedIndex, SnapshotError};
+
+/// What the serving layer answers a query with: the `k` nearest neighbor
+/// ids (indexes into the served database) and their exact distances, both
+/// in ascending-distance order under the strict `(distance, index)` total
+/// order of the retrieval pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Database ids of the `k` nearest neighbors.
+    pub neighbors: Vec<usize>,
+    /// The exact distance to each neighbor, parallel to `neighbors`.
+    pub distances: Vec<f64>,
+}
+
+/// Why a [`QseApi`] could not be constructed or loaded. Request-time
+/// failures are [`QueryError`]s instead — this type covers setup only.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The snapshot bytes failed to load as any known index kind /
+    /// element type.
+    Snapshot(SnapshotError),
+    /// A static or routed snapshot was loaded without the database of raw
+    /// objects its refine step needs (dynamic snapshots carry their own).
+    DatabaseRequired,
+    /// The database of raw objects is unusable: empty, ragged, or the
+    /// wrong length for the index it accompanies.
+    BadDatabase(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Snapshot(e) => write!(f, "snapshot load failed: {e}"),
+            Self::DatabaseRequired => write!(
+                f,
+                "static and routed snapshots need the database of raw objects to refine against"
+            ),
+            Self::BadDatabase(reason) => write!(f, "unusable database: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+/// The object-safe engine behind [`QseApi`]: one implementation per
+/// (index kind × store precision) pair, erased so the serving layer is
+/// monomorphic whatever backend the snapshot held.
+trait Engine: Send + Sync {
+    fn len(&self) -> usize;
+    fn kind(&self) -> &'static str;
+    fn try_query_batch(
+        &self,
+        queries: &[Vec<f64>],
+        distance: &dyn DistanceMeasure<Vec<f64>>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<QueryResult>, QueryError>;
+}
+
+struct StaticEngine<E: FilterElem> {
+    index: FilterRefineIndex<Vec<f64>, E>,
+    database: Vec<Vec<f64>>,
+}
+
+impl<E: FilterElem> Engine for StaticEngine<E> {
+    fn len(&self) -> usize {
+        self.database.len()
+    }
+    fn kind(&self) -> &'static str {
+        "static"
+    }
+    fn try_query_batch(
+        &self,
+        queries: &[Vec<f64>],
+        distance: &dyn DistanceMeasure<Vec<f64>>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let outcomes = self
+            .index
+            .try_retrieve_batch(queries, &self.database, distance, k, p)?;
+        Ok(outcomes
+            .into_iter()
+            .map(|o| QueryResult {
+                neighbors: o.neighbors,
+                distances: o.distances,
+            })
+            .collect())
+    }
+}
+
+struct RoutedEngine<E: FilterElem> {
+    index: RoutedIndex<Vec<f64>, E>,
+    database: Vec<Vec<f64>>,
+}
+
+impl<E: FilterElem> Engine for RoutedEngine<E> {
+    fn len(&self) -> usize {
+        self.database.len()
+    }
+    fn kind(&self) -> &'static str {
+        "routed"
+    }
+    fn try_query_batch(
+        &self,
+        queries: &[Vec<f64>],
+        distance: &dyn DistanceMeasure<Vec<f64>>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let outcomes = self
+            .index
+            .try_retrieve_batch(queries, &self.database, distance, k, p)?;
+        Ok(outcomes
+            .into_iter()
+            .map(|o| QueryResult {
+                neighbors: o.neighbors,
+                distances: o.distances,
+            })
+            .collect())
+    }
+}
+
+struct DynamicEngine<E: FilterElem> {
+    index: DynamicIndex<Vec<f64>, E>,
+}
+
+impl<E: FilterElem> Engine for DynamicEngine<E> {
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+    fn kind(&self) -> &'static str {
+        "dynamic"
+    }
+    fn try_query_batch(
+        &self,
+        queries: &[Vec<f64>],
+        distance: &dyn DistanceMeasure<Vec<f64>>,
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        let ids = self.index.try_retrieve_batch(queries, distance, k, p)?;
+        let objects = self.index.objects();
+        Ok(ids
+            .into_iter()
+            .zip(queries)
+            .map(|(neighbors, query)| {
+                // The dynamic index returns ids only; the response's exact
+                // distances are recomputed against the live objects — the
+                // same measure the refine step just ranked them by.
+                let distances = neighbors
+                    .iter()
+                    .map(|&id| distance.distance(query, &objects[id]))
+                    .collect();
+                QueryResult {
+                    neighbors,
+                    distances,
+                }
+            })
+            .collect())
+    }
+}
+
+/// The transport-neutral query facade: one of the three index types (any
+/// store precision) plus the exact distance measure and, for the static
+/// kinds, the database of raw objects the refine step re-ranks against.
+///
+/// Every entry point is fallible — malformed requests come back as typed
+/// [`QueryError`]s, so a serving thread never unwinds on user input.
+pub struct QseApi {
+    engine: Box<dyn Engine>,
+    distance: Box<dyn DistanceMeasure<Vec<f64>>>,
+    dim: usize,
+}
+
+/// Reject databases the refine step cannot serve: empty, ragged, or (when
+/// an index is attached) the wrong length.
+fn database_dim(database: &[Vec<f64>], index_len: Option<usize>) -> Result<usize, ServeError> {
+    let first = match database.first() {
+        Some(row) => row.len(),
+        None => return Err(ServeError::BadDatabase("the database is empty".into())),
+    };
+    if let Some(row) = database.iter().find(|row| row.len() != first) {
+        return Err(ServeError::BadDatabase(format!(
+            "ragged database: found rows of dimensionality {first} and {}",
+            row.len()
+        )));
+    }
+    if let Some(expected) = index_len {
+        if database.len() != expected {
+            return Err(ServeError::BadDatabase(format!(
+                "index holds {expected} rows but the database has {} objects",
+                database.len()
+            )));
+        }
+    }
+    Ok(first)
+}
+
+/// `Ok(None)` when the snapshot header names a different kind or element
+/// type (so the caller tries the next loader), `Err` on real corruption.
+fn shape_or_fail<T>(result: Result<T, SnapshotError>) -> Result<Option<T>, SnapshotError> {
+    match result {
+        Ok(index) => Ok(Some(index)),
+        Err(SnapshotError::KindMismatch { .. } | SnapshotError::BackendMismatch { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+impl QseApi {
+    /// Serve a static [`FilterRefineIndex`] over `database`.
+    ///
+    /// # Errors
+    /// [`ServeError::BadDatabase`] when `database` is empty, ragged, or
+    /// not the collection the index was built over (length check).
+    pub fn from_static<E: FilterElem>(
+        index: FilterRefineIndex<Vec<f64>, E>,
+        database: Vec<Vec<f64>>,
+        distance: Box<dyn DistanceMeasure<Vec<f64>>>,
+    ) -> Result<Self, ServeError> {
+        let dim = database_dim(&database, Some(index.len()))?;
+        Ok(Self {
+            engine: Box::new(StaticEngine { index, database }),
+            distance,
+            dim,
+        })
+    }
+
+    /// Serve a cluster-routed [`RoutedIndex`] over `database`.
+    ///
+    /// # Errors
+    /// As [`Self::from_static`].
+    pub fn from_routed<E: FilterElem>(
+        index: RoutedIndex<Vec<f64>, E>,
+        database: Vec<Vec<f64>>,
+        distance: Box<dyn DistanceMeasure<Vec<f64>>>,
+    ) -> Result<Self, ServeError> {
+        let dim = database_dim(&database, Some(index.len()))?;
+        Ok(Self {
+            engine: Box::new(RoutedEngine { index, database }),
+            distance,
+            dim,
+        })
+    }
+
+    /// Serve an online [`DynamicIndex`], which carries its own objects.
+    ///
+    /// # Errors
+    /// [`ServeError::BadDatabase`] when the index is empty or its objects
+    /// are ragged.
+    pub fn from_dynamic<E: FilterElem>(
+        index: DynamicIndex<Vec<f64>, E>,
+        distance: Box<dyn DistanceMeasure<Vec<f64>>>,
+    ) -> Result<Self, ServeError> {
+        let dim = database_dim(index.objects(), None)?;
+        Ok(Self {
+            engine: Box::new(DynamicEngine { index }),
+            distance,
+            dim,
+        })
+    }
+
+    /// Load a facade straight from snapshot bytes, sniffing the index
+    /// kind (static / routed / dynamic) and store precision
+    /// (`f64`/`f32`/`u8`) by attempting each typed loader — the header
+    /// check rejects wrong shapes cheaply, so only the matching decoder
+    /// runs. `database` supplies the raw objects for static and routed
+    /// snapshots (which store only embedded vectors); dynamic snapshots
+    /// carry their own objects and ignore it.
+    ///
+    /// # Errors
+    /// [`ServeError::Snapshot`] on corrupt or unknown bytes,
+    /// [`ServeError::DatabaseRequired`] for a static/routed snapshot with
+    /// `database` = `None`, [`ServeError::BadDatabase`] as the
+    /// constructors.
+    pub fn load_snapshot_bytes(
+        bytes: &[u8],
+        database: Option<Vec<Vec<f64>>>,
+        distance: Box<dyn DistanceMeasure<Vec<f64>>>,
+    ) -> Result<Self, ServeError> {
+        fn need(db: Option<Vec<Vec<f64>>>) -> Result<Vec<Vec<f64>>, ServeError> {
+            db.ok_or(ServeError::DatabaseRequired)
+        }
+        macro_rules! sniff {
+            ($elem:ty) => {
+                if let Some(ix) = shape_or_fail(
+                    FilterRefineIndex::<Vec<f64>, $elem>::from_snapshot_bytes(bytes),
+                )? {
+                    return Self::from_static(ix, need(database)?, distance);
+                }
+                if let Some(ix) =
+                    shape_or_fail(RoutedIndex::<Vec<f64>, $elem>::from_snapshot_bytes(bytes))?
+                {
+                    return Self::from_routed(ix, need(database)?, distance);
+                }
+                if let Some(ix) =
+                    shape_or_fail(DynamicIndex::<Vec<f64>, $elem>::from_snapshot_bytes(bytes))?
+                {
+                    return Self::from_dynamic(ix, distance);
+                }
+            };
+        }
+        sniff!(u8);
+        sniff!(f32);
+        sniff!(f64);
+        // Every kind × element attempt reported a shape mismatch — the
+        // header is self-inconsistent (each tag individually valid but no
+        // loader accepts the pair, which a well-formed snapshot cannot
+        // produce). Surface the kind mismatch of the last attempt.
+        match FilterRefineIndex::<Vec<f64>, f64>::from_snapshot_bytes(bytes) {
+            Err(e) => Err(ServeError::Snapshot(e)),
+            Ok(_) => unreachable!("loader succeeded on a retry of rejected bytes"),
+        }
+    }
+
+    /// [`Self::load_snapshot_bytes`] read from `path`.
+    ///
+    /// # Errors
+    /// As [`Self::load_snapshot_bytes`], plus [`SnapshotError::Io`].
+    pub fn load_snapshot(
+        path: impl AsRef<Path>,
+        database: Option<Vec<Vec<f64>>>,
+        distance: Box<dyn DistanceMeasure<Vec<f64>>>,
+    ) -> Result<Self, ServeError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        Self::load_snapshot_bytes(&bytes, database, distance)
+    }
+
+    /// Number of served objects.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Whether the facade serves zero objects (never true — construction
+    /// rejects empty databases — but the conventional pair to `len`).
+    pub fn is_empty(&self) -> bool {
+        self.engine.len() == 0
+    }
+
+    /// Dimensionality every query must match.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The backend kind, for health reporting: `"static"`, `"routed"` or
+    /// `"dynamic"`.
+    pub fn backend(&self) -> &'static str {
+        self.engine.kind()
+    }
+
+    /// The request validation the admission layer runs before enqueueing:
+    /// dimensionality, then `k`/`p` against the served collection — the
+    /// same checks the index would make, surfaced early so a malformed
+    /// request never occupies a batch slot.
+    ///
+    /// # Errors
+    /// [`QueryError::DimMismatch`], [`QueryError::BadK`],
+    /// [`QueryError::BadP`].
+    pub fn validate(&self, query: &[f64], k: usize, p: usize) -> Result<(), QueryError> {
+        if query.len() != self.dim {
+            return Err(QueryError::DimMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if k < 1 {
+            return Err(QueryError::BadK { k });
+        }
+        let max = self.engine.len();
+        if p < k || p > max {
+            return Err(QueryError::BadP { k, p, max });
+        }
+        Ok(())
+    }
+
+    /// Answer one query: the `k` nearest neighbors after refining the
+    /// best `p` filter candidates, exactly as the wrapped index's
+    /// `retrieve` would.
+    ///
+    /// # Errors
+    /// As [`Self::validate`].
+    pub fn try_query(&self, query: &[f64], k: usize, p: usize) -> Result<QueryResult, QueryError> {
+        let batch = [query.to_vec()];
+        let results = self.try_query_batch(&batch, k, p)?;
+        Ok(results.into_iter().next().expect("one query, one result"))
+    }
+
+    /// Answer a batch of queries through the wrapped index's batched
+    /// pipeline — per-query results are bit-identical to [`Self::try_query`]
+    /// (the pipelines pin this at any thread count), which is what lets
+    /// the admission batcher coalesce concurrent singles freely.
+    ///
+    /// # Errors
+    /// As [`Self::validate`], plus [`QueryError::EmptyBatch`].
+    pub fn try_query_batch(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        p: usize,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        if queries.is_empty() {
+            return Err(QueryError::EmptyBatch);
+        }
+        for query in queries {
+            self.validate(query, k, p)?;
+        }
+        self.engine
+            .try_query_batch(queries, self.distance.as_ref(), k, p)
+    }
+}

@@ -1,0 +1,35 @@
+//! # qse-serve
+//!
+//! The query service front end of the Query-Sensitive Embeddings
+//! reproduction: what turns an index (or a snapshot file) into a served
+//! endpoint.
+//!
+//! * [`api`] — [`QseApi`], the transport-neutral facade over the three
+//!   index types (static / cluster-routed / dynamic, any store
+//!   precision), loadable straight from a snapshot; every entry point
+//!   returns typed [`QueryError`](qse_retrieval::QueryError)s instead of
+//!   unwinding.
+//! * [`batcher`] — the admission batcher: concurrently arriving single
+//!   queries coalesce into micro-batches under a configurable latency
+//!   budget, so the Q×N tiled filter kernel runs at its sweet spot;
+//!   equal queries within a batch are deduplicated at admission and
+//!   share one result. Per-query answers are bit-identical to
+//!   sequential retrieval, whatever the arrival interleaving.
+//! * [`http`] — a std-only HTTP/1.1 server on [`std::net::TcpListener`]
+//!   (the build environment has no crates-registry access, matching the
+//!   `crates/compat` philosophy): a thread-per-connection accept loop
+//!   feeding the shared batcher.
+//! * [`wire`] — the JSON request/response shapes over the workspace's
+//!   dependency-free codec.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod batcher;
+pub mod http;
+pub mod wire;
+
+pub use api::{QseApi, QueryResult, ServeError};
+pub use batcher::{Batcher, BatcherConfig, BatcherStats, RequestError};
+pub use http::{QseServer, ServeConfig};

@@ -1,0 +1,185 @@
+//! The JSON wire format of the query service.
+//!
+//! Requests and responses are plain JSON over the workspace's
+//! dependency-free codec ([`qse_core::json`]). One request shape:
+//!
+//! ```json
+//! {"query": [0.5, 1.25], "k": 3, "p": 20}
+//! ```
+//!
+//! and two response shapes — a result:
+//!
+//! ```json
+//! {"neighbors": [17, 4, 90], "distances": [0.1, 0.25, 0.3]}
+//! ```
+//!
+//! or a typed error, whose `kind` is a stable machine-readable tag and
+//! whose `message` is the same text the library's `Display` produces:
+//!
+//! ```json
+//! {"error": {"kind": "bad_p", "message": "p = 2 must be at least k = 3"}}
+//! ```
+
+use qse_core::json::{JsonCodec, JsonValue};
+use qse_retrieval::QueryError;
+
+use crate::api::QueryResult;
+use crate::batcher::RequestError;
+
+/// A decoded `/query` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The raw query vector.
+    pub query: Vec<f64>,
+    /// Neighbors wanted.
+    pub k: usize,
+    /// Filter candidates to refine.
+    pub p: usize,
+}
+
+/// Decode a `/query` request body. The error string is human-readable
+/// and safe to echo back to the client.
+///
+/// # Errors
+/// A description of the first problem found: unparseable JSON, a missing
+/// field, or a field of the wrong type.
+pub fn parse_query_request(body: &str) -> Result<QueryRequest, String> {
+    let value = JsonValue::parse(body).map_err(|e| e.to_string())?;
+    let field = |name: &str| value.get(name).map_err(|e| e.to_string());
+    let query =
+        Vec::<f64>::from_json_value(field("query")?).map_err(|e| format!("field `query`: {e}"))?;
+    let k = usize::from_json_value(field("k")?).map_err(|e| format!("field `k`: {e}"))?;
+    let p = usize::from_json_value(field("p")?).map_err(|e| format!("field `p`: {e}"))?;
+    Ok(QueryRequest { query, k, p })
+}
+
+/// Encode a successful query response.
+pub fn result_json(result: &QueryResult) -> String {
+    JsonValue::Object(vec![
+        ("neighbors".into(), result.neighbors.to_json_value()),
+        ("distances".into(), result.distances.to_json_value()),
+    ])
+    .dump()
+}
+
+/// Encode an error response: `{"error": {"kind": ..., "message": ...}}`.
+pub fn error_json(kind: &str, message: &str) -> String {
+    JsonValue::Object(vec![(
+        "error".into(),
+        JsonValue::Object(vec![
+            ("kind".into(), JsonValue::String(kind.into())),
+            ("message".into(), JsonValue::String(message.into())),
+        ]),
+    )])
+    .dump()
+}
+
+/// Encode the `/healthz` response.
+pub fn health_json(backend: &str, len: usize, dim: usize) -> String {
+    JsonValue::Object(vec![
+        ("status".into(), JsonValue::String("ok".into())),
+        ("backend".into(), JsonValue::String(backend.into())),
+        ("len".into(), len.to_json_value()),
+        ("dim".into(), dim.to_json_value()),
+    ])
+    .dump()
+}
+
+/// The stable machine-readable tag of a [`QueryError`], the `kind` field
+/// of the wire error shape.
+pub fn query_error_kind(error: &QueryError) -> &'static str {
+    match error {
+        QueryError::EmptyBatch => "empty_batch",
+        QueryError::EmptyIndex => "empty_index",
+        QueryError::BadK { .. } => "bad_k",
+        QueryError::BadP { .. } => "bad_p",
+        QueryError::DimMismatch { .. } => "dim_mismatch",
+        QueryError::DatabaseMismatch { .. } => "database_mismatch",
+        QueryError::BadPScale { .. } => "bad_p_scale",
+        QueryError::BadNProbe { .. } => "bad_n_probe",
+        QueryError::RoutingDisabled => "routing_disabled",
+    }
+}
+
+/// The stable tag of a [`RequestError`].
+pub fn request_error_kind(error: &RequestError) -> &'static str {
+    match error {
+        RequestError::Query(e) => query_error_kind(e),
+        RequestError::Internal(_) => "internal",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = parse_query_request(r#"{"query":[1.5,-2.0],"k":3,"p":10}"#).unwrap();
+        assert_eq!(
+            req,
+            QueryRequest {
+                query: vec![1.5, -2.0],
+                k: 3,
+                p: 10
+            }
+        );
+    }
+
+    #[test]
+    fn request_rejections_name_the_problem() {
+        assert!(parse_query_request("not json").is_err());
+        assert!(parse_query_request(r#"{"k":3,"p":10}"#)
+            .unwrap_err()
+            .contains("query"));
+        assert!(parse_query_request(r#"{"query":[1.0],"k":3.5,"p":10}"#)
+            .unwrap_err()
+            .contains("`k`"));
+        assert!(parse_query_request(r#"{"query":[1.0],"k":3,"p":-2}"#)
+            .unwrap_err()
+            .contains("`p`"));
+        assert!(parse_query_request(r#"{"query":"no","k":3,"p":10}"#)
+            .unwrap_err()
+            .contains("`query`"));
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let result = QueryResult {
+            neighbors: vec![4, 9],
+            distances: vec![0.5, 1.25],
+        };
+        let parsed = JsonValue::parse(&result_json(&result)).unwrap();
+        assert_eq!(
+            Vec::<usize>::from_json_value(parsed.get("neighbors").unwrap()).unwrap(),
+            vec![4, 9]
+        );
+        let err = JsonValue::parse(&error_json("bad_k", "k must be at least 1")).unwrap();
+        assert_eq!(
+            err.get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "bad_k"
+        );
+        assert!(JsonValue::parse(&health_json("routed", 10, 2)).is_ok());
+    }
+
+    #[test]
+    fn error_kinds_are_stable() {
+        assert_eq!(query_error_kind(&QueryError::BadK { k: 0 }), "bad_k");
+        assert_eq!(
+            query_error_kind(&QueryError::DimMismatch {
+                expected: 2,
+                got: 3
+            }),
+            "dim_mismatch"
+        );
+        assert_eq!(
+            request_error_kind(&RequestError::Internal("boom".into())),
+            "internal"
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`retrieval`] (`qse-retrieval`) — filter-and-refine retrieval, the
 //!   evaluation harness, and drivers regenerating every figure and table of
 //!   the paper.
+//! * [`serve`] (`qse-serve`) — the query service front end: a
+//!   transport-neutral API facade over any index (loadable from a
+//!   snapshot), an admission batcher that coalesces concurrent single
+//!   queries into micro-batches, and a std-only HTTP/1.1 server.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +65,7 @@ pub use qse_dataset as dataset;
 pub use qse_distance as distance;
 pub use qse_embedding as embedding;
 pub use qse_retrieval as retrieval;
+pub use qse_serve as serve;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -82,7 +87,11 @@ pub mod prelude {
     };
     pub use qse_retrieval::{
         experiments, ground_truth, knn_flat, knn_flat_batch, recall_vs_n_probe, snapshot_sections,
-        CostReport, DynamicIndex, FilterRefineIndex, MethodEvaluation, RetrievalOutcome,
-        RoutedConfig, RoutedIndex, SnapshotError,
+        CostReport, DynamicIndex, FilterRefineIndex, MethodEvaluation, QueryError,
+        RetrievalOutcome, RoutedConfig, RoutedIndex, SnapshotError,
+    };
+    pub use qse_serve::{
+        Batcher, BatcherConfig, BatcherStats, QseApi, QseServer, QueryResult, RequestError,
+        ServeConfig, ServeError,
     };
 }

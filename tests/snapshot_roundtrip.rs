@@ -363,6 +363,82 @@ fn load_restores_default_seeded_knobs_exactly() {
     assert_eq!(loaded.p_scale(), 3.25);
 }
 
+/// Churn a routed dynamic index object by object until its cells pass
+/// through single-element and empty states, snapshotting at every step:
+/// each snapshot must load, retrieve identically to the original (the
+/// probe set extends past emptied cells instead of starving the refine
+/// step — the `probe_prefix` floor), stay byte-stable under re-save, and
+/// keep editing in lockstep after the load.
+#[test]
+fn churned_single_element_cells_roundtrip() {
+    let db = clustered(40, 161);
+    let d = LpDistance::l2();
+    let queries = clustered(6, 163);
+    let model = train_model(&db);
+    let mut index = DynamicIndex::<_, u8>::with_store(model, db, &d);
+    index.enable_routing(
+        RoutedConfig {
+            cells: 8,
+            n_probe: 2,
+            ..RoutedConfig::default()
+        },
+        &d,
+    );
+    let mut step = 0usize;
+    while index.len() > 2 {
+        // Vary the removal position: front, back, middle.
+        let at = match step % 3 {
+            0 => 0,
+            1 => index.len() - 1,
+            _ => index.len() / 2,
+        };
+        index.remove(at);
+        step += 1;
+        let n = index.len();
+        let (k, p) = (1, n.min(3));
+        let bytes = index.to_snapshot_bytes().unwrap();
+        let mut loaded = DynamicIndex::<Vec<f64>, u8>::from_snapshot_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("snapshot load failed at len {n}: {e}"));
+        for q in &queries {
+            let got = loaded.retrieve(q, &d, k, p);
+            assert_eq!(got.len(), k, "short result at len {n}");
+            assert_eq!(
+                got,
+                index.retrieve(q, &d, k, p),
+                "retrieval diverged at len {n}"
+            );
+        }
+        assert_eq!(
+            bytes,
+            loaded.to_snapshot_bytes().unwrap(),
+            "snapshot bytes unstable at len {n}"
+        );
+        // Post-load lockstep edits: the loaded index must continue to be
+        // editable exactly like the original, including re-filling a cell
+        // that was emptied by the churn.
+        let probe = vec![7.0 + step as f64 * 0.1, 7.0];
+        index.insert(probe.clone(), &d);
+        loaded.insert(probe, &d);
+        for q in &queries {
+            assert_eq!(
+                loaded.retrieve(q, &d, 1, 3),
+                index.retrieve(q, &d, 1, 3),
+                "post-load insert diverged at step {step}"
+            );
+        }
+        let gid = index.len() - 1;
+        assert_eq!(index.remove(gid), loaded.remove(gid));
+    }
+    // Refit with config.cells (8) above the surviving population (2): the
+    // k-means must cope, and the refit state must still round-trip.
+    index.refit_store(&d);
+    let bytes = index.to_snapshot_bytes().unwrap();
+    let loaded = DynamicIndex::<Vec<f64>, u8>::from_snapshot_bytes(&bytes).unwrap();
+    for q in &queries {
+        assert_eq!(loaded.retrieve(q, &d, 1, 2), index.retrieve(q, &d, 1, 2));
+    }
+}
+
 /// A snapshot written under one thread count must replay identically
 /// when loaded under another — the bytes carry no parallelism residue.
 #[test]
