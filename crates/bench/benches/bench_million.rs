@@ -1,0 +1,204 @@
+//! Million-row serving sweep: the dim-256 startup/scan/recall/latency/
+//! memory Pareto table per filter-store backend.
+//!
+//! The ROADMAP's million-row scenario, made runnable: a 1M-point
+//! Gaussian-mixture database under a 256-reference query-insensitive
+//! model (reference-coordinate embedding — cheap to construct at this
+//! scale, snapshot-loadable because it is `QseModel`-backed), embedded
+//! **once**, then indexed under every store precision from the same
+//! embedded rows. Each backend row reports what a deployment cares
+//! about:
+//!
+//! * **startup** — snapshot file size, owned `load` time, zero-copy
+//!   `load_mmap` time, and the element heap bytes of both (mapped: 0 —
+//!   the u8 store serves 1M × 256 rows off a 256 MB file with element
+//!   memory left to the OS page cache);
+//! * **scan** — mean per-query filter+refine latency over the mapped
+//!   index (the full-database filter scan dominates at this scale);
+//! * **recall@10** — against exact brute-force ground truth in the
+//!   original space, so the precision/latency/memory trade reads off one
+//!   table.
+//!
+//! Run with `cargo bench -p qse-bench --bench bench_million`; the row
+//! count honors `QSE_MILLION_ROWS` (default 1 000 000) so the same sweep
+//! scales down to small runners, and the `--test` smoke flag shrinks it
+//! to a quick CI pass.
+
+use qse_core::model::TrainingHistory;
+use qse_core::{Interval, QseModel, WeakLearner};
+use qse_dataset::{GaussianMixture, GaussianMixtureConfig};
+use qse_distance::{FilterElem, LpDistance};
+use qse_embedding::one_d::Candidate;
+use qse_embedding::{Embedding, OneDEmbedding};
+use qse_retrieval::FilterRefineIndex;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const K: usize = 10;
+const P: usize = 200;
+const EMBED_DIM: usize = 256;
+const ORIG_DIM: usize = 32;
+
+/// A hand-built query-insensitive model: `EMBED_DIM` reference
+/// coordinates with full-interval unit-alpha learners (the same idiom as
+/// the workspace store-backend tests). Training a BoostMap model on a
+/// million rows is a separate benchmark; here the model only has to give
+/// every backend the *same* dim-256 filter geometry.
+fn reference_model(references: &[Vec<f64>]) -> QseModel<Vec<f64>> {
+    let coordinates: Vec<OneDEmbedding<Vec<f64>>> = references
+        .iter()
+        .enumerate()
+        .map(|(i, r)| OneDEmbedding::reference(Candidate::new(i, r.clone())))
+        .collect();
+    let learners = (0..references.len())
+        .map(|coordinate| WeakLearner {
+            coordinate,
+            interval: Interval::full(),
+            alpha: 1.0,
+        })
+        .collect();
+    QseModel::new(coordinates, learners, TrainingHistory::default())
+}
+
+fn brute_force_knn(query: &[f64], db: &[Vec<f64>], d: &LpDistance) -> Vec<usize> {
+    let query = query.to_vec();
+    let mut scored: Vec<(f64, usize)> = db
+        .iter()
+        .enumerate()
+        .map(|(i, row)| (d.eval(&query, row), i))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    scored.truncate(K);
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("qse-million-{}-{tag}.snap", std::process::id()))
+}
+
+/// One Pareto row: index the shared embedded rows under backend `E`,
+/// snapshot, time both load paths, and serve the query set off the
+/// mapped index.
+fn run_backend<E: FilterElem>(
+    model: &QseModel<Vec<f64>>,
+    embedded: Vec<Vec<f64>>,
+    db: &[Vec<f64>],
+    queries: &[Vec<f64>],
+    truth: &[Vec<usize>],
+    d: &LpDistance,
+) {
+    let built = Instant::now();
+    let index =
+        FilterRefineIndex::<_, E>::from_vectors_query_sensitive_with_store(model.clone(), embedded);
+    let built = built.elapsed();
+
+    let path = snapshot_path(E::NAME);
+    let saved = Instant::now();
+    index.save(&path).expect("snapshot save");
+    let saved = saved.elapsed();
+    let file_bytes = std::fs::metadata(&path).expect("snapshot stat").len();
+
+    let owned_t = Instant::now();
+    let owned = FilterRefineIndex::<Vec<f64>, E>::load(&path).expect("owned load");
+    let owned_t = owned_t.elapsed();
+
+    let mmap_t = Instant::now();
+    let mapped = FilterRefineIndex::<Vec<f64>, E>::load_mmap(&path).expect("mmap load");
+    let mmap_t = mmap_t.elapsed();
+
+    // The storage representation must be invisible to retrieval: same
+    // neighbors, same distances, bit for bit, before anything is timed
+    // off the mapped index.
+    for q in queries.iter().take(2) {
+        assert_eq!(
+            owned.retrieve(q, db, d, K, P),
+            mapped.retrieve(q, db, d, K, P),
+            "mapped retrieval must be bit-identical to owned"
+        );
+    }
+
+    let mut latency = Duration::ZERO;
+    let mut hits = 0usize;
+    for (q, t) in queries.iter().zip(truth) {
+        let start = Instant::now();
+        let outcome = mapped.retrieve(q, db, d, K, P);
+        latency += start.elapsed();
+        hits += outcome.neighbors.iter().filter(|n| t.contains(n)).count();
+    }
+    let recall = hits as f64 / (queries.len() * K) as f64;
+
+    println!(
+        "million/{:<3}  file {:>7.1} MB  build {:>6.2?}  save {:>6.2?}  load {:>8.2?}  \
+         load_mmap {:>8.2?} ({:>4.1}x)  heap owned {:>7.1} MB  heap mapped {} B  \
+         query {:>8.2?}  recall@{K} {:.3}",
+        E::NAME,
+        file_bytes as f64 / 1e6,
+        built,
+        saved,
+        owned_t,
+        mmap_t,
+        owned_t.as_secs_f64() / mmap_t.as_secs_f64().max(1e-9),
+        owned.store_heap_bytes() as f64 / 1e6,
+        mapped.store_heap_bytes(),
+        latency / queries.len() as u32,
+        recall,
+    );
+    assert!(
+        mapped.store_is_mapped() || cfg!(not(all(unix, target_pointer_width = "64"))),
+        "the mapped load must actually map on this target"
+    );
+    drop(mapped);
+    let _ = std::fs::remove_file(&path);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let rows: usize = std::env::var("QSE_MILLION_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 20_000 } else { 1_000_000 });
+    let query_count = if smoke { 4 } else { 32 };
+
+    let wall = Instant::now();
+    let mix = GaussianMixture::generate(GaussianMixtureConfig {
+        rows,
+        dim: ORIG_DIM,
+        clusters: 64,
+        center_box: 10.0,
+        spread: 0.5,
+        seed: 0x1_000_000,
+    });
+    let queries = mix.queries(query_count, 0xFEED);
+    let d = LpDistance::l2();
+
+    // Evenly strided references cover every mixture mode at any scale.
+    let refs: Vec<Vec<f64>> = (0..EMBED_DIM)
+        .map(|i| mix.points[i * rows / EMBED_DIM].clone())
+        .collect();
+    let model = reference_model(&refs);
+
+    let embed_t = Instant::now();
+    let embedding = model.embedding();
+    let embedded: Vec<Vec<f64>> = mix.points.iter().map(|p| embedding.embed(p, &d)).collect();
+    let embed_t = embed_t.elapsed();
+
+    let truth_t = Instant::now();
+    let truth: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| brute_force_knn(q, &mix.points, &d))
+        .collect();
+    let truth_t = truth_t.elapsed();
+
+    println!(
+        "million sweep: {rows} rows, original dim {ORIG_DIM} -> embedded dim {EMBED_DIM}, \
+         {} queries, k={K} p={P}  (embed {:.2?}, ground truth {:.2?})",
+        queries.len(),
+        embed_t,
+        truth_t
+    );
+
+    run_backend::<f64>(&model, embedded.clone(), &mix.points, &queries, &truth, &d);
+    run_backend::<f32>(&model, embedded.clone(), &mix.points, &queries, &truth, &d);
+    run_backend::<u8>(&model, embedded, &mix.points, &queries, &truth, &d);
+    eprintln!("total bench wall time {:.2?}", wall.elapsed());
+}

@@ -608,6 +608,22 @@ fn bench_startup(c: &mut Criterion) {
             })
         },
     );
+    // Zero-copy startup: map the file, verify checksums, point every
+    // cell at its slice of the one shared mapping — no element copies.
+    // This is the O(1)-in-store-size path; the gap to `load_from_file`
+    // is the copy the mapped loader no longer pays.
+    group.bench_with_input(
+        BenchmarkId::new("load_mmap/u8/dim64", DB_SIZE),
+        &DB_SIZE,
+        |b, _| {
+            b.iter(|| {
+                let loaded = RoutedIndex::<Vec<f64>, u8>::load_mmap(black_box(&path))
+                    .expect("bench snapshot file is valid");
+                debug_assert!(loaded.store_is_mapped());
+                black_box(loaded)
+            })
+        },
+    );
     group.finish();
     let _ = std::fs::remove_file(&path);
 }

@@ -23,7 +23,7 @@ use qse_distance::LpDistance;
 use qse_retrieval::{RoutedConfig, RoutedIndex};
 use qse_serve::{BatcherConfig, QseApi, QseServer, ServeConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -184,6 +184,102 @@ fn run_cell(load: &Load, api: QseApi, queries: &[Vec<f64>], budget: Duration, la
     server.shutdown();
 }
 
+/// Open-loop cell: requests fire on a fixed-rate seeded arrival schedule
+/// (exponential inter-arrivals — a Poisson process at the offered rate,
+/// same seed for every cell) whether or not earlier responses have come
+/// back, and every latency is measured from the request's **scheduled**
+/// arrival time, not its actual send time. That charges server queueing
+/// delay to the requests that suffered it instead of silently slowing
+/// the injection down — the coordinated-omission failure mode that makes
+/// closed-loop clients understate saturated-tail latency and flatter
+/// admission batching far less than it deserves. The printed
+/// achieved-vs-offered pair makes saturation explicit: achieved tracking
+/// offered means the server kept up; achieved falling short means the
+/// offered rate exceeded capacity and the p99 shows the queue.
+fn run_open_loop_cell(
+    api: QseApi,
+    queries: &[Vec<f64>],
+    budget: Duration,
+    conns: usize,
+    offered_qps: f64,
+    total: usize,
+    label: &str,
+) {
+    // The full schedule up front: arrival offsets from the common start,
+    // dealt round-robin across connections so each carries an equal and
+    // deterministic share. Bodies reuse the duplicate-scattered mix.
+    let mut rng = StdRng::seed_from_u64(0x0FFE_4ED0);
+    let mut offset = Duration::ZERO;
+    let mut schedule: Vec<(Duration, String)> = Vec::with_capacity(total);
+    for i in 0..total {
+        // Exponential inter-arrival: -ln(U) / rate, U in (0, 1].
+        let u = 1.0 - rng.next_f64();
+        offset += Duration::from_secs_f64(-u.ln() / offered_qps);
+        let qi = if i % 3 == 2 { i / 2 } else { i } % queries.len();
+        schedule.push((offset, query_body(&queries[qi])));
+    }
+
+    let mut server = QseServer::start(
+        api,
+        ServeConfig {
+            batcher: BatcherConfig {
+                latency_budget: budget,
+                max_batch: 64,
+                workers: 2,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr: SocketAddr = server.addr();
+
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let share: Vec<&(Duration, String)> =
+                    schedule.iter().skip(c).step_by(conns).collect();
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    let mut local = Vec::with_capacity(share.len());
+                    for (arrival, body) in share {
+                        if let Some(wait) = arrival.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let status = post(&mut stream, body);
+                        // From the scheduled arrival, so time spent
+                        // queued behind a busy connection counts too.
+                        local.push(start.elapsed().saturating_sub(*arrival));
+                        assert_eq!(status, 200);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    let wall = start.elapsed();
+    latencies.sort();
+    let achieved = total as f64 / wall.as_secs_f64();
+    let stats = server.batcher_stats();
+    println!(
+        "serving-open/{label}  p50 {:.2?}  p99 {:.2?}  offered {:.0} req/s  achieved {:.0} req/s ({:.0}%)  mean batch {:.1}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        offered_qps,
+        achieved,
+        100.0 * achieved / offered_qps,
+        stats.queries as f64 / stats.batches.max(1) as f64,
+    );
+    server.shutdown();
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let load = if smoke {
@@ -223,6 +319,26 @@ fn main() {
         let (api, queries) = build_api(&load);
         let label = format!("np6of32/{tag}");
         run_cell(&load, api, &queries, *budget, &label);
+    }
+
+    // Open-loop sweep at one batching budget: offered rates straddling
+    // the closed-loop throughput, so the output shows both a keeping-up
+    // cell (achieved ≈ offered, low p99) and a saturated cell (achieved
+    // < offered, queueing-dominated p99).
+    let open_budget = Duration::from_micros(500);
+    let open_cells: &[(f64, usize, usize)] = if smoke {
+        &[(200.0, 4, 32)] // (offered req/s, connections, total requests)
+    } else {
+        &[
+            (1_000.0, 16, 2_400),
+            (2_000.0, 16, 2_400),
+            (4_000.0, 16, 2_400),
+        ]
+    };
+    for &(offered, conns, total) in open_cells {
+        let (api, queries) = build_api(&load);
+        let label = format!("np6of32/budget500us/{}qps", offered as u64);
+        run_open_loop_cell(api, &queries, open_budget, conns, offered, total, &label);
     }
     eprintln!("total bench wall time {:.2?}", setup.elapsed());
 }

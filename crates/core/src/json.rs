@@ -243,7 +243,7 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
-        let mut fields = Vec::new();
+        let mut fields = Vec::with_capacity(4);
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -275,7 +275,7 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
-        let mut items = Vec::new();
+        let mut items = Vec::with_capacity(4);
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
@@ -304,6 +304,24 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-copy the longest run of plain ASCII bytes in one
+            // append; only quotes, escapes, and non-ASCII bytes drop to
+            // the per-character handling below. (Validating UTF-8 one
+            // character at a time over the remaining input made string
+            // parsing quadratic in document size.)
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b >= 0x80 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("ASCII bytes are valid UTF-8"),
+                );
+            }
             match self.peek() {
                 None => return Err(JsonError::new("unterminated string")),
                 Some(b'"') => {
@@ -350,11 +368,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| JsonError::new("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty by construction");
+                    // Consume one non-ASCII UTF-8 character, validating
+                    // at most the 4 bytes it can span.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(rest) {
+                        Ok(s) => s.chars().next(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                        }
+                        Err(_) => None,
+                    };
+                    let c = c.ok_or_else(|| JsonError::new("invalid UTF-8 in string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -378,17 +406,33 @@ impl Parser<'_> {
     }
 
     fn number(&mut self) -> Result<JsonValue, JsonError> {
+        // Number-body bytes, classified by a table: documents are mostly
+        // numbers (model weights), so this scan is the parser's hottest
+        // loop and a direct indexed test beats a multi-pattern match.
+        const NUM_CHAR: [bool; 256] = {
+            let mut t = [false; 256];
+            let mut b = b'0';
+            while b <= b'9' {
+                t[b as usize] = true;
+                b += 1;
+            }
+            t[b'.' as usize] = true;
+            t[b'e' as usize] = true;
+            t[b'E' as usize] = true;
+            t[b'+' as usize] = true;
+            t[b'-' as usize] = true;
+            t
+        };
         let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
+        let mut pos = self.pos;
+        if self.bytes.get(pos) == Some(&b'-') {
+            pos += 1;
         }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
+        while pos < self.bytes.len() && NUM_CHAR[self.bytes[pos] as usize] {
+            pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+        self.pos = pos;
+        let text = std::str::from_utf8(&self.bytes[start..pos])
             .map_err(|_| JsonError::new("invalid number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)

@@ -68,15 +68,19 @@ pub mod hungarian;
 pub mod kl;
 pub mod lb_keogh;
 pub mod matrix;
+pub mod mmap;
 pub mod sad;
 pub mod shape_context;
+pub mod storage;
 pub mod traits;
 pub mod vector;
 
 pub use counting::CountingDistance;
 pub use dtw::{ConstrainedDtw, TimeSeries};
 pub use matrix::DistanceMatrix;
+pub use mmap::{MapError, MapRegion};
 pub use sad::{SadQuery, SadQueryBatch};
 pub use shape_context::{PointSet, ShapeContextDistance};
+pub use storage::{MappedSlice, MappedWords, Storage};
 pub use traits::{DistanceMeasure, MetricProperties};
 pub use vector::{FilterElem, FlatStore, FlatVectors, LpDistance, QuantParams, WeightedL1};

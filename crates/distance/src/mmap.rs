@@ -1,0 +1,279 @@
+//! Read-only memory mapping for zero-copy filter stores.
+//!
+//! The snapshot format (`qse_retrieval::snapshot`) lays every section —
+//! and the raw element bytes inside the store sections — out 8-byte
+//! aligned precisely so a serving process can `mmap` the file and point
+//! its [`FlatStore`](crate::FlatStore)s straight at the page cache
+//! instead of copying element bytes onto the heap. This module is the
+//! std-only enabler: a small `unsafe` FFI surface declaring
+//! `mmap`/`munmap`/`madvise` against the system libc (the workspace has
+//! no crates-registry access, so there is no `libc` crate to lean on),
+//! wrapped in the safe [`MapRegion`] owner.
+//!
+//! ## Guarantees and limits
+//!
+//! * Mappings are **read-only** (`PROT_READ`, `MAP_PRIVATE`): nothing in
+//!   this workspace can write through a mapping, and the OS shares the
+//!   backing pages across every process serving the same snapshot.
+//! * [`MapRegion::map_file`] maps the file's *current* size (`fstat` at
+//!   map time) and [`MapRegion::as_bytes`] never hands out more than
+//!   that, so in-process reads are always bounds-checked — a file that
+//!   was truncated *before* mapping yields a short, safely readable
+//!   buffer (loaders then fail with typed errors, not faults). A file
+//!   truncated by another process *while* mapped can still deliver
+//!   `SIGBUS` on first touch of a vanished page; that is inherent to
+//!   `mmap` on every platform and is documented at the loader level.
+//! * On targets without the FFI surface (non-Unix, non-64-bit), every
+//!   constructor returns [`MapError::Unsupported`] and callers fall back
+//!   to their owned loaders — behavior, not availability, is what the
+//!   workspace tests pin.
+
+use std::fmt;
+use std::fs::File;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Why a file could not be memory-mapped. Callers treat every variant as
+/// "use the owned loader instead"; the variants exist so logs can say
+/// *why* the zero-copy path was skipped.
+#[derive(Debug)]
+pub enum MapError {
+    /// Opening or statting the file failed.
+    Io(std::io::Error),
+    /// The `mmap` syscall itself failed (the wrapped value is `errno`).
+    MapFailed(i32),
+    /// The file is empty — there is nothing to map (and `mmap` with
+    /// length 0 is an error on POSIX systems).
+    EmptyFile,
+    /// This build has no mapping support (non-Unix or non-64-bit
+    /// target, or a big-endian host where the little-endian snapshot
+    /// bytes cannot be reinterpreted in place).
+    Unsupported,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "mmap I/O error: {e}"),
+            Self::MapFailed(errno) => write!(f, "mmap syscall failed (errno {errno})"),
+            Self::EmptyFile => write!(f, "cannot map an empty file"),
+            Self::Unsupported => write!(f, "memory mapping is not supported on this target"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The platform gate for the zero-copy path: Unix `mmap` FFI on a
+/// 64-bit little-endian target. Everything else takes the owned
+/// fallback.
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+mod ffi {
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    // Stable across Linux and the BSDs/macOS for the calls above.
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MADV_WILLNEED: c_int = 3;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    /// Linux-only: prefault the whole mapping at `mmap` time. Snapshot
+    /// loaders checksum every byte before trusting a mapping, so the
+    /// pages are all touched immediately anyway — one kernel populate
+    /// pass is cheaper than taking hundreds of first-touch minor faults
+    /// during the checksum sweep. Zero elsewhere (flag unsupported).
+    #[cfg(target_os = "linux")]
+    pub const MAP_POPULATE: c_int = 0x08000;
+    #[cfg(not(target_os = "linux"))]
+    pub const MAP_POPULATE: c_int = 0;
+}
+
+/// An owned, read-only memory mapping of a whole file.
+///
+/// Construction maps the file once; [`Drop`] unmaps it. Shared through
+/// an [`Arc`] so any number of [`FlatStore`](crate::FlatStore)s (e.g.
+/// the per-cell stores of one routed index) can borrow disjoint element
+/// ranges out of a *single* mapping whose lifetime outlives them all.
+pub struct MapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE — immutable for its whole
+// lifetime — so shared references to its bytes are sound from any thread.
+unsafe impl Send for MapRegion {}
+unsafe impl Sync for MapRegion {}
+
+impl fmt::Debug for MapRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapRegion").field("len", &self.len).finish()
+    }
+}
+
+impl MapRegion {
+    /// Map `file` read-only at its current size.
+    ///
+    /// # Errors
+    /// [`MapError::Io`] if the size cannot be read, [`MapError::EmptyFile`]
+    /// for a zero-length file, [`MapError::MapFailed`] if the syscall
+    /// fails, [`MapError::Unsupported`] on targets without the FFI
+    /// surface.
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    pub fn map_file(file: &File) -> Result<Arc<Self>, MapError> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata().map_err(MapError::Io)?.len();
+        if len == 0 {
+            return Err(MapError::EmptyFile);
+        }
+        let len = usize::try_from(len).map_err(|_| MapError::Unsupported)?;
+        // SAFETY: len is nonzero, the fd is open and owned by `file` for
+        // the duration of the call; a PROT_READ/MAP_PRIVATE mapping of a
+        // regular file aliases no Rust-visible memory.
+        let ptr = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                ffi::PROT_READ,
+                ffi::MAP_PRIVATE | ffi::MAP_POPULATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == ffi::MAP_FAILED {
+            return Err(MapError::MapFailed(
+                std::io::Error::last_os_error().raw_os_error().unwrap_or(0),
+            ));
+        }
+        Ok(Arc::new(Self {
+            ptr: ptr.cast(),
+            len,
+        }))
+    }
+
+    /// Stub for targets without mapping support: always
+    /// [`MapError::Unsupported`], so callers take their owned fallback.
+    #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+    pub fn map_file(_file: &File) -> Result<Arc<Self>, MapError> {
+        Err(MapError::Unsupported)
+    }
+
+    /// Open `path` and map it via [`Self::map_file`].
+    ///
+    /// # Errors
+    /// As [`Self::map_file`], plus [`MapError::Io`] if the open fails.
+    pub fn map_path(path: impl AsRef<Path>) -> Result<Arc<Self>, MapError> {
+        let file = File::open(path).map_err(MapError::Io)?;
+        Self::map_file(&file)
+    }
+
+    /// The mapped bytes — the whole file, as it was sized at map time.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+        // self; the bytes are plain data and never written through this
+        // mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the mapping is empty (never the case for a
+    /// successfully constructed region).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Advise the kernel the whole region will be needed soon
+    /// (`MADV_WILLNEED`), prompting read-ahead so the first scan over a
+    /// cold mapping fault less. Advisory only: failure is ignored — the
+    /// mapping stays fully usable either way.
+    pub fn advise_willneed(&self) {
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        // SAFETY: the range is exactly the live mapping owned by self.
+        unsafe {
+            let _ = ffi::madvise(self.ptr.cast(), self.len, ffi::MADV_WILLNEED);
+        }
+    }
+}
+
+impl Drop for MapRegion {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        // SAFETY: ptr/len are exactly what mmap returned; after this the
+        // region is never touched again (drop consumes the only owner,
+        // and Arc guarantees no outstanding borrows).
+        unsafe {
+            let _ = ffi::munmap(self.ptr.cast(), self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("qse-mmap-test-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).expect("create temp file");
+        f.write_all(bytes).expect("write temp file");
+        path
+    }
+
+    #[test]
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    fn maps_file_bytes_and_unmaps_on_drop() {
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let path = temp_file("roundtrip", &payload);
+        let region = MapRegion::map_path(&path).expect("mapping a regular file succeeds");
+        assert_eq!(region.as_bytes(), &payload[..]);
+        assert_eq!(region.len(), payload.len());
+        region.advise_willneed();
+        drop(region);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_is_a_typed_error() {
+        let path = temp_file("empty", &[]);
+        let err = MapRegion::map_path(&path).expect_err("zero bytes cannot be mapped");
+        assert!(
+            matches!(err, MapError::EmptyFile | MapError::Unsupported),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        let err = MapRegion::map_path("/nonexistent/qse-definitely-missing")
+            .expect_err("missing file cannot be mapped");
+        assert!(
+            matches!(err, MapError::Io(_) | MapError::Unsupported),
+            "unexpected error: {err}"
+        );
+    }
+}

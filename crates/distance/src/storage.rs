@@ -1,0 +1,288 @@
+//! Element storage behind [`FlatStore`](crate::FlatStore): owned heap
+//! buffers or zero-copy borrows out of a memory-mapped snapshot.
+//!
+//! Historically the flat store's row-major buffer *was* a `Vec<E>`. That
+//! couples startup cost and resident memory to index size: loading a
+//! snapshot copies every element byte onto the heap before the first
+//! query can run. [`Storage`] breaks the coupling — the same store can
+//! either **own** its elements (the default for anything built in
+//! process) or **borrow** them from an [`MapRegion`](crate::MapRegion)
+//! holding an `mmap`ed snapshot file, in which case the OS pages element
+//! bytes in lazily, shares them across processes, and the store's heap
+//! footprint for element data is zero.
+//!
+//! ## Copy-on-first-write
+//!
+//! Mapped storage is immutable (the mapping is `PROT_READ`). Mutating
+//! operations ([`FlatStore::push`](crate::FlatStore::push),
+//! [`FlatStore::swap_remove`](crate::FlatStore::swap_remove)) first call
+//! [`Storage::make_owned`], which materializes the mapped elements into
+//! a private `Vec` — so mutation never touches the snapshot file, and a
+//! dynamic index loaded from a mapping becomes an ordinary owned index
+//! the moment it is first edited. Reads before that point are served
+//! straight from the page cache.
+//!
+//! ## Why borrowing is sound
+//!
+//! Snapshot element bytes are little-endian and written contiguously, one
+//! [`FilterElem::BYTES`] group per element — exactly the in-memory layout
+//! of `[E]` on a little-endian host. [`MappedSlice::new`] only succeeds
+//! when the backend's [`FilterElem::elems_from_le_bytes`] accepts the
+//! byte range (length a whole number of elements, pointer aligned for
+//! `E`, little-endian target); every other case reports `None` and the
+//! caller copies instead. All three built-in backends (`f64`, `f32`,
+//! `u8`) accept any properly aligned range because every bit pattern is
+//! a valid value of these types.
+
+use crate::mmap::MapRegion;
+use crate::vector::FilterElem;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A borrowed, immutable run of `E` elements inside a shared
+/// [`MapRegion`].
+///
+/// Holds the region through an [`Arc`], so any number of slices (e.g.
+/// the per-cell stores of one routed index) can reference disjoint
+/// ranges of a single mapping; the mapping unmaps when the last slice
+/// (or other holder) drops.
+pub struct MappedSlice<E: FilterElem> {
+    region: Arc<MapRegion>,
+    /// Byte range of the elements inside the region (validated aligned
+    /// and whole-element at construction).
+    bytes: Range<usize>,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: FilterElem> MappedSlice<E> {
+    /// Borrow the elements in `bytes` (a byte range of `region`).
+    /// Returns `None` — and the caller falls back to copying — when the
+    /// range is out of bounds, not a whole number of elements, or not
+    /// aligned for `E` (see the module docs).
+    pub fn new(region: Arc<MapRegion>, bytes: Range<usize>) -> Option<Self> {
+        let raw = region.as_bytes().get(bytes.clone())?;
+        // Validate through the backend hook once; `as_slice` repeats the
+        // (infallible, already-validated) conversion per call.
+        E::elems_from_le_bytes(raw)?;
+        Some(Self {
+            region,
+            bytes,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The borrowed elements.
+    pub fn as_slice(&self) -> &[E] {
+        E::elems_from_le_bytes(&self.region.as_bytes()[self.bytes.clone()])
+            .expect("validated by MappedSlice::new")
+    }
+
+    /// The shared mapping this slice borrows from.
+    pub fn region(&self) -> &Arc<MapRegion> {
+        &self.region
+    }
+}
+
+impl<E: FilterElem> Clone for MappedSlice<E> {
+    fn clone(&self) -> Self {
+        Self {
+            region: Arc::clone(&self.region),
+            bytes: self.bytes.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E: FilterElem> fmt::Debug for MappedSlice<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedSlice")
+            .field("bytes", &self.bytes)
+            .field("elements", &(self.bytes.len() / E::BYTES.max(1)))
+            .finish()
+    }
+}
+
+/// A borrowed, immutable run of little-endian 64-bit ids inside a shared
+/// [`MapRegion`], readable in place as `&[usize]`.
+///
+/// The snapshot format stores id lists as contiguous 8-byte-aligned
+/// little-endian `u64` words — on a 64-bit little-endian host that is
+/// bit-for-bit the in-memory layout of `[usize]`, so a routed index can
+/// point its per-cell id lists straight at the mapping instead of
+/// copying ~8 bytes per database row onto the heap at load time. On any
+/// other target [`MappedWords::new`] returns `None` and callers fall
+/// back to owned `Vec<usize>` lists.
+pub struct MappedWords {
+    region: Arc<MapRegion>,
+    /// Byte range of the words inside the region (validated 8-aligned
+    /// and whole-word at construction).
+    bytes: Range<usize>,
+}
+
+impl MappedWords {
+    /// Borrow the words in `bytes` (a byte range of `region`). Returns
+    /// `None` — and the caller copies instead — when the range is out of
+    /// bounds, not a whole number of 8-byte words, misaligned, or the
+    /// target is not 64-bit little-endian.
+    pub fn new(region: Arc<MapRegion>, bytes: Range<usize>) -> Option<Self> {
+        if cfg!(not(all(
+            target_pointer_width = "64",
+            target_endian = "little"
+        ))) {
+            return None;
+        }
+        let raw = region.as_bytes().get(bytes.clone())?;
+        if raw.len() % 8 != 0 || raw.as_ptr().align_offset(std::mem::align_of::<usize>()) != 0 {
+            return None;
+        }
+        Some(Self { region, bytes })
+    }
+
+    /// The borrowed words.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        let raw = &self.region.as_bytes()[self.bytes.clone()];
+        // SAFETY: construction proved the range is in bounds, 8-byte
+        // aligned, and a whole number of words on a 64-bit little-endian
+        // target, where LE u64 words are exactly the memory layout of
+        // usize; the mapping is immutable (PROT_READ) and outlives self
+        // through the Arc.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast::<usize>(), raw.len() / 8) }
+    }
+}
+
+impl Clone for MappedWords {
+    fn clone(&self) -> Self {
+        Self {
+            region: Arc::clone(&self.region),
+            bytes: self.bytes.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for MappedWords {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedWords")
+            .field("bytes", &self.bytes)
+            .field("words", &(self.bytes.len() / 8))
+            .finish()
+    }
+}
+
+/// Where a [`FlatStore`](crate::FlatStore)'s element buffer lives: on
+/// the heap (the historical representation) or borrowed out of a shared
+/// memory mapping (see the module docs).
+#[derive(Clone, Debug)]
+pub enum Storage<E: FilterElem> {
+    /// Heap-owned elements — everything built or mutated in process.
+    Owned(Vec<E>),
+    /// Elements borrowed zero-copy from an `mmap`ed snapshot.
+    Mapped(MappedSlice<E>),
+}
+
+impl<E: FilterElem> Storage<E> {
+    /// The element run, wherever it lives.
+    #[inline]
+    pub fn as_slice(&self) -> &[E] {
+        match self {
+            Self::Owned(v) => v,
+            Self::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// `true` when the elements are borrowed from a mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Self::Mapped(_))
+    }
+
+    /// Heap bytes held for element data: the buffer size for owned
+    /// storage, `0` for mapped storage (the pages belong to the OS page
+    /// cache). The memory axis of the serving Pareto reports.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Self::Owned(v) => v.capacity() * E::BYTES,
+            Self::Mapped(_) => 0,
+        }
+    }
+
+    /// Mutable access, materializing mapped elements into a private
+    /// owned buffer first (copy-on-first-write — mutation never touches
+    /// the mapping; see the module docs).
+    pub fn make_owned(&mut self) -> &mut Vec<E> {
+        if let Self::Mapped(m) = self {
+            *self = Self::Owned(m.as_slice().to_vec());
+        }
+        match self {
+            Self::Owned(v) => v,
+            Self::Mapped(_) => unreachable!("made owned above"),
+        }
+    }
+}
+
+impl<E: FilterElem> PartialEq for Storage<E> {
+    /// Element-wise equality: an owned store and a mapped store holding
+    /// the same bytes compare equal, which is exactly the contract the
+    /// mapped-vs-owned bit-identity tests assert through
+    /// [`FlatStore`](crate::FlatStore)'s derived `PartialEq`.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn mapped_region(bytes: &[u8], name: &str) -> Option<Arc<MapRegion>> {
+        let path =
+            std::env::temp_dir().join(format!("qse-storage-test-{}-{name}", std::process::id()));
+        let mut f = std::fs::File::create(&path).expect("create temp file");
+        f.write_all(bytes).expect("write temp file");
+        let region = MapRegion::map_path(&path).ok();
+        let _ = std::fs::remove_file(&path);
+        region
+    }
+
+    #[test]
+    fn mapped_slice_round_trips_f64_and_rejects_misalignment() {
+        let values = [1.5f64, -2.25, f64::INFINITY, 0.0];
+        let mut bytes = vec![0u8; 8]; // 8 leading pad bytes keep offset 8 aligned
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.push(0xAB); // trailing byte enables the misalignment cases
+        let Some(region) = mapped_region(&bytes, "f64") else {
+            return; // target without mmap support: nothing to verify
+        };
+        let slice = MappedSlice::<f64>::new(Arc::clone(&region), 8..8 + 32)
+            .expect("aligned whole-element range maps");
+        assert_eq!(slice.as_slice(), &values[..]);
+        // Offset not 8-aligned -> refused.
+        assert!(MappedSlice::<f64>::new(Arc::clone(&region), 9..9 + 32).is_none());
+        // Not a whole number of elements -> refused.
+        assert!(MappedSlice::<f64>::new(Arc::clone(&region), 8..8 + 33).is_none());
+        // Out of bounds -> refused.
+        assert!(MappedSlice::<f64>::new(region, 8..8 + 64).is_none());
+    }
+
+    #[test]
+    fn storage_equality_spans_representations_and_cow_copies() {
+        let values = [3u8, 1, 4, 1, 5, 9, 2, 6];
+        let Some(region) = mapped_region(&values, "u8") else {
+            return;
+        };
+        let mapped = MappedSlice::<u8>::new(region, 0..values.len()).expect("u8 always maps");
+        let mut storage = Storage::Mapped(mapped);
+        let owned = Storage::Owned(values.to_vec());
+        assert_eq!(storage, owned, "same bytes compare equal across variants");
+        assert!(storage.is_mapped());
+        assert_eq!(storage.heap_bytes(), 0);
+
+        storage.make_owned().push(7);
+        assert!(!storage.is_mapped(), "mutation materializes a private copy");
+        assert!(storage.heap_bytes() >= 9);
+        assert_ne!(storage, owned);
+    }
+}

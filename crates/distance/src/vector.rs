@@ -33,6 +33,12 @@
 //! kernels, while the lossy backends amortize decoding across every query
 //! of a tile and halve (or quarter) the memory traffic the scan streams.
 //!
+//! Orthogonally to the element precision, the buffer those elements live
+//! in is pluggable too ([`crate::storage::Storage`]): heap-owned, or
+//! borrowed zero-copy out of an `mmap`ed snapshot file so serving starts
+//! without deserializing the store — see [`FlatStore`] and the
+//! `crate::storage` module docs.
+//!
 //! The paper compares the embeddings of two objects with an `L1` distance
 //! (original BoostMap, FastMap) or with the *query-sensitive weighted* `L1`
 //! distance `D_out` of Eq. 11, where per-coordinate weights depend on the
@@ -74,8 +80,38 @@
 //! thread-count-dependent reduction order — every score is produced by one
 //! [`weighted_l1_row`] call regardless of tiling or threading.
 
+use crate::mmap::MapRegion;
+use crate::storage::{MappedSlice, Storage};
 use crate::traits::{DistanceMeasure, MetricProperties};
 use rayon::prelude::*;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Reinterpret little-endian bytes as a borrowed `[T]` when the layout
+/// allows it: little-endian host, whole number of elements, pointer
+/// aligned for `T`. The backbone of [`FilterElem::elems_from_le_bytes`]
+/// for the built-in backends, whose every bit pattern is a valid value.
+///
+/// # Safety (discharged here)
+/// Only called with `T` ∈ {`f64`, `f32`, `u8`} — plain-old-data types for
+/// which any byte pattern is a valid instance — and the alignment/length
+/// checks above the `unsafe` block establish the layout requirements of
+/// `from_raw_parts`.
+fn reinterpret_le_bytes<T: Copy>(bytes: &[u8]) -> Option<&[T]> {
+    if cfg!(not(target_endian = "little")) {
+        return None;
+    }
+    let size = std::mem::size_of::<T>();
+    if size == 0 || !bytes.len().is_multiple_of(size) {
+        return None;
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return None;
+    }
+    // SAFETY: see the doc comment — POD element types, checked length
+    // and alignment, lifetime tied to `bytes`.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) })
+}
 
 /// Dense `f64` vector type used throughout the workspace for embedded
 /// objects.
@@ -242,6 +278,24 @@ pub trait FilterElem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static
         params: &Self::Params,
         scratch: &'a mut Vec<f64>,
     ) -> &'a [f64];
+
+    /// Reinterpret a little-endian element byte image (the layout
+    /// [`Self::elems_to_bytes`] writes, and the layout stored elements
+    /// occupy inside a snapshot file) as a **borrowed** `[Self]` without
+    /// copying — the hook behind mapped stores
+    /// ([`crate::storage::MappedSlice`]). Returns `None` whenever the
+    /// reinterpretation would be unsound or wrong (byte length not a
+    /// whole number of elements, pointer not aligned for `Self`,
+    /// big-endian host), in which case callers fall back to the copying
+    /// [`Self::elems_from_bytes`] with identical decoded values.
+    ///
+    /// The default refuses unconditionally, so backends outside this
+    /// crate are copy-only unless they opt in with a layout they have
+    /// themselves proven reinterpretable.
+    fn elems_from_le_bytes(bytes: &[u8]) -> Option<&[Self]> {
+        let _ = bytes;
+        None
+    }
 }
 
 impl FilterElem for f64 {
@@ -286,6 +340,9 @@ impl FilterElem for f64 {
         _scratch: &'a mut Vec<f64>,
     ) -> &'a [f64] {
         raw
+    }
+    fn elems_from_le_bytes(bytes: &[u8]) -> Option<&[Self]> {
+        reinterpret_le_bytes(bytes)
     }
 }
 
@@ -333,6 +390,9 @@ impl FilterElem for f32 {
         scratch.clear();
         scratch.extend(raw.iter().map(|&v| f64::from(v)));
         scratch
+    }
+    fn elems_from_le_bytes(bytes: &[u8]) -> Option<&[Self]> {
+        reinterpret_le_bytes(bytes)
     }
 }
 
@@ -450,6 +510,11 @@ impl FilterElem for u8 {
             .clamp(0.0, 255.0) as u8
     }
 
+    fn elems_from_le_bytes(bytes: &[u8]) -> Option<&[Self]> {
+        // The identity reinterpretation: stored bytes are the elements.
+        Some(bytes)
+    }
+
     fn decode_block<'a>(
         raw: &'a [Self],
         dim: usize,
@@ -476,19 +541,31 @@ impl FilterElem for u8 {
 }
 
 /// Embedded database vectors in flat row-major storage: row `i` occupies
-/// `data[i * dim .. (i + 1) * dim]`. Keeping all rows in one allocation
-/// makes the filter scan cache-friendly and prefetchable, and lets the
-/// [`WeightedL1::eval_flat`] kernel walk the buffer without touching one
-/// heap allocation per row.
+/// elements `i * dim .. (i + 1) * dim` of one contiguous buffer. Keeping
+/// all rows in a single run makes the filter scan cache-friendly and
+/// prefetchable, and lets the [`WeightedL1::eval_flat`] kernel walk the
+/// buffer without touching one heap allocation per row.
 ///
 /// The storage element `E` selects the filter-store precision (see
 /// [`FilterElem`] and the module docs); [`FlatVectors`] — `FlatStore<f64>`
 /// — is the exact default every API accepts unchanged. Construction and
 /// [`FlatStore::push`] always take full-precision `f64` rows and encode
 /// them under the store's fitted [`FilterElem::Params`].
+///
+/// The buffer itself lives behind the [`Storage`] abstraction
+/// (`crate::storage`): heap-**owned** for anything built in process (the
+/// historical representation — note it is *not* necessarily a
+/// `Vec<f64>`, both because of the element backends and because of the
+/// next variant), or **mapped** — borrowed zero-copy out of an `mmap`ed
+/// snapshot file ([`FlatStore::from_mapped_parts`]), where element bytes
+/// page in lazily and [`FlatStore::heap_bytes`] is zero. Every kernel
+/// reads through [`FlatStore::as_slice`] and cannot tell the
+/// representations apart; mutating a mapped store copies it onto the
+/// heap first (copy-on-first-write), so the snapshot file is never
+/// written through.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlatStore<E: FilterElem = f64> {
-    data: Vec<E>,
+    data: Storage<E>,
     dim: usize,
     rows: usize,
     params: E::Params,
@@ -507,7 +584,7 @@ impl<E: FilterElem> FlatStore<E> {
     /// against); prefer [`Self::from_rows_with_dim`] when data is at hand.
     pub fn with_dim(dim: usize) -> Self {
         Self {
-            data: Vec::new(),
+            data: Storage::Owned(Vec::new()),
             dim,
             rows: 0,
             params: E::default_params(dim),
@@ -546,7 +623,7 @@ impl<E: FilterElem> FlatStore<E> {
             }
         }
         Self {
-            data,
+            data: Storage::Owned(data),
             dim,
             rows: count,
             params,
@@ -581,7 +658,7 @@ impl<E: FilterElem> FlatStore<E> {
             }
         }
         Self {
-            data,
+            data: Storage::Owned(data),
             dim,
             rows: count,
             params,
@@ -604,11 +681,61 @@ impl<E: FilterElem> FlatStore<E> {
             return None;
         }
         Some(Self {
-            data,
+            data: Storage::Owned(data),
             dim,
             rows,
             params,
         })
+    }
+
+    /// Assemble a store whose elements are **borrowed zero-copy** out of
+    /// `byte_range` of a shared memory mapping — the mmap load path of
+    /// the snapshot loaders. The bytes must be the little-endian element
+    /// image [`FilterElem::elems_to_bytes`] writes (which is how the
+    /// snapshot format stores them), hold exactly `dim * rows` elements,
+    /// and start aligned for `E`; returns `None` otherwise (including on
+    /// targets where reinterpretation is unsupported), and the caller
+    /// falls back to the copying [`Self::from_stored_parts`] with
+    /// identical decoded values.
+    ///
+    /// Scores over a mapped store are **bit-identical** to the owned
+    /// store holding the same elements: the kernels read both through
+    /// [`Self::as_slice`]. Mutation ([`Self::push`] /
+    /// [`Self::swap_remove`]) copies the elements onto the heap first —
+    /// the mapping is never written through.
+    pub fn from_mapped_parts(
+        dim: usize,
+        rows: usize,
+        params: E::Params,
+        region: Arc<MapRegion>,
+        byte_range: Range<usize>,
+    ) -> Option<Self> {
+        let expected = dim.checked_mul(rows)?.checked_mul(E::BYTES)?;
+        if byte_range.len() != expected {
+            return None;
+        }
+        let mapped = MappedSlice::new(region, byte_range)?;
+        debug_assert_eq!(mapped.as_slice().len(), dim * rows);
+        Some(Self {
+            data: Storage::Mapped(mapped),
+            dim,
+            rows,
+            params,
+        })
+    }
+
+    /// `true` when the element buffer is borrowed from a memory-mapped
+    /// snapshot rather than owned on the heap (see
+    /// [`Self::from_mapped_parts`]).
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
+    }
+
+    /// Heap bytes held for element data: the buffer capacity for an
+    /// owned store, `0` for a mapped one (its pages belong to the OS
+    /// page cache) — the memory axis of the serving Pareto reports.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes()
     }
 
     /// Number of rows (database objects).
@@ -626,9 +753,10 @@ impl<E: FilterElem> FlatStore<E> {
         self.dim
     }
 
-    /// The whole row-major buffer (`len() * dim()` stored elements).
+    /// The whole row-major buffer (`len() * dim()` stored elements),
+    /// wherever it lives — heap or mapping.
     pub fn as_slice(&self) -> &[E] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// The store's decode parameters (the quantization grid for `u8`,
@@ -639,7 +767,7 @@ impl<E: FilterElem> FlatStore<E> {
 
     /// Row `i` as a slice of stored elements.
     pub fn row(&self, i: usize) -> &[E] {
-        let row = &self.data[i * self.dim..(i + 1) * self.dim];
+        let row = &self.data.as_slice()[i * self.dim..(i + 1) * self.dim];
         debug_assert_eq!(row.len(), self.dim);
         row
     }
@@ -660,35 +788,42 @@ impl<E: FilterElem> FlatStore<E> {
 
     /// Append one full-precision row, encoding it under the store's fitted
     /// parameters (lossy backends saturate values outside the fitted
-    /// range).
+    /// range). On a mapped store this first materializes a private owned
+    /// copy (copy-on-first-write) — the mapping is never written through.
     ///
     /// # Panics
     /// Panics if the row has the wrong dimensionality.
     pub fn push(&mut self, row: &[f64]) {
         assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
-        self.data.extend(
+        let (dim, params) = (self.dim, &self.params);
+        let data = self.data.make_owned();
+        data.extend(
             row.iter()
                 .enumerate()
-                .map(|(j, &v)| E::encode(v, j, &self.params)),
+                .map(|(j, &v)| E::encode(v, j, params)),
         );
         self.rows += 1;
-        debug_assert_eq!(self.data.len(), self.rows * self.dim);
+        debug_assert_eq!(data.len(), self.rows * dim);
     }
 
     /// Remove row `index` by moving the last row into its slot (O(dim)).
+    /// On a mapped store this first materializes a private owned copy
+    /// (copy-on-first-write), like [`Self::push`].
     ///
     /// # Panics
     /// Panics if `index` is out of bounds.
     pub fn swap_remove(&mut self, index: usize) {
         assert!(index < self.rows, "row index {index} out of bounds");
         let last = self.rows - 1;
+        let dim = self.dim;
+        let data = self.data.make_owned();
         if index != last {
-            let (head, tail) = self.data.split_at_mut(last * self.dim);
-            head[index * self.dim..(index + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            let (head, tail) = data.split_at_mut(last * dim);
+            head[index * dim..(index + 1) * dim].copy_from_slice(&tail[..dim]);
         }
-        self.data.truncate(last * self.dim);
+        data.truncate(last * dim);
         self.rows = last;
-        debug_assert_eq!(self.data.len(), self.rows * self.dim);
+        debug_assert_eq!(data.len(), self.rows * dim);
     }
 }
 
@@ -722,6 +857,30 @@ pub fn weighted_l1_flat<E: FilterElem>(
         out.fill(0.0);
         return;
     }
+    l1_flat_dispatch(weights, query, vectors, out);
+}
+
+/// The single-query block-decode scan body behind [`weighted_l1_flat`]:
+/// decode one cache-sized block, reduce every row with the canonical
+/// [`weighted_l1_row`] order.
+///
+/// `#[inline(always)]` is load-bearing, not a hint (same mechanism as
+/// the SAD scan in [`crate::sad`]): the `target_feature` wrapper below
+/// inlines this body and recompiles it — decode loop and
+/// [`weighted_l1_row`] reduction together — under the wider ISA. The
+/// lane structure ([`LANES`] explicit independent accumulators combined
+/// pairwise) fixes the summation order in the source, so ISA choice can
+/// change speed only, never a single output bit (no FMA contraction:
+/// `avx2` does not enable `fma`, and Rust never contracts float
+/// expressions on its own) — pinned by the workspace dispatch tests.
+#[inline(always)]
+fn l1_flat_body<E: FilterElem>(
+    weights: &[f64],
+    query: &[f64],
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    let dim = vectors.dim();
     let rows_per_block = (BLOCK_VALUES / dim).max(1);
     let mut scratch = Vec::new();
     for (raw, out_block) in vectors
@@ -735,6 +894,46 @@ pub fn weighted_l1_flat<E: FilterElem>(
             *slot = weighted_l1_row(weights, query, row);
         }
     }
+}
+
+/// [`l1_flat_body`] recompiled under AVX2 codegen (4-wide `f64` lanes
+/// instead of the SSE2 baseline's 2-wide).
+///
+/// # Safety
+/// The host CPU must support AVX2 (callers guard with
+/// `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn l1_flat_avx2<E: FilterElem>(
+    weights: &[f64],
+    query: &[f64],
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    l1_flat_body(weights, query, vectors, out);
+}
+
+/// Run [`l1_flat_body`] under the widest ISA the host supports, mirroring
+/// the SAD scan's multiversioning (`sad_rows_dispatch` in
+/// [`crate::sad`]): one cached runtime AVX2 check
+/// (`is_x86_feature_detected!` memoizes), then the recompiled body or
+/// the baseline. Bit-identical across variants by the explicit lane
+/// structure — pinned by the workspace dispatch tests.
+#[inline]
+fn l1_flat_dispatch<E: FilterElem>(
+    weights: &[f64],
+    query: &[f64],
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 requirement is established by the runtime
+        // detection on the line above.
+        unsafe { l1_flat_avx2(weights, query, vectors, out) };
+        return;
+    }
+    l1_flat_body(weights, query, vectors, out);
 }
 
 /// Number of query rows per tile of the Q×N batch kernels
@@ -816,6 +1015,57 @@ fn weighted_l1_row_pair(w1: &[f64], a1: &[f64], w2: &[f64], a2: &[f64], b: &[f64
 /// score still reduces in the canonical [`weighted_l1_row`] order, so
 /// outputs are bit-identical to the per-query path over the same store.
 fn weighted_l1_score_tile<E: FilterElem>(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &[f64],
+    qcount: usize,
+    dim: usize,
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 requirement is established by the runtime
+        // detection on the line above (the check is cached by std).
+        unsafe {
+            weighted_l1_score_tile_avx2(weights, w_stride, queries, qcount, dim, vectors, out)
+        };
+        return;
+    }
+    weighted_l1_score_tile_body(weights, w_stride, queries, qcount, dim, vectors, out);
+}
+
+/// [`weighted_l1_score_tile_body`] recompiled under AVX2 codegen — the
+/// decode loop, [`weighted_l1_row_pair`] and the odd-tail
+/// [`weighted_l1_row`] all inline here and get 4-wide `f64` lanes. The
+/// explicit [`LANES`]-accumulator structure fixes the summation order in
+/// the source (and `avx2` does not enable `fma`, so no contraction), so
+/// outputs stay bit-identical to the baseline — pinned by the workspace
+/// dispatch tests.
+///
+/// # Safety
+/// The host CPU must support AVX2 (callers guard with
+/// `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn weighted_l1_score_tile_avx2<E: FilterElem>(
+    weights: &[f64],
+    w_stride: usize,
+    queries: &[f64],
+    qcount: usize,
+    dim: usize,
+    vectors: &FlatStore<E>,
+    out: &mut [f64],
+) {
+    weighted_l1_score_tile_body(weights, w_stride, queries, qcount, dim, vectors, out);
+}
+
+/// The actual tile scan behind [`weighted_l1_score_tile`].
+/// `#[inline(always)]` is load-bearing (same mechanism as the SAD scan in
+/// [`crate::sad`]): the `target_feature` wrapper above must inline this
+/// body to recompile it under the wider ISA.
+#[inline(always)]
+fn weighted_l1_score_tile_body<E: FilterElem>(
     weights: &[f64],
     w_stride: usize,
     queries: &[f64],
@@ -1757,6 +2007,74 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    /// The decode-path ISA dispatch (single-query and tiled bodies
+    /// recompiled under AVX2, mirroring the SAD scan) must never change a
+    /// bit: compare the dispatched entry points against the baseline
+    /// bodies directly, for both exact backends.
+    #[test]
+    fn decode_isa_dispatch_is_bit_identical_to_scalar() {
+        fn check<E: FilterElem>(store: &FlatStore<E>) {
+            let dim = store.dim();
+            let rows = store.len();
+            let weights: Vec<f64> = (0..dim).map(|i| 0.2 + (i % 5) as f64 * 0.33).collect();
+            let queries = synthetic_store(dim, 5, 0.75);
+            // Single-query scan: dispatch vs baseline body.
+            let mut dispatched = vec![f64::NAN; rows];
+            weighted_l1_flat(&weights, queries.row(0), store, &mut dispatched);
+            let mut scalar = vec![f64::NAN; rows];
+            l1_flat_body(&weights, queries.row(0), store, &mut scalar);
+            for (i, (d, s)) in dispatched.iter().zip(&scalar).enumerate() {
+                assert_eq!(
+                    d.to_bits(),
+                    s.to_bits(),
+                    "{} flat, dim {dim}, row {i}",
+                    E::NAME
+                );
+            }
+            // Tiled batch scan: dispatch vs baseline body.
+            let qcount = queries.len();
+            let mut dispatched = vec![f64::NAN; qcount * rows];
+            weighted_l1_score_tile(
+                &weights,
+                0,
+                queries.as_slice(),
+                qcount,
+                dim,
+                store,
+                &mut dispatched,
+            );
+            let mut scalar = vec![f64::NAN; qcount * rows];
+            weighted_l1_score_tile_body(
+                &weights,
+                0,
+                queries.as_slice(),
+                qcount,
+                dim,
+                store,
+                &mut scalar,
+            );
+            for (i, (d, s)) in dispatched.iter().zip(&scalar).enumerate() {
+                assert_eq!(
+                    d.to_bits(),
+                    s.to_bits(),
+                    "{} tile, dim {dim}, slot {i}",
+                    E::NAME
+                );
+            }
+        }
+        for dim in [1, 3, 8, 67] {
+            let rows: Vec<Vec<f64>> = (0..213)
+                .map(|r| {
+                    (0..dim)
+                        .map(|i| ((r * dim + i) as f64 * 0.37).cos() * 9.0)
+                        .collect()
+                })
+                .collect();
+            check(&FlatStore::<f64>::from_rows_with_dim(dim, rows.clone()));
+            check(&FlatStore::<f32>::from_rows_with_dim(dim, rows));
+        }
     }
 
     #[test]

@@ -23,10 +23,15 @@
 //! (the exact distances are few but the scan touches every vector), so it is
 //! engineered accordingly:
 //!
-//! * embedded database vectors are stored in one flat row-major `Vec<f64>`
-//!   ([`FlatVectors`], re-exported from `qse-distance`) so the scan walks
-//!   memory linearly with stride `dim` instead of chasing one heap
-//!   allocation per vector;
+//! * embedded database vectors are stored in one flat row-major
+//!   [`FlatStore<E>`](qse_distance::FlatStore) (of which [`FlatVectors`]
+//!   is the exact-`f64` alias, both re-exported from `qse-distance`) so
+//!   the scan walks memory linearly with stride `dim` instead of chasing
+//!   one heap allocation per vector. The elements behind the store are a
+//!   `Storage<E>` — either a heap-owned buffer (anything built in
+//!   process) or a zero-copy borrow out of an `mmap`ed snapshot (the
+//!   `load_mmap` loaders); the scan kernels read both through the same
+//!   slice and are bit-identical across them;
 //! * the scan itself is the blocked batch kernel
 //!   [`WeightedL1::eval_flat`](qse_distance::WeightedL1::eval_flat) /
 //!   [`EmbeddedQuery::score_flat`](qse_core::EmbeddedQuery::score_flat) —
@@ -394,6 +399,33 @@ impl<O: Clone + Send + Sync, E: FilterElem> FilterRefineIndex<O, E> {
         Self {
             kind: FilterKind::QuerySensitive { model },
             vectors,
+            p_scale: E::DEFAULT_P_SCALE,
+        }
+    }
+
+    /// Index **pre-embedded** rows under a trained [`QseModel`] with an
+    /// explicit filter-store precision `E`: the rows are encoded once
+    /// into the chosen store (the `u8` grid is fitted over them here).
+    /// This is how a large database embedded once is indexed under every
+    /// backend without re-running the embedding per precision — the rows
+    /// must be what `model.embedding()` produced over the collection.
+    ///
+    /// # Panics
+    /// Panics if the rows are empty or their dimensionality does not
+    /// match the model.
+    pub fn from_vectors_query_sensitive_with_store(
+        model: QseModel<O>,
+        vectors: Vec<Vec<f64>>,
+    ) -> Self {
+        assert!(!vectors.is_empty(), "cannot index an empty database");
+        assert!(
+            vectors.iter().all(|v| v.len() == model.dim()),
+            "vector dimensionality does not match the model"
+        );
+        let dim = model.dim();
+        Self {
+            kind: FilterKind::QuerySensitive { model },
+            vectors: FlatStore::from_rows_with_dim(dim, vectors),
             p_scale: E::DEFAULT_P_SCALE,
         }
     }

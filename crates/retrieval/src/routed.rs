@@ -58,7 +58,7 @@ use qse_distance::vector::{
     weighted_l1_filter_batch_per_query_range, weighted_l1_filter_batch_range,
     weighted_l1_filter_flat, weighted_l1_row,
 };
-use qse_distance::{DistanceMeasure, FilterElem, FlatStore, FlatVectors, WeightedL1};
+use qse_distance::{DistanceMeasure, FilterElem, FlatStore, FlatVectors, MappedWords, WeightedL1};
 use qse_embedding::{Embedding, KMeans, KMeansConfig};
 use rayon::prelude::*;
 
@@ -89,6 +89,45 @@ impl Default for RoutedConfig {
     }
 }
 
+/// One cell's list of global database ids: heap-owned for indexes built
+/// in process, or borrowed zero-copy out of an `mmap`ed snapshot's ids
+/// section (one [`MappedWords`] per cell, all sharing a single mapping).
+/// Reads go through `Deref<Target = [usize]>`, so probe/scan code is
+/// identical for both representations. The snapshot loader validates the
+/// whole section (bounds + permutation) before wrapping it, exactly as
+/// the owned decoder does.
+#[derive(Debug, Clone)]
+pub enum IdList {
+    /// Heap-owned ids — everything built in process.
+    Owned(Vec<usize>),
+    /// Ids borrowed zero-copy from an `mmap`ed snapshot.
+    Mapped(MappedWords),
+}
+
+impl IdList {
+    /// The ids as a heap-owned vector, copying mapped words. Used by the
+    /// dynamic loader, whose routing state mutates its id lists in place
+    /// and therefore always owns them.
+    pub fn into_owned(self) -> Vec<usize> {
+        match self {
+            Self::Owned(v) => v,
+            Self::Mapped(m) => m.as_slice().to_vec(),
+        }
+    }
+}
+
+impl std::ops::Deref for IdList {
+    type Target = [usize];
+
+    #[inline]
+    fn deref(&self) -> &[usize] {
+        match self {
+            Self::Owned(v) => v,
+            Self::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
 /// A database indexed for cluster-routed filter-and-refine retrieval
 /// (see the module docs). Generic over the filter-store precision `E`
 /// exactly like [`FilterRefineIndex`](crate::FilterRefineIndex).
@@ -99,7 +138,7 @@ pub struct RoutedIndex<O, E: FilterElem = f64> {
     /// the whole collection (bit-compatible with the monolithic store).
     pub(crate) cells: Vec<FlatStore<E>>,
     /// `ids[c][j]` is the global database id of row `j` of cell `c`.
-    pub(crate) ids: Vec<Vec<usize>>,
+    pub(crate) ids: Vec<IdList>,
     pub(crate) n_probe: usize,
     pub(crate) p_scale: f64,
     pub(crate) len: usize,
@@ -263,7 +302,7 @@ impl<O: Clone + Send + Sync, E: FilterElem> RoutedIndex<O, E> {
             kind,
             router,
             cells,
-            ids,
+            ids: ids.into_iter().map(IdList::Owned).collect(),
             n_probe: config.n_probe.min(c),
             p_scale: E::DEFAULT_P_SCALE,
             len,
@@ -835,7 +874,7 @@ mod tests {
             },
         );
         assert_eq!(routed.cell_sizes().iter().sum::<usize>(), db.len());
-        let mut all: Vec<usize> = routed.ids.iter().flatten().copied().collect();
+        let mut all: Vec<usize> = routed.ids.iter().flat_map(|l| l.iter().copied()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..db.len()).collect::<Vec<_>>());
         for (c, ids) in routed.ids.iter().enumerate() {

@@ -8,7 +8,7 @@
 //! `load`), so a served index starts by reading bytes instead of paying
 //! the full re-embed + k-means build.
 //!
-//! ## Format (version 1)
+//! ## Format (version 2)
 //!
 //! One contiguous byte stream, little-endian throughout:
 //!
@@ -25,15 +25,30 @@
 //!   +0..4   section id (u32)
 //!   +4..8   reserved (zero)
 //!   +8..16  payload length in bytes (u64, unpadded)
-//!   +16..24 FNV-1a 64 checksum of the padded payload
+//!   +16..24 lane-parallel FNV-1a 64 checksum of the padded payload
 //! payloads (in table order, each zero-padded to a multiple of 8 bytes)
 //! ```
 //!
 //! The header and every table entry are 8-byte multiples, so **every
 //! payload starts 8-byte-aligned** — and the store payload puts its raw
-//! element bytes after two `u64` fields, keeping them aligned too (the
-//! layout a later PR can mmap directly). The checksum covers the padding
-//! bytes as well, so any single-byte flip anywhere in a payload is caught.
+//! element bytes after two `u64` fields, keeping them aligned too. That
+//! alignment is what the zero-copy loaders exploit: `load_mmap` /
+//! `from_mapped` on all three index types point their [`FlatStore`]s
+//! straight at the element bytes of an `mmap`ed snapshot (routed cells
+//! slice disjoint ranges of **one** shared mapping), so startup never
+//! copies element bytes and resident memory stays with the OS page
+//! cache. Mutating a mapped [`DynamicIndex`] copies on first write —
+//! the file is never written through. The checksum covers the padding
+//! bytes as well, so any single-byte flip anywhere in a payload is
+//! caught — and it is verified *before* any section is trusted, on the
+//! mapped path too.
+//!
+//! Version 2 replaced version 1's serial FNV-1a with [`section_checksum`],
+//! an 8-lane word-striped FNV-1a variant: the serial byte loop is a
+//! dependency chain that tops out near 0.7 GB/s, which would cost more
+//! than the entire copy it replaces on multi-hundred-MB mapped stores;
+//! the striped variant verifies at ~10× that rate with the same
+//! single-bit sensitivity.
 //!
 //! Sections by index kind (the model is the `qse_core::json` text form,
 //! which round-trips every weight — including inf/nan — bit for bit):
@@ -68,13 +83,14 @@
 use std::fmt;
 use std::ops::Range;
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::dynamic::{DynamicIndex, RoutingState};
 use crate::filter_refine::{FilterKind, FilterRefineIndex};
-use crate::routed::{RoutedConfig, RoutedIndex};
+use crate::routed::{IdList, RoutedConfig, RoutedIndex};
 use qse_core::json::{JsonCodec, JsonValue};
 use qse_core::QseModel;
-use qse_distance::{FilterElem, FlatStore, FlatVectors};
+use qse_distance::{FilterElem, FlatStore, FlatVectors, MapRegion, MappedWords};
 use qse_embedding::KMeans;
 
 /// The 8-byte magic every snapshot starts with.
@@ -82,7 +98,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"QSESNAP\0";
 
 /// The format version this build writes and reads (see the module docs
 /// for the compatibility policy).
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Byte offset of the format version (`u32` LE) in the header.
 pub const VERSION_OFFSET: usize = 8;
@@ -275,20 +291,40 @@ fn corrupt(section: &'static str, reason: impl Into<String>) -> SnapshotError {
     }
 }
 
-/// FNV-1a 64-bit over `payload` extended with `pad` zero bytes — the
-/// section checksum (covers the padding, so padding flips are caught).
-fn fnv1a_padded(payload: &[u8], pad: usize) -> u64 {
+/// The version-2 section checksum: 8-lane word-striped FNV-1a 64 over
+/// the **padded** payload bytes.
+///
+/// Each 64-byte group feeds one little-endian `u64` word to each of 8
+/// independent FNV-1a lanes, the lanes fold into one state
+/// (`h = (h ^ lane) * PRIME`), any sub-group tail hashes byte-wise, and
+/// the total length folds in last so payloads that differ only in
+/// trailing zeros still differ. The 8 independent multiply chains are
+/// what buys throughput: serial byte-at-a-time FNV-1a is one long
+/// dependency chain (~0.7 GB/s measured on this host); this variant
+/// verifies at ~6.9 GB/s, which keeps eager verify-before-trust cheap
+/// even for multi-hundred-MB mapped stores. Any single-bit flip still
+/// changes exactly one lane (or the tail/length fold) and therefore the
+/// final state.
+fn section_checksum(bytes: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const GROUP: usize = 64;
+    let mut lanes = [OFFSET; 8];
+    let mut groups = bytes.chunks_exact(GROUP);
+    for group in groups.by_ref() {
+        for (lane, word) in lanes.iter_mut().zip(group.chunks_exact(8)) {
+            let w = u64::from_le_bytes(fixed(word));
+            *lane = (*lane ^ w).wrapping_mul(PRIME);
+        }
+    }
     let mut h = OFFSET;
-    for &b in payload {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(PRIME);
     }
-    for _ in 0..pad {
-        h = h.wrapping_mul(PRIME);
+    for &b in groups.remainder() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
     }
-    h
+    (h ^ bytes.len() as u64).wrapping_mul(PRIME)
 }
 
 fn padding_of(len: usize) -> usize {
@@ -334,16 +370,26 @@ impl Writer {
         out.extend_from_slice(&0u16.to_le_bytes());
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         out.extend_from_slice(&0u32.to_le_bytes());
+        // Table first with placeholder checksums, payloads after, then
+        // patch each checksum over the contiguous padded bytes in place
+        // — one pass over final bytes, exactly what the reader hashes.
         for (id, payload) in &self.sections {
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&0u32.to_le_bytes());
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-            let checksum = fnv1a_padded(payload, padding_of(payload.len()));
-            out.extend_from_slice(&checksum.to_le_bytes());
+            out.extend_from_slice(&0u64.to_le_bytes());
         }
+        let mut padded_ranges = Vec::with_capacity(self.sections.len());
         for (_, payload) in &self.sections {
+            let start = out.len();
             out.extend_from_slice(payload);
             out.resize(out.len() + padding_of(payload.len()), 0);
+            padded_ranges.push(start..out.len());
+        }
+        for (i, range) in padded_ranges.into_iter().enumerate() {
+            let checksum = section_checksum(&out[range]);
+            let slot = HEADER_LEN + i * ENTRY_LEN + 16;
+            out[slot..slot + 8].copy_from_slice(&checksum.to_le_bytes());
         }
         out
     }
@@ -437,7 +483,7 @@ fn parse_table(bytes: &[u8], count: usize) -> Result<Vec<SectionSlice>, Snapshot
         // In-memory slice: offsets fit usize because end <= total.
         let start = offset as usize;
         let padded_payload = &bytes[start..end as usize];
-        if fnv1a_padded(padded_payload, 0) != checksum {
+        if section_checksum(padded_payload) != checksum {
             return Err(SnapshotError::ChecksumMismatch { section: name });
         }
         sections.push(SectionSlice {
@@ -492,6 +538,28 @@ impl<'a> Sections<'a> {
             section: section_name(id).expect("callers pass known ids"),
         })
     }
+
+    /// The zero-copy element source for section `id`: the shared mapping
+    /// paired with the section payload's absolute offset in the stream
+    /// (the rebase origin for element byte ranges). `None` when loading
+    /// from owned bytes — the store decoders then copy, as before.
+    fn source<'m>(&self, id: u32, map: Option<&'m Arc<MapRegion>>) -> Option<MapSource<'m>> {
+        let region = map?;
+        let section_start = self.slices.iter().find(|s| s.id == id)?.range.start;
+        Some(MapSource {
+            region,
+            section_start,
+        })
+    }
+}
+
+/// Where a store decoder may borrow element bytes zero-copy: the mapped
+/// snapshot region plus the absolute offset of the section payload being
+/// decoded (in-section cursor positions rebase against it).
+#[derive(Clone, Copy)]
+struct MapSource<'m> {
+    region: &'m Arc<MapRegion>,
+    section_start: usize,
 }
 
 /// Header + table + checksum validation for a typed loader: kind and
@@ -634,10 +702,28 @@ fn decode_store<E: FilterElem>(
     section: &'static str,
     bytes: &[u8],
     params: E::Params,
+    map: Option<MapSource<'_>>,
 ) -> Result<FlatStore<E>, SnapshotError> {
     let mut cur = Cursor::new(bytes, section);
     let dim = cur.usize_val()?;
     let rows = cur.usize_val()?;
+    if let Some(src) = map {
+        // Element bytes start at in-section offset 16 (after dim/rows),
+        // which the format keeps 8-aligned in the stream. Any refusal
+        // (size mismatch, misalignment, unsupported target) falls
+        // through to the owned path below, which either copies the same
+        // values or reports the typed corruption error.
+        let start = src.section_start + cur.pos;
+        if let Some(store) = FlatStore::from_mapped_parts(
+            dim,
+            rows,
+            params.clone(),
+            Arc::clone(src.region),
+            start..start + (bytes.len() - cur.pos),
+        ) {
+            return Ok(store);
+        }
+    }
     let elems = E::elems_from_bytes(cur.rest())
         .ok_or_else(|| corrupt(section, "element bytes are not whole elements"))?;
     FlatStore::from_stored_parts(dim, rows, params, elems).ok_or_else(|| {
@@ -666,6 +752,7 @@ fn decode_cells<E: FilterElem>(
     bytes: &[u8],
     dim: usize,
     params: &E::Params,
+    map: Option<MapSource<'_>>,
 ) -> Result<Vec<FlatStore<E>>, SnapshotError> {
     let mut cur = Cursor::new(bytes, "cells");
     let stored_dim = cur.usize_val()?;
@@ -682,7 +769,24 @@ fn decode_cells<E: FilterElem>(
             .checked_mul(dim)
             .and_then(|v| v.checked_mul(E::BYTES))
             .ok_or_else(|| cur.corrupt("cell byte count overflows"))?;
+        let elem_pos = cur.pos;
         let raw = cur.take(byte_count)?;
+        if let Some(src) = map {
+            // Every cell slices its own disjoint range of the one shared
+            // mapping (the Arc clone bumps a refcount, nothing is
+            // remapped). Refusals fall through to the copying path.
+            let start = src.section_start + elem_pos;
+            if let Some(store) = FlatStore::from_mapped_parts(
+                dim,
+                rows,
+                params.clone(),
+                Arc::clone(src.region),
+                start..start + byte_count,
+            ) {
+                cells.push(store);
+                continue;
+            }
+        }
         let elems = E::elems_from_bytes(raw)
             .ok_or_else(|| cur.corrupt("cell element bytes are not whole elements"))?;
         let store = FlatStore::from_stored_parts(dim, rows, params.clone(), elems)
@@ -694,30 +798,99 @@ fn decode_cells<E: FilterElem>(
 }
 
 /// Ids payload: `count: u64`, then per cell `len: u64` + that many `u64`
-/// global ids.
-fn encode_ids(ids: &[Vec<usize>]) -> Vec<u8> {
+/// global ids. Generic over the list representation so both owned
+/// routing-state lists (`Vec<usize>`) and a routed index's [`IdList`]s
+/// (possibly still mapped) encode identically.
+fn encode_ids<L: std::ops::Deref<Target = [usize]>>(ids: &[L]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&(ids.len() as u64).to_le_bytes());
     for cell in ids {
         out.extend_from_slice(&(cell.len() as u64).to_le_bytes());
-        for &g in cell {
+        for &g in cell.iter() {
             out.extend_from_slice(&(g as u64).to_le_bytes());
         }
     }
     out
 }
 
-fn decode_ids(bytes: &[u8]) -> Result<Vec<Vec<usize>>, SnapshotError> {
+/// Decode the per-cell id lists **and** prove they are a permutation of
+/// `0..len` in the same pass over the section bytes: every id is
+/// bounds-checked against `len`, duplicate-checked against a bitset, and
+/// counted. Fusing the validation into the decode loop keeps this — the
+/// largest non-store section of a routed snapshot — to one sweep on the
+/// startup path.
+///
+/// With a [`MapSource`], each validated cell borrows its words straight
+/// out of the mapping ([`IdList::Mapped`]) instead of copying them onto
+/// the heap — the sweep then only *reads* the section (for the
+/// permutation proof) and allocates nothing per id. Any per-cell refusal
+/// (misalignment, unsupported target) falls back to an owned copy of
+/// just that cell.
+fn decode_ids(
+    bytes: &[u8],
+    len: usize,
+    map: Option<MapSource<'_>>,
+) -> Result<Vec<IdList>, SnapshotError> {
     let mut cur = Cursor::new(bytes, "ids");
     let count = cur.usize_val()?;
-    let mut ids = Vec::new();
+    if count > bytes.len() / 8 {
+        // A hostile count cannot reserve more than the section could
+        // possibly hold (every cell costs at least its length header).
+        return Err(cur.corrupt(format!("{count} id cells cannot fit the section")));
+    }
+    let mut seen = vec![0u64; len.div_ceil(64)];
+    let mut total = 0usize;
+    let mut ids = Vec::with_capacity(count);
     for _ in 0..count {
         let n = cur.usize_val()?;
-        let mut cell = Vec::new();
-        for _ in 0..n {
-            cell.push(cur.usize_val()?);
+        let byte_count = n
+            .checked_mul(8)
+            .ok_or_else(|| cur.corrupt("id cell byte count overflows"))?;
+        let elem_pos = cur.pos;
+        let raw = cur.take(byte_count)?;
+        for w in raw.chunks_exact(8) {
+            let g = u64::from_le_bytes(fixed(w));
+            if g >= len as u64 {
+                return Err(corrupt(
+                    "ids",
+                    format!("ids are not a permutation of 0..{len} (id {g})"),
+                ));
+            }
+            // Lossless: g < len <= usize::MAX.
+            let g = g as usize;
+            let (word, bit) = (g >> 6, 1u64 << (g & 63));
+            // SAFETY: g < len, so word = g/64 < len.div_ceil(64), which
+            // is exactly `seen.len()` — the checked range test above is
+            // the bounds proof the compiler cannot derive on its own,
+            // and this sweep runs once per id on every routed load.
+            let slot = unsafe { seen.get_unchecked_mut(word) };
+            if *slot & bit != 0 {
+                return Err(corrupt(
+                    "ids",
+                    format!("ids are not a permutation of 0..{len} (duplicate id {g})"),
+                ));
+            }
+            *slot |= bit;
         }
-        ids.push(cell);
+        total += n;
+        let mapped = map.and_then(|src| {
+            let start = src.section_start + elem_pos;
+            MappedWords::new(Arc::clone(src.region), start..start + byte_count)
+        });
+        ids.push(match mapped {
+            Some(words) => IdList::Mapped(words),
+            None => IdList::Owned(
+                raw.chunks_exact(8)
+                    .map(|w| u64::from_le_bytes(fixed(w)) as usize)
+                    .collect(),
+            ),
+        });
+    }
+    if total != len {
+        return Err(corrupt(
+            "ids",
+            format!("{total} ids for {len} database rows"),
+        ));
     }
     cur.finish()?;
     Ok(ids)
@@ -737,10 +910,18 @@ fn encode_locs(locs: &[(usize, usize)]) -> Vec<u8> {
 fn decode_locs(bytes: &[u8]) -> Result<Vec<(usize, usize)>, SnapshotError> {
     let mut cur = Cursor::new(bytes, "locs");
     let len = cur.usize_val()?;
-    let mut locs = Vec::new();
-    for _ in 0..len {
-        let cell = cur.usize_val()?;
-        let pos = cur.usize_val()?;
+    let raw = cur.take(
+        len.checked_mul(16)
+            .ok_or_else(|| cur.corrupt("loc byte count overflows"))?,
+    )?;
+    let mut locs = Vec::with_capacity(len);
+    for pair in raw.chunks_exact(16) {
+        let cell = u64::from_le_bytes(fixed(&pair[..8]));
+        let pos = u64::from_le_bytes(fixed(&pair[8..]));
+        let cell = usize::try_from(cell)
+            .map_err(|_| corrupt("locs", format!("value {cell} overflows usize")))?;
+        let pos = usize::try_from(pos)
+            .map_err(|_| corrupt("locs", format!("value {pos} overflows usize")))?;
         locs.push((cell, pos));
     }
     cur.finish()?;
@@ -819,7 +1000,10 @@ fn decode_objects<O: JsonCodec>(bytes: &[u8]) -> Result<Vec<O>, SnapshotError> {
 struct RoutedParts<E: FilterElem> {
     router: KMeans,
     cells: Vec<FlatStore<E>>,
-    ids: Vec<Vec<usize>>,
+    /// Mapped when loading through `load_mmap` (zero-copy, like the cell
+    /// stores), owned otherwise. The dynamic loader converts to owned
+    /// vectors since its routing state mutates ids in place.
+    ids: Vec<IdList>,
 }
 
 fn decode_routed_parts<E: FilterElem>(
@@ -827,8 +1011,14 @@ fn decode_routed_parts<E: FilterElem>(
     dim: usize,
     params: &E::Params,
     len: usize,
+    map: Option<&Arc<MapRegion>>,
 ) -> Result<RoutedParts<E>, SnapshotError> {
-    let centroids: FlatVectors = decode_store("centroids", sections.get(SEC_CENTROIDS)?, ())?;
+    let centroids: FlatVectors = decode_store(
+        "centroids",
+        sections.get(SEC_CENTROIDS)?,
+        (),
+        sections.source(SEC_CENTROIDS, map),
+    )?;
     if centroids.is_empty() {
         return Err(corrupt("centroids", "the router needs at least one cell"));
     }
@@ -842,7 +1032,12 @@ fn decode_routed_parts<E: FilterElem>(
         ));
     }
     let router = KMeans::from_centroids(centroids);
-    let cells = decode_cells::<E>(sections.get(SEC_CELLS)?, dim, params)?;
+    let cells = decode_cells::<E>(
+        sections.get(SEC_CELLS)?,
+        dim,
+        params,
+        sections.source(SEC_CELLS, map),
+    )?;
     if cells.len() != router.cells() {
         return Err(corrupt(
             "cells",
@@ -853,15 +1048,15 @@ fn decode_routed_parts<E: FilterElem>(
             ),
         ));
     }
-    let ids = decode_ids(sections.get(SEC_IDS)?)?;
+    let ids = decode_ids(sections.get(SEC_IDS)?, len, sections.source(SEC_IDS, map))?;
     if ids.len() != cells.len() {
         return Err(corrupt(
             "ids",
             format!("{} id lists for {} cells", ids.len(), cells.len()),
         ));
     }
-    let mut seen = vec![false; len];
-    let mut total = 0usize;
+    // decode_ids proved the permutation property; per-cell agreement
+    // with the stores is all that is left to check.
     for (c, cell_ids) in ids.iter().enumerate() {
         if cell_ids.len() != cells[c].len() {
             return Err(corrupt(
@@ -873,22 +1068,6 @@ fn decode_routed_parts<E: FilterElem>(
                 ),
             ));
         }
-        for &g in cell_ids {
-            if g >= len || seen[g] {
-                return Err(corrupt(
-                    "ids",
-                    format!("ids are not a permutation of 0..{len} (id {g})"),
-                ));
-            }
-            seen[g] = true;
-            total += 1;
-        }
-    }
-    if total != len {
-        return Err(corrupt(
-            "ids",
-            format!("{total} ids cover a database of {len} rows"),
-        ));
     }
     Ok(RoutedParts { router, cells, ids })
 }
@@ -926,11 +1105,62 @@ where
     /// A typed [`SnapshotError`] on any mismatch or corruption — this
     /// never panics, whatever the bytes (see the module docs).
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(bytes, None)
+    }
+
+    /// Reconstruct an index whose store borrows its element bytes
+    /// **zero-copy** out of an `mmap`ed snapshot: nothing is copied, the
+    /// OS pages elements in on first touch, and retrieval is
+    /// bit-identical to [`Self::from_snapshot_bytes`] over the same
+    /// file. Header, table and every section checksum are verified
+    /// before anything is trusted, exactly as on the owned path.
+    ///
+    /// # Errors
+    /// The same typed [`SnapshotError`]s as the owned loader.
+    pub fn from_mapped(region: Arc<MapRegion>) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(region.as_bytes(), Some(&region))
+    }
+
+    /// Map `path` and load it via [`Self::from_mapped`]; if the file
+    /// cannot be mapped at all (unsupported target, empty file, syscall
+    /// failure) fall back to the owned [`Self::load`], which yields
+    /// identical results — so callers never need to branch on mapping
+    /// support. Note the one inherent `mmap` caveat: a file truncated by
+    /// *another process while mapped* can fault on first element touch;
+    /// files truncated before loading fail with typed errors as always.
+    ///
+    /// # Errors
+    /// As [`Self::from_mapped`] / [`Self::load`].
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        match MapRegion::map_path(&path) {
+            Ok(region) => Self::from_mapped(region),
+            Err(_) => Self::load(path),
+        }
+    }
+
+    /// `true` when the store's element bytes are borrowed from a memory
+    /// mapping (see [`Self::from_mapped`]).
+    pub fn store_is_mapped(&self) -> bool {
+        self.vectors.is_mapped()
+    }
+
+    /// Heap bytes held for store element data — `0` when mapped, the
+    /// memory axis of the serving Pareto reports.
+    pub fn store_heap_bytes(&self) -> usize {
+        self.vectors.heap_bytes()
+    }
+
+    fn decode_snapshot(bytes: &[u8], map: Option<&Arc<MapRegion>>) -> Result<Self, SnapshotError> {
         let sections = parse_typed::<E>(bytes, KIND_STATIC)?;
         let model: QseModel<O> = decode_model(sections.get(SEC_MODEL)?)?;
         let dim = model.dim();
         let params = decode_params::<E>(dim, sections.get(SEC_PARAMS)?)?;
-        let vectors = decode_store::<E>("store", sections.get(SEC_STORE)?, params)?;
+        let vectors = decode_store::<E>(
+            "store",
+            sections.get(SEC_STORE)?,
+            params,
+            sections.source(SEC_STORE, map),
+        )?;
         if vectors.dim() != dim {
             return Err(corrupt(
                 "store",
@@ -1010,6 +1240,51 @@ where
     /// A typed [`SnapshotError`] on any mismatch or corruption; never
     /// panics, whatever the bytes.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(bytes, None)
+    }
+
+    /// Reconstruct a routed index whose cell stores all borrow
+    /// **zero-copy** out of one shared `mmap`ed snapshot — every cell
+    /// slices its own disjoint range of a single mapping (no per-cell
+    /// maps, no copies), and the mapping lives until the last cell
+    /// drops. Checksums are verified before anything is trusted;
+    /// retrieval is bit-identical to the owned loader at any `n_probe`
+    /// and thread count.
+    ///
+    /// # Errors
+    /// The same typed [`SnapshotError`]s as the owned loader.
+    pub fn from_mapped(region: Arc<MapRegion>) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(region.as_bytes(), Some(&region))
+    }
+
+    /// Map `path` and load it via [`Self::from_mapped`], falling back to
+    /// the owned [`Self::load`] (identical results) when the file cannot
+    /// be mapped at all — see
+    /// [`FilterRefineIndex::load_mmap`](FilterRefineIndex::load_mmap)
+    /// for the fallback and truncation-while-mapped caveats.
+    ///
+    /// # Errors
+    /// As [`Self::from_mapped`] / [`Self::load`].
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        match MapRegion::map_path(&path) {
+            Ok(region) => Self::from_mapped(region),
+            Err(_) => Self::load(path),
+        }
+    }
+
+    /// `true` when every cell store borrows its element bytes from the
+    /// shared mapping (see [`Self::from_mapped`]).
+    pub fn store_is_mapped(&self) -> bool {
+        self.cells.iter().all(FlatStore::is_mapped)
+    }
+
+    /// Heap bytes held for cell element data across all cells — `0`
+    /// when mapped, the memory axis of the serving Pareto reports.
+    pub fn store_heap_bytes(&self) -> usize {
+        self.cells.iter().map(FlatStore::heap_bytes).sum()
+    }
+
+    fn decode_snapshot(bytes: &[u8], map: Option<&Arc<MapRegion>>) -> Result<Self, SnapshotError> {
         let sections = parse_typed::<E>(bytes, KIND_ROUTED)?;
         let model: QseModel<O> = decode_model(sections.get(SEC_MODEL)?)?;
         let dim = model.dim();
@@ -1018,7 +1293,7 @@ where
         if len == 0 {
             return Err(corrupt("knobs", "a routed index is never empty"));
         }
-        let parts = decode_routed_parts::<E>(&sections, dim, &params, len)?;
+        let parts = decode_routed_parts::<E>(&sections, dim, &params, len, map)?;
         if n_probe == 0 || n_probe > parts.cells.len() {
             return Err(corrupt(
                 "knobs",
@@ -1097,12 +1372,71 @@ where
     /// A typed [`SnapshotError`] on any mismatch or corruption; never
     /// panics, whatever the bytes.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(bytes, None)
+    }
+
+    /// Reconstruct a dynamic index whose store (and, when routing is
+    /// enabled, every routing cell) borrows **zero-copy** out of one
+    /// shared `mmap`ed snapshot. The index stays fully editable: the
+    /// first mutation of any mapped store copies it to a private owned
+    /// buffer (copy-on-first-write), so edits never touch the snapshot
+    /// file and untouched stores keep serving from the page cache.
+    /// Checksums are verified before anything is trusted; retrieval is
+    /// bit-identical to the owned loader at any thread count.
+    ///
+    /// # Errors
+    /// The same typed [`SnapshotError`]s as the owned loader.
+    pub fn from_mapped(region: Arc<MapRegion>) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(region.as_bytes(), Some(&region))
+    }
+
+    /// Map `path` and load it via [`Self::from_mapped`], falling back to
+    /// the owned [`Self::load`] (identical results) when the file cannot
+    /// be mapped at all — see
+    /// [`FilterRefineIndex::load_mmap`](FilterRefineIndex::load_mmap)
+    /// for the fallback and truncation-while-mapped caveats.
+    ///
+    /// # Errors
+    /// As [`Self::from_mapped`] / [`Self::load`].
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        match MapRegion::map_path(&path) {
+            Ok(region) => Self::from_mapped(region),
+            Err(_) => Self::load(path),
+        }
+    }
+
+    /// `true` when the flat store and every routing cell still borrow
+    /// their element bytes from the mapping (mutation turns this `false`
+    /// store by store — see [`Self::from_mapped`]).
+    pub fn store_is_mapped(&self) -> bool {
+        self.vectors.is_mapped()
+            && self
+                .routing
+                .as_ref()
+                .is_none_or(|r| r.cells.iter().all(FlatStore::is_mapped))
+    }
+
+    /// Heap bytes held for element data across the flat store and any
+    /// routing cells — `0` while fully mapped.
+    pub fn store_heap_bytes(&self) -> usize {
+        self.vectors.heap_bytes()
+            + self.routing.as_ref().map_or(0, |r| {
+                r.cells.iter().map(FlatStore::heap_bytes).sum::<usize>()
+            })
+    }
+
+    fn decode_snapshot(bytes: &[u8], map: Option<&Arc<MapRegion>>) -> Result<Self, SnapshotError> {
         let sections = parse_typed::<E>(bytes, KIND_DYNAMIC)?;
         let model: QseModel<O> = decode_model(sections.get(SEC_MODEL)?)?;
         let embedding = model.embedding();
         let dim = model.dim();
         let params = decode_params::<E>(dim, sections.get(SEC_PARAMS)?)?;
-        let vectors = decode_store::<E>("store", sections.get(SEC_STORE)?, params.clone())?;
+        let vectors = decode_store::<E>(
+            "store",
+            sections.get(SEC_STORE)?,
+            params.clone(),
+            sections.source(SEC_STORE, map),
+        )?;
         if vectors.dim() != dim {
             return Err(corrupt(
                 "store",
@@ -1121,7 +1455,7 @@ where
             None => None,
             Some(config_bytes) => {
                 let config = decode_routing_config(config_bytes)?;
-                let parts = decode_routed_parts::<E>(&sections, dim, &params, objects.len())?;
+                let parts = decode_routed_parts::<E>(&sections, dim, &params, objects.len(), map)?;
                 let locs = decode_locs(sections.get(SEC_LOCS)?)?;
                 if locs.len() != objects.len() {
                     return Err(corrupt(
@@ -1143,7 +1477,10 @@ where
                 Some(RoutingState {
                     router: parts.router,
                     cells: parts.cells,
-                    ids: parts.ids,
+                    // The routing state mutates its id lists on every
+                    // insert/remove, so mapped lists materialize here
+                    // (the cell *stores* stay mapped until first write).
+                    ids: parts.ids.into_iter().map(IdList::into_owned).collect(),
                     locs,
                     config,
                 })
@@ -1182,14 +1519,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fnv1a_matches_reference_vectors() {
-        // Canonical FNV-1a 64 test vectors.
-        assert_eq!(fnv1a_padded(b"", 0), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a_padded(b"a", 0), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a_padded(b"foobar", 0), 0x8594_4171_f739_67e8);
-        // Padding zeros participate in the hash.
-        assert_ne!(fnv1a_padded(b"a", 7), fnv1a_padded(b"a", 0));
-        assert_eq!(fnv1a_padded(b"a\0", 0), fnv1a_padded(b"a", 1));
+    fn section_checksum_is_deterministic_and_bit_sensitive() {
+        // Deterministic, and the length fold separates all-zero inputs
+        // of different sizes (a truncated padded payload never verifies).
+        let zeros = vec![0u8; 256];
+        assert_eq!(section_checksum(&zeros), section_checksum(&zeros));
+        assert_ne!(section_checksum(&zeros[..248]), section_checksum(&zeros));
+        assert_ne!(section_checksum(&[]), section_checksum(&[0]));
+        // Any single-bit flip changes the checksum, wherever it lands:
+        // every lane of the 64-byte group stripe, the sub-group byte
+        // tail, and the trailing padding region are all covered.
+        let base: Vec<u8> = (0..200u16).map(|i| (i * 37 % 251) as u8).collect();
+        let h = section_checksum(&base);
+        for pos in [0, 7, 8, 63, 64, 127, 128, 191, 192, 199] {
+            for bit in [0, 4, 7] {
+                let mut flipped = base.clone();
+                flipped[pos] ^= 1 << bit;
+                assert_ne!(
+                    section_checksum(&flipped),
+                    h,
+                    "flip at byte {pos} bit {bit} must change the checksum"
+                );
+            }
+        }
     }
 
     #[test]

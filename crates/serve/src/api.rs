@@ -10,8 +10,9 @@
 //! path a deployment actually runs.
 
 use std::path::Path;
+use std::sync::Arc;
 
-use qse_distance::{DistanceMeasure, FilterElem};
+use qse_distance::{DistanceMeasure, FilterElem, MapRegion};
 use qse_retrieval::{DynamicIndex, FilterRefineIndex, QueryError, RoutedIndex, SnapshotError};
 
 /// What the serving layer answers a query with: the `k` nearest neighbor
@@ -344,6 +345,58 @@ impl QseApi {
     ) -> Result<Self, ServeError> {
         let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
         Self::load_snapshot_bytes(&bytes, database, distance)
+    }
+
+    /// [`Self::load_snapshot`] over one shared memory mapping of `path`:
+    /// the same kind/backend sniffing, but whichever typed loader matches
+    /// borrows its element bytes **zero-copy** out of the mapping — the
+    /// server boots in checksum-verification time instead of copy time,
+    /// and element memory stays with the OS page cache. Files that cannot
+    /// be mapped at all fall back to the copying loader with identical
+    /// results, so callers never branch on mapping support.
+    ///
+    /// # Errors
+    /// As [`Self::load_snapshot`].
+    pub fn load_snapshot_mmap(
+        path: impl AsRef<Path>,
+        database: Option<Vec<Vec<f64>>>,
+        distance: Box<dyn DistanceMeasure<Vec<f64>>>,
+    ) -> Result<Self, ServeError> {
+        let region = match MapRegion::map_path(&path) {
+            Ok(region) => region,
+            Err(_) => return Self::load_snapshot(path, database, distance),
+        };
+        fn need(db: Option<Vec<Vec<f64>>>) -> Result<Vec<Vec<f64>>, ServeError> {
+            db.ok_or(ServeError::DatabaseRequired)
+        }
+        macro_rules! sniff {
+            ($elem:ty) => {
+                if let Some(ix) = shape_or_fail(FilterRefineIndex::<Vec<f64>, $elem>::from_mapped(
+                    Arc::clone(&region),
+                ))? {
+                    return Self::from_static(ix, need(database)?, distance);
+                }
+                if let Some(ix) = shape_or_fail(RoutedIndex::<Vec<f64>, $elem>::from_mapped(
+                    Arc::clone(&region),
+                ))? {
+                    return Self::from_routed(ix, need(database)?, distance);
+                }
+                if let Some(ix) = shape_or_fail(DynamicIndex::<Vec<f64>, $elem>::from_mapped(
+                    Arc::clone(&region),
+                ))? {
+                    return Self::from_dynamic(ix, distance);
+                }
+            };
+        }
+        sniff!(u8);
+        sniff!(f32);
+        sniff!(f64);
+        // Same self-inconsistent-header situation as the owned sniffing
+        // path: surface the typed error of a final attempt.
+        match FilterRefineIndex::<Vec<f64>, f64>::from_mapped(region) {
+            Err(e) => Err(ServeError::Snapshot(e)),
+            Ok(_) => unreachable!("loader succeeded on a retry of rejected bytes"),
+        }
     }
 
     /// Number of served objects.

@@ -9,9 +9,16 @@
 //! ```sh
 //! cargo run --release --example snapshot_roundtrip -- save /tmp/qse.snap
 //! cargo run --release --example snapshot_roundtrip -- load /tmp/qse.snap
+//! cargo run --release --example snapshot_roundtrip -- load-mmap /tmp/qse.snap
 //! ```
 //!
-//! With no arguments both halves run in one process against a temp file.
+//! `load-mmap` exercises the zero-copy path in the fresh process: it
+//! loads through `load_mmap`, asserts the store is actually mapped with
+//! zero element heap bytes, replays the same bit-identity checks, and
+//! prints the owned-vs-mapped startup times side by side (CI tees this
+//! into its bench-logs artifact).
+//!
+//! With no arguments all phases run in one process against a temp file.
 
 use query_sensitive_embeddings::core::json::{JsonCodec, JsonValue};
 use query_sensitive_embeddings::prelude::*;
@@ -135,21 +142,53 @@ fn save(path: &str) {
     println!("expected results: {}", expected_path(path));
 }
 
-fn load(path: &str) {
+fn load(path: &str, mapped: bool) {
     let (database, queries) = workload();
     let distance = LpDistance::l2();
 
-    let start = Instant::now();
-    let index = RoutedIndex::<Vec<f64>, u8>::load(path).unwrap_or_else(|e| {
+    // Time the owned load first either way: the `load-mmap` run then
+    // prints both durations side by side — the startup comparison CI
+    // tees into its bench-logs artifact.
+    let owned_start = Instant::now();
+    let owned = RoutedIndex::<Vec<f64>, u8>::load(path).unwrap_or_else(|e| {
         eprintln!("failed to load snapshot {path}: {e}");
         std::process::exit(1);
     });
+    let owned_time = owned_start.elapsed();
+
+    let (index, start) = if mapped {
+        let start = Instant::now();
+        let index = RoutedIndex::<Vec<f64>, u8>::load_mmap(path).unwrap_or_else(|e| {
+            eprintln!("failed to mmap snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        let mmap_time = start.elapsed();
+        println!(
+            "startup: owned load {owned_time:.2?} | load_mmap {mmap_time:.2?} ({:.1}x) | \
+             element heap owned {} B, mapped {} B",
+            owned_time.as_secs_f64() / mmap_time.as_secs_f64().max(1e-9),
+            owned.store_heap_bytes(),
+            index.store_heap_bytes(),
+        );
+        if cfg!(all(
+            unix,
+            target_pointer_width = "64",
+            target_endian = "little"
+        )) {
+            assert!(index.store_is_mapped(), "load-mmap must map on this target");
+            assert_eq!(index.store_heap_bytes(), 0, "mapped element heap must be 0");
+        }
+        (index, mmap_time)
+    } else {
+        (owned, owned_time)
+    };
     println!(
-        "loaded routed u8 index ({} rows, {} cells, n_probe {}) in {:.2?}",
+        "loaded routed u8 index ({} rows, {} cells, n_probe {}) in {:.2?}{}",
         index.len(),
         index.cells(),
         index.n_probe(),
-        start.elapsed()
+        start,
+        if mapped { " [mapped]" } else { "" }
     );
     assert_eq!(index.len(), ROWS);
 
@@ -187,17 +226,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, path] if cmd == "save" => save(path),
-        [cmd, path] if cmd == "load" => load(path),
+        [cmd, path] if cmd == "load" => load(path, false),
+        [cmd, path] if cmd == "load-mmap" => load(path, true),
         [] => {
             let path = std::env::temp_dir().join(format!("qse-snapshot-{}", std::process::id()));
             let path = path.to_string_lossy().into_owned();
             save(&path);
-            load(&path);
+            load(&path, false);
+            load(&path, true);
             let _ = std::fs::remove_file(&path);
             let _ = std::fs::remove_file(expected_path(&path));
         }
         _ => {
-            eprintln!("usage: snapshot_roundtrip [save <file> | load <file>]");
+            eprintln!("usage: snapshot_roundtrip [save <file> | load <file> | load-mmap <file>]");
             std::process::exit(2);
         }
     }

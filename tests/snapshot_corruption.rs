@@ -18,6 +18,11 @@
 //! * a seeded whole-file flip sweep → *some* error at every offset
 //!   (the header is fully validated, the payloads fully checksummed —
 //!   no byte in a snapshot is a "don't care").
+//!
+//! The zero-copy `load_mmap` path gets the same treatment: damaged or
+//! truncated files fail with the identical typed errors *through the
+//! mapping* — checksums are verified against mapped bytes before any
+//! section is trusted, so corruption can never reach a served query.
 
 use query_sensitive_embeddings::prelude::*;
 use query_sensitive_embeddings::retrieval::snapshot::{
@@ -295,6 +300,74 @@ fn global_l1_indexes_refuse_to_snapshot() {
         index.save(std::env::temp_dir().join("qse-never-written")),
         Err(SnapshotError::GlobalFilterUnsupported)
     ));
+}
+
+/// The zero-copy loader must uphold every owned-path guarantee: all
+/// checksums are verified against the *mapped* bytes before any section
+/// is trusted, so a flipped byte anywhere fails with the same
+/// `ChecksumMismatch` (never a panic, never a fault), a pre-truncated
+/// file reports `Truncated`, and a missing path surfaces a typed `Io`
+/// error through the owned fallback.
+#[test]
+fn mapped_loads_fail_like_owned_loads_on_damaged_files() {
+    let (_, bytes) = routed_snapshot();
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let write = |name: &str, contents: &[u8]| {
+        let path = dir.join(format!("qse-corrupt-{tag}-{name}.snap"));
+        std::fs::write(&path, contents).unwrap();
+        path
+    };
+
+    // Byte flip in each section payload -> ChecksumMismatch naming it.
+    for (name, range) in snapshot_sections(&bytes).unwrap() {
+        let mut bad = bytes.clone();
+        bad[range.start + range.len() / 2] ^= 0x01;
+        let path = write(name, &bad);
+        match RoutedIndex::<Vec<f64>, u8>::load_mmap(&path) {
+            Err(SnapshotError::ChecksumMismatch { section }) => assert_eq!(section, name),
+            other => panic!(
+                "mapped flip in `{name}`: expected ChecksumMismatch, got {:?}",
+                other.err()
+            ),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Files truncated before mapping -> Truncated, at header and
+    // payload cuts alike (a short mapping is handed to the same
+    // bounds-checked parser as owned bytes).
+    for cut in [7, 24, bytes.len() / 3, bytes.len() - 1] {
+        let path = write("cut", &bytes[..cut]);
+        match RoutedIndex::<Vec<f64>, u8>::load_mmap(&path) {
+            Err(SnapshotError::Truncated { needed, available }) => {
+                assert_eq!(available, cut as u64);
+                assert!(needed > available, "cut at {cut}");
+            }
+            other => panic!(
+                "mapped cut at {cut}: expected Truncated, got {:?}",
+                other.err()
+            ),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // A missing path is a typed Io error (the mapping refusal falls
+    // back to the owned loader, which reports the open failure).
+    let missing = dir.join(format!("qse-corrupt-{tag}-definitely-missing.snap"));
+    assert!(matches!(
+        RoutedIndex::<Vec<f64>, u8>::load_mmap(&missing),
+        Err(SnapshotError::Io(_))
+    ));
+
+    // And an empty file (mmap refuses zero-length mappings) also lands
+    // on the owned loader's typed truncation error, not a panic.
+    let path = write("empty", &[]);
+    assert!(matches!(
+        RoutedIndex::<Vec<f64>, u8>::load_mmap(&path),
+        Err(SnapshotError::Truncated { .. })
+    ));
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The exhaustive property behind all the targeted cases: flip any

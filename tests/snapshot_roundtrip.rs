@@ -83,6 +83,19 @@ fn assert_static_roundtrip<E: FilterElem>() {
     let file = ScratchFile::new(&format!("static-{}", E::NAME));
     index.save(&file.0).unwrap();
     let from_file = FilterRefineIndex::<Vec<f64>, E>::load(&file.0).unwrap();
+    let mapped = FilterRefineIndex::<Vec<f64>, E>::load_mmap(&file.0).unwrap();
+    if cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    )) {
+        assert!(
+            mapped.store_is_mapped(),
+            "{}: load_mmap must serve elements zero-copy on this target",
+            E::NAME
+        );
+        assert_eq!(mapped.store_heap_bytes(), 0, "{}", E::NAME);
+    }
 
     for threads in [1, 2, 8] {
         with_thread_count(threads, || {
@@ -99,11 +112,23 @@ fn assert_static_roundtrip<E: FilterElem>() {
                 "{} file, {threads} threads",
                 E::NAME
             );
+            assert_eq!(
+                mapped.retrieve_batch(&queries, &db, &d, k, p),
+                expected,
+                "{} mapped, {threads} threads",
+                E::NAME
+            );
             for (q, query) in queries.iter().enumerate() {
                 assert_eq!(
                     loaded.retrieve(query, &db, &d, k, p),
                     expected[q],
                     "{} sequential, {threads} threads, query {q}",
+                    E::NAME
+                );
+                assert_eq!(
+                    mapped.retrieve(query, &db, &d, k, p),
+                    expected[q],
+                    "{} mapped sequential, {threads} threads, query {q}",
                     E::NAME
                 );
             }
@@ -156,6 +181,19 @@ fn assert_routed_roundtrip<E: FilterElem>() {
     let file = ScratchFile::new(&format!("routed-{}", E::NAME));
     index.save(&file.0).unwrap();
     let from_file = RoutedIndex::<Vec<f64>, E>::load(&file.0).unwrap();
+    let mapped = RoutedIndex::<Vec<f64>, E>::load_mmap(&file.0).unwrap();
+    if cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    )) {
+        assert!(
+            mapped.store_is_mapped(),
+            "{}: every routed cell must borrow from the shared mapping",
+            E::NAME
+        );
+        assert_eq!(mapped.store_heap_bytes(), 0, "{}", E::NAME);
+    }
 
     for threads in [1, 2, 8] {
         with_thread_count(threads, || {
@@ -172,6 +210,12 @@ fn assert_routed_roundtrip<E: FilterElem>() {
                 "{} file, {threads} threads",
                 E::NAME
             );
+            assert_eq!(
+                mapped.retrieve_batch(&queries, &db, &d, k, p),
+                expected,
+                "{} mapped, {threads} threads",
+                E::NAME
+            );
             for (q, query) in queries.iter().enumerate() {
                 assert_eq!(
                     loaded.probe_cells(query, &d),
@@ -180,9 +224,21 @@ fn assert_routed_roundtrip<E: FilterElem>() {
                     E::NAME
                 );
                 assert_eq!(
+                    mapped.probe_cells(query, &d),
+                    index.probe_cells(query, &d),
+                    "{} mapped probe_cells, {threads} threads, query {q}",
+                    E::NAME
+                );
+                assert_eq!(
                     loaded.retrieve(query, &db, &d, k, p),
                     expected[q],
                     "{} sequential, {threads} threads, query {q}",
+                    E::NAME
+                );
+                assert_eq!(
+                    mapped.retrieve(query, &db, &d, k, p),
+                    expected[q],
+                    "{} mapped sequential, {threads} threads, query {q}",
                     E::NAME
                 );
             }
@@ -251,6 +307,18 @@ fn assert_dynamic_roundtrip<E: FilterElem>(route: bool) {
     let file = ScratchFile::new(&format!("dynamic-{route}-{}", E::NAME));
     index.save(&file.0).unwrap();
     let from_file = DynamicIndex::<Vec<f64>, E>::load(&file.0).unwrap();
+    let mut mapped = DynamicIndex::<Vec<f64>, E>::load_mmap(&file.0).unwrap();
+    if cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    )) {
+        assert!(
+            mapped.store_is_mapped(),
+            "{}: a freshly mapped dynamic index serves off the file",
+            E::NAME
+        );
+    }
 
     for threads in [1, 2, 8] {
         with_thread_count(threads, || {
@@ -267,25 +335,49 @@ fn assert_dynamic_roundtrip<E: FilterElem>(route: bool) {
                 "{} file, routed={route}, {threads} threads",
                 E::NAME
             );
+            assert_eq!(
+                mapped.retrieve_batch(&queries, &d, k, p),
+                expected,
+                "{} mapped, routed={route}, {threads} threads",
+                E::NAME
+            );
         });
     }
 
-    // The loaded index stays editable, in lockstep with the original.
+    // The loaded and mapped indexes stay editable, in lockstep with the
+    // original — the mapped one detaching from the file on first write
+    // (copy-on-first-write) without the file's bytes ever changing.
     let mut index = index;
     for object in clustered(10, 131) {
-        assert_eq!(
-            loaded.insert(object.clone(), &d),
-            index.insert(object, &d),
-            "{}",
-            E::NAME
-        );
+        let id = index.insert(object.clone(), &d);
+        assert_eq!(loaded.insert(object.clone(), &d), id, "{}", E::NAME);
+        assert_eq!(mapped.insert(object, &d), id, "{} mapped", E::NAME);
     }
+    assert!(
+        !mapped.store_is_mapped(),
+        "{}: the first mutation must detach the store from the mapping",
+        E::NAME
+    );
     index.remove(7);
     loaded.remove(7);
+    mapped.remove(7);
     assert_eq!(
         loaded.retrieve_batch(&queries, &d, k, p),
         index.retrieve_batch(&queries, &d, k, p),
         "{}: post-load edits must stay in lockstep",
+        E::NAME
+    );
+    assert_eq!(
+        mapped.retrieve_batch(&queries, &d, k, p),
+        index.retrieve_batch(&queries, &d, k, p),
+        "{}: post-load edits on the mapped index must stay in lockstep",
+        E::NAME
+    );
+    let same_file = DynamicIndex::<Vec<f64>, E>::load(&file.0).unwrap();
+    assert_eq!(
+        same_file.vectors().as_slice(),
+        from_file.vectors().as_slice(),
+        "{}: mutating a mapped index must never write through to the file",
         E::NAME
     );
 }
