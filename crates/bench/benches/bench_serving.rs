@@ -20,7 +20,7 @@
 use qse_core::{BoostMapTrainer, TrainerConfig, TrainingData, TripleSampler};
 use qse_dataset::{GaussianMixture, GaussianMixtureConfig};
 use qse_distance::LpDistance;
-use qse_retrieval::{RoutedConfig, RoutedIndex};
+use qse_retrieval::{ConcurrentIndex, DynamicIndex, RoutedConfig, RoutedIndex};
 use qse_serve::{BatcherConfig, QseApi, QseServer, ServeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,10 +74,14 @@ fn build_api(load: &Load) -> (QseApi, Vec<Vec<f64>>) {
 }
 
 fn post(stream: &mut TcpStream, body: &str) -> u16 {
+    post_to(stream, "/query", body)
+}
+
+fn post_to(stream: &mut TcpStream, path: &str, body: &str) -> u16 {
     stream
         .write_all(
             format!(
-                "POST /query HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -280,6 +284,134 @@ fn run_open_loop_cell(
     server.shutdown();
 }
 
+/// A concurrent-index facade over the same Gaussian workload: reads
+/// drain against epoch snapshots, writes land over HTTP.
+fn build_concurrent_api(load: &Load) -> (QseApi, Vec<Vec<f64>>) {
+    let mix = GaussianMixture::generate(GaussianMixtureConfig {
+        rows: load.rows,
+        dim: load.dim,
+        clusters: 32,
+        center_box: 10.0,
+        spread: 0.5,
+        seed: 0x5EED_CAFE,
+    });
+    let queries = mix.queries(128, 0xBEEF);
+    let distance = LpDistance::l2();
+    let model = train_model(&mix.points, &distance);
+    let index = ConcurrentIndex::from_dynamic(DynamicIndex::<_, u8>::with_store(
+        model, mix.points, &distance,
+    ));
+    let api =
+        QseApi::from_concurrent(index, Box::new(LpDistance::l2())).expect("facade construction");
+    (api, queries)
+}
+
+/// Read-latency-under-write cell: the identical closed-loop read drive
+/// as [`run_cell`], optionally with a background writer hammering
+/// `POST /insert` + `POST /remove` pairs over its own keep-alive
+/// connection for the whole run. The with/without pair is the measured
+/// price of mutation on the read path — epoch-snapshot publication is
+/// the only coupling, so the p99s should sit close together.
+fn run_read_while_write_cell(
+    load: &Load,
+    api: QseApi,
+    queries: &[Vec<f64>],
+    budget: Duration,
+    writer_on: bool,
+    label: &str,
+) {
+    let n = api.len();
+    let dim = api.dim();
+    let bodies: Vec<String> = (0..load.clients * load.requests_per_client)
+        .map(|i| {
+            let qi = if i % 3 == 2 { i / 2 } else { i } % queries.len();
+            query_body(&queries[qi])
+        })
+        .collect();
+
+    let mut server = QseServer::start(
+        api,
+        ServeConfig {
+            batcher: BatcherConfig {
+                latency_budget: budget,
+                max_batch: 64,
+                workers: 2,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr: SocketAddr = server.addr();
+
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let wall = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(bodies.len());
+    let mut writes = 0usize;
+    std::thread::scope(|scope| {
+        let writer = writer_on.then(|| {
+            let done = &done;
+            scope.spawn(move || {
+                // Insert a far-off object, then remove it again: the
+                // writer is the only mutator, so the fresh id is always
+                // `n` and the swap-remove takes the same slot back —
+                // index length (and so p-validity) never drifts.
+                let mut stream = TcpStream::connect(addr).expect("writer connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                let coords: Vec<String> = (0..dim).map(|c| format!("{}.5", 40 + c)).collect();
+                let insert = format!(r#"{{"object":[{}]}}"#, coords.join(","));
+                let remove = format!(r#"{{"id":{n}}}"#);
+                let mut ops = 0usize;
+                while !done.load(std::sync::atomic::Ordering::SeqCst) {
+                    assert_eq!(post_to(&mut stream, "/insert", &insert), 200);
+                    assert_eq!(post_to(&mut stream, "/remove", &remove), 200);
+                    ops += 2;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                ops
+            })
+        });
+        let handles: Vec<_> = bodies
+            .chunks(load.requests_per_client)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    let mut local = Vec::with_capacity(chunk.len());
+                    for body in chunk {
+                        let start = Instant::now();
+                        let status = post(&mut stream, body);
+                        local.push(start.elapsed());
+                        assert_eq!(status, 200);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+        done.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(writer) = writer {
+            writes = writer.join().expect("writer thread");
+        }
+    });
+    let wall = wall.elapsed();
+    latencies.sort();
+    println!(
+        "serving-rw/{label}  p50 {:.2?}  p99 {:.2?}  {:.0} req/s  writes {} ({:.0}/s)",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        latencies.len() as f64 / wall.as_secs_f64(),
+        writes,
+        writes as f64 / wall.as_secs_f64(),
+    );
+    server.shutdown();
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let load = if smoke {
@@ -339,6 +471,28 @@ fn main() {
         let (api, queries) = build_api(&load);
         let label = format!("np6of32/budget500us/{}qps", offered as u64);
         run_open_loop_cell(api, &queries, open_budget, conns, offered, total, &label);
+    }
+
+    // Read-latency-under-write pair over the concurrent index: the same
+    // closed-loop drive against the same workload, first with the write
+    // handle idle, then with a background writer landing insert/remove
+    // pairs over HTTP throughout. The gap between the two p99 columns
+    // is what live mutation costs concurrent readers.
+    for writer_on in [false, true] {
+        let (api, queries) = build_concurrent_api(&load);
+        let tag = if writer_on {
+            "write-churn"
+        } else {
+            "writer-idle"
+        };
+        run_read_while_write_cell(
+            &load,
+            api,
+            &queries,
+            Duration::from_micros(500),
+            writer_on,
+            &format!("flat-u8/budget500us/{tag}"),
+        );
     }
     eprintln!("total bench wall time {:.2?}", setup.elapsed());
 }

@@ -77,6 +77,19 @@ pub enum QueryError {
     /// A routing knob was touched on an index whose routing layer is not
     /// enabled.
     RoutingDisabled,
+    /// A mutation named an id outside the live id space (detected at the
+    /// serving boundary; the in-process
+    /// [`DynamicIndex::remove`](crate::DynamicIndex::remove) keeps its
+    /// historical bounds panic).
+    BadId {
+        /// The rejected id.
+        id: usize,
+        /// The current number of live objects (`id` must be below it).
+        len: usize,
+    },
+    /// A mutation was requested on an index backend that cannot accept
+    /// one (every backend except the concurrent dynamic index).
+    MutationUnsupported,
 }
 
 impl fmt::Display for QueryError {
@@ -106,6 +119,12 @@ impl fmt::Display for QueryError {
                 write!(f, "n_probe = {n_probe} must be in 1..={cells}")
             }
             Self::RoutingDisabled => write!(f, "routing is not enabled"),
+            Self::BadId { id, len } => {
+                write!(f, "id {id} is out of bounds for an index of {len} objects")
+            }
+            Self::MutationUnsupported => {
+                write!(f, "this index backend does not support mutation")
+            }
         }
     }
 }
@@ -184,6 +203,14 @@ mod tests {
             }
             .to_string(),
             "query must have dimensionality 2, got 5"
+        );
+        assert_eq!(
+            QueryError::BadId { id: 7, len: 3 }.to_string(),
+            "id 7 is out of bounds for an index of 3 objects"
+        );
+        assert_eq!(
+            QueryError::MutationUnsupported.to_string(),
+            "this index backend does not support mutation"
         );
     }
 

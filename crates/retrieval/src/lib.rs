@@ -24,6 +24,12 @@
 //!   unrouted pipeline.
 //! * [`dynamic`] — online insertion / removal of database objects and the
 //!   embedding-drift monitor sketched in Section 7.1.
+//! * [`concurrent`] — the serving form of the dynamic index: immutable
+//!   sealed segments plus a mutable tail, published to readers as epoch
+//!   snapshots through a cloneable [`ReadHandle`] / single
+//!   [`WriteHandle`] pair — reads never stop for writes, and every read
+//!   is bit-identical to a sequentially-churned [`DynamicIndex`] at its
+//!   snapshot's epoch.
 //! * [`error`] — the typed [`QueryError`] behind the fallible `try_*`
 //!   retrieval API: what a serving layer returns to a malformed request
 //!   instead of unwinding.
@@ -37,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod concurrent;
 pub mod dynamic;
 pub mod error;
 pub mod evaluate;
@@ -46,6 +53,7 @@ pub mod knn;
 pub mod routed;
 pub mod snapshot;
 
+pub use concurrent::{ConcurrentIndex, ReadHandle, Snapshot, WriteHandle};
 pub use dynamic::DynamicIndex;
 pub use error::QueryError;
 pub use evaluate::{CostReport, CostRow, MethodEvaluation};

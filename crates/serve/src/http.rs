@@ -14,6 +14,17 @@
 //!   the typed error shape (see [`crate::wire`]).
 //! * `GET /healthz` — `200` with backend kind, object count and
 //!   dimensionality.
+//! * `GET /info` — the full [`IndexInfo`](crate::api::IndexInfo) card
+//!   (backend, len, dim, mutability, epoch).
+//! * `POST /insert` — body `{"object": [...]}`; appends to a concurrent
+//!   backend and answers `{"id": ..., "len": ..., "epoch": ...}`. Reads
+//!   keep draining against their pinned epoch snapshots while the write
+//!   applies — mutations go straight to the facade, never through the
+//!   read batcher's admission queue.
+//! * `POST /remove` — body `{"id": N}`; swap-removes the live id, same
+//!   response shape. Both mutation routes answer
+//!   `{"error": {"kind": "mutation_unsupported", ...}}` on the immutable
+//!   backends and `"bad_id"` for a stale id.
 //!
 //! Whatever a client sends — garbage bytes, oversized bodies, malformed
 //! JSON, out-of-range parameters — the connection answers with a typed
@@ -66,6 +77,10 @@ impl Default for ServeConfig {
 /// handle shuts the server down and joins the accept loop.
 pub struct QseServer {
     addr: SocketAddr,
+    /// Shared with the accept thread so [`Self::shutdown`] can unblock a
+    /// thread parked in `accept()` by shutting the socket down directly
+    /// (see [`wake::unblock_accept`]).
+    listener: Arc<TcpListener>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     batcher: Arc<Batcher>,
@@ -77,11 +92,12 @@ impl QseServer {
     /// # Errors
     /// Any [`std::io::Error`] from binding the listener.
     pub fn start(api: QseApi, config: ServeConfig) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = Arc::new(TcpListener::bind(&config.addr)?);
         let addr = listener.local_addr()?;
         let batcher = Arc::new(Batcher::start(Arc::new(api), config.batcher));
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept = {
+            let listener = Arc::clone(&listener);
             let batcher = Arc::clone(&batcher);
             let shutdown = Arc::clone(&shutdown);
             let read_timeout = config.read_timeout;
@@ -103,6 +119,7 @@ impl QseServer {
         };
         Ok(Self {
             addr,
+            listener,
             shutdown,
             accept: Some(accept),
             batcher,
@@ -126,13 +143,13 @@ impl QseServer {
     }
 
     /// Stop accepting, unblock the accept loop and join it. Idempotent;
-    /// also run by `Drop`.
+    /// also run by `Drop`. Prompt by construction: the accept thread is
+    /// unblocked directly (see [`wake::unblock_accept`]), not by waiting
+    /// for the next client connection to arrive.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept.take() {
-            // The accept loop blocks in `incoming()`; a throwaway
-            // connection wakes it to observe the flag.
-            let _ = TcpStream::connect(self.addr);
+            wake::unblock_accept(&self.listener);
             let _ = handle.join();
         }
     }
@@ -141,6 +158,58 @@ impl QseServer {
 impl Drop for QseServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Unblocking a thread parked in `accept()`.
+///
+/// On unix the listening socket is shut down directly (`shutdown(2)` on
+/// its fd, the same libc-free FFI pattern as `qse_distance`'s mmap
+/// loader): every pending and future `accept` on it fails immediately,
+/// whatever address it was bound to. Elsewhere the historical self-
+/// connect runs — hardened to dial loopback when the bind address is
+/// unspecified (`0.0.0.0` is not connectable on every platform) and to
+/// give up after a short timeout instead of wedging `shutdown()` behind
+/// an unreachable address.
+#[cfg(unix)]
+mod wake {
+    use std::net::TcpListener;
+    use std::os::unix::io::AsRawFd;
+
+    mod ffi {
+        use std::os::raw::c_int;
+        pub const SHUT_RDWR: c_int = 2;
+        extern "C" {
+            pub fn shutdown(fd: c_int, how: c_int) -> c_int;
+        }
+    }
+
+    pub fn unblock_accept(listener: &TcpListener) {
+        // The fd stays owned (and open) for the listener's lifetime; the
+        // shared Arc guarantees it outlives this call, so the fd cannot
+        // have been reused. Failure is fine — the accept loop then just
+        // waits for the next connection, the historical behavior.
+        unsafe { ffi::shutdown(listener.as_raw_fd(), ffi::SHUT_RDWR) };
+    }
+}
+
+#[cfg(not(unix))]
+mod wake {
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+    use std::time::Duration;
+
+    pub fn unblock_accept(listener: &TcpListener) {
+        let Ok(mut addr) = listener.local_addr() else {
+            return;
+        };
+        if addr.ip().is_unspecified() {
+            let loopback = match addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            };
+            addr.set_ip(loopback);
+        }
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
     }
 }
 
@@ -236,11 +305,62 @@ fn dispatch(
     match (method, path) {
         ("GET", "/healthz") => {
             let api = batcher.api();
+            let info = api.info();
             (
                 200,
                 "OK",
-                wire::health_json(api.backend(), api.len(), api.dim()),
+                wire::health_json(info.backend, info.len, info.dim),
             )
+        }
+        ("GET", "/info") => (200, "OK", wire::info_json(&batcher.api().info())),
+        ("POST", "/insert") => {
+            // Mutations bypass the batcher: they serialize on the
+            // facade's write handle, and the admission queue keeps
+            // draining reads against pinned snapshots meanwhile.
+            let Some(body) = body else {
+                return (
+                    411,
+                    "Length Required",
+                    wire::error_json("bad_request", "POST /insert needs a Content-Length body"),
+                );
+            };
+            let object = match wire::parse_insert_request(body) {
+                Ok(object) => object,
+                Err(reason) => {
+                    return (400, "Bad Request", wire::error_json("bad_request", &reason))
+                }
+            };
+            match batcher.api().try_insert(object) {
+                Ok(report) => (200, "OK", wire::mutation_json(&report)),
+                Err(e) => (
+                    400,
+                    "Bad Request",
+                    wire::error_json(wire::query_error_kind(&e), &e.to_string()),
+                ),
+            }
+        }
+        ("POST", "/remove") => {
+            let Some(body) = body else {
+                return (
+                    411,
+                    "Length Required",
+                    wire::error_json("bad_request", "POST /remove needs a Content-Length body"),
+                );
+            };
+            let id = match wire::parse_remove_request(body) {
+                Ok(id) => id,
+                Err(reason) => {
+                    return (400, "Bad Request", wire::error_json("bad_request", &reason))
+                }
+            };
+            match batcher.api().try_remove(id) {
+                Ok(report) => (200, "OK", wire::mutation_json(&report)),
+                Err(e) => (
+                    400,
+                    "Bad Request",
+                    wire::error_json(wire::query_error_kind(&e), &e.to_string()),
+                ),
+            }
         }
         ("POST", "/query") => {
             let Some(body) = body else {

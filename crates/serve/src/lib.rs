@@ -4,11 +4,14 @@
 //! reproduction: what turns an index (or a snapshot file) into a served
 //! endpoint.
 //!
-//! * [`api`] — [`QseApi`], the transport-neutral facade over the three
-//!   index types (static / cluster-routed / dynamic, any store
-//!   precision), loadable straight from a snapshot; every entry point
-//!   returns typed [`QueryError`](qse_retrieval::QueryError)s instead of
-//!   unwinding.
+//! * [`api`] — [`QseApi`], the transport-neutral facade over the index
+//!   types (static / cluster-routed / dynamic / concurrent, any store
+//!   precision), loadable straight from a snapshot through the single
+//!   [`QseApi::load`] entry point; every entry point returns typed
+//!   [`QueryError`](qse_retrieval::QueryError)s instead of unwinding.
+//!   Over a concurrent index the facade is also the mutation path
+//!   ([`QseApi::try_insert`] / [`QseApi::try_remove`]), with reads
+//!   draining against pinned epoch snapshots throughout.
 //! * [`batcher`] — the admission batcher: concurrently arriving single
 //!   queries coalesce into micro-batches under a configurable latency
 //!   budget, so the Q×N tiled filter kernel runs at its sweet spot;
@@ -30,6 +33,8 @@ pub mod batcher;
 pub mod http;
 pub mod wire;
 
-pub use api::{QseApi, QueryResult, ServeError};
+pub use api::{
+    IndexInfo, LoadOptions, MutationReport, QseApi, QueryResult, ServeError, SnapshotSource,
+};
 pub use batcher::{Batcher, BatcherConfig, BatcherStats, RequestError};
 pub use http::{QseServer, ServeConfig};

@@ -23,7 +23,7 @@
 use qse_core::json::{JsonCodec, JsonValue};
 use qse_retrieval::QueryError;
 
-use crate::api::QueryResult;
+use crate::api::{IndexInfo, MutationReport, QueryResult};
 use crate::batcher::RequestError;
 
 /// A decoded `/query` request body.
@@ -85,6 +85,56 @@ pub fn health_json(backend: &str, len: usize, dim: usize) -> String {
     .dump()
 }
 
+/// Decode a `POST /insert` request body: `{"object": [...]}`.
+///
+/// # Errors
+/// As [`parse_query_request`].
+pub fn parse_insert_request(body: &str) -> Result<Vec<f64>, String> {
+    let value = JsonValue::parse(body).map_err(|e| e.to_string())?;
+    let field = value.get("object").map_err(|e| e.to_string())?;
+    Vec::<f64>::from_json_value(field).map_err(|e| format!("field `object`: {e}"))
+}
+
+/// Decode a `POST /remove` request body: `{"id": N}`.
+///
+/// # Errors
+/// As [`parse_query_request`].
+pub fn parse_remove_request(body: &str) -> Result<usize, String> {
+    let value = JsonValue::parse(body).map_err(|e| e.to_string())?;
+    let field = value.get("id").map_err(|e| e.to_string())?;
+    usize::from_json_value(field).map_err(|e| format!("field `id`: {e}"))
+}
+
+/// Encode a successful mutation response:
+/// `{"id": ..., "len": ..., "epoch": ...}`.
+pub fn mutation_json(report: &MutationReport) -> String {
+    JsonValue::Object(vec![
+        ("id".into(), report.id.to_json_value()),
+        ("len".into(), report.len.to_json_value()),
+        ("epoch".into(), JsonValue::Number(report.epoch as f64)),
+    ])
+    .dump()
+}
+
+/// Encode the `GET /info` response (the full [`IndexInfo`] card; `epoch`
+/// is `null` for backends without epoch snapshots).
+pub fn info_json(info: &IndexInfo) -> String {
+    JsonValue::Object(vec![
+        ("backend".into(), JsonValue::String(info.backend.into())),
+        ("len".into(), info.len.to_json_value()),
+        ("dim".into(), info.dim.to_json_value()),
+        ("mutable".into(), JsonValue::Bool(info.mutable)),
+        (
+            "epoch".into(),
+            match info.epoch {
+                Some(epoch) => JsonValue::Number(epoch as f64),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+    .dump()
+}
+
 /// The stable machine-readable tag of a [`QueryError`], the `kind` field
 /// of the wire error shape.
 pub fn query_error_kind(error: &QueryError) -> &'static str {
@@ -98,6 +148,8 @@ pub fn query_error_kind(error: &QueryError) -> &'static str {
         QueryError::BadPScale { .. } => "bad_p_scale",
         QueryError::BadNProbe { .. } => "bad_n_probe",
         QueryError::RoutingDisabled => "routing_disabled",
+        QueryError::BadId { .. } => "bad_id",
+        QueryError::MutationUnsupported => "mutation_unsupported",
     }
 }
 

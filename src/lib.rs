@@ -87,11 +87,11 @@ pub mod prelude {
     };
     pub use qse_retrieval::{
         experiments, ground_truth, knn_flat, knn_flat_batch, recall_vs_n_probe, snapshot_sections,
-        CostReport, DynamicIndex, FilterRefineIndex, MethodEvaluation, QueryError,
-        RetrievalOutcome, RoutedConfig, RoutedIndex, SnapshotError,
+        ConcurrentIndex, CostReport, DynamicIndex, FilterRefineIndex, MethodEvaluation, QueryError,
+        ReadHandle, RetrievalOutcome, RoutedConfig, RoutedIndex, SnapshotError, WriteHandle,
     };
     pub use qse_serve::{
-        Batcher, BatcherConfig, BatcherStats, QseApi, QseServer, QueryResult, RequestError,
-        ServeConfig, ServeError,
+        Batcher, BatcherConfig, BatcherStats, IndexInfo, LoadOptions, MutationReport, QseApi,
+        QseServer, QueryResult, RequestError, ServeConfig, ServeError, SnapshotSource,
     };
 }

@@ -1,0 +1,298 @@
+//! Concurrent-index consistency: every read a `ReadHandle` serves — at
+//! any reader thread count, while a writer churns the index — must be
+//! bit-identical to a plain [`DynamicIndex`] replayed to the same write
+//! prefix. The epoch number stamped on each pinned snapshot is the
+//! contract: epoch `e` means "exactly the first `e` mutation calls", so
+//! the checker replays a fresh plain index through that prefix and
+//! compares neighbor lists exactly. Runs single-threaded and with 2 and
+//! 8 reader threads, under the CI `RAYON_NUM_THREADS` matrix.
+
+mod common;
+
+use common::with_thread_count;
+use query_sensitive_embeddings::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+fn clustered(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(0..9);
+            vec![
+                (c % 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+                (c / 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
+
+fn train_model(db: &[Vec<f64>]) -> QseModel<Vec<f64>> {
+    let d = LpDistance::l2();
+    let pools: Vec<Vec<f64>> = db.iter().take(60).cloned().collect();
+    let data = TrainingData::precompute(pools.clone(), pools, &d, 6);
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let triples = TripleSampler::selective(4).sample(&data.train_to_train, 500, &mut rng);
+    BoostMapTrainer::new(TrainerConfig::quick()).train(&data, &triples, &mut rng)
+}
+
+/// One scripted mutation. Each variant maps to exactly one `WriteHandle`
+/// call, i.e. exactly one published epoch.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<f64>),
+    Remove(usize),
+    Compact,
+    Refit,
+}
+
+/// A seeded churn script over an index that starts at `len` objects.
+/// Removes pick ids valid at that point of the script and the length
+/// never drops below `len / 2`, so `p` stays admissible throughout.
+fn churn_script(seed: u64, mut len: usize, ops: usize) -> Vec<Op> {
+    let floor = len / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| match rng.gen_range(0..100) {
+            0..=54 => {
+                len += 1;
+                let c = rng.gen_range(0..9);
+                Op::Insert(vec![
+                    (c % 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+                    (c / 3) as f64 * 14.0 + rng.gen_range(-1.0..1.0),
+                ])
+            }
+            55..=89 if len > floor => {
+                len -= 1;
+                Op::Remove(rng.gen_range(0..len + 1))
+            }
+            90..=95 => Op::Compact,
+            _ => Op::Refit,
+        })
+        .collect()
+}
+
+fn apply_concurrent(
+    writer: &mut WriteHandle<Vec<f64>>,
+    op: &Op,
+    d: &dyn DistanceMeasure<Vec<f64>>,
+) {
+    match op {
+        Op::Insert(obj) => {
+            writer.insert(obj.clone(), d);
+        }
+        Op::Remove(id) => {
+            writer.remove(*id);
+        }
+        Op::Compact => writer.compact(),
+        Op::Refit => writer.refit_store(d),
+    }
+}
+
+/// Replay one op onto the plain reference index. `Compact` is
+/// result-invariant garbage collection the plain index does not have, so
+/// its replay is a no-op — which is exactly the guarantee under test.
+fn apply_plain(plain: &mut DynamicIndex<Vec<f64>>, op: &Op, d: &dyn DistanceMeasure<Vec<f64>>) {
+    match op {
+        Op::Insert(obj) => {
+            plain.insert(obj.clone(), d);
+        }
+        Op::Remove(id) => {
+            plain.remove(*id);
+        }
+        Op::Compact => {}
+        Op::Refit => plain.refit_store(d),
+    }
+}
+
+const K: usize = 3;
+const P: usize = 20;
+
+fn probe_queries() -> Vec<Vec<f64>> {
+    clustered(4, 0xBEEF)
+}
+
+/// Expected neighbor lists per epoch: replay the script prefix by prefix
+/// on a plain `DynamicIndex` and retrieve after each op.
+fn expected_by_epoch(
+    model: QseModel<Vec<f64>>,
+    db: Vec<Vec<f64>>,
+    script: &[Op],
+    d: &dyn DistanceMeasure<Vec<f64>>,
+) -> Vec<Vec<Vec<usize>>> {
+    let queries = probe_queries();
+    let mut plain = DynamicIndex::new(model, db, d);
+    let mut expected = Vec::with_capacity(script.len() + 1);
+    let results =
+        |ix: &DynamicIndex<Vec<f64>>| queries.iter().map(|q| ix.retrieve(q, d, K, P)).collect();
+    expected.push(results(&plain));
+    for op in script {
+        apply_plain(&mut plain, op, d);
+        expected.push(results(&plain));
+    }
+    expected
+}
+
+/// Sequential form of the contract: after every single op, the published
+/// snapshot answers exactly like the replayed plain index, and the epoch
+/// counter equals the number of ops applied.
+#[test]
+fn every_epoch_matches_the_replayed_plain_index() {
+    let d = LpDistance::l2();
+    let db = clustered(120, 0xA0);
+    let model = train_model(&db);
+    let script = churn_script(0x51, db.len(), 40);
+    let expected = expected_by_epoch(model.clone(), db.clone(), &script, &d);
+
+    let conc = ConcurrentIndex::from_dynamic(DynamicIndex::new(model, db, &d));
+    let reader = conc.reader();
+    let mut writer = conc.writer();
+    writer.set_tail_limit(5); // force sealing every few inserts
+    let queries = probe_queries();
+    for (i, op) in script.iter().enumerate() {
+        apply_concurrent(&mut writer, op, &d);
+        let snap = reader.snapshot();
+        assert_eq!(snap.epoch(), (i + 1) as u64, "one op must be one epoch");
+        for (q, want) in queries.iter().zip(&expected[i + 1]) {
+            assert_eq!(
+                &snap.try_retrieve(q, &d, K, P).unwrap(),
+                want,
+                "epoch {} diverged after {op:?}",
+                i + 1
+            );
+        }
+    }
+}
+
+/// The threaded form: reader threads pin snapshots and retrieve while
+/// the writer churns through the script concurrently. Every recorded
+/// `(epoch, neighbors)` pair must match the sequential replay — reads
+/// are bit-identical at any thread count and any interleaving.
+fn churn_stress(readers: usize) {
+    let d = LpDistance::l2();
+    let db = clustered(120, 0xA1);
+    let model = train_model(&db);
+    let script = churn_script(0x52, db.len(), 50);
+    let expected = expected_by_epoch(model.clone(), db.clone(), &script, &d);
+
+    let conc = ConcurrentIndex::from_dynamic(DynamicIndex::new(model, db, &d));
+    let mut writer = conc.writer();
+    writer.set_tail_limit(6);
+    let queries = probe_queries();
+    let done = AtomicBool::new(false);
+    // The writer holds at the barrier until every reader is live, so
+    // even the 1-reader run interleaves reads with the churn.
+    let barrier = Barrier::new(readers + 1);
+
+    let records: Vec<Vec<(u64, Vec<Vec<usize>>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let reader = conc.reader();
+                let (queries, d) = (&queries, &d);
+                let (done, barrier) = (&done, &barrier);
+                scope.spawn(move || {
+                    let mut seen: Vec<(u64, Vec<Vec<usize>>)> = Vec::new();
+                    let mut record = |snap: std::sync::Arc<
+                        query_sensitive_embeddings::retrieval::Snapshot<Vec<f64>>,
+                    >| {
+                        if seen.last().is_some_and(|(e, _)| *e == snap.epoch()) {
+                            return; // already checked this epoch
+                        }
+                        let results = queries
+                            .iter()
+                            .map(|q| snap.try_retrieve(q, d, K, P).unwrap())
+                            .collect();
+                        seen.push((snap.epoch(), results));
+                    };
+                    record(reader.snapshot());
+                    barrier.wait();
+                    while !done.load(Ordering::SeqCst) {
+                        record(reader.snapshot());
+                    }
+                    // One pin after the writer finished: the final epoch
+                    // is always part of the record.
+                    record(reader.snapshot());
+                    seen
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        for op in &script {
+            apply_concurrent(&mut writer, op, &d);
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::SeqCst);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut checked = BTreeMap::new();
+    for (reader_id, seen) in records.iter().enumerate() {
+        assert!(
+            seen.iter().any(|(e, _)| *e == script.len() as u64),
+            "reader {reader_id} must observe the final epoch"
+        );
+        for (epoch, results) in seen {
+            assert_eq!(
+                results, &expected[*epoch as usize],
+                "reader {reader_id} diverged from the replayed plain index at epoch {epoch}"
+            );
+            *checked.entry(*epoch).or_insert(0usize) += 1;
+        }
+    }
+    // Epoch 0 (pre-churn) and the final epoch are pinned by construction;
+    // the interleaving in between is whatever the scheduler produced.
+    assert!(checked.len() >= 2, "stress must check at least two epochs");
+}
+
+#[test]
+fn churned_reads_stay_bit_identical_one_reader() {
+    with_thread_count(1, || churn_stress(1));
+}
+
+#[test]
+fn churned_reads_stay_bit_identical_two_readers() {
+    with_thread_count(2, || churn_stress(2));
+}
+
+#[test]
+fn churned_reads_stay_bit_identical_eight_readers() {
+    with_thread_count(8, || churn_stress(8));
+}
+
+/// Handles stay coherent across threads: the single-writer claim is
+/// global, and a clone of a `ReadHandle` moved to another thread sees
+/// the same epochs as the original.
+#[test]
+fn handles_are_shareable_and_the_writer_claim_is_global() {
+    let d = LpDistance::l2();
+    let db = clustered(80, 0xA2);
+    let model = train_model(&db);
+    let conc = ConcurrentIndex::from_dynamic(DynamicIndex::new(model, db, &d));
+    let reader = conc.reader();
+    let mut writer = conc.writer();
+
+    std::thread::scope(|scope| {
+        let conc = &conc;
+        scope
+            .spawn(move || assert!(conc.try_writer().is_none()))
+            .join()
+            .unwrap();
+    });
+    writer.insert(vec![1.0, 2.0], &d);
+    let moved = reader.clone();
+    std::thread::scope(|scope| {
+        scope
+            .spawn(move || {
+                assert_eq!(moved.epoch(), 1);
+                assert_eq!(moved.len(), 81);
+            })
+            .join()
+            .unwrap();
+    });
+    drop(writer);
+    assert!(conc.try_writer().is_some());
+}

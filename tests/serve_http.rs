@@ -67,6 +67,10 @@ fn snapshot_loaded_server() -> (QseServer, Vec<Vec<f64>>) {
                 max_batch: 16,
                 workers: 2,
             },
+            // Well under the 10 s client read timeout: a stalled-garbage
+            // connection must be the server's timeout to win, not a
+            // dead-heat race against the client's.
+            read_timeout: Duration::from_secs(2),
             ..ServeConfig::default()
         },
     )
@@ -327,4 +331,222 @@ fn snapshot_facade_rejects_wrong_setups() {
     assert_eq!(api.len(), 120);
     assert_eq!(api.dim(), 2);
     assert!(api.try_query(&db[3], 3, 20).is_ok());
+}
+
+/// A server over a live concurrent index — the mutable deployment path:
+/// the facade claims the write handle, HTTP gets `/insert` + `/remove`.
+fn concurrent_server() -> (QseServer, Vec<Vec<f64>>) {
+    let db = clustered(200, 0xE0);
+    let d = LpDistance::l2();
+    let model = train_model(&db);
+    let index = ConcurrentIndex::from_dynamic(DynamicIndex::new(model, db.clone(), &d));
+    let api = QseApi::from_concurrent(index, Box::new(LpDistance::l2())).unwrap();
+    assert_eq!(api.backend(), "concurrent");
+    let server = QseServer::start(
+        api,
+        ServeConfig {
+            batcher: BatcherConfig {
+                latency_budget: Duration::from_millis(1),
+                max_batch: 16,
+                workers: 2,
+            },
+            // Well under the 10 s client read timeout: a stalled-garbage
+            // connection must be the server's timeout to win, not a
+            // dead-heat race against the client's.
+            read_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    (server, db)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn info_reports_the_identity_card_and_immutable_backends_reject_mutation() {
+    let (server, _db) = snapshot_loaded_server();
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/info");
+    assert_eq!(status, 200, "body: {body}");
+    let info = JsonValue::parse(&body).unwrap();
+    assert_eq!(info.get("backend").unwrap().as_str().unwrap(), "routed");
+    assert_eq!(info.get("len").unwrap().as_f64().unwrap() as usize, 300);
+    assert_eq!(info.get("dim").unwrap().as_f64().unwrap() as usize, 2);
+    assert!(matches!(
+        info.get("mutable").unwrap(),
+        JsonValue::Bool(false)
+    ));
+    assert!(
+        matches!(info.get("epoch").unwrap(), JsonValue::Null),
+        "a snapshot-loaded routed index has no epochs: {body}"
+    );
+
+    // The mutation routes exist but the backend refuses, typed.
+    let (status, body) = post(addr, "/insert", r#"{"object":[1.0,2.0]}"#);
+    assert_eq!(status, 400, "body: {body}");
+    assert_eq!(error_kind(&body), "mutation_unsupported");
+    let (status, body) = post(addr, "/remove", r#"{"id":0}"#);
+    assert_eq!(status, 400, "body: {body}");
+    assert_eq!(error_kind(&body), "mutation_unsupported");
+}
+
+#[test]
+fn live_mutation_over_http_round_trips() {
+    let (server, db) = concurrent_server();
+    let addr = server.addr();
+    let n = db.len();
+
+    // The identity card of a mutable backend: epoch 0 before any write.
+    let (status, body) = get(addr, "/info");
+    assert_eq!(status, 200, "body: {body}");
+    let info = JsonValue::parse(&body).unwrap();
+    assert_eq!(info.get("backend").unwrap().as_str().unwrap(), "concurrent");
+    assert!(matches!(
+        info.get("mutable").unwrap(),
+        JsonValue::Bool(true)
+    ));
+    assert_eq!(info.get("epoch").unwrap().as_f64().unwrap() as u64, 0);
+
+    // Insert a far-away landmark; the response names its id and the new
+    // epoch, and an immediate query finds it as its own 1-NN.
+    let landmark = [97.5, -44.25];
+    let (status, body) = post(addr, "/insert", r#"{"object":[97.5,-44.25]}"#);
+    assert_eq!(status, 200, "body: {body}");
+    let report = JsonValue::parse(&body).unwrap();
+    let id = report.get("id").unwrap().as_f64().unwrap() as usize;
+    assert_eq!(id, n);
+    assert_eq!(report.get("len").unwrap().as_f64().unwrap() as usize, n + 1);
+    assert_eq!(report.get("epoch").unwrap().as_f64().unwrap() as u64, 1);
+    let (status, body) = post_query(addr, &query_body(&landmark, 1, 10));
+    assert_eq!(status, 200, "body: {body}");
+    let hit = JsonValue::parse(&body).unwrap();
+    assert_eq!(
+        hit.get("neighbors").unwrap().as_array().unwrap()[0]
+            .as_f64()
+            .unwrap() as usize,
+        id
+    );
+
+    // Remove it again (swap-remove semantics; it is the last id, so the
+    // length just shrinks back) and the epoch advances once more.
+    let (status, body) = post(addr, "/remove", &format!(r#"{{"id":{id}}}"#));
+    assert_eq!(status, 200, "body: {body}");
+    let report = JsonValue::parse(&body).unwrap();
+    assert_eq!(report.get("len").unwrap().as_f64().unwrap() as usize, n);
+    assert_eq!(report.get("epoch").unwrap().as_f64().unwrap() as u64, 2);
+
+    // Typed rejections: stale id, wrong dimensionality, malformed JSON,
+    // missing body — and the server keeps serving after all of them.
+    let (status, body) = post(addr, "/remove", &format!(r#"{{"id":{}}}"#, 10 * n));
+    assert_eq!(status, 400, "body: {body}");
+    assert_eq!(error_kind(&body), "bad_id");
+    let (status, body) = post(addr, "/insert", r#"{"object":[1.0,2.0,3.0]}"#);
+    assert_eq!(status, 400, "body: {body}");
+    assert_eq!(error_kind(&body), "dim_mismatch");
+    let (status, body) = post(addr, "/insert", r#"{"object":"nope"}"#);
+    assert_eq!(status, 400, "body: {body}");
+    assert_eq!(error_kind(&body), "bad_request");
+    let (status, body) = http(
+        addr,
+        "POST /insert HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 411, "body: {body}");
+    let (status, body) = post_query(addr, &query_body(&db[0], 3, 20));
+    assert_eq!(
+        status, 200,
+        "the server must survive rejected mutations: {body}"
+    );
+}
+
+#[test]
+fn queries_keep_draining_while_writes_land() {
+    let (server, db) = concurrent_server();
+    let addr = server.addr();
+    let api = server.api();
+    let writes = 12;
+
+    std::thread::scope(|scope| {
+        // A writer hammers insert/remove pairs over HTTP...
+        scope.spawn(move || {
+            for i in 0..writes {
+                let x = 200.0 + i as f64;
+                let (status, body) =
+                    post(addr, "/insert", &format!(r#"{{"object":[{x:?},{x:?}]}}"#));
+                assert_eq!(status, 200, "write {i}: {body}");
+                let id = JsonValue::parse(&body)
+                    .unwrap()
+                    .get("id")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap() as usize;
+                let (status, body) = post(addr, "/remove", &format!(r#"{{"id":{id}}}"#));
+                assert_eq!(status, 200, "unwrite {i}: {body}");
+            }
+        });
+        // ...while readers keep getting well-formed answers. (The index
+        // length oscillates, so neighbor sets are epoch-dependent; the
+        // invariant here is liveness plus well-formedness — the
+        // bit-identity contract is pinned by tests/concurrent_index.rs.)
+        for q in db.iter().take(16) {
+            let (status, body) = post_query(addr, &query_body(q, 3, 20));
+            assert_eq!(status, 200, "read under write: {body}");
+            let parsed = JsonValue::parse(&body).unwrap();
+            assert_eq!(
+                parsed.get("neighbors").unwrap().as_array().unwrap().len(),
+                3
+            );
+        }
+    });
+
+    // Afterwards the facade agrees with the final state: every write was
+    // undone, so direct retrieval matches a fresh HTTP query.
+    assert_eq!(api.len(), db.len());
+    assert_eq!(api.info().epoch, Some(2 * writes as u64));
+    let expected = api.try_query(&db[1], 3, 20).unwrap();
+    let (status, body) = post_query(addr, &query_body(&db[1], 3, 20));
+    assert_eq!(status, 200);
+    let parsed = JsonValue::parse(&body).unwrap();
+    let neighbors: Vec<usize> = parsed
+        .get("neighbors")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap() as usize)
+        .collect();
+    assert_eq!(neighbors, expected.neighbors);
+}
+
+#[test]
+fn shutdown_returns_promptly_without_a_final_client() {
+    let (mut server, _db) = snapshot_loaded_server();
+    // Nobody connects after startup: the accept thread is parked inside
+    // `accept()`. Shutdown must unblock it directly rather than waiting
+    // for a next connection (or a timeout) to arrive.
+    let start = std::time::Instant::now();
+    server.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "shutdown took {elapsed:?}; the accept thread was not unblocked"
+    );
+    // Idempotent: a second call is a no-op.
+    server.shutdown();
 }
